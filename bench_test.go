@@ -1,0 +1,352 @@
+// Package main holds the repository-level benchmark harness: one
+// testing.B benchmark per table and figure of the paper's evaluation,
+// plus ablation benches for the design choices DESIGN.md calls out.
+//
+//	go test -bench=. -benchmem .
+//
+// Absolute numbers depend on the host (the paper used a 32-core Xeon;
+// CI containers may have one core); the shapes to check are mode
+// ordering (CompiledDT < Compiled < Hybrid ≤ Pure in time), PyOMP ≈
+// CompiledDT, dynamic ≥ static on imbalanced work, and the
+// mutex-vs-atomic runtime gap.
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/omp4go/omp4go/internal/bench"
+	"github.com/omp4go/omp4go/internal/directive"
+	"github.com/omp4go/omp4go/internal/pyomp"
+	"github.com/omp4go/omp4go/internal/rt"
+	"github.com/omp4go/omp4go/omp"
+)
+
+// benchArgs shrinks problem sizes so the full suite fits CI budgets;
+// use cmd/omp4go -paper for paper-scale runs.
+var benchArgs = map[string][]int64{
+	"fft":       {1 << 10, 42},
+	"jacobi":    {96, 5, 42},
+	"lu":        {96, 42},
+	"md":        {64, 2, 42},
+	"pi":        {200_000},
+	"qsort":     {30_000, 42},
+	"bfs":       {41, 42},
+	"graphic":   {600, 12, 42},
+	"wordcount": {800, 42},
+}
+
+var benchThreads = []int{1, 4}
+
+func runBenchmark(b *testing.B, mode bench.Mode, name string, threads int) {
+	b.Helper()
+	cfg := bench.RunConfig{Threads: threads, Args: benchArgs[name]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Run(mode, name, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// BenchmarkTable1Census regenerates Table I (static directive
+// analysis of the seven numerical benchmarks).
+func BenchmarkTable1Census(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := bench.TableI()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig5 measures every numerical benchmark in every mode
+// (the Fig. 5 grid): fft, jacobi, lu, md, pi, qsort, bfs ×
+// Pure/Hybrid/Compiled/CompiledDT (+ PyOMP where supported).
+func BenchmarkFig5(b *testing.B) {
+	for _, name := range bench.Names {
+		if !bench.Registry[name].Numerical {
+			continue
+		}
+		modes := append([]bench.Mode{}, bench.AllOMP4PyModes...)
+		if _, no := pyomp.Unsupported[name]; !no {
+			modes = append(modes, bench.PyOMP)
+		}
+		for _, mode := range modes {
+			for _, th := range benchThreads {
+				b.Run(fmt.Sprintf("%s/%s/%dT", name, mode, th), func(b *testing.B) {
+					runBenchmark(b, mode, name, th)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig6 measures the non-numerical applications across the
+// OMP4Py modes (PyOMP cannot run them, §IV-B).
+func BenchmarkFig6(b *testing.B) {
+	for _, name := range []string{"graphic", "wordcount"} {
+		for _, mode := range bench.AllOMP4PyModes {
+			for _, th := range benchThreads {
+				b.Run(fmt.Sprintf("%s/%s/%dT", name, mode, th), func(b *testing.B) {
+					runBenchmark(b, mode, name, th)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig7 measures the scheduling-policy sweep (static,
+// dynamic, guided; chunk 300 in the paper, scaled here) on the
+// imbalanced non-numerical workloads.
+func BenchmarkFig7(b *testing.B) {
+	policies := []directive.ScheduleKind{
+		directive.ScheduleStatic, directive.ScheduleDynamic, directive.ScheduleGuided,
+	}
+	for _, name := range []string{"graphic", "wordcount"} {
+		for _, pol := range policies {
+			b.Run(fmt.Sprintf("%s/%s", name, pol), func(b *testing.B) {
+				cfg := bench.RunConfig{
+					Threads:  4,
+					Args:     benchArgs[name],
+					Schedule: rt.Schedule{Kind: pol, Chunk: 30},
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := bench.Run(bench.Hybrid, name, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig8 measures the hybrid MPI/OpenMP jacobi across
+// simulated node counts.
+func BenchmarkFig8(b *testing.B) {
+	for _, nodes := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("jacobi/%dnodes", nodes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := bench.RunHybridJacobi(bench.HybridConfig{
+					Mode: bench.CompiledDT, Nodes: nodes, ThreadsPerNode: 2,
+					N: 96, Iters: 4, Seed: 42, Network: bench.DefaultNetwork(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSyncLayer isolates the Pure-vs-Hybrid mechanism:
+// the same dynamic-scheduled loop driven through the mutex runtime
+// and the atomic cruntime (§III-D's counter coordination).
+func BenchmarkAblationSyncLayer(b *testing.B) {
+	for _, layer := range []rt.Layer{rt.LayerMutex, rt.LayerAtomic} {
+		b.Run(layer.String(), func(b *testing.B) {
+			r := rt.NewWithEnv(layer, func(string) string { return "" })
+			ctx := r.NewContext()
+			for i := 0; i < b.N; i++ {
+				err := r.Parallel(ctx, rt.ParallelOpts{NumThreads: 4}, func(c *rt.Context) error {
+					bounds := rt.ForBounds(rt.Triplet{Start: 0, End: 20000, Step: 1})
+					if err := c.ForInit(bounds, rt.ForOpts{
+						Sched:    rt.Schedule{Kind: directive.ScheduleDynamic, Chunk: 1},
+						SchedSet: true,
+					}); err != nil {
+						return err
+					}
+					for bounds.ForNext() {
+					}
+					return c.ForEnd(bounds)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGIL quantifies the GIL model against free
+// threading on the interpreted path.
+func BenchmarkAblationGIL(b *testing.B) {
+	for _, gil := range []bool{true, false} {
+		label := "free-threaded"
+		if gil {
+			label = "gil"
+		}
+		b.Run(label, func(b *testing.B) {
+			cfg := bench.RunConfig{Threads: 4, Args: []int64{60_000}, GIL: gil}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.Run(bench.Pure, "pi", cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationContendedAlloc toggles the free-threading
+// allocation-contention model (the forward-looking claim of §IV-A:
+// interpreter fixes lift Pure-mode scalability without OMP4Py
+// changes).
+func BenchmarkAblationContendedAlloc(b *testing.B) {
+	for _, off := range []bool{false, true} {
+		label := "contended"
+		if off {
+			label = "uncontended"
+		}
+		b.Run(label, func(b *testing.B) {
+			cfg := bench.RunConfig{Threads: 4, Args: []int64{60_000}, ContendedAllocOff: off}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.Run(bench.Pure, "pi", cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTaskIfCutoff sweeps the task if-clause cutoff on
+// qsort (the clause PyOMP lacks, §IV-A).
+func BenchmarkAblationTaskIfCutoff(b *testing.B) {
+	program := `
+from omp4py import *
+
+@omp
+def qs(a, lo: int, hi: int, cutoff: int):
+    if lo >= hi:
+        return None
+    pivot: float = a[(lo + hi) // 2]
+    i: int = lo
+    j: int = hi
+    while i <= j:
+        while a[i] < pivot:
+            i += 1
+        while a[j] > pivot:
+            j -= 1
+        if i <= j:
+            t: float = a[i]
+            a[i] = a[j]
+            a[j] = t
+            i += 1
+            j -= 1
+    with omp("task if(j - lo > cutoff)"):
+        qs(a, lo, j, cutoff)
+    with omp("task if(hi - i > cutoff)"):
+        qs(a, i, hi, cutoff)
+    omp("taskwait")
+    return None
+
+@omp
+def run(n, cutoff):
+    a = [0.0] * n
+    x = 12345.0
+    for i in range(n):
+        x = (x * 1103.515245 + 12345.0) % 1000000.0
+        a[i] = x
+    with omp("parallel num_threads(4)"):
+        with omp("single"):
+            qs(a, 0, n - 1, cutoff)
+    return a[0] + a[n - 1] + a[n // 2]
+`
+	for _, cutoff := range []int{64, 512, 4096} {
+		b.Run(fmt.Sprintf("cutoff%d", cutoff), func(b *testing.B) {
+			p, err := omp.Load(program, "qs.py", omp.ModeCompiledDT)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Call("run", 20000, cutoff); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationListStorage contrasts the float-specialized list
+// storage against generic boxed storage in CompiledDT (the adaptive
+// representation behind the typed fast paths).
+func BenchmarkAblationListStorage(b *testing.B) {
+	mk := func(boxed bool) string {
+		init := "a = [0.0] * n"
+		if boxed {
+			// Seeding with a string then deleting it forces generic
+			// storage for the whole run.
+			init = "a = [\"box\"] + [0.0] * n\n    a.pop(0)"
+		}
+		return `
+def kernel(n: int) -> float:
+    ` + init + `
+    for i in range(n):
+        a[i] = i * 0.5
+    s: float = 0.0
+    for i in range(n):
+        s += a[i]
+    return s
+`
+	}
+	for _, boxed := range []bool{false, true} {
+		label := "specialized"
+		if boxed {
+			label = "boxed"
+		}
+		b.Run(label, func(b *testing.B) {
+			p, err := omp.Load(mk(boxed), "ls.py", omp.ModeCompiledDT)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Call("kernel", 50_000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestBenchShapesSanity asserts the headline orderings the paper
+// reports hold at bench sizes: compiled modes beat interpreted ones,
+// and PyOMP lands near CompiledDT.
+func TestBenchShapesSanity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	timeOf := func(mode bench.Mode, name string) float64 {
+		best := 1e18
+		for i := 0; i < 3; i++ {
+			res, err := bench.Run(mode, name, bench.RunConfig{Threads: 1, Args: benchArgs[name]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Seconds < best {
+				best = res.Seconds
+			}
+		}
+		return best
+	}
+	for _, name := range []string{"pi", "fft"} {
+		pure := timeOf(bench.Pure, name)
+		compiled := timeOf(bench.Compiled, name)
+		dt := timeOf(bench.CompiledDT, name)
+		t.Logf("%s: Pure %.4fs, Compiled %.4fs, CompiledDT %.4fs", name, pure, compiled, dt)
+		if compiled >= pure {
+			t.Errorf("%s: Compiled (%.4fs) not faster than Pure (%.4fs)", name, compiled, pure)
+		}
+		if dt >= pure {
+			t.Errorf("%s: CompiledDT (%.4fs) not faster than Pure (%.4fs)", name, dt, pure)
+		}
+	}
+}

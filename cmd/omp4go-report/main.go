@@ -1,0 +1,185 @@
+// Command omp4go-report regenerates the paper's tables and figures:
+// table1, fig5, fig6, fig7, fig8, summary, or all. Output is plain
+// text suitable for EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"github.com/omp4go/omp4go/internal/bench"
+)
+
+func main() {
+	threadsFlag := flag.Int("maxthreads", 8, "cap the thread sweep (paper: 32)")
+	reps := flag.Int("reps", 1, "repetitions to average (paper: 10)")
+	scale := flag.Float64("scale", 1.0, "problem-size multiplier over the defaults")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: omp4go-report [flags] table1|fig5|fig6|fig7|fig8|summary|all")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+	}
+
+	var threads []int
+	for _, t := range bench.DefaultThreadCounts {
+		if t <= *threadsFlag {
+			threads = append(threads, t)
+		}
+	}
+	r := &reporter{threads: threads, reps: *reps, scale: *scale}
+
+	switch flag.Arg(0) {
+	case "table1":
+		r.table1()
+	case "fig5":
+		r.fig5()
+	case "fig6":
+		r.fig6()
+	case "fig7":
+		r.fig7()
+	case "fig8":
+		r.fig8()
+	case "summary":
+		r.summary()
+	case "all":
+		r.table1()
+		r.fig5()
+		r.fig6()
+		r.fig7()
+		r.fig8()
+		r.summary()
+	default:
+		flag.Usage()
+	}
+}
+
+type reporter struct {
+	threads []int
+	reps    int
+	scale   float64
+}
+
+func (r *reporter) opts(name string) bench.FigureOptions {
+	b := bench.Registry[name]
+	args := make([]int64, len(b.DefaultArgs))
+	copy(args, b.DefaultArgs)
+	if r.scale != 1.0 && len(args) > 0 {
+		args[0] = int64(float64(args[0]) * r.scale)
+	}
+	return bench.FigureOptions{Threads: r.threads, Args: args, Repetitions: r.reps}
+}
+
+func (r *reporter) table1() {
+	fmt.Println("== Table I: static characteristics of the evaluated benchmarks ==")
+	out, err := bench.TableI()
+	check(err)
+	fmt.Println(out)
+}
+
+func (r *reporter) fig5() {
+	fmt.Println("== Fig. 5: scalability of the parallel numerical applications ==")
+	for _, name := range bench.Names {
+		if !bench.Registry[name].Numerical {
+			continue
+		}
+		fig, err := bench.Figure5(name, r.opts(name))
+		check(err)
+		fmt.Println(fig.Render())
+	}
+}
+
+func (r *reporter) fig6() {
+	fmt.Println("== Fig. 6: scalability of clustering coefficient and wordcount ==")
+	for _, name := range []string{"graphic", "wordcount"} {
+		fig, err := bench.Figure6(name, r.opts(name))
+		check(err)
+		fmt.Println(fig.Render())
+	}
+}
+
+func (r *reporter) fig7() {
+	fmt.Println("== Fig. 7: speedups under static/dynamic/guided scheduling (chunk 300) ==")
+	for _, name := range []string{"graphic", "wordcount"} {
+		fig, err := bench.Figure7(name,
+			[]bench.Mode{bench.Pure, bench.Hybrid, bench.CompiledDT}, 300, r.opts(name))
+		check(err)
+		fmt.Println(fig.Render())
+	}
+}
+
+func (r *reporter) fig8() {
+	fmt.Println("== Fig. 8: hybrid MPI/OpenMP jacobi scaling ==")
+	nodes := []int{1, 2, 4, 8, 16}
+	tpn := 4
+	if len(r.threads) > 0 && r.threads[len(r.threads)-1] < tpn {
+		tpn = r.threads[len(r.threads)-1]
+	}
+	fig, err := bench.Figure8(bench.Figure8Options{
+		Nodes: nodes, ThreadsPerNode: tpn,
+		N: int(192 * r.scale), Iters: 5,
+	})
+	check(err)
+	fmt.Println(fig.Render())
+	fmt.Println(fig.Speedups("").Render())
+}
+
+// summary reproduces the headline statistics of §IV-A: Pure max
+// speedup, CompiledDT vs Pure ratios, and per-mode scalability.
+func (r *reporter) summary() {
+	fmt.Println("== §IV-A summary statistics ==")
+	maxT := r.threads[len(r.threads)-1]
+	var ratios []float64
+	var bestPureSpeedup float64
+	var bestPureName string
+	for _, name := range bench.Names {
+		if !bench.Registry[name].Numerical {
+			continue
+		}
+		o := r.opts(name)
+		pure1, err := runMean(bench.Pure, name, 1, o)
+		check(err)
+		pureN, err := runMean(bench.Pure, name, maxT, o)
+		check(err)
+		dtN, err := runMean(bench.CompiledDT, name, maxT, o)
+		check(err)
+		ratio := pureN / dtN
+		ratios = append(ratios, ratio)
+		if sp := pure1 / pureN; sp > bestPureSpeedup {
+			bestPureSpeedup, bestPureName = sp, name
+		}
+		fmt.Printf("%-8s Pure 1T %9.4fs | Pure %dT %9.4fs | CompiledDT %dT %9.4fs | DT speedup over Pure %7.1fx\n",
+			name, pure1, maxT, pureN, maxT, dtN, ratio)
+	}
+	gm := 1.0
+	for _, x := range ratios {
+		gm *= x
+	}
+	gm = math.Pow(gm, 1.0/float64(len(ratios)))
+	fmt.Printf("\nPure max self-speedup: %.2fx (%s); CompiledDT over Pure at %d threads: geo-mean %.0fx\n",
+		bestPureSpeedup, bestPureName, maxT, gm)
+}
+
+func runMean(mode bench.Mode, name string, threads int, o bench.FigureOptions) (float64, error) {
+	total := 0.0
+	for i := 0; i < o.Repetitions; i++ {
+		res, err := bench.Run(mode, name, bench.RunConfig{Threads: threads, Args: o.Args})
+		if err != nil {
+			return 0, err
+		}
+		total += res.Seconds
+	}
+	return total / float64(o.Repetitions), nil
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omp4go-report: %v\n", err)
+		os.Exit(1)
+	}
+}

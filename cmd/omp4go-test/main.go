@@ -1,0 +1,108 @@
+// Command omp4go-test is the artifact's automated sweep: it runs one
+// benchmark across all execution modes and the thread configurations
+// 1, 2, 4, 8, 16, 32 (the paper's Fig. 5/6 grid), printing one line
+// per measurement and a summary table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/omp4go/omp4go/internal/bench"
+	"github.com/omp4go/omp4go/internal/pyomp"
+)
+
+func main() {
+	paper := flag.Bool("paper", false, "use the paper's problem sizes (may take hours)")
+	reps := flag.Int("reps", 1, "repetitions to average (the paper averages 10)")
+	maxThreads := flag.Int("maxthreads", 32, "cap the thread sweep")
+	validate := flag.Bool("validate", true, "check checksums against the sequential reference")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: omp4go-test [flags] <test> [size-args...]\n  test: %s\nflags:\n",
+			strings.Join(bench.Names, ", "))
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+	}
+	name := flag.Arg(0)
+	b, ok := bench.Registry[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "omp4go-test: unknown test %q\n", name)
+		os.Exit(1)
+	}
+	args := b.DefaultArgs
+	if *paper {
+		args = b.PaperArgs
+	}
+	if flag.NArg() > 1 {
+		args = nil
+		for _, a := range flag.Args()[1:] {
+			v, err := strconv.ParseInt(a, 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "omp4go-test: invalid size arg %q\n", a)
+				os.Exit(1)
+			}
+			args = append(args, v)
+		}
+	}
+
+	var threads []int
+	for _, t := range bench.DefaultThreadCounts {
+		if t <= *maxThreads {
+			threads = append(threads, t)
+		}
+	}
+
+	modes := append([]bench.Mode{}, bench.AllOMP4PyModes...)
+	if _, no := pyomp.Unsupported[name]; !no {
+		modes = append(modes, bench.PyOMP)
+	} else {
+		fmt.Printf("# PyOMP skipped: %s\n", pyomp.Unsupported[name])
+	}
+
+	fmt.Printf("# %s args=%v reps=%d\n", name, args, *reps)
+	fmt.Printf("%-12s %-8s %12s\n", "mode", "threads", "seconds")
+	table := make(map[bench.Mode]map[int]float64)
+	for _, mode := range modes {
+		table[mode] = make(map[int]float64)
+		for _, th := range threads {
+			total := 0.0
+			for rep := 0; rep < *reps; rep++ {
+				run := bench.Run
+				if *validate {
+					run = bench.Validate
+				}
+				res, err := run(mode, name, bench.RunConfig{Threads: th, Args: args})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "omp4go-test: %v\n", err)
+					os.Exit(1)
+				}
+				total += res.Seconds
+			}
+			mean := total / float64(*reps)
+			table[mode][th] = mean
+			fmt.Printf("%-12s %-8d %12.6f\n", mode, th, mean)
+		}
+	}
+
+	fmt.Printf("\n# speedup over each mode's 1-thread time\n")
+	fmt.Printf("%-12s", "mode")
+	for _, th := range threads {
+		fmt.Printf(" %8dT", th)
+	}
+	fmt.Println()
+	for _, mode := range modes {
+		fmt.Printf("%-12s", mode)
+		base := table[mode][threads[0]]
+		for _, th := range threads {
+			fmt.Printf(" %9.2f", base/table[mode][th])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,173 @@
+// Command omp4go runs one benchmark in one execution mode — the
+// analogue of the artifact's `python3 examples/main.py <mode> <test>
+// <threads> [args...]` (modes: -1 PyOMP, 0 Pure, 1 Hybrid,
+// 2 Compiled, 3 CompiledDT).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/omp4go/omp4go/internal/bench"
+	"github.com/omp4go/omp4go/internal/mpi"
+	"github.com/omp4go/omp4go/internal/rt"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: omp4go [flags] <mode> <test> <threads> [size-args...]
+
+  mode     -1 = PyOMP baseline, 0 = Pure, 1 = Hybrid, 2 = Compiled, 3 = CompiledDT
+  test     %s
+  threads  OpenMP team size
+
+flags:
+`, strings.Join(bench.Names, ", "))
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+func main() {
+	paper := flag.Bool("paper", false, "use the paper's problem sizes (may take hours)")
+	validate := flag.Bool("validate", false, "check the checksum against the sequential reference")
+	sched := flag.String("sched", "", "run-sched policy for schedule(runtime) loops (static|dynamic|guided)")
+	chunk := flag.Int64("chunk", 0, "chunk size for -sched")
+	gil := flag.Bool("gil", false, "enable the GIL ablation (interpreted modes)")
+	reps := flag.Int("reps", 1, "repetitions to average")
+	nodes := flag.Int("nodes", 0, "run the hybrid MPI/OpenMP jacobi on this many simulated nodes")
+	flag.Usage = usage
+	// The PyOMP mode is written "-1" (matching the artifact's CLI);
+	// stop flag parsing there so it reads as a positional argument.
+	argv := os.Args[1:]
+	for i, a := range argv {
+		if a == "--" {
+			break // the user already ended flag parsing
+		}
+		if a == "-1" {
+			argv = append(argv[:i:i], append([]string{"--"}, argv[i:]...)...)
+			break
+		}
+	}
+	if err := flag.CommandLine.Parse(argv); err != nil {
+		os.Exit(2)
+	}
+
+	args := flag.Args()
+	if len(args) < 3 {
+		usage()
+	}
+	modeNum, err := strconv.Atoi(args[0])
+	if err != nil {
+		fatal("invalid mode %q", args[0])
+	}
+	mode, err := bench.ParseMode(modeNum)
+	if err != nil {
+		fatal("%v", err)
+	}
+	name := args[1]
+	threads, err := strconv.Atoi(args[2])
+	if err != nil || threads < 1 {
+		fatal("invalid thread count %q", args[2])
+	}
+	var sizeArgs []int64
+	for _, a := range args[3:] {
+		v, err := strconv.ParseInt(a, 10, 64)
+		if err != nil {
+			fatal("invalid size argument %q", a)
+		}
+		sizeArgs = append(sizeArgs, v)
+	}
+
+	if *nodes > 0 {
+		runHybrid(mode, *nodes, threads, sizeArgs)
+		return
+	}
+
+	b, ok := bench.Registry[name]
+	if !ok {
+		fatal("unknown test %q (valid: %s)", name, strings.Join(bench.Names, ", "))
+	}
+	if sizeArgs == nil {
+		if *paper {
+			sizeArgs = b.PaperArgs
+		} else {
+			sizeArgs = b.DefaultArgs
+		}
+	}
+
+	cfg := bench.RunConfig{
+		Threads: threads,
+		Args:    sizeArgs,
+		GIL:     *gil,
+		Stdout:  os.Stdout,
+	}
+	if *sched != "" {
+		s, err := rt.ParseScheduleEnv(*sched + chunkSuffix(*chunk))
+		if err != nil {
+			fatal("%v", err)
+		}
+		cfg.Schedule = s
+	}
+
+	var total float64
+	var last bench.Result
+	for rep := 0; rep < *reps; rep++ {
+		run := bench.Run
+		if *validate {
+			run = bench.Validate
+		}
+		res, err := run(mode, name, cfg)
+		if err != nil {
+			fatal("%v", err)
+		}
+		total += res.Seconds
+		last = res
+	}
+	fmt.Printf("%s %s threads=%d args=%v: %.6fs (checksum %.10g)\n",
+		name, mode, threads, sizeArgs, total/float64(*reps), last.Checksum)
+	if *validate {
+		fmt.Println("checksum validated against the sequential reference")
+	}
+}
+
+func chunkSuffix(chunk int64) string {
+	if chunk > 0 {
+		return fmt.Sprintf(",%d", chunk)
+	}
+	return ""
+}
+
+func runHybrid(mode bench.Mode, nodes, threads int, sizeArgs []int64) {
+	if mode == bench.PyOMP {
+		fatal("PyOMP cannot be combined with mpi4py (§IV-C)")
+	}
+	n, iters, seed := int64(192), int64(5), int64(42)
+	if len(sizeArgs) > 0 {
+		n = sizeArgs[0]
+	}
+	if len(sizeArgs) > 1 {
+		iters = sizeArgs[1]
+	}
+	if len(sizeArgs) > 2 {
+		seed = sizeArgs[2]
+	}
+	res, err := bench.RunHybridJacobi(bench.HybridConfig{
+		Mode: mode, Nodes: nodes, ThreadsPerNode: threads,
+		N: int(n), Iters: int(iters), Seed: seed,
+		Network: defaultNet(),
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("hybrid jacobi %s nodes=%d threads/node=%d n=%d iters=%d: %.6fs (checksum %.10g)\n",
+		mode, nodes, threads, n, iters, res.Seconds, res.Checksum)
+}
+
+func defaultNet() *mpi.NetworkModel { return bench.DefaultNetwork() }
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "omp4go: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Fibonacci with OpenMP tasks: the paper's Fig. 4 program run through
+// the MiniPy pipeline, next to the equivalent native Go tasking API.
+// The task if clause keeps small subproblems on the spawning thread.
+//
+// Run with: go run ./examples/fibonacci-tasks
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/omp4go/omp4go/omp"
+)
+
+const program = `
+from omp4py import *
+
+@omp
+def fibonacci(n):
+    if n <= 1:
+        return n
+    fib1 = 0
+    fib2 = 0
+    with omp("task if(n > 12)"):
+        fib1 = fibonacci(n - 1)
+    with omp("task if(n > 12)"):
+        fib2 = fibonacci(n - 2)
+    omp("taskwait")
+    return fib1 + fib2
+
+@omp
+def run(n):
+    result = [0]
+    with omp("parallel num_threads(4)"):
+        with omp("single"):
+            result[0] = fibonacci(n)
+    return result[0]
+`
+
+func main() {
+	// MiniPy tasking (Fig. 4).
+	p, err := omp.Load(program, "fib.py", omp.ModeHybrid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range []int{10, 20, 25} {
+		v, err := p.Call("run", n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("MiniPy tasks: fib(%d) = %v\n", n, v)
+	}
+
+	// The same divide-and-conquer shape on the native API.
+	var fib func(tc *omp.TC, n int) int
+	fib = func(tc *omp.TC, n int) int {
+		if n <= 1 {
+			return n
+		}
+		var f1, f2 int
+		check(tc.Task(func(tt *omp.TC) { f1 = fib(tt, n-1) }, omp.TaskIf(n > 12)))
+		check(tc.Task(func(tt *omp.TC) { f2 = fib(tt, n-2) }, omp.TaskIf(n > 12)))
+		check(tc.TaskWait())
+		return f1 + f2
+	}
+	var result int
+	err = omp.Parallel(func(tc *omp.TC) {
+		check(tc.Single(func() { result = fib(tc, 25) }))
+	}, omp.WithNumThreads(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("native tasks: fib(25) = %d\n", result)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+// Graph clustering coefficients: the paper's §IV-B example of
+// library-bound parallel work (NetworkX there, the graph substrate
+// here). The per-node coefficients are computed by library calls
+// inside a dynamically scheduled parallel loop, so all execution
+// modes perform similarly — the effect Fig. 6 shows.
+//
+// Run with: go run ./examples/graph-clustering
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/omp4go/omp4go/internal/graph"
+	"github.com/omp4go/omp4go/omp"
+)
+
+func main() {
+	const (
+		nodes  = 4000
+		degree = 24
+		seed   = 11
+	)
+	g := graph.Random(nodes, degree, seed)
+	fmt.Printf("random graph: %d nodes, %d edges (avg degree %.1f)\n",
+		g.N(), g.Edges(), 2*float64(g.Edges())/float64(g.N()))
+
+	// Parallel per-node clustering with a sum reduction.
+	coeffs := make([]float64, nodes)
+	total, err := omp.ParallelReduce(0, nodes, 0.0, omp.Sum[float64],
+		func(tc *omp.TC, u int, acc float64) float64 {
+			c := g.Clustering(u)
+			coeffs[u] = c
+			return acc + c
+		},
+		omp.WithNumThreads(4),
+		omp.WithSchedule(omp.Dynamic, 64), // node degrees vary: dynamic balances
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Validate against the brute-force reference.
+	check := 0.0
+	for u := 0; u < nodes; u++ {
+		check += g.ClusteringBrute(u)
+	}
+	if math.Abs(total-check) > 1e-9*(1+math.Abs(check)) {
+		log.Fatalf("parallel sum %.12f != reference %.12f", total, check)
+	}
+
+	fmt.Printf("average clustering coefficient: %.6f (validated against brute force)\n",
+		total/nodes)
+
+	// A tiny histogram of the coefficient distribution.
+	var buckets [10]int
+	for _, c := range coeffs {
+		b := int(c * 10)
+		if b > 9 {
+			b = 9
+		}
+		buckets[b]++
+	}
+	fmt.Println("coefficient distribution:")
+	for b, n := range buckets {
+		fmt.Printf("  [%.1f, %.1f) %6d\n", float64(b)/10, float64(b+1)/10, n)
+	}
+}

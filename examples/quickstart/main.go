@@ -1,0 +1,83 @@
+// Quickstart: the two faces of omp4go.
+//
+// First the native Go API — OpenMP-style teams, worksharing loops,
+// and reductions over goroutine-backed thread teams. Then the MiniPy
+// pipeline: the paper's Fig. 1 program, transformed by the @omp
+// decorator machinery and executed in the Hybrid mode.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/omp4go/omp4go/omp"
+)
+
+func main() {
+	// --- Native Go API ---
+
+	// A parallel region: the body runs once per team thread.
+	err := omp.Parallel(func(tc *omp.TC) {
+		tc.Critical("io", func() {
+			fmt.Printf("hello from thread %d of %d\n", tc.ThreadNum(), tc.NumThreads())
+		})
+	}, omp.WithNumThreads(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A worksharing loop with a reduction: Fig. 1's pi integral.
+	const n = 1_000_000
+	w := 1.0 / n
+	pi, err := omp.ParallelReduce(0, n, 0.0, omp.Sum[float64],
+		func(tc *omp.TC, i int, acc float64) float64 {
+			x := (float64(i) + 0.5) * w
+			return acc + 4.0/(1.0+x*x)
+		},
+		omp.WithNumThreads(4),
+		omp.WithSchedule(omp.Static, 0),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("native API:  pi ≈ %.10f\n", pi*w)
+
+	// --- MiniPy pipeline (the paper's Fig. 1, verbatim) ---
+
+	program := `
+from omp4py import *
+
+@omp
+def pi(n: int) -> float:
+    w: float = 1.0 / n
+    pi_value: float = 0.0
+    with omp("parallel for reduction(+:pi_value) num_threads(4)"):
+        for i in range(n):
+            local: float = (i + 0.5) * w
+            pi_value += 4.0 / (1.0 + local * local)
+    return pi_value * w
+`
+	p, err := omp.Load(program, "pi.py", omp.ModeHybrid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := p.Call("pi", 1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MiniPy mode: pi ≈ %.10f (mode %s)\n", v, p.Mode())
+
+	// The same program under CompiledDT: the int/float annotations
+	// turn the hot loop into unboxed native code.
+	pdt, err := omp.Load(program, "pi.py", omp.ModeCompiledDT)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vdt, err := pdt.Call("pi", 1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CompiledDT:  pi ≈ %.10f\n", vdt)
+}

@@ -1,0 +1,3 @@
+module github.com/omp4go/omp4go
+
+go 1.24

@@ -1,0 +1,357 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"github.com/omp4go/omp4go/internal/compile"
+	"github.com/omp4go/omp4go/internal/graph"
+	"github.com/omp4go/omp4go/internal/interp"
+	"github.com/omp4go/omp4go/internal/minipy"
+	"github.com/omp4go/omp4go/internal/pyomp"
+	"github.com/omp4go/omp4go/internal/rt"
+	"github.com/omp4go/omp4go/internal/textgen"
+	"github.com/omp4go/omp4go/internal/transform"
+)
+
+// Mode is an execution mode of the evaluation: the four OMP4Py modes
+// plus the PyOMP baseline (§IV).
+type Mode int
+
+// Execution modes, numbered like the artifact's CLI (PyOMP is -1
+// there; here it follows the OMP4Py modes).
+const (
+	Pure Mode = iota
+	Hybrid
+	Compiled
+	CompiledDT
+	PyOMP
+)
+
+// AllOMP4PyModes lists the four OMP4Py modes in artifact order.
+var AllOMP4PyModes = []Mode{Pure, Hybrid, Compiled, CompiledDT}
+
+// String returns the paper's mode name.
+func (m Mode) String() string {
+	switch m {
+	case Pure:
+		return "Pure"
+	case Hybrid:
+		return "Hybrid"
+	case Compiled:
+		return "Compiled"
+	case CompiledDT:
+		return "CompiledDT"
+	case PyOMP:
+		return "PyOMP"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode converts the artifact's numeric mode (-1 for PyOMP, 0-3
+// for OMP4Py) into a Mode.
+func ParseMode(n int) (Mode, error) {
+	switch n {
+	case -1:
+		return PyOMP, nil
+	case 0:
+		return Pure, nil
+	case 1:
+		return Hybrid, nil
+	case 2:
+		return Compiled, nil
+	case 3:
+		return CompiledDT, nil
+	}
+	return Pure, fmt.Errorf("bench: invalid mode %d (want -1..3)", n)
+}
+
+// Benchmark describes one evaluation program.
+type Benchmark struct {
+	Name string
+	// Source is the MiniPy program (OMP4Py modes).
+	Source string
+	// ArgNames documents the size arguments after threads.
+	ArgNames []string
+	// DefaultArgs are laptop-scale sizes; PaperArgs are the sizes of
+	// §IV (hours of sequential compute at interpreter speed).
+	DefaultArgs []int64
+	PaperArgs   []int64
+	// Reference computes the sequential native checksum.
+	Reference func(args []int64) float64
+	// Tolerance is the relative checksum tolerance (reduction order
+	// differs across schedules).
+	Tolerance float64
+	// Numerical marks the seven Fig. 5 benchmarks.
+	Numerical bool
+}
+
+// Registry holds every benchmark by name; Names gives evaluation
+// order (the artifact's test names).
+var Registry = map[string]*Benchmark{}
+
+// Names lists benchmarks in the paper's order: the seven numerical
+// programs of Fig. 5 and the two non-numerical ones of Fig. 6.
+var Names = []string{"fft", "jacobi", "lu", "md", "pi", "qsort", "bfs", "graphic", "wordcount"}
+
+func register(b *Benchmark) { Registry[b.Name] = b }
+
+func init() {
+	register(&Benchmark{
+		Name: "fft", Source: fftSource,
+		ArgNames:    []string{"n", "seed"},
+		DefaultArgs: []int64{1 << 12, 42},
+		PaperArgs:   []int64{1 << 24, 42}, // 16M complex values
+		Reference: func(a []int64) float64 {
+			return pyomp.SequentialFFT(int(a[0]), a[1])
+		},
+		Tolerance: 1e-9,
+		Numerical: true,
+	})
+	register(&Benchmark{
+		Name: "jacobi", Source: jacobiSource,
+		ArgNames:    []string{"n", "iters", "seed"},
+		DefaultArgs: []int64{192, 10, 42},
+		PaperArgs:   []int64{3000, 1000, 42}, // 3k x 3k, up to 1000 iterations
+		Reference: func(a []int64) float64 {
+			return pyomp.SequentialJacobi(int(a[0]), int(a[1]), a[2])
+		},
+		Tolerance: 1e-9,
+		Numerical: true,
+	})
+	register(&Benchmark{
+		Name: "lu", Source: luSource,
+		ArgNames:    []string{"n", "seed"},
+		DefaultArgs: []int64{128, 42},
+		PaperArgs:   []int64{2000, 42}, // 2k x 2k
+		Reference: func(a []int64) float64 {
+			return pyomp.SequentialLU(int(a[0]), a[1])
+		},
+		Tolerance: 1e-9,
+		Numerical: true,
+	})
+	register(&Benchmark{
+		Name: "md", Source: mdSource,
+		ArgNames:    []string{"particles", "steps", "seed"},
+		DefaultArgs: []int64{128, 4, 42},
+		PaperArgs:   []int64{8000, 10, 42}, // 8000 particles
+		Reference: func(a []int64) float64 {
+			return pyomp.SequentialMD(int(a[0]), int(a[1]), a[2])
+		},
+		Tolerance: 1e-9,
+		Numerical: true,
+	})
+	register(&Benchmark{
+		Name: "pi", Source: piSource,
+		ArgNames:    []string{"intervals"},
+		DefaultArgs: []int64{2_000_000},
+		PaperArgs:   []int64{20_000_000_000}, // 20 billion intervals
+		Reference: func(a []int64) float64 {
+			return pyomp.SequentialPi(a[0])
+		},
+		Tolerance: 1e-9,
+		Numerical: true,
+	})
+	register(&Benchmark{
+		Name: "qsort", Source: qsortSource,
+		ArgNames:    []string{"n", "seed"},
+		DefaultArgs: []int64{200_000, 42},
+		PaperArgs:   []int64{400_000_000, 42}, // 400M floats
+		Reference: func(a []int64) float64 {
+			return pyomp.SequentialQsortChecksum(int(a[0]), a[1])
+		},
+		Tolerance: 1e-9,
+		Numerical: true,
+	})
+	register(&Benchmark{
+		Name: "bfs", Source: bfsSource,
+		ArgNames:    []string{"side", "seed"},
+		DefaultArgs: []int64{61, 42},
+		PaperArgs:   []int64{2100, 42}, // 2.1k x 2.1k grid
+		Reference: func(a []int64) float64 {
+			return pyomp.SequentialBFSChecksum(int(a[0]), a[1])
+		},
+		Tolerance: 0,
+		Numerical: true,
+	})
+	register(&Benchmark{
+		Name: "graphic", Source: graphicSource,
+		ArgNames:    []string{"nodes", "degree", "seed"},
+		DefaultArgs: []int64{2000, 16, 42},
+		PaperArgs:   []int64{300_000, 100, 42}, // 300k nodes, 100 edges per node
+		Reference: func(a []int64) float64 {
+			g := graph.Random(int(a[0]), int(a[1]), a[2])
+			total := 0.0
+			for u := 0; u < g.N(); u++ {
+				total += g.Clustering(u)
+			}
+			return total
+		},
+		Tolerance: 1e-9,
+	})
+	register(&Benchmark{
+		Name: "wordcount", Source: wordcountSource,
+		ArgNames:    []string{"lines", "seed"},
+		DefaultArgs: []int64{3000, 42},
+		PaperArgs:   []int64{40_000_000, 42}, // the 21 GB dump, as lines
+		Reference: func(a []int64) float64 {
+			c := textgen.Generate(textgen.Options{Lines: int(a[0]), Seed: a[1]})
+			counts := textgen.SequentialWordCount(c)
+			total := 0
+			for _, n := range counts {
+				total += n
+			}
+			return float64(len(counts))*1e6 + float64(total)
+		},
+		Tolerance: 0,
+	})
+}
+
+// RunConfig configures one measurement.
+type RunConfig struct {
+	Threads int
+	// Args override the benchmark's DefaultArgs when non-nil.
+	Args []int64
+	// Schedule sets the run-sched ICV consumed by schedule(runtime)
+	// loops (the Fig. 7 policy sweep). Zero value = static.
+	Schedule rt.Schedule
+	// GIL enables the GIL-enabled-interpreter ablation (Pure/Hybrid
+	// only; compiled code ignores the GIL like Cython nogil regions).
+	GIL bool
+	// ContendedAllocOff disables the free-threading contention model
+	// for interpreted modes (the forward-looking ablation).
+	ContendedAllocOff bool
+	// Stdout captures program prints (nil discards them).
+	Stdout io.Writer
+}
+
+// Result is one measurement.
+type Result struct {
+	Checksum float64
+	Seconds  float64
+	Mode     Mode
+	Name     string
+	Threads  int
+}
+
+// Run executes one benchmark in one mode and times the kernel
+// (inputs are generated inside the timed entry, as the artifact's
+// main.py does).
+func Run(mode Mode, name string, cfg RunConfig) (Result, error) {
+	b, ok := Registry[name]
+	if !ok {
+		return Result{}, fmt.Errorf("bench: unknown benchmark %q (valid: %v)", name, Names)
+	}
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	args := cfg.Args
+	if args == nil {
+		args = b.DefaultArgs
+	}
+	if len(args) != len(b.DefaultArgs) {
+		return Result{}, fmt.Errorf("bench: %s expects %d size args %v, got %d",
+			name, len(b.DefaultArgs), b.ArgNames, len(args))
+	}
+	res := Result{Mode: mode, Name: name, Threads: cfg.Threads}
+
+	if mode == PyOMP {
+		start := time.Now()
+		sum, err := pyomp.Run(name, cfg.Threads, args)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Seconds = time.Since(start).Seconds()
+		res.Checksum = sum
+		return res, nil
+	}
+
+	mod, err := minipy.Parse(b.Source, name+".py")
+	if err != nil {
+		return Result{}, fmt.Errorf("bench: parse %s: %w", name, err)
+	}
+	if _, err := transform.Module(mod); err != nil {
+		return Result{}, fmt.Errorf("bench: transform %s: %w", name, err)
+	}
+
+	layer := rt.LayerAtomic
+	if mode == Pure {
+		layer = rt.LayerMutex
+	}
+	interpMode := mode == Pure || mode == Hybrid
+	opts := interp.Options{
+		Layer:          layer,
+		GIL:            cfg.GIL && interpMode,
+		ContendedAlloc: interpMode && !cfg.ContendedAllocOff,
+		Stdout:         cfg.Stdout,
+		Getenv:         func(string) string { return "" },
+	}
+	if opts.Stdout == nil {
+		opts.Stdout = io.Discard
+	}
+	in := interp.New(opts)
+	installInputModules(in)
+	if mode == Compiled || mode == CompiledDT {
+		if err := compile.Install(in, mod, compile.Options{Typed: mode == CompiledDT}); err != nil {
+			return Result{}, fmt.Errorf("bench: compile %s: %w", name, err)
+		}
+	}
+	if cfg.Schedule.Kind != 0 || cfg.Schedule.Chunk != 0 {
+		if err := in.Runtime().SetSchedule(cfg.Schedule); err != nil {
+			return Result{}, err
+		}
+	}
+	if err := in.RunModule(mod); err != nil {
+		return Result{}, fmt.Errorf("bench: load %s: %w", name, err)
+	}
+
+	callArgs := make([]interp.Value, 0, 1+len(args))
+	callArgs = append(callArgs, int64(cfg.Threads))
+	for _, a := range args {
+		callArgs = append(callArgs, a)
+	}
+	start := time.Now()
+	v, err := in.CallFunction("bench_main", callArgs...)
+	if err != nil {
+		return Result{}, fmt.Errorf("bench: run %s (%s): %w", name, mode, err)
+	}
+	res.Seconds = time.Since(start).Seconds()
+	sum, ok2 := interp.AsFloat(v)
+	if !ok2 {
+		return Result{}, fmt.Errorf("bench: %s returned %s, want a number", name, interp.TypeName(v))
+	}
+	res.Checksum = sum
+	return res, nil
+}
+
+// Validate runs the benchmark and compares its checksum against the
+// sequential native reference.
+func Validate(mode Mode, name string, cfg RunConfig) (Result, error) {
+	res, err := Run(mode, name, cfg)
+	if err != nil {
+		return res, err
+	}
+	b := Registry[name]
+	args := cfg.Args
+	if args == nil {
+		args = b.DefaultArgs
+	}
+	want := b.Reference(args)
+	if !checksumOK(res.Checksum, want, b.Tolerance) {
+		return res, fmt.Errorf("bench: %s (%s, %d threads): checksum %v, reference %v",
+			name, mode, cfg.Threads, res.Checksum, want)
+	}
+	return res, nil
+}
+
+func checksumOK(got, want, tol float64) bool {
+	if got == want {
+		return true
+	}
+	if tol == 0 {
+		return false
+	}
+	return math.Abs(got-want) <= tol*(1+math.Abs(want))
+}

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/omp4go/omp4go/internal/directive"
+	"github.com/omp4go/omp4go/internal/pyomp"
+	"github.com/omp4go/omp4go/internal/rt"
+)
+
+// smallArgs shrinks each benchmark for fast cross-mode validation.
+var smallArgs = map[string][]int64{
+	"fft":       {1 << 8, 42},
+	"jacobi":    {48, 5, 42},
+	"lu":        {48, 42},
+	"md":        {32, 2, 42},
+	"pi":        {50_000},
+	"qsort":     {5_000, 42},
+	"bfs":       {31, 42},
+	"graphic":   {300, 8, 42},
+	"wordcount": {400, 42},
+}
+
+func TestEveryBenchmarkEveryModeMatchesReference(t *testing.T) {
+	for _, name := range Names {
+		for _, mode := range AllOMP4PyModes {
+			for _, threads := range []int{1, 4} {
+				res, err := Validate(mode, name, RunConfig{
+					Threads: threads,
+					Args:    smallArgs[name],
+				})
+				if err != nil {
+					t.Errorf("%s/%s/%dt: %v", name, mode, threads, err)
+					continue
+				}
+				if res.Seconds < 0 {
+					t.Errorf("%s/%s: negative time", name, mode)
+				}
+			}
+		}
+	}
+}
+
+func TestPyOMPSupportedBenchmarks(t *testing.T) {
+	for _, name := range []string{"pi", "fft", "jacobi", "lu", "md"} {
+		res, err := Validate(PyOMP, name, RunConfig{Threads: 4, Args: smallArgs[name]})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if res.Mode != PyOMP {
+			t.Errorf("%s: mode %v", name, res.Mode)
+		}
+	}
+}
+
+func TestPyOMPUnsupportedBenchmarks(t *testing.T) {
+	// §IV-A/B: qsort (task if), bfs (Numba error), graphic (Graph
+	// object), wordcount (dicts) cannot run under PyOMP.
+	for _, name := range []string{"qsort", "bfs", "graphic", "wordcount"} {
+		_, err := Run(PyOMP, name, RunConfig{Threads: 2, Args: smallArgs[name]})
+		if !errors.Is(err, pyomp.ErrUnsupported) {
+			t.Errorf("%s: err = %v, want ErrUnsupported", name, err)
+		}
+	}
+}
+
+func TestSchedulePolicySweep(t *testing.T) {
+	// Fig. 7: the schedule(runtime) benchmarks accept every policy
+	// and still validate.
+	for _, kind := range []directive.ScheduleKind{
+		directive.ScheduleStatic, directive.ScheduleDynamic, directive.ScheduleGuided,
+	} {
+		for _, name := range []string{"graphic", "wordcount"} {
+			_, err := Validate(Hybrid, name, RunConfig{
+				Threads:  4,
+				Args:     smallArgs[name],
+				Schedule: rt.Schedule{Kind: kind, Chunk: 30},
+			})
+			if err != nil {
+				t.Errorf("%s with %v: %v", name, kind, err)
+			}
+		}
+	}
+}
+
+func TestGILAblationStillCorrect(t *testing.T) {
+	for _, name := range []string{"pi", "wordcount"} {
+		if _, err := Validate(Pure, name, RunConfig{
+			Threads: 4, Args: smallArgs[name], GIL: true,
+		}); err != nil {
+			t.Errorf("%s under GIL: %v", name, err)
+		}
+	}
+}
+
+func TestContendedAllocToggle(t *testing.T) {
+	if _, err := Validate(Pure, "pi", RunConfig{
+		Threads: 2, Args: smallArgs["pi"], ContendedAllocOff: true,
+	}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	cases := map[int]Mode{-1: PyOMP, 0: Pure, 1: Hybrid, 2: Compiled, 3: CompiledDT}
+	for n, want := range cases {
+		got, err := ParseMode(n)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%d) = %v, %v", n, got, err)
+		}
+	}
+	if _, err := ParseMode(7); err == nil {
+		t.Error("ParseMode(7) accepted")
+	}
+}
+
+func TestUnknownBenchmarkAndBadArgs(t *testing.T) {
+	if _, err := Run(Pure, "nope", RunConfig{Threads: 1}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := Run(Pure, "pi", RunConfig{Threads: 1, Args: []int64{1, 2, 3}}); err == nil {
+		t.Error("wrong arg count accepted")
+	}
+}
+
+func TestDefaultArgsAreRegistered(t *testing.T) {
+	for _, name := range Names {
+		b := Registry[name]
+		if b == nil {
+			t.Fatalf("%s missing from registry", name)
+		}
+		if len(b.DefaultArgs) != len(b.ArgNames) || len(b.PaperArgs) != len(b.ArgNames) {
+			t.Errorf("%s: arg metadata inconsistent", name)
+		}
+		if b.Reference == nil {
+			t.Errorf("%s: no reference implementation", name)
+		}
+	}
+}
+
+func TestRegistryReferencesAreDeterministic(t *testing.T) {
+	for _, name := range Names {
+		b := Registry[name]
+		a1 := b.Reference(smallArgs[name])
+		a2 := b.Reference(smallArgs[name])
+		if a1 != a2 {
+			t.Errorf("%s: reference not deterministic (%v vs %v)", name, a1, a2)
+		}
+	}
+}
+
+func TestCompiledDTFasterThanPureOnPi(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	args := []int64{400_000}
+	pure, err := Run(Pure, "pi", RunConfig{Threads: 1, Args: args})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := Run(CompiledDT, "pi", RunConfig{Threads: 1, Args: args})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pi 400k intervals: Pure %.4fs, CompiledDT %.4fs (%.1fx)",
+		pure.Seconds, dt.Seconds, pure.Seconds/dt.Seconds)
+	if dt.Seconds >= pure.Seconds {
+		t.Errorf("CompiledDT (%.4fs) not faster than Pure (%.4fs)", dt.Seconds, pure.Seconds)
+	}
+}

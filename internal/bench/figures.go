@@ -1,0 +1,304 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/omp4go/omp4go/internal/directive"
+	"github.com/omp4go/omp4go/internal/mpi"
+	"github.com/omp4go/omp4go/internal/pyomp"
+	"github.com/omp4go/omp4go/internal/rt"
+)
+
+// Point is one measurement of a series.
+type Point struct {
+	X       int // thread count (Figs. 5-7) or node count (Fig. 8)
+	Seconds float64
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is the dataset behind one paper figure.
+type Figure struct {
+	Title  string
+	XLabel string
+	Series []Series
+}
+
+// Render prints the figure as an aligned text table (one row per X,
+// one column per series).
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	fmt.Fprintf(&b, "%-10s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %14s", s.Label)
+	}
+	b.WriteByte('\n')
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for i, p := range f.Series[0].Points {
+		fmt.Fprintf(&b, "%-10d", p.X)
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, " %14.4f", s.Points[i].Seconds)
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DefaultThreadCounts is the artifact's sweep: 1, 2, 4, 8, 16, 32.
+var DefaultThreadCounts = []int{1, 2, 4, 8, 16, 32}
+
+// FigureOptions tune a sweep.
+type FigureOptions struct {
+	Threads []int
+	Args    []int64 // nil = the benchmark's DefaultArgs
+	// Repetitions averages measurements (the paper averages 10).
+	Repetitions int
+	// Schedule applies to schedule(runtime) benchmarks.
+	Schedule rt.Schedule
+}
+
+func (o FigureOptions) withDefaults() FigureOptions {
+	if len(o.Threads) == 0 {
+		o.Threads = DefaultThreadCounts
+	}
+	if o.Repetitions < 1 {
+		o.Repetitions = 1
+	}
+	return o
+}
+
+// measure runs one configuration Repetitions times and returns the
+// mean seconds.
+func measure(mode Mode, name string, threads int, o FigureOptions) (float64, error) {
+	total := 0.0
+	for rep := 0; rep < o.Repetitions; rep++ {
+		res, err := Run(mode, name, RunConfig{
+			Threads:  threads,
+			Args:     o.Args,
+			Schedule: o.Schedule,
+		})
+		if err != nil {
+			return 0, err
+		}
+		total += res.Seconds
+	}
+	return total / float64(o.Repetitions), nil
+}
+
+// Figure5 measures one numerical benchmark across the four OMP4Py
+// modes and PyOMP (where supported) over the thread sweep.
+func Figure5(name string, opts FigureOptions) (*Figure, error) {
+	b, ok := Registry[name]
+	if !ok || !b.Numerical {
+		return nil, fmt.Errorf("bench: %q is not a Fig. 5 benchmark", name)
+	}
+	opts = opts.withDefaults()
+	fig := &Figure{
+		Title:  fmt.Sprintf("Fig. 5 (%s): execution time [s] vs threads", name),
+		XLabel: "threads",
+	}
+	modes := append([]Mode{}, AllOMP4PyModes...)
+	if _, unsupported := pyomp.Unsupported[name]; !unsupported {
+		modes = append(modes, PyOMP)
+	}
+	for _, mode := range modes {
+		s := Series{Label: mode.String()}
+		for _, th := range opts.Threads {
+			sec, err := measure(mode, name, th, opts)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{X: th, Seconds: sec})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure6 measures a non-numerical benchmark (graphic, wordcount)
+// across the four OMP4Py modes; PyOMP cannot run these (§IV-B).
+func Figure6(name string, opts FigureOptions) (*Figure, error) {
+	if _, ok := Registry[name]; !ok {
+		return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+	}
+	opts = opts.withDefaults()
+	fig := &Figure{
+		Title:  fmt.Sprintf("Fig. 6 (%s): execution time [s] vs threads", name),
+		XLabel: "threads",
+	}
+	for _, mode := range AllOMP4PyModes {
+		s := Series{Label: mode.String()}
+		for _, th := range opts.Threads {
+			sec, err := measure(mode, name, th, opts)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{X: th, Seconds: sec})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure7 measures scheduling-policy speedups for graphic/wordcount:
+// speedup of each (mode, policy) over the Pure 1-thread static
+// baseline, with the paper's chunk size (300 by default).
+func Figure7(name string, modes []Mode, chunk int64, opts FigureOptions) (*Figure, error) {
+	if _, ok := Registry[name]; !ok {
+		return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+	}
+	opts = opts.withDefaults()
+	if chunk <= 0 {
+		chunk = 300
+	}
+	baseOpts := opts
+	baseOpts.Schedule = rt.Schedule{Kind: directive.ScheduleStatic}
+	baseline, err := measure(Pure, name, 1, baseOpts)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		Title: fmt.Sprintf(
+			"Fig. 7 (%s): speedup vs Pure/1-thread/static, chunk %d", name, chunk),
+		XLabel: "threads",
+	}
+	policies := []directive.ScheduleKind{
+		directive.ScheduleStatic, directive.ScheduleDynamic, directive.ScheduleGuided,
+	}
+	for _, mode := range modes {
+		for _, pol := range policies {
+			runOpts := opts
+			runOpts.Schedule = rt.Schedule{Kind: pol, Chunk: chunk}
+			s := Series{Label: fmt.Sprintf("%s/%s", mode, pol)}
+			for _, th := range opts.Threads {
+				sec, err := measure(mode, name, th, runOpts)
+				if err != nil {
+					return nil, err
+				}
+				speedup := 0.0
+				if sec > 0 {
+					speedup = baseline / sec
+				}
+				s.Points = append(s.Points, Point{X: th, Seconds: speedup})
+			}
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig, nil
+}
+
+// Figure8Options configure the hybrid MPI/OpenMP sweep.
+type Figure8Options struct {
+	Nodes          []int
+	ThreadsPerNode int
+	N, Iters       int
+	Seed           int64
+	Network        *mpi.NetworkModel
+	Modes          []Mode
+}
+
+// DefaultNetwork models a commodity cluster interconnect: messages
+// within a node are cheap; crossing nodes pays latency plus
+// bandwidth.
+func DefaultNetwork() *mpi.NetworkModel {
+	return &mpi.NetworkModel{
+		RanksPerNode:   1,
+		IntraLatency:   200 * time.Nanosecond,
+		InterLatency:   20 * time.Microsecond,
+		InterBandwidth: 6e9, // ~6 GB/s effective
+	}
+}
+
+// Figure8 measures the hybrid jacobi across node counts.
+func Figure8(o Figure8Options) (*Figure, error) {
+	if len(o.Nodes) == 0 {
+		o.Nodes = []int{1, 2, 4, 8, 16}
+	}
+	if o.ThreadsPerNode == 0 {
+		o.ThreadsPerNode = 16
+	}
+	if o.N == 0 {
+		o.N = 192
+	}
+	if o.Iters == 0 {
+		o.Iters = 5
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if len(o.Modes) == 0 {
+		o.Modes = AllOMP4PyModes
+	}
+	if o.Network == nil {
+		o.Network = DefaultNetwork()
+	}
+	fig := &Figure{
+		Title: fmt.Sprintf(
+			"Fig. 8: hybrid MPI/OpenMP jacobi, execution time [s] vs nodes (%d threads/node, n=%d)",
+			o.ThreadsPerNode, o.N),
+		XLabel: "nodes",
+	}
+	for _, mode := range o.Modes {
+		s := Series{Label: mode.String()}
+		for _, nodes := range o.Nodes {
+			res, err := RunHybridJacobi(HybridConfig{
+				Mode: mode, Nodes: nodes, ThreadsPerNode: o.ThreadsPerNode,
+				N: o.N, Iters: o.Iters, Seed: o.Seed, Network: o.Network,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{X: nodes, Seconds: res.Seconds})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Speedups derives a speedup figure from a time figure, relative to
+// each series' first point (or a fixed baseline series when baseline
+// is non-empty).
+func (f *Figure) Speedups(baseline string) *Figure {
+	out := &Figure{Title: f.Title + " (speedup)", XLabel: f.XLabel}
+	var base []Point
+	if baseline != "" {
+		for _, s := range f.Series {
+			if s.Label == baseline {
+				base = s.Points
+			}
+		}
+	}
+	for _, s := range f.Series {
+		ref := base
+		if ref == nil {
+			ref = s.Points[:1]
+		}
+		ns := Series{Label: s.Label}
+		for i, p := range s.Points {
+			b := ref[0].Seconds
+			if baseline != "" && i < len(ref) {
+				b = ref[i].Seconds
+			}
+			sp := 0.0
+			if p.Seconds > 0 {
+				sp = b / p.Seconds
+			}
+			ns.Points = append(ns.Points, Point{X: p.X, Seconds: sp})
+		}
+		out.Series = append(out.Series, ns)
+	}
+	return out
+}

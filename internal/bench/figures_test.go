@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/omp4go/omp4go/internal/rt"
+)
+
+func tinyOpts(name string) FigureOptions {
+	return FigureOptions{Threads: []int{1, 2}, Args: smallArgs[name]}
+}
+
+func TestFigure5SmallSweep(t *testing.T) {
+	fig, err := Figure5("pi", tinyOpts("pi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four OMP4Py modes + PyOMP (pi is supported).
+	if len(fig.Series) != 5 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s: %d points", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Seconds <= 0 {
+				t.Fatalf("%s: non-positive time", s.Label)
+			}
+		}
+	}
+	out := fig.Render()
+	for _, label := range []string{"Pure", "Hybrid", "Compiled", "CompiledDT", "PyOMP", "threads"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("render missing %q:\n%s", label, out)
+		}
+	}
+}
+
+func TestFigure5ExcludesPyOMPWhereUnsupported(t *testing.T) {
+	fig, err := Figure5("qsort", tinyOpts("qsort"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		if s.Label == "PyOMP" {
+			t.Fatal("qsort must not have a PyOMP series (§IV-A)")
+		}
+	}
+	if _, err := Figure5("wordcount", tinyOpts("wordcount")); err == nil {
+		t.Fatal("wordcount is not a Fig. 5 benchmark")
+	}
+}
+
+func TestFigure6SmallSweep(t *testing.T) {
+	fig, err := Figure6("wordcount", tinyOpts("wordcount"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d (PyOMP cannot run wordcount)", len(fig.Series))
+	}
+}
+
+func TestFigure7SpeedupsSweep(t *testing.T) {
+	fig, err := Figure7("graphic", []Mode{Hybrid}, 30, tinyOpts("graphic"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 { // static/dynamic/guided for one mode
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if p.Seconds <= 0 {
+				t.Fatalf("%s: non-positive speedup", s.Label)
+			}
+		}
+	}
+}
+
+func TestFigure8SmallSweep(t *testing.T) {
+	fig, err := Figure8(Figure8Options{
+		Nodes: []int{1, 2}, ThreadsPerNode: 2, N: 40, Iters: 3,
+		Modes: []Mode{CompiledDT},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 1 || len(fig.Series[0].Points) != 2 {
+		t.Fatalf("figure shape: %+v", fig)
+	}
+}
+
+func TestSpeedupsDerivation(t *testing.T) {
+	fig := &Figure{
+		XLabel: "threads",
+		Series: []Series{
+			{Label: "A", Points: []Point{{1, 8}, {2, 4}, {4, 2}}},
+			{Label: "B", Points: []Point{{1, 16}, {2, 8}, {4, 4}}},
+		},
+	}
+	sp := fig.Speedups("")
+	if sp.Series[0].Points[2].Seconds != 4 {
+		t.Fatalf("self speedup = %v", sp.Series[0].Points[2].Seconds)
+	}
+	rel := fig.Speedups("A")
+	if rel.Series[1].Points[0].Seconds != 0.5 {
+		t.Fatalf("relative speedup = %v", rel.Series[1].Points[0].Seconds)
+	}
+}
+
+func TestMeasureAveragesRepetitions(t *testing.T) {
+	sec, err := measure(Hybrid, "pi", 2, FigureOptions{
+		Threads: []int{2}, Args: smallArgs["pi"], Repetitions: 2,
+	}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec <= 0 {
+		t.Fatal("non-positive mean")
+	}
+}
+
+func TestFigureOptionsDefaults(t *testing.T) {
+	o := FigureOptions{}.withDefaults()
+	if len(o.Threads) != 6 || o.Repetitions != 1 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if o.Schedule != (rt.Schedule{}) {
+		t.Fatal("schedule default should be zero")
+	}
+}

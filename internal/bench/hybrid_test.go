@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/omp4go/omp4go/internal/mpi"
+	"github.com/omp4go/omp4go/internal/pyomp"
+)
+
+func TestHybridJacobiMatchesSequential(t *testing.T) {
+	const n, iters, seed = 48, 5, 42
+	want := pyomp.SequentialJacobi(n, iters, seed)
+	for _, nodes := range []int{1, 2, 4} {
+		for _, mode := range []Mode{Hybrid, CompiledDT} {
+			res, err := RunHybridJacobi(HybridConfig{
+				Mode: mode, Nodes: nodes, ThreadsPerNode: 2,
+				N: n, Iters: iters, Seed: seed,
+			})
+			if err != nil {
+				t.Fatalf("%v/%d nodes: %v", mode, nodes, err)
+			}
+			if !checksumOK(res.Checksum, want, 1e-9) {
+				t.Fatalf("%v/%d nodes: checksum %v, want %v", mode, nodes, res.Checksum, want)
+			}
+		}
+	}
+}
+
+func TestHybridJacobiUnevenRows(t *testing.T) {
+	// n not divisible by nodes exercises the block partition edges.
+	const n, iters, seed = 50, 4, 7
+	want := pyomp.SequentialJacobi(n, iters, seed)
+	res, err := RunHybridJacobi(HybridConfig{
+		Mode: Hybrid, Nodes: 3, ThreadsPerNode: 2, N: n, Iters: iters, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !checksumOK(res.Checksum, want, 1e-9) {
+		t.Fatalf("checksum %v, want %v", res.Checksum, want)
+	}
+}
+
+func TestHybridJacobiNetworkModelSlowsRuns(t *testing.T) {
+	cfg := HybridConfig{
+		Mode: CompiledDT, Nodes: 4, ThreadsPerNode: 1, N: 32, Iters: 4, Seed: 1,
+	}
+	fast, err := RunHybridJacobi(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Network = &mpi.NetworkModel{
+		RanksPerNode: 1,
+		InterLatency: 10 * time.Millisecond,
+	}
+	slow, err := RunHybridJacobi(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Seconds <= fast.Seconds {
+		t.Fatalf("network model had no effect: %v vs %v", slow.Seconds, fast.Seconds)
+	}
+	if slow.Checksum != fast.Checksum {
+		t.Fatalf("network model changed the result")
+	}
+}
+
+func TestHybridConfigValidation(t *testing.T) {
+	if _, err := RunHybridJacobi(HybridConfig{Nodes: 0, ThreadsPerNode: 1}); err == nil {
+		t.Fatal("nodes=0 accepted")
+	}
+	if _, err := RunHybridJacobi(HybridConfig{Nodes: 1, ThreadsPerNode: 0}); err == nil {
+		t.Fatal("threads=0 accepted")
+	}
+}
+
+func TestAnalyzeStaticTableI(t *testing.T) {
+	// The generated census must reproduce Table I's rows.
+	expect := map[string][]string{
+		"fft":    {"parallel for"},
+		"jacobi": {"parallel", "for", "for reduction(+)", "single", "barrier"},
+		"lu":     {"parallel", "single", "for"},
+		"md":     {"parallel for", "parallel reduction(+)", "for"},
+		"pi":     {"parallel for reduction(+)"},
+		"qsort":  {"task with if clause", "taskwait", "parallel", "single"},
+		"bfs":    {"critical", "atomic", "task", "parallel", "single"},
+	}
+	for name, wants := range expect {
+		sf, err := AnalyzeStatic(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, w := range wants {
+			found := false
+			for _, d := range sf.Directives {
+				if d == w {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: missing feature %q in %v", name, w, sf.Directives)
+			}
+		}
+	}
+	// Synchronization column: jacobi is the explicit-barrier row.
+	for name, want := range map[string]string{
+		"jacobi": "Explicit barrier",
+		"pi":     "Implicit barriers",
+		"fft":    "Implicit barriers",
+		"qsort":  "Implicit barriers",
+	} {
+		sf, err := AnalyzeStatic(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sf.Synchronization != want {
+			t.Errorf("%s synchronization = %q, want %q", name, sf.Synchronization, want)
+		}
+	}
+}
+
+func TestTableIRenders(t *testing.T) {
+	out, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fft", "jacobi", "lu", "md", "pi", "qsort", "bfs"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table I missing %s:\n%s", name, out)
+		}
+	}
+	if strings.Contains(out, "wordcount") || strings.Contains(out, "graphic") {
+		t.Error("Table I should cover only the numerical benchmarks")
+	}
+}
+
+func TestAnalyzeStaticUnknown(t *testing.T) {
+	if _, err := AnalyzeStatic("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,358 @@
+package bench
+
+// The MiniPy benchmark programs of the evaluation (§IV). Each module
+// defines bench_main(threads, sizes...) -> float checksum; the
+// OpenMP usage of the numerical seven reproduces the static
+// characteristics of Table I. Type annotations drive the CompiledDT
+// mode and are ignored elsewhere, as in the paper.
+
+// piSource: parallel for reduction(+), implicit barriers (Table I).
+const piSource = `
+from omp4py import *
+
+@omp
+def bench_main(threads: int, n: int) -> float:
+    omp_set_num_threads(threads)
+    w: float = 1.0 / n
+    pi_value: float = 0.0
+    with omp("parallel for reduction(+:pi_value)"):
+        for i in range(n):
+            local: float = (i + 0.5) * w
+            pi_value += 4.0 / (1.0 + local * local)
+    return pi_value * w
+`
+
+// fftSource: parallel, for; implicit barriers (Table I). Iterative
+// radix-2 Cooley-Tukey, identical arithmetic to the Go reference.
+const fftSource = `
+from omp4py import *
+import bench
+import math
+
+@omp
+def bench_main(threads: int, n: int, seed: int) -> float:
+    omp_set_num_threads(threads)
+    data = bench.fft_input(n, seed)
+    re = data[0]
+    im = data[1]
+    j: int = 0
+    for i in range(1, n):
+        bit: int = n // 2
+        while j & bit != 0:
+            j = j & ~bit
+            bit = bit // 2
+        j = j | bit
+        if i < j:
+            tr: float = re[i]
+            re[i] = re[j]
+            re[j] = tr
+            ti: float = im[i]
+            im[i] = im[j]
+            im[j] = ti
+    length: int = 2
+    while length <= n:
+        ang: float = -2.0 * math.pi / length
+        w_re: float = math.cos(ang)
+        w_im: float = math.sin(ang)
+        groups: int = n // length
+        half: int = length // 2
+        with omp("parallel for"):
+            for g in range(groups):
+                base: int = g * length
+                cur_re: float = 1.0
+                cur_im: float = 0.0
+                for k in range(half):
+                    a_re: float = re[base + k]
+                    a_im: float = im[base + k]
+                    b_re: float = re[base + k + half] * cur_re - im[base + k + half] * cur_im
+                    b_im: float = re[base + k + half] * cur_im + im[base + k + half] * cur_re
+                    re[base + k] = a_re + b_re
+                    im[base + k] = a_im + b_im
+                    re[base + k + half] = a_re - b_re
+                    im[base + k + half] = a_im - b_im
+                    t_re: float = cur_re * w_re - cur_im * w_im
+                    cur_im = cur_re * w_im + cur_im * w_re
+                    cur_re = t_re
+        length = length * 2
+    s: float = 0.0
+    step: int = n // 64
+    if step == 0:
+        step = 1
+    idx: int = 0
+    while idx < n:
+        s += math.fabs(re[idx]) + math.fabs(im[idx])
+        idx += step
+    return s
+`
+
+// jacobiSource: parallel, for reduction(+), single, explicit barrier
+// (Table I).
+const jacobiSource = `
+from omp4py import *
+import bench
+import math
+
+@omp
+def bench_main(threads: int, n: int, iters: int, seed: int) -> float:
+    omp_set_num_threads(threads)
+    data = bench.jacobi_input(n, seed)
+    a = data[0]
+    b = data[1]
+    x = [0.0] * n
+    xn = [0.0] * n
+    error: float = 0.0
+    with omp("parallel"):
+        it: int = 0
+        while it < iters:
+            with omp("for nowait"):
+                for i in range(n):
+                    s: float = 0.0
+                    row: int = i * n
+                    for jj in range(n):
+                        if jj != i:
+                            s += a[row + jj] * x[jj]
+                    xn[i] = (b[i] - s) / a[row + i]
+            omp("barrier")
+            with omp("for reduction(+:error)"):
+                for i2 in range(n):
+                    error += math.fabs(xn[i2] - x[i2])
+            with omp("single"):
+                for i3 in range(n):
+                    x[i3] = xn[i3]
+            it += 1
+    total: float = 0.0
+    for i4 in range(n):
+        total += x[i4]
+    return total
+`
+
+// luSource: parallel, multiple for loops, single (Table I).
+const luSource = `
+from omp4py import *
+import bench
+import math
+
+@omp
+def bench_main(threads: int, n: int, seed: int) -> float:
+    omp_set_num_threads(threads)
+    a = bench.lu_input(n, seed)
+    pivot = [0.0]
+    with omp("parallel"):
+        k: int = 0
+        while k < n:
+            with omp("single"):
+                pivot[0] = a[k * n + k]
+            with omp("for"):
+                for i in range(k + 1, n):
+                    factor: float = a[i * n + k] / pivot[0]
+                    a[i * n + k] = factor
+                    for j in range(k + 1, n):
+                        a[i * n + j] = a[i * n + j] - factor * a[k * n + j]
+            k += 1
+    s: float = 0.0
+    for k2 in range(n):
+        s += math.log(math.fabs(a[k2 * n + k2]))
+    return s
+`
+
+// mdSource: parallel reduction(+) with inner for, parallel for
+// (Table I). Velocity Verlet with a soft central pair potential.
+const mdSource = `
+from omp4py import *
+import bench
+import math
+
+@omp
+def compute_forces(pos, acc, n: int):
+    with omp("parallel for"):
+        for i in range(n):
+            fx: float = 0.0
+            fy: float = 0.0
+            xi: float = pos[2 * i]
+            yi: float = pos[2 * i + 1]
+            for j in range(n):
+                if j != i:
+                    dx: float = xi - pos[2 * j]
+                    dy: float = yi - pos[2 * j + 1]
+                    r2: float = dx * dx + dy * dy + 0.000001
+                    inv: float = 1.0 / (r2 * math.sqrt(r2))
+                    fx += dx * inv * 0.000001
+                    fy += dy * inv * 0.000001
+            acc[2 * i] = fx
+            acc[2 * i + 1] = fy
+    return None
+
+@omp
+def bench_main(threads: int, n: int, steps: int, seed: int) -> float:
+    omp_set_num_threads(threads)
+    data = bench.md_input(n, seed)
+    pos = data[0]
+    vel = data[1]
+    acc = [0.0] * (2 * n)
+    dt: float = 0.001
+    compute_forces(pos, acc, n)
+    for s in range(steps):
+        with omp("parallel for"):
+            for i in range(n):
+                vel[2 * i] += 0.5 * dt * acc[2 * i]
+                vel[2 * i + 1] += 0.5 * dt * acc[2 * i + 1]
+                pos[2 * i] += dt * vel[2 * i]
+                pos[2 * i + 1] += dt * vel[2 * i + 1]
+        compute_forces(pos, acc, n)
+        with omp("parallel for"):
+            for i2 in range(n):
+                vel[2 * i2] += 0.5 * dt * acc[2 * i2]
+                vel[2 * i2 + 1] += 0.5 * dt * acc[2 * i2 + 1]
+    pe: float = 0.0
+    with omp("parallel reduction(+:pe)"):
+        local_pe: float = 0.0
+        with omp("for nowait"):
+            for i3 in range(n):
+                local_pe += pos[2 * i3] * pos[2 * i3] + pos[2 * i3 + 1] * pos[2 * i3 + 1]
+        pe += local_pe
+    total: float = 0.0
+    for i4 in range(2 * n):
+        total += pos[i4]
+    return total
+`
+
+// qsortSource: parallel, single, task with if clause (Table I).
+const qsortSource = `
+from omp4py import *
+import bench
+
+@omp
+def qsort_task(a, lo: int, hi: int):
+    if lo >= hi:
+        return None
+    pivot: float = a[(lo + hi) // 2]
+    i: int = lo
+    j: int = hi
+    while i <= j:
+        while a[i] < pivot:
+            i += 1
+        while a[j] > pivot:
+            j -= 1
+        if i <= j:
+            t: float = a[i]
+            a[i] = a[j]
+            a[j] = t
+            i += 1
+            j -= 1
+    with omp("task if(j - lo > 512)"):
+        qsort_task(a, lo, j)
+    with omp("task if(hi - i > 512)"):
+        qsort_task(a, i, hi)
+    omp("taskwait")
+    return None
+
+@omp
+def bench_main(threads: int, n: int, seed: int) -> float:
+    omp_set_num_threads(threads)
+    a = bench.qsort_input(n, seed)
+    with omp("parallel"):
+        with omp("single"):
+            qsort_task(a, 0, n - 1)
+    s: float = 0.0
+    step: int = n // 97
+    if step == 0:
+        step = 1
+    idx: int = 0
+    while idx < n:
+        s += a[idx] * (idx % 13 + 1)
+        idx += step
+    return s
+`
+
+// bfsSource: parallel, single, task (Table I). Each feasible move
+// spawns a task (§IV-A); cells are claimed under a critical section.
+const bfsSource = `
+from omp4py import *
+import bench
+
+@omp
+def visit(grid, visited, n: int, idx: int, counter):
+    claimed = [0]
+    with omp("critical(claim)"):
+        if visited[idx] == 0:
+            visited[idx] = 1
+            claimed[0] = 1
+    if claimed[0] == 0:
+        return None
+    with omp("atomic"):
+        counter[0] += 1
+    r: int = idx // n
+    c: int = idx % n
+    if r > 0 and grid[idx - n] == 0:
+        with omp("task"):
+            visit(grid, visited, n, idx - n, counter)
+    if r < n - 1 and grid[idx + n] == 0:
+        with omp("task"):
+            visit(grid, visited, n, idx + n, counter)
+    if c > 0 and grid[idx - 1] == 0:
+        with omp("task"):
+            visit(grid, visited, n, idx - 1, counter)
+    if c < n - 1 and grid[idx + 1] == 0:
+        with omp("task"):
+            visit(grid, visited, n, idx + 1, counter)
+    return None
+
+@omp
+def bench_main(threads: int, n: int, seed: int) -> float:
+    omp_set_num_threads(threads)
+    grid = bench.maze_input(n, seed)
+    visited = [0] * (n * n)
+    counter = [0]
+    with omp("parallel"):
+        with omp("single"):
+            visit(grid, visited, n, 0, counter)
+    return counter[0] * 1.0
+`
+
+// graphicSource: the clustering coefficient application of §IV-B; the
+// heavy lifting happens inside the graph library (NetworkX in the
+// paper), so compiled modes gain little. schedule(runtime) lets the
+// harness sweep scheduling policies for Fig. 7.
+const graphicSource = `
+from omp4py import *
+import graphlib
+
+@omp
+def bench_main(threads: int, n: int, d: int, seed: int) -> float:
+    omp_set_num_threads(threads)
+    g = graphlib.random_graph(n, d, seed)
+    total = 0.0
+    with omp("parallel for reduction(+:total) schedule(runtime)"):
+        for u in range(n):
+            total += graphlib.clustering(g, u)
+    return total
+`
+
+// wordcountSource: the wordcount application of §IV-B — string and
+// dict work the compiled modes cannot specialize. Per-thread local
+// dicts merge under a critical section; schedule(runtime) again
+// drives the Fig. 7 policy sweep.
+const wordcountSource = `
+from omp4py import *
+import bench
+
+@omp
+def bench_main(threads: int, lines: int, seed: int) -> float:
+    omp_set_num_threads(threads)
+    text = bench.corpus(lines, seed)
+    counts = {}
+    nlines: int = len(text)
+    with omp("parallel"):
+        local = {}
+        with omp("for schedule(runtime) nowait"):
+            for li in range(nlines):
+                for w in text[li].lower().split():
+                    local[w] = local.get(w, 0) + 1
+        with omp("critical"):
+            for k in local:
+                counts[k] = counts.get(k, 0) + local[k]
+    total = 0
+    for k2 in counts:
+        total += counts[k2]
+    return len(counts) * 1000000.0 + total
+`

@@ -1,0 +1,216 @@
+// Package compile implements the Compiled and CompiledDT execution
+// modes: MiniPy functions are translated into trees of Go closures
+// with slot-addressed frames, eliminating the tree-walker's AST
+// dispatch and map-based environments — the role Cython plays for
+// OMP4Py user code.
+//
+// Without type information (the paper's Compiled mode) values stay
+// boxed and operators go through the same object protocol the
+// interpreter uses, mirroring Cython's conservative default. With
+// Options.Typed (CompiledDT), int/float annotations, literals, and
+// range loop variables drive a local type inference that assigns
+// unboxed int64/float64 frame slots and specializes arithmetic,
+// comparisons, and list element access into native Go code.
+package compile
+
+import (
+	"fmt"
+
+	"github.com/omp4go/omp4go/internal/interp"
+	"github.com/omp4go/omp4go/internal/minipy"
+)
+
+// Options configure compilation.
+type Options struct {
+	// Typed enables the CompiledDT specialization.
+	Typed bool
+	// Only restricts compilation to the named top-level functions
+	// (per-function @omp(compile=True)); nil compiles every
+	// module-level function, as passing the whole module through
+	// Cython does.
+	Only map[string]bool
+}
+
+// Install compiles the module's top-level functions and hooks the
+// interpreter so their function objects execute compiled code. Call
+// it after transformation and before interp.RunModule.
+func Install(in *interp.Interp, mod *minipy.Module, opts Options) error {
+	c := &compiler{in: in, opts: opts, table: make(map[*minipy.FuncDef]*funcCode)}
+	for _, s := range mod.Body {
+		fd, ok := s.(*minipy.FuncDef)
+		if !ok {
+			continue
+		}
+		if opts.Only != nil && !opts.Only[fd.Name] {
+			continue
+		}
+		code, err := c.compileFunc(fd.Name, fd.Params, fd.Body, nil)
+		if err != nil {
+			return fmt.Errorf("compile %s: %w", fd.Name, err)
+		}
+		c.table[fd] = code
+	}
+	in.SetCompileHook(func(fd *minipy.FuncDef, fn *interp.Function) {
+		if code, ok := c.table[fd]; ok {
+			fn.Compiled = code.entry(nil, fn)
+		}
+	})
+	return nil
+}
+
+type compiler struct {
+	in    *interp.Interp
+	opts  Options
+	table map[*minipy.FuncDef]*funcCode
+}
+
+// Frame is one activation of a compiled function.
+type Frame struct {
+	th    *interp.Thread
+	slots []interp.Value
+	cells []*interp.Cell
+	free  []*interp.Cell
+	f     []float64
+	i     []int64
+	ret   interp.Value
+}
+
+// flow is the statement outcome: sequential, break, continue, or
+// return (with fr.ret set).
+type flow int
+
+const (
+	flowNext flow = iota
+	flowBreak
+	flowContinue
+	flowReturn
+)
+
+type stmtFn func(fr *Frame) (flow, error)
+
+type exprFn func(fr *Frame) (interp.Value, error)
+
+type floatFn func(fr *Frame) (float64, error)
+
+type intFn func(fr *Frame) (int64, error)
+
+// funcCode is the compiled form of one function.
+type funcCode struct {
+	name      string
+	params    []minipy.Param
+	nSlots    int
+	nCells    int
+	nF, nI    int
+	captures  []captureSrc // how to fill frame.free from the enclosing frame
+	paramBind []binding
+	body      stmtFn
+}
+
+// captureSrc says where a free cell comes from in the defining frame.
+type captureSrc struct {
+	fromFree bool
+	idx      int
+}
+
+// binding places a call argument into the frame.
+type binding struct {
+	kind refKind
+	idx  int
+}
+
+// entry builds the callable entry point for this code, closing over
+// the defining frame (nil for top-level functions). fnVal supplies
+// defaults.
+func (code *funcCode) entry(defFrame *Frame, fnVal *interp.Function) func(*interp.Thread, []interp.Value) (interp.Value, error) {
+	// Resolve the free-variable cells once, at closure creation.
+	free := make([]*interp.Cell, len(code.captures))
+	for k, cap := range code.captures {
+		if defFrame == nil {
+			free[k] = &interp.Cell{}
+			continue
+		}
+		if cap.fromFree {
+			free[k] = defFrame.free[cap.idx]
+		} else {
+			free[k] = defFrame.cells[cap.idx]
+		}
+	}
+	return func(th *interp.Thread, args []interp.Value) (interp.Value, error) {
+		if len(args) > len(code.params) {
+			return nil, interp.NewPyError("TypeError",
+				fmt.Sprintf("%s() takes %d positional arguments but %d were given",
+					code.name, len(code.params), len(args)),
+				minipy.Position{})
+		}
+		fr := &Frame{
+			th:   th,
+			free: free,
+		}
+		if code.nSlots > 0 {
+			fr.slots = make([]interp.Value, code.nSlots)
+			for k := range fr.slots {
+				fr.slots[k] = unboundMarker
+			}
+		}
+		if code.nCells > 0 {
+			fr.cells = make([]*interp.Cell, code.nCells)
+			for k := range fr.cells {
+				fr.cells[k] = &interp.Cell{}
+			}
+		}
+		if code.nF > 0 {
+			fr.f = make([]float64, code.nF)
+		}
+		if code.nI > 0 {
+			fr.i = make([]int64, code.nI)
+		}
+		for pi := range code.params {
+			var v interp.Value
+			switch {
+			case pi < len(args):
+				v = args[pi]
+			case fnVal != nil && pi < len(fnVal.Defaults) && (fnVal.Defaults[pi] != nil || code.params[pi].Default != nil):
+				v = fnVal.Defaults[pi]
+			default:
+				return nil, interp.NewPyError("TypeError",
+					fmt.Sprintf("%s() missing required argument: '%s'", code.name, code.params[pi].Name),
+					minipy.Position{})
+			}
+			if err := fr.storeBinding(code.paramBind[pi], v); err != nil {
+				return nil, err
+			}
+		}
+		fl, err := code.body(fr)
+		if err != nil {
+			return nil, err
+		}
+		if fl == flowReturn {
+			return fr.ret, nil
+		}
+		return nil, nil
+	}
+}
+
+func (fr *Frame) storeBinding(b binding, v interp.Value) error {
+	switch b.kind {
+	case refSlot:
+		fr.slots[b.idx] = v
+	case refCell:
+		fr.cells[b.idx].SetValue(v)
+	case refFSlot:
+		f, ok := interp.AsFloat(v)
+		if !ok {
+			return interp.NewPyError("TypeError", "expected float argument", minipy.Position{})
+		}
+		fr.f[b.idx] = f
+	case refISlot:
+		n, ok := interp.AsInt(v)
+		if !ok {
+			return interp.NewPyError("TypeError", "expected int argument", minipy.Position{})
+		}
+		fr.i[b.idx] = n
+	default:
+		return interp.NewPyError("RuntimeError", "bad parameter binding", minipy.Position{})
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package compile
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/omp4go/omp4go/internal/interp"
+	"github.com/omp4go/omp4go/internal/minipy"
+	"github.com/omp4go/omp4go/internal/rt"
+	"github.com/omp4go/omp4go/internal/transform"
+)
+
+// exprGen builds random MiniPy arithmetic/comparison expressions over
+// a fixed set of typed variables, for differential testing of the
+// three execution paths (tree-walker, boxed closures, typed
+// closures). Division-shaped operators are wrapped to avoid
+// ZeroDivisionError so every generated program completes.
+type exprGen struct {
+	r     *rand.Rand
+	depth int
+}
+
+func (g *exprGen) expr(d int) string {
+	if d >= g.depth {
+		return g.atom()
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		return g.atom()
+	case 1:
+		return fmt.Sprintf("(%s + %s)", g.expr(d+1), g.expr(d+1))
+	case 2:
+		return fmt.Sprintf("(%s - %s)", g.expr(d+1), g.expr(d+1))
+	case 3:
+		return fmt.Sprintf("(%s * %s)", g.expr(d+1), g.expr(d+1))
+	case 4:
+		// Guarded division keeps the program total.
+		return fmt.Sprintf("(%s / (%s + 1000000.0))", g.expr(d+1), g.nonNegAtom())
+	case 5:
+		return fmt.Sprintf("(%s // (%s + 7))", g.intExpr(d+1), g.nonNegIntAtom())
+	case 6:
+		return fmt.Sprintf("(-%s)", g.expr(d+1))
+	case 7:
+		return fmt.Sprintf("(%s if %s < %s else %s)",
+			g.expr(d+1), g.expr(d+1), g.expr(d+1), g.expr(d+1))
+	}
+	return g.atom()
+}
+
+func (g *exprGen) intExpr(d int) string {
+	if d >= g.depth {
+		return g.intAtom()
+	}
+	switch g.r.Intn(5) {
+	case 0:
+		return g.intAtom()
+	case 1:
+		return fmt.Sprintf("(%s + %s)", g.intExpr(d+1), g.intExpr(d+1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.intExpr(d+1), g.intAtom())
+	case 3:
+		return fmt.Sprintf("(%s %% (%s + 11))", g.intExpr(d+1), g.nonNegIntAtom())
+	default:
+		return fmt.Sprintf("(%s - %s)", g.intExpr(d+1), g.intExpr(d+1))
+	}
+}
+
+func (g *exprGen) atom() string {
+	switch g.r.Intn(6) {
+	case 0:
+		return fmt.Sprintf("%d", g.r.Intn(41)-20)
+	case 1:
+		return fmt.Sprintf("%.3f", g.r.Float64()*10-5)
+	case 2:
+		return "x"
+	case 3:
+		return "y"
+	case 4:
+		return "k"
+	default:
+		return "w"
+	}
+}
+
+func (g *exprGen) intAtom() string {
+	switch g.r.Intn(3) {
+	case 0:
+		return fmt.Sprintf("%d", g.r.Intn(31)-15)
+	case 1:
+		return "k"
+	default:
+		return "m"
+	}
+}
+
+func (g *exprGen) nonNegAtom() string    { return fmt.Sprintf("%.3f", g.r.Float64()*9) }
+func (g *exprGen) nonNegIntAtom() string { return fmt.Sprintf("%d", g.r.Intn(9)) }
+
+// TestDifferentialRandomExpressions generates random programs and
+// checks that the interpreter, the boxed compiler, and the typed
+// compiler print identical results.
+func TestDifferentialRandomExpressions(t *testing.T) {
+	r := rand.New(rand.NewSource(20260704))
+	for trial := 0; trial < 120; trial++ {
+		g := &exprGen{r: r, depth: 4}
+		var b strings.Builder
+		b.WriteString("def f(x: float, y: float, k: int, m: int, w):\n")
+		nVars := 1 + r.Intn(3)
+		for v := 0; v < nVars; v++ {
+			fmt.Fprintf(&b, "    t%d = %s\n", v, g.expr(0))
+		}
+		b.WriteString("    acc = 0.0\n")
+		b.WriteString("    for i in range(k + 16):\n")
+		fmt.Fprintf(&b, "        acc = acc + %s\n", g.expr(1))
+		for v := 0; v < nVars; v++ {
+			fmt.Fprintf(&b, "    acc = acc + t%d\n", v)
+		}
+		b.WriteString("    return acc\n")
+		fmt.Fprintf(&b, "print(f(%.3f, %.3f, %d, %d, %.3f))\n",
+			r.Float64()*4-2, r.Float64()*4-2, r.Intn(8), r.Intn(20)-10, r.Float64()*3)
+		src := b.String()
+
+		outputs := make([]string, 3)
+		for mode := 0; mode <= 2; mode++ {
+			mod, err := minipy.Parse(src, "gen.py")
+			if err != nil {
+				t.Fatalf("trial %d parse: %v\n%s", trial, err, src)
+			}
+			if _, err := transform.Module(mod); err != nil {
+				t.Fatalf("trial %d transform: %v", trial, err)
+			}
+			var buf bytes.Buffer
+			in := interp.New(interp.Options{Stdout: &buf, Layer: rt.LayerAtomic,
+				Getenv: func(string) string { return "" }})
+			if mode > 0 {
+				if err := Install(in, mod, Options{Typed: mode == 2}); err != nil {
+					t.Fatalf("trial %d compile: %v\n%s", trial, err, src)
+				}
+			}
+			if err := in.RunModule(mod); err != nil {
+				t.Fatalf("trial %d mode %d run: %v\n%s", trial, mode, err, src)
+			}
+			outputs[mode] = buf.String()
+		}
+		if outputs[0] != outputs[1] || outputs[0] != outputs[2] {
+			t.Fatalf("trial %d diverged.\ninterp:   %scompiled: %styped:    %s\nprogram:\n%s",
+				trial, outputs[0], outputs[1], outputs[2], src)
+		}
+	}
+}
+
+// TestDifferentialRandomIntPrograms exercises the int path (floor
+// division, modulo, bitwise) where Python semantics differ most from
+// Go defaults.
+func TestDifferentialRandomIntPrograms(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	ops := []string{"+", "-", "*", "//", "%", "&", "|", "^"}
+	for trial := 0; trial < 120; trial++ {
+		var b strings.Builder
+		b.WriteString("def f(k: int, m: int):\n")
+		b.WriteString("    a = k\n    b = m\n")
+		for s := 0; s < 5; s++ {
+			op := ops[r.Intn(len(ops))]
+			rhs := fmt.Sprintf("%d", r.Intn(37)-18)
+			if op == "//" || op == "%" {
+				rhs = fmt.Sprintf("%d", 1+r.Intn(9)) // avoid zero divisors
+			}
+			if r.Intn(2) == 0 {
+				fmt.Fprintf(&b, "    a = a %s %s\n", op, rhs)
+			} else {
+				// The trailing operand is a variable, so only
+				// total operators may touch it.
+				fmt.Fprintf(&b, "    b = (b %s %s) %s a\n", op, rhs, ops[r.Intn(3)])
+			}
+		}
+		b.WriteString("    return (a, b)\n")
+		fmt.Fprintf(&b, "print(f(%d, %d))\n", r.Intn(200)-100, r.Intn(200)-100)
+		src := b.String()
+
+		var ref string
+		for mode := 0; mode <= 2; mode++ {
+			mod, err := minipy.Parse(src, "ints.py")
+			if err != nil {
+				t.Fatalf("trial %d parse: %v\n%s", trial, err, src)
+			}
+			var buf bytes.Buffer
+			in := interp.New(interp.Options{Stdout: &buf, Layer: rt.LayerAtomic,
+				Getenv: func(string) string { return "" }})
+			if mode > 0 {
+				if err := Install(in, mod, Options{Typed: mode == 2}); err != nil {
+					t.Fatalf("trial %d compile: %v", trial, err)
+				}
+			}
+			if err := in.RunModule(mod); err != nil {
+				t.Fatalf("trial %d mode %d: %v\n%s", trial, mode, err, src)
+			}
+			if mode == 0 {
+				ref = buf.String()
+			} else if buf.String() != ref {
+				t.Fatalf("trial %d mode %d diverged: %q vs %q\n%s",
+					trial, mode, buf.String(), ref, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,314 @@
+// Package directive implements the lexer, parser, and validator for
+// OpenMP directive strings as they appear inside omp("...") blocks.
+//
+// The grammar covers the full OpenMP 3.0 directive set together with
+// the extensions OMP4Py adopts from later standards: declare reduction
+// (4.0), the private/firstprivate variants of the default clause, the
+// optional argument of nowait, and the OpenMP 6.0 lexical conventions
+// (underscores interchangeable with spaces in combined directive
+// names, and semicolons usable as clause separators).
+package directive
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Name identifies a canonical directive name. Combined constructs such
+// as "parallel for" are canonicalized to the space-separated form.
+type Name string
+
+// Canonical directive names.
+const (
+	NameParallel         Name = "parallel"
+	NameFor              Name = "for"
+	NameParallelFor      Name = "parallel for"
+	NameSections         Name = "sections"
+	NameParallelSections Name = "parallel sections"
+	NameSection          Name = "section"
+	NameSingle           Name = "single"
+	NameMaster           Name = "master"
+	NameCritical         Name = "critical"
+	NameBarrier          Name = "barrier"
+	NameAtomic           Name = "atomic"
+	NameFlush            Name = "flush"
+	NameOrdered          Name = "ordered"
+	NameThreadprivate    Name = "threadprivate"
+	NameTask             Name = "task"
+	NameTaskwait         Name = "taskwait"
+	NameDeclareReduction Name = "declare reduction"
+)
+
+// ClauseKind identifies the kind of a parsed clause.
+type ClauseKind int
+
+// Clause kinds.
+const (
+	ClauseIf ClauseKind = iota
+	ClauseNumThreads
+	ClauseDefault
+	ClausePrivate
+	ClauseFirstprivate
+	ClauseLastprivate
+	ClauseShared
+	ClauseCopyin
+	ClauseCopyprivate
+	ClauseReduction
+	ClauseSchedule
+	ClauseCollapse
+	ClauseOrdered
+	ClauseNowait
+	ClauseUntied
+	ClauseFinal
+	ClauseMergeable
+	ClauseCriticalName // synthetic: the (name) argument of critical
+	ClauseFlushList    // synthetic: the (list) argument of flush
+	ClauseAtomicOp     // read | write | update | capture
+)
+
+var clauseKindNames = map[ClauseKind]string{
+	ClauseIf:           "if",
+	ClauseNumThreads:   "num_threads",
+	ClauseDefault:      "default",
+	ClausePrivate:      "private",
+	ClauseFirstprivate: "firstprivate",
+	ClauseLastprivate:  "lastprivate",
+	ClauseShared:       "shared",
+	ClauseCopyin:       "copyin",
+	ClauseCopyprivate:  "copyprivate",
+	ClauseReduction:    "reduction",
+	ClauseSchedule:     "schedule",
+	ClauseCollapse:     "collapse",
+	ClauseOrdered:      "ordered",
+	ClauseNowait:       "nowait",
+	ClauseUntied:       "untied",
+	ClauseFinal:        "final",
+	ClauseMergeable:    "mergeable",
+	ClauseCriticalName: "critical-name",
+	ClauseFlushList:    "flush-list",
+	ClauseAtomicOp:     "atomic-op",
+}
+
+// String returns the clause keyword as it appears in source.
+func (k ClauseKind) String() string {
+	if s, ok := clauseKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("ClauseKind(%d)", int(k))
+}
+
+// DefaultKind enumerates the argument of the default clause. OpenMP
+// 3.0 allows shared and none; OMP4Py also accepts the private and
+// firstprivate variants from later standards.
+type DefaultKind int
+
+// Default clause arguments.
+const (
+	DefaultShared DefaultKind = iota
+	DefaultNone
+	DefaultPrivate
+	DefaultFirstprivate
+)
+
+// String returns the source spelling of the default kind.
+func (d DefaultKind) String() string {
+	switch d {
+	case DefaultShared:
+		return "shared"
+	case DefaultNone:
+		return "none"
+	case DefaultPrivate:
+		return "private"
+	case DefaultFirstprivate:
+		return "firstprivate"
+	}
+	return fmt.Sprintf("DefaultKind(%d)", int(d))
+}
+
+// ScheduleKind enumerates loop scheduling policies.
+type ScheduleKind int
+
+// Scheduling policies.
+const (
+	ScheduleStatic ScheduleKind = iota
+	ScheduleDynamic
+	ScheduleGuided
+	ScheduleAuto
+	ScheduleRuntime
+)
+
+// String returns the source spelling of the schedule kind.
+func (s ScheduleKind) String() string {
+	switch s {
+	case ScheduleStatic:
+		return "static"
+	case ScheduleDynamic:
+		return "dynamic"
+	case ScheduleGuided:
+		return "guided"
+	case ScheduleAuto:
+		return "auto"
+	case ScheduleRuntime:
+		return "runtime"
+	}
+	return fmt.Sprintf("ScheduleKind(%d)", int(s))
+}
+
+// ParseScheduleKind converts a source spelling into a ScheduleKind.
+func ParseScheduleKind(s string) (ScheduleKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "static":
+		return ScheduleStatic, nil
+	case "dynamic":
+		return ScheduleDynamic, nil
+	case "guided":
+		return ScheduleGuided, nil
+	case "auto":
+		return ScheduleAuto, nil
+	case "runtime":
+		return ScheduleRuntime, nil
+	}
+	return ScheduleStatic, fmt.Errorf("unknown schedule kind %q", s)
+}
+
+// Clause is one parsed clause of a directive.
+type Clause struct {
+	Kind ClauseKind
+	// Vars holds the variable list for data-sharing clauses
+	// (private, shared, reduction, copyin, flush, threadprivate...).
+	Vars []string
+	// Expr holds the raw expression text for if, num_threads, final,
+	// collapse, nowait(n) and the chunk argument of schedule.
+	Expr string
+	// Op holds the reduction operator (+, *, -, &, |, ^, &&, ||, min,
+	// max, or a user identifier registered via declare reduction).
+	Op string
+	// Default is set for the default clause.
+	Default DefaultKind
+	// Sched is set for the schedule clause.
+	Sched ScheduleKind
+}
+
+// Directive is a fully parsed and validated OpenMP directive.
+type Directive struct {
+	Name    Name
+	Clauses []Clause
+	// Raw is the original directive text as written by the user.
+	Raw string
+	// DeclaredReduction carries the payload of declare reduction:
+	// identifier, combiner expression and optional initializer.
+	DeclaredReduction *DeclaredReduction
+}
+
+// DeclaredReduction is the payload of a declare reduction directive:
+//
+//	declare reduction(ident : combiner) [initializer(expr)]
+//
+// The combiner references omp_in and omp_out; the initializer
+// references omp_priv.
+type DeclaredReduction struct {
+	Ident       string
+	Combiner    string
+	Initializer string
+}
+
+// Find returns the first clause of the given kind, or nil.
+func (d *Directive) Find(kind ClauseKind) *Clause {
+	for i := range d.Clauses {
+		if d.Clauses[i].Kind == kind {
+			return &d.Clauses[i]
+		}
+	}
+	return nil
+}
+
+// FindAll returns every clause of the given kind in source order.
+func (d *Directive) FindAll(kind ClauseKind) []*Clause {
+	var out []*Clause
+	for i := range d.Clauses {
+		if d.Clauses[i].Kind == kind {
+			out = append(out, &d.Clauses[i])
+		}
+	}
+	return out
+}
+
+// Has reports whether a clause of the given kind is present.
+func (d *Directive) Has(kind ClauseKind) bool { return d.Find(kind) != nil }
+
+// IsStandalone reports whether the directive is a standalone construct
+// that takes no structured block (barrier, taskwait, flush,
+// threadprivate, declare reduction).
+func (d *Directive) IsStandalone() bool {
+	switch d.Name {
+	case NameBarrier, NameTaskwait, NameFlush, NameThreadprivate, NameDeclareReduction:
+		return true
+	}
+	return false
+}
+
+// String reconstructs a canonical source form of the directive.
+func (d *Directive) String() string {
+	var b strings.Builder
+	b.WriteString(string(d.Name))
+	for _, c := range d.Clauses {
+		b.WriteByte(' ')
+		b.WriteString(formatClause(c))
+	}
+	return b.String()
+}
+
+func formatClause(c Clause) string {
+	switch c.Kind {
+	case ClauseIf, ClauseNumThreads, ClauseFinal, ClauseCollapse:
+		return fmt.Sprintf("%s(%s)", c.Kind, c.Expr)
+	case ClauseDefault:
+		return fmt.Sprintf("default(%s)", c.Default)
+	case ClausePrivate, ClauseFirstprivate, ClauseLastprivate, ClauseShared,
+		ClauseCopyin, ClauseCopyprivate:
+		return fmt.Sprintf("%s(%s)", c.Kind, strings.Join(c.Vars, ","))
+	case ClauseReduction:
+		return fmt.Sprintf("reduction(%s:%s)", c.Op, strings.Join(c.Vars, ","))
+	case ClauseSchedule:
+		if c.Expr != "" {
+			return fmt.Sprintf("schedule(%s,%s)", c.Sched, c.Expr)
+		}
+		return fmt.Sprintf("schedule(%s)", c.Sched)
+	case ClauseOrdered, ClauseUntied, ClauseMergeable:
+		return c.Kind.String()
+	case ClauseNowait:
+		if c.Expr != "" {
+			return fmt.Sprintf("nowait(%s)", c.Expr)
+		}
+		return "nowait"
+	case ClauseCriticalName:
+		return fmt.Sprintf("(%s)", c.Expr)
+	case ClauseFlushList:
+		return fmt.Sprintf("(%s)", strings.Join(c.Vars, ","))
+	case ClauseAtomicOp:
+		return c.Expr
+	}
+	return c.Kind.String()
+}
+
+// ReductionOps lists the built-in reduction operators with their
+// identity values (as MiniPy expressions).
+var ReductionOps = map[string]string{
+	"+":   "0",
+	"*":   "1",
+	"-":   "0",
+	"&":   "-1",
+	"|":   "0",
+	"^":   "0",
+	"&&":  "True",
+	"||":  "False",
+	"min": "None",
+	"max": "None",
+}
+
+// IsBuiltinReductionOp reports whether op is a built-in reduction
+// operator (as opposed to a user-declared reduction identifier).
+func IsBuiltinReductionOp(op string) bool {
+	_, ok := ReductionOps[op]
+	return ok
+}

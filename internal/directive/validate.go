@@ -1,0 +1,118 @@
+package directive
+
+import "strings"
+
+// allowedClauses lists, per directive, which clause kinds conform to
+// the OpenMP 3.0 specification (with the OMP4Py extensions noted in
+// directive.go).
+var allowedClauses = map[Name][]ClauseKind{
+	NameParallel: {ClauseIf, ClauseNumThreads, ClauseDefault, ClausePrivate,
+		ClauseFirstprivate, ClauseShared, ClauseCopyin, ClauseReduction},
+	NameFor: {ClausePrivate, ClauseFirstprivate, ClauseLastprivate,
+		ClauseReduction, ClauseSchedule, ClauseCollapse, ClauseOrdered, ClauseNowait},
+	NameParallelFor: {ClauseIf, ClauseNumThreads, ClauseDefault, ClausePrivate,
+		ClauseFirstprivate, ClauseLastprivate, ClauseShared, ClauseCopyin,
+		ClauseReduction, ClauseSchedule, ClauseCollapse, ClauseOrdered},
+	NameSections: {ClausePrivate, ClauseFirstprivate, ClauseLastprivate,
+		ClauseReduction, ClauseNowait},
+	NameParallelSections: {ClauseIf, ClauseNumThreads, ClauseDefault,
+		ClausePrivate, ClauseFirstprivate, ClauseLastprivate, ClauseShared,
+		ClauseCopyin, ClauseReduction},
+	NameSection:       {},
+	NameSingle:        {ClausePrivate, ClauseFirstprivate, ClauseCopyprivate, ClauseNowait},
+	NameMaster:        {},
+	NameCritical:      {ClauseCriticalName},
+	NameBarrier:       {},
+	NameAtomic:        {ClauseAtomicOp},
+	NameFlush:         {ClauseFlushList},
+	NameOrdered:       {},
+	NameThreadprivate: {ClauseFlushList},
+	NameTask: {ClauseIf, ClauseFinal, ClauseUntied, ClauseDefault,
+		ClauseMergeable, ClausePrivate, ClauseFirstprivate, ClauseShared},
+	NameTaskwait:         {},
+	NameDeclareReduction: {},
+}
+
+// uniqueClauses may appear at most once per directive.
+var uniqueClauses = map[ClauseKind]bool{
+	ClauseIf:         true,
+	ClauseNumThreads: true,
+	ClauseDefault:    true,
+	ClauseSchedule:   true,
+	ClauseCollapse:   true,
+	ClauseNowait:     true,
+	ClauseOrdered:    true,
+	ClauseFinal:      true,
+	ClauseUntied:     true,
+	ClauseMergeable:  true,
+}
+
+// dataSharingClauses place a variable into a sharing class; a variable
+// may appear in at most one of them (firstprivate+lastprivate being
+// the one conforming combination on worksharing constructs).
+var dataSharingClauses = map[ClauseKind]bool{
+	ClausePrivate:      true,
+	ClauseFirstprivate: true,
+	ClauseLastprivate:  true,
+	ClauseShared:       true,
+	ClauseReduction:    true,
+}
+
+func validate(d *Directive, raw string) error {
+	allowed, ok := allowedClauses[d.Name]
+	if !ok {
+		return errf(raw, 0, "unknown directive %q", d.Name)
+	}
+	allowedSet := make(map[ClauseKind]bool, len(allowed))
+	for _, k := range allowed {
+		allowedSet[k] = true
+	}
+	seen := make(map[ClauseKind]int)
+	sharing := make(map[string]ClauseKind)
+	for _, c := range d.Clauses {
+		if !allowedSet[c.Kind] {
+			return errf(raw, 0, "clause %s is not valid on directive %q (valid: %s)",
+				c.Kind, d.Name, fmtList(allowed))
+		}
+		seen[c.Kind]++
+		if uniqueClauses[c.Kind] && seen[c.Kind] > 1 {
+			return errf(raw, 0, "clause %s may appear at most once on %q", c.Kind, d.Name)
+		}
+		if dataSharingClauses[c.Kind] {
+			for _, v := range c.Vars {
+				if prev, dup := sharing[v]; dup {
+					if okPair(prev, c.Kind) {
+						continue
+					}
+					return errf(raw, 0,
+						"variable %q appears in both %s and %s clauses", v, prev, c.Kind)
+				}
+				sharing[v] = c.Kind
+			}
+		}
+		if c.Kind == ClauseReduction && !IsBuiltinReductionOp(c.Op) && !isIdent(c.Op) {
+			return errf(raw, 0, "invalid reduction operator %q", c.Op)
+		}
+	}
+	// Cross-clause rules.
+	if d.Name == NameFor || d.Name == NameParallelFor {
+		if cl := d.Find(ClauseCollapse); cl != nil {
+			if ord := d.Find(ClauseOrdered); ord != nil {
+				return errf(raw, 0, "ordered is not permitted together with collapse")
+			}
+		}
+	}
+	if cl := d.Find(ClauseCriticalName); cl != nil && cl.Expr != "" {
+		if !isIdent(strings.TrimSpace(cl.Expr)) {
+			return errf(raw, 0, "critical section name %q is not a valid identifier", cl.Expr)
+		}
+	}
+	return nil
+}
+
+// okPair reports whether two data-sharing attributes may legally apply
+// to the same variable on one construct.
+func okPair(a, b ClauseKind) bool {
+	return (a == ClauseFirstprivate && b == ClauseLastprivate) ||
+		(a == ClauseLastprivate && b == ClauseFirstprivate)
+}

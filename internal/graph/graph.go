@@ -1,0 +1,140 @@
+// Package graph is the NetworkX stand-in for the clustering
+// coefficient benchmark (§IV-B): an undirected graph with adjacency
+// sets, a deterministic random generator matching the paper's
+// parameters (n nodes, average degree d), and the per-node clustering
+// coefficient.
+package graph
+
+import "sort"
+
+// Graph is an undirected simple graph over nodes 0..N-1.
+type Graph struct {
+	adj []map[int32]struct{}
+}
+
+// New creates a graph with n isolated nodes.
+func New(n int) *Graph {
+	g := &Graph{adj: make([]map[int32]struct{}, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int32]struct{})
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// AddEdge inserts the undirected edge (u, v); self-loops and
+// duplicates are ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+		return
+	}
+	g.adj[u][int32(v)] = struct{}{}
+	g.adj[v][int32(u)] = struct{}{}
+}
+
+// HasEdge reports whether (u, v) is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) {
+		return false
+	}
+	_, ok := g.adj[u][int32(v)]
+	return ok
+}
+
+// Degree returns the number of neighbours of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Neighbors returns u's neighbours in ascending order.
+func (g *Graph) Neighbors(u int) []int {
+	out := make([]int, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		out = append(out, int(v))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Edges returns the edge count.
+func (g *Graph) Edges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Clustering returns the clustering coefficient of node u: the
+// fraction of possible triangles through u that exist.
+func (g *Graph) Clustering(u int) float64 {
+	neigh := g.adj[u]
+	k := len(neigh)
+	if k < 2 {
+		return 0
+	}
+	links := 0
+	for v := range neigh {
+		// Iterate the smaller adjacency for each pair check.
+		for w := range neigh {
+			if v < w && g.HasEdge(int(v), int(w)) {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / float64(k*(k-1))
+}
+
+// ClusteringBrute recomputes the coefficient by scanning all pairs
+// via Neighbors (reference implementation for property tests).
+func (g *Graph) ClusteringBrute(u int) float64 {
+	neigh := g.Neighbors(u)
+	k := len(neigh)
+	if k < 2 {
+		return 0
+	}
+	links := 0
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if g.HasEdge(neigh[i], neigh[j]) {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / float64(k*(k-1))
+}
+
+// rng is a SplitMix64 generator: deterministic across platforms.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Random generates a graph with n nodes and approximately avgDegree
+// edges per node (the paper uses 300k nodes with 100 edges per node),
+// deterministically from seed.
+func Random(n, avgDegree int, seed int64) *Graph {
+	g := New(n)
+	r := &rng{s: uint64(seed)*2862933555777941757 + 3037000493}
+	if n < 2 {
+		return g
+	}
+	// Half edges per node: each undirected edge contributes degree 2.
+	edges := n * avgDegree / 2
+	for e := 0; e < edges; e++ {
+		u := r.intn(n)
+		v := r.intn(n)
+		for v == u {
+			v = r.intn(n)
+		}
+		g.AddEdge(u, v)
+	}
+	return g
+}

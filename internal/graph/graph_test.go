@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOperations(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 || g.Edges() != 0 {
+		t.Fatal("empty graph")
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 1) // duplicate ignored
+	g.AddEdge(3, 3) // self loop ignored
+	g.AddEdge(-1, 2)
+	g.AddEdge(0, 99)
+	if g.Edges() != 2 {
+		t.Fatalf("edges = %d", g.Edges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("undirected edge missing")
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(3, 3) {
+		t.Fatal("phantom edge")
+	}
+	if g.Degree(1) != 2 {
+		t.Fatalf("degree(1) = %d", g.Degree(1))
+	}
+	n := g.Neighbors(1)
+	if len(n) != 2 || n[0] != 0 || n[1] != 2 {
+		t.Fatalf("neighbors(1) = %v", n)
+	}
+}
+
+func TestClusteringTriangle(t *testing.T) {
+	// Triangle: every node has coefficient 1.
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	for u := 0; u < 3; u++ {
+		if c := g.Clustering(u); c != 1 {
+			t.Fatalf("clustering(%d) = %f", u, c)
+		}
+	}
+	// Path: middle node has two unconnected neighbours.
+	p := New(3)
+	p.AddEdge(0, 1)
+	p.AddEdge(1, 2)
+	if c := p.Clustering(1); c != 0 {
+		t.Fatalf("path clustering = %f", c)
+	}
+	if c := p.Clustering(0); c != 0 {
+		t.Fatalf("degree-1 clustering = %f", c)
+	}
+}
+
+func TestClusteringHalf(t *testing.T) {
+	// Node 0 adjacent to 1,2,3; only edge (1,2) exists among them:
+	// 1 of 3 possible links.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(1, 2)
+	if c := g.Clustering(0); math.Abs(c-1.0/3) > 1e-12 {
+		t.Fatalf("clustering = %f, want 1/3", c)
+	}
+}
+
+func TestClusteringMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64, nRaw, dRaw uint8) bool {
+		n := 5 + int(nRaw)%60
+		d := 1 + int(dRaw)%8
+		g := Random(n, d, seed)
+		for u := 0; u < n; u++ {
+			if math.Abs(g.Clustering(u)-g.ClusteringBrute(u)) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(200, 10, 42)
+	b := Random(200, 10, 42)
+	c := Random(200, 10, 43)
+	if a.Edges() != b.Edges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for u := 0; u < 200; u++ {
+		na, nb := a.Neighbors(u), b.Neighbors(u)
+		if len(na) != len(nb) {
+			t.Fatalf("node %d differs across same-seed graphs", u)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("node %d neighbors differ", u)
+			}
+		}
+	}
+	if a.Edges() == c.Edges() && equalGraphs(a, c) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func equalGraphs(a, b *Graph) bool {
+	for u := 0; u < a.N(); u++ {
+		na, nb := a.Neighbors(u), b.Neighbors(u)
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRandomDegreeTarget(t *testing.T) {
+	const n, d = 2000, 16
+	g := Random(n, d, 7)
+	avg := 2 * float64(g.Edges()) / float64(n)
+	if avg < float64(d)*0.8 || avg > float64(d)*1.05 {
+		t.Fatalf("average degree %.2f, want ≈%d", avg, d)
+	}
+}

@@ -1,0 +1,66 @@
+package interp
+
+import (
+	"fmt"
+
+	"github.com/omp4go/omp4go/internal/minipy"
+)
+
+// PyError is a MiniPy exception in flight. Type is the Python
+// exception class name used by except matching.
+type PyError struct {
+	Type string
+	Msg  string
+	Pos  minipy.Position
+	// Value is the exception object when one was raised explicitly.
+	Value *ExcValue
+}
+
+func (e *PyError) Error() string {
+	if e.Pos.Line > 0 {
+		return fmt.Sprintf("%s: %s (%s)", e.Type, e.Msg, e.Pos)
+	}
+	return fmt.Sprintf("%s: %s", e.Type, e.Msg)
+}
+
+// Matches reports whether the exception is caught by an except clause
+// naming typeName. "Exception" and "BaseException" catch everything.
+func (e *PyError) Matches(typeName string) bool {
+	if typeName == "Exception" || typeName == "BaseException" {
+		return true
+	}
+	if typeName == "ArithmeticError" && e.Type == "ZeroDivisionError" {
+		return true
+	}
+	if typeName == "LookupError" && (e.Type == "IndexError" || e.Type == "KeyError") {
+		return true
+	}
+	return e.Type == typeName
+}
+
+func typeErrorf(pos minipy.Position, format string, args ...any) *PyError {
+	return &PyError{Type: "TypeError", Msg: fmt.Sprintf(format, args...), Pos: pos}
+}
+
+func valueErrorf(pos minipy.Position, format string, args ...any) *PyError {
+	return &PyError{Type: "ValueError", Msg: fmt.Sprintf(format, args...), Pos: pos}
+}
+
+func nameErrorf(pos minipy.Position, format string, args ...any) *PyError {
+	return &PyError{Type: "NameError", Msg: fmt.Sprintf(format, args...), Pos: pos}
+}
+
+// control-flow signals travel as errors so the tree-walker can unwind
+// through arbitrary statement nesting.
+
+type breakSignal struct{}
+
+func (breakSignal) Error() string { return "break outside loop" }
+
+type continueSignal struct{}
+
+func (continueSignal) Error() string { return "continue outside loop" }
+
+type returnSignal struct{ v Value }
+
+func (returnSignal) Error() string { return "return outside function" }

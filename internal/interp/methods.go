@@ -1,0 +1,476 @@
+package interp
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/omp4go/omp4go/internal/minipy"
+)
+
+// getAttr resolves obj.name: module attributes and built-in methods
+// of list/dict/set/str values.
+func (th *Thread) getAttr(obj Value, name string, pos minipy.Position) (Value, error) {
+	if m, ok := obj.(*Module); ok {
+		if v, ok := m.Attrs[name]; ok {
+			return v, nil
+		}
+		return nil, &PyError{Type: "AttributeError",
+			Msg: "module '" + m.Name + "' has no attribute '" + name + "'", Pos: pos}
+	}
+	if exc, ok := obj.(*ExcValue); ok && name == "args" {
+		return &Tuple{Elts: []Value{exc.Msg}}, nil
+	}
+	var table map[string]methodImpl
+	switch obj.(type) {
+	case *List:
+		table = listMethods
+	case *Dict:
+		table = dictMethods
+	case *Set:
+		table = setMethods
+	case string:
+		table = strMethods
+	}
+	if table != nil {
+		if fn, ok := table[name]; ok {
+			return &BoundMethod{Recv: obj, Name: name, Fn: fn}, nil
+		}
+	}
+	return nil, &PyError{Type: "AttributeError",
+		Msg: "'" + TypeName(obj) + "' object has no attribute '" + name + "'", Pos: pos}
+}
+
+type methodImpl = func(th *Thread, recv Value, args []Value) (Value, error)
+
+func argCount(name string, args []Value, lo, hi int) error {
+	if len(args) < lo || len(args) > hi {
+		return &PyError{Type: "TypeError",
+			Msg: name + "() takes between " + strconv.Itoa(lo) + " and " + strconv.Itoa(hi) + " arguments"}
+	}
+	return nil
+}
+
+var listMethods = map[string]methodImpl{
+	"append": func(th *Thread, recv Value, args []Value) (Value, error) {
+		if err := argCount("append", args, 1, 1); err != nil {
+			return nil, err
+		}
+		recv.(*List).Append(args[0])
+		return nil, nil
+	},
+	"extend": func(th *Thread, recv Value, args []Value) (Value, error) {
+		if err := argCount("extend", args, 1, 1); err != nil {
+			return nil, err
+		}
+		vals, err := iterValues(args[0])
+		if err != nil {
+			return nil, err
+		}
+		l := recv.(*List)
+		for _, v := range vals {
+			l.Append(v)
+		}
+		return nil, nil
+	},
+	"pop": func(th *Thread, recv Value, args []Value) (Value, error) {
+		if err := argCount("pop", args, 0, 1); err != nil {
+			return nil, err
+		}
+		i := int64(-1)
+		if len(args) == 1 {
+			n, ok := asInt(args[0])
+			if !ok {
+				return nil, &PyError{Type: "TypeError", Msg: "pop index must be int"}
+			}
+			i = n
+		}
+		v, ok := recv.(*List).Pop(int(i))
+		if !ok {
+			return nil, &PyError{Type: "IndexError", Msg: "pop index out of range"}
+		}
+		return v, nil
+	},
+	"insert": func(th *Thread, recv Value, args []Value) (Value, error) {
+		if err := argCount("insert", args, 2, 2); err != nil {
+			return nil, err
+		}
+		i, ok := asInt(args[0])
+		if !ok {
+			return nil, &PyError{Type: "TypeError", Msg: "insert index must be int"}
+		}
+		recv.(*List).Insert(int(i), args[1])
+		return nil, nil
+	},
+	"sort": func(th *Thread, recv Value, args []Value) (Value, error) {
+		if err := recv.(*List).SortInPlace(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	},
+	"reverse": func(th *Thread, recv Value, args []Value) (Value, error) {
+		l := recv.(*List)
+		n := l.Len()
+		for i := 0; i < n/2; i++ {
+			a, b := l.Get(i), l.Get(n-1-i)
+			l.Set(i, b)
+			l.Set(n-1-i, a)
+		}
+		return nil, nil
+	},
+	"index": func(th *Thread, recv Value, args []Value) (Value, error) {
+		if err := argCount("index", args, 1, 1); err != nil {
+			return nil, err
+		}
+		l := recv.(*List)
+		for i := 0; i < l.Len(); i++ {
+			if valueEqual(l.Get(i), args[0]) {
+				return int64(i), nil
+			}
+		}
+		return nil, &PyError{Type: "ValueError", Msg: Repr(args[0]) + " is not in list"}
+	},
+	"count": func(th *Thread, recv Value, args []Value) (Value, error) {
+		if err := argCount("count", args, 1, 1); err != nil {
+			return nil, err
+		}
+		l := recv.(*List)
+		n := int64(0)
+		for i := 0; i < l.Len(); i++ {
+			if valueEqual(l.Get(i), args[0]) {
+				n++
+			}
+		}
+		return n, nil
+	},
+	"clear": func(th *Thread, recv Value, args []Value) (Value, error) {
+		l := recv.(*List)
+		for l.Len() > 0 {
+			l.Pop(-1)
+		}
+		return nil, nil
+	},
+	"copy": func(th *Thread, recv Value, args []Value) (Value, error) {
+		return NewList(recv.(*List).Values()), nil
+	},
+}
+
+var dictMethods = map[string]methodImpl{
+	"get": func(th *Thread, recv Value, args []Value) (Value, error) {
+		if err := argCount("get", args, 1, 2); err != nil {
+			return nil, err
+		}
+		v, ok, err := recv.(*Dict).Get(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return v, nil
+		}
+		if len(args) == 2 {
+			return args[1], nil
+		}
+		return nil, nil
+	},
+	"keys": func(th *Thread, recv Value, args []Value) (Value, error) {
+		items := recv.(*Dict).Items()
+		out := make([]Value, len(items))
+		for i, kv := range items {
+			out[i] = kv[0]
+		}
+		return NewList(out), nil
+	},
+	"values": func(th *Thread, recv Value, args []Value) (Value, error) {
+		items := recv.(*Dict).Items()
+		out := make([]Value, len(items))
+		for i, kv := range items {
+			out[i] = kv[1]
+		}
+		return NewList(out), nil
+	},
+	"items": func(th *Thread, recv Value, args []Value) (Value, error) {
+		items := recv.(*Dict).Items()
+		out := make([]Value, len(items))
+		for i, kv := range items {
+			out[i] = &Tuple{Elts: []Value{kv[0], kv[1]}}
+		}
+		return NewList(out), nil
+	},
+	"pop": func(th *Thread, recv Value, args []Value) (Value, error) {
+		if err := argCount("pop", args, 1, 2); err != nil {
+			return nil, err
+		}
+		d := recv.(*Dict)
+		v, ok, err := d.Get(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			if len(args) == 2 {
+				return args[1], nil
+			}
+			return nil, &PyError{Type: "KeyError", Msg: Repr(args[0])}
+		}
+		if _, err := d.Delete(args[0]); err != nil {
+			return nil, err
+		}
+		return v, nil
+	},
+	"setdefault": func(th *Thread, recv Value, args []Value) (Value, error) {
+		if err := argCount("setdefault", args, 1, 2); err != nil {
+			return nil, err
+		}
+		d := recv.(*Dict)
+		var def Value
+		if len(args) == 2 {
+			def = args[1]
+		}
+		v, ok, err := d.Get(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return v, nil
+		}
+		if err := d.Set(args[0], def); err != nil {
+			return nil, err
+		}
+		return def, nil
+	},
+	"update": func(th *Thread, recv Value, args []Value) (Value, error) {
+		if err := argCount("update", args, 1, 1); err != nil {
+			return nil, err
+		}
+		src, ok := args[0].(*Dict)
+		if !ok {
+			return nil, &PyError{Type: "TypeError", Msg: "update() argument must be dict"}
+		}
+		d := recv.(*Dict)
+		for _, kv := range src.Items() {
+			if err := d.Set(kv[0], kv[1]); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	},
+	"clear": func(th *Thread, recv Value, args []Value) (Value, error) {
+		d := recv.(*Dict)
+		for _, kv := range d.Items() {
+			if _, err := d.Delete(kv[0]); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	},
+	"copy": func(th *Thread, recv Value, args []Value) (Value, error) {
+		d := recv.(*Dict)
+		out := NewDict()
+		for _, kv := range d.Items() {
+			if err := out.Set(kv[0], kv[1]); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	},
+}
+
+var setMethods = map[string]methodImpl{
+	"add": func(th *Thread, recv Value, args []Value) (Value, error) {
+		if err := argCount("add", args, 1, 1); err != nil {
+			return nil, err
+		}
+		return nil, recv.(*Set).Add(args[0])
+	},
+	"remove": func(th *Thread, recv Value, args []Value) (Value, error) {
+		if err := argCount("remove", args, 1, 1); err != nil {
+			return nil, err
+		}
+		ok, err := recv.(*Set).Remove(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, &PyError{Type: "KeyError", Msg: Repr(args[0])}
+		}
+		return nil, nil
+	},
+	"discard": func(th *Thread, recv Value, args []Value) (Value, error) {
+		if err := argCount("discard", args, 1, 1); err != nil {
+			return nil, err
+		}
+		_, err := recv.(*Set).Remove(args[0])
+		return nil, err
+	},
+	"union": func(th *Thread, recv Value, args []Value) (Value, error) {
+		out := NewSet()
+		for _, v := range recv.(*Set).Values() {
+			if err := out.Add(v); err != nil {
+				return nil, err
+			}
+		}
+		for _, a := range args {
+			vals, err := iterValues(a)
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range vals {
+				if err := out.Add(v); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	},
+	"intersection": func(th *Thread, recv Value, args []Value) (Value, error) {
+		if err := argCount("intersection", args, 1, 1); err != nil {
+			return nil, err
+		}
+		other, ok := args[0].(*Set)
+		if !ok {
+			return nil, &PyError{Type: "TypeError", Msg: "intersection() argument must be set"}
+		}
+		out := NewSet()
+		for _, v := range recv.(*Set).Values() {
+			has, err := other.Has(v)
+			if err != nil {
+				return nil, err
+			}
+			if has {
+				if err := out.Add(v); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	},
+}
+
+var strMethods = map[string]methodImpl{
+	"split": func(th *Thread, recv Value, args []Value) (Value, error) {
+		s := recv.(string)
+		var parts []string
+		if len(args) == 0 {
+			parts = strings.Fields(s)
+		} else {
+			sep, ok := args[0].(string)
+			if !ok || sep == "" {
+				return nil, &PyError{Type: "ValueError", Msg: "empty separator"}
+			}
+			parts = strings.Split(s, sep)
+		}
+		out := make([]Value, len(parts))
+		for i, p := range parts {
+			out[i] = p
+		}
+		return NewList(out), nil
+	},
+	"join": func(th *Thread, recv Value, args []Value) (Value, error) {
+		if err := argCount("join", args, 1, 1); err != nil {
+			return nil, err
+		}
+		vals, err := iterValues(args[0])
+		if err != nil {
+			return nil, err
+		}
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			s, ok := v.(string)
+			if !ok {
+				return nil, &PyError{Type: "TypeError",
+					Msg: "sequence item " + strconv.Itoa(i) + ": expected str instance"}
+			}
+			parts[i] = s
+		}
+		return strings.Join(parts, recv.(string)), nil
+	},
+	"lower": func(th *Thread, recv Value, args []Value) (Value, error) {
+		return strings.ToLower(recv.(string)), nil
+	},
+	"upper": func(th *Thread, recv Value, args []Value) (Value, error) {
+		return strings.ToUpper(recv.(string)), nil
+	},
+	"strip": func(th *Thread, recv Value, args []Value) (Value, error) {
+		if len(args) == 1 {
+			cut, ok := args[0].(string)
+			if !ok {
+				return nil, &PyError{Type: "TypeError", Msg: "strip arg must be str"}
+			}
+			return strings.Trim(recv.(string), cut), nil
+		}
+		return strings.TrimSpace(recv.(string)), nil
+	},
+	"replace": func(th *Thread, recv Value, args []Value) (Value, error) {
+		if err := argCount("replace", args, 2, 2); err != nil {
+			return nil, err
+		}
+		old, ok1 := args[0].(string)
+		new_, ok2 := args[1].(string)
+		if !ok1 || !ok2 {
+			return nil, &PyError{Type: "TypeError", Msg: "replace arguments must be str"}
+		}
+		return strings.ReplaceAll(recv.(string), old, new_), nil
+	},
+	"startswith": func(th *Thread, recv Value, args []Value) (Value, error) {
+		if err := argCount("startswith", args, 1, 1); err != nil {
+			return nil, err
+		}
+		p, ok := args[0].(string)
+		if !ok {
+			return nil, &PyError{Type: "TypeError", Msg: "startswith argument must be str"}
+		}
+		return strings.HasPrefix(recv.(string), p), nil
+	},
+	"endswith": func(th *Thread, recv Value, args []Value) (Value, error) {
+		if err := argCount("endswith", args, 1, 1); err != nil {
+			return nil, err
+		}
+		p, ok := args[0].(string)
+		if !ok {
+			return nil, &PyError{Type: "TypeError", Msg: "endswith argument must be str"}
+		}
+		return strings.HasSuffix(recv.(string), p), nil
+	},
+	"find": func(th *Thread, recv Value, args []Value) (Value, error) {
+		if err := argCount("find", args, 1, 1); err != nil {
+			return nil, err
+		}
+		p, ok := args[0].(string)
+		if !ok {
+			return nil, &PyError{Type: "TypeError", Msg: "find argument must be str"}
+		}
+		return int64(strings.Index(recv.(string), p)), nil
+	},
+	"count": func(th *Thread, recv Value, args []Value) (Value, error) {
+		if err := argCount("count", args, 1, 1); err != nil {
+			return nil, err
+		}
+		p, ok := args[0].(string)
+		if !ok {
+			return nil, &PyError{Type: "TypeError", Msg: "count argument must be str"}
+		}
+		return int64(strings.Count(recv.(string), p)), nil
+	},
+	"isalpha": func(th *Thread, recv Value, args []Value) (Value, error) {
+		s := recv.(string)
+		if s == "" {
+			return false, nil
+		}
+		for _, r := range s {
+			if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= 0x80) {
+				return false, nil
+			}
+		}
+		return true, nil
+	},
+	"isdigit": func(th *Thread, recv Value, args []Value) (Value, error) {
+		s := recv.(string)
+		if s == "" {
+			return false, nil
+		}
+		for _, r := range s {
+			if r < '0' || r > '9' {
+				return false, nil
+			}
+		}
+		return true, nil
+	},
+}

@@ -1,0 +1,112 @@
+// Package minipy implements the front end of MiniPy, the Python
+// subset that stands in for CPython in this reproduction: an
+// indentation-aware lexer, a recursive-descent parser producing an
+// AST, and an unparser that renders the AST back to source (used by
+// the @omp dump option and for round-trip testing).
+//
+// The subset covers what OMP4Py programs and the paper's benchmarks
+// need: functions with decorators and default arguments, the with
+// statement (OpenMP directives), for/while/if, try/except/finally,
+// global/nonlocal, lists, dicts, tuples, slices, lambdas, conditional
+// expressions, chained comparisons, augmented assignment, and type
+// annotations (`x: float = 0.0`) that drive the CompiledDT mode.
+package minipy
+
+import "fmt"
+
+// TokKind classifies MiniPy tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	EOF TokKind = iota
+	NEWLINE
+	INDENT
+	DEDENT
+	NAME
+	INT
+	FLOAT
+	STRING
+	OP      // operators and punctuation
+	KEYWORD // reserved words
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case EOF:
+		return "EOF"
+	case NEWLINE:
+		return "NEWLINE"
+	case INDENT:
+		return "INDENT"
+	case DEDENT:
+		return "DEDENT"
+	case NAME:
+		return "NAME"
+	case INT:
+		return "INT"
+	case FLOAT:
+		return "FLOAT"
+	case STRING:
+		return "STRING"
+	case OP:
+		return "OP"
+	case KEYWORD:
+		return "KEYWORD"
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+// Position is a source location (1-based line, 0-based column).
+type Position struct {
+	Line int
+	Col  int
+}
+
+func (p Position) String() string { return fmt.Sprintf("line %d col %d", p.Line, p.Col+1) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Position
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "end of file"
+	case NEWLINE:
+		return "newline"
+	case INDENT:
+		return "indent"
+	case DEDENT:
+		return "dedent"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+var keywords = map[string]bool{
+	"def": true, "return": true, "if": true, "elif": true, "else": true,
+	"while": true, "for": true, "in": true, "break": true, "continue": true,
+	"pass": true, "and": true, "or": true, "not": true, "True": true,
+	"False": true, "None": true, "with": true, "as": true, "global": true,
+	"nonlocal": true, "import": true, "from": true, "lambda": true,
+	"try": true, "except": true, "finally": true, "raise": true,
+	"assert": true, "del": true, "is": true,
+}
+
+// Error is a MiniPy front-end error with a source position. It plays
+// the role of Python's SyntaxError raised by the @omp decorator.
+type Error struct {
+	Pos  Position
+	Msg  string
+	File string
+}
+
+func (e *Error) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("%s: %s: %s", e.File, e.Pos, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+}

@@ -1,0 +1,363 @@
+// Package mpi is an in-process message-passing fabric standing in for
+// mpi4py/MPI in the hybrid MPI+OpenMP experiments (§IV-C, Fig. 8).
+// Ranks run as goroutines inside one process and exchange messages
+// over channels; a configurable network model charges per-message
+// latency plus bandwidth-proportional transfer time, with distinct
+// intra-node and inter-node parameters so multi-node topologies can
+// be simulated on one machine.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Op is a reduction operator for Allreduce/Reduce.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+	OpProd
+)
+
+func (o Op) apply(a, b float64) float64 {
+	switch o {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	case OpProd:
+		return a * b
+	}
+	return b
+}
+
+// NetworkModel charges communication costs. The zero value is a
+// free, instantaneous network (unit tests); Fig. 8 runs use a model
+// calibrated to a commodity cluster interconnect.
+type NetworkModel struct {
+	// RanksPerNode groups consecutive ranks onto simulated nodes;
+	// 0 means every rank shares one node.
+	RanksPerNode int
+	// IntraLatency/InterLatency is the per-message setup time within
+	// a node / across nodes.
+	IntraLatency time.Duration
+	InterLatency time.Duration
+	// IntraBandwidth/InterBandwidth in bytes per second (0 = infinite).
+	IntraBandwidth float64
+	InterBandwidth float64
+}
+
+// cost returns the simulated transfer time for nbytes between ranks.
+func (m *NetworkModel) cost(src, dst, nbytes int) time.Duration {
+	if m == nil {
+		return 0
+	}
+	sameNode := true
+	if m.RanksPerNode > 0 {
+		sameNode = src/m.RanksPerNode == dst/m.RanksPerNode
+	}
+	var lat time.Duration
+	var bw float64
+	if sameNode {
+		lat, bw = m.IntraLatency, m.IntraBandwidth
+	} else {
+		lat, bw = m.InterLatency, m.InterBandwidth
+	}
+	d := lat
+	if bw > 0 {
+		d += time.Duration(float64(nbytes) / bw * float64(time.Second))
+	}
+	return d
+}
+
+// World is one MPI execution: Size ranks connected all-to-all.
+type World struct {
+	size  int
+	model *NetworkModel
+	// mailboxes[dst][src] is an unbounded-ish buffered channel.
+	mailboxes [][]chan message
+
+	barrier  *barrier
+	collMu   sync.Mutex
+	collSeq  map[string]*collective
+	collNext map[string]int
+}
+
+type message struct {
+	tag  int
+	data []float64
+	obj  any
+}
+
+// Run executes body on size ranks and waits for all of them. The
+// model may be nil for an ideal network. Errors from ranks are
+// joined; a panicking rank aborts the world with an error.
+func Run(size int, model *NetworkModel, body func(c *Comm) error) error {
+	if size < 1 {
+		return errors.New("mpi: world size must be at least 1")
+	}
+	w := &World{
+		size:     size,
+		model:    model,
+		barrier:  newBarrier(size),
+		collSeq:  make(map[string]*collective),
+		collNext: make(map[string]int),
+	}
+	w.mailboxes = make([][]chan message, size)
+	for dst := 0; dst < size; dst++ {
+		w.mailboxes[dst] = make([]chan message, size)
+		for src := 0; src < size; src++ {
+			w.mailboxes[dst][src] = make(chan message, 1024)
+		}
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+				}
+			}()
+			errs[rank] = body(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Comm is one rank's communicator handle.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this rank's id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+func (c *Comm) chargeSend(dst, nbytes int) {
+	if d := c.world.model.cost(c.rank, dst, nbytes); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Send delivers a float64 vector to dst (MPI_Send; buffered,
+// non-blocking up to the mailbox capacity).
+func (c *Comm) Send(dst, tag int, data []float64) error {
+	if dst < 0 || dst >= c.world.size {
+		return fmt.Errorf("mpi: send to invalid rank %d", dst)
+	}
+	cp := append([]float64(nil), data...)
+	c.chargeSend(dst, 8*len(cp))
+	c.world.mailboxes[dst][c.rank] <- message{tag: tag, data: cp}
+	return nil
+}
+
+// Recv blocks for a vector from src with the given tag.
+func (c *Comm) Recv(src, tag int) ([]float64, error) {
+	if src < 0 || src >= c.world.size {
+		return nil, fmt.Errorf("mpi: recv from invalid rank %d", src)
+	}
+	box := c.world.mailboxes[c.rank][src]
+	// Messages from one src arrive in order; tags must match in
+	// order too (non-matching tags are a protocol error here, unlike
+	// full MPI matching).
+	msg := <-box
+	if msg.tag != tag {
+		return nil, fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d",
+			c.rank, tag, src, msg.tag)
+	}
+	return msg.data, nil
+}
+
+// SendObj/RecvObj move arbitrary values (pickled objects in mpi4py).
+func (c *Comm) SendObj(dst, tag int, v any) error {
+	if dst < 0 || dst >= c.world.size {
+		return fmt.Errorf("mpi: send to invalid rank %d", dst)
+	}
+	c.chargeSend(dst, 64)
+	c.world.mailboxes[dst][c.rank] <- message{tag: tag, obj: v}
+	return nil
+}
+
+// RecvObj blocks for an object message.
+func (c *Comm) RecvObj(src, tag int) (any, error) {
+	if src < 0 || src >= c.world.size {
+		return nil, fmt.Errorf("mpi: recv from invalid rank %d", src)
+	}
+	msg := <-c.world.mailboxes[c.rank][src]
+	if msg.tag != tag {
+		return nil, fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d",
+			c.rank, tag, src, msg.tag)
+	}
+	return msg.obj, nil
+}
+
+// Barrier synchronizes all ranks (MPI_Barrier).
+func (c *Comm) Barrier() {
+	c.world.barrier.await()
+}
+
+// collective is the shared state of one collective operation
+// instance: a rendezvous slot per rank plus a completion latch.
+type collective struct {
+	mu      sync.Mutex
+	parts   [][]float64
+	scalars []float64
+	arrived int
+	done    chan struct{}
+	result  []float64
+	scalar  float64
+}
+
+// enterCollective matches the i-th collective call of the given kind
+// across ranks (ranks call collectives in the same order, the MPI
+// requirement).
+func (c *Comm) enterCollective(kind string) *collective {
+	w := c.world
+	w.collMu.Lock()
+	defer w.collMu.Unlock()
+	seq := w.collNext[kind+fmt.Sprint(c.rank)]
+	w.collNext[kind+fmt.Sprint(c.rank)] = seq + 1
+	instKey := fmt.Sprintf("%s#%d", kind, seq)
+	inst, ok := w.collSeq[instKey]
+	if !ok {
+		inst = &collective{
+			parts:   make([][]float64, w.size),
+			scalars: make([]float64, w.size),
+			done:    make(chan struct{}),
+		}
+		w.collSeq[instKey] = inst
+	}
+	return inst
+}
+
+// Allgather concatenates every rank's vector in rank order and
+// returns the result on all ranks (MPI_Allgather/Allgatherv).
+func (c *Comm) Allgather(local []float64) []float64 {
+	inst := c.enterCollective("allgather")
+	inst.mu.Lock()
+	inst.parts[c.rank] = append([]float64(nil), local...)
+	inst.arrived++
+	if inst.arrived == c.world.size {
+		var out []float64
+		for _, p := range inst.parts {
+			out = append(out, p...)
+		}
+		inst.result = out
+		close(inst.done)
+	}
+	inst.mu.Unlock()
+	<-inst.done
+	// Every rank receives size-1 remote contributions.
+	for src := 0; src < c.world.size; src++ {
+		if src != c.rank {
+			if d := c.world.model.cost(src, c.rank, 8*len(inst.parts[src])); d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+	return append([]float64(nil), inst.result...)
+}
+
+// Allreduce combines one scalar from every rank and returns the
+// result everywhere (MPI_Allreduce).
+func (c *Comm) Allreduce(v float64, op Op) float64 {
+	inst := c.enterCollective("allreduce")
+	inst.mu.Lock()
+	inst.scalars[c.rank] = v
+	inst.arrived++
+	if inst.arrived == c.world.size {
+		acc := inst.scalars[0]
+		for _, s := range inst.scalars[1:] {
+			acc = op.apply(acc, s)
+		}
+		inst.scalar = acc
+		close(inst.done)
+	}
+	inst.mu.Unlock()
+	<-inst.done
+	// A tree allreduce costs ~2 log2(P) messages on the critical path.
+	if c.world.model != nil {
+		hops := 0
+		for p := 1; p < c.world.size; p <<= 1 {
+			hops += 2
+		}
+		if d := c.world.model.cost(0, c.rank, 8) * time.Duration(hops); d > 0 && c.rank != 0 {
+			time.Sleep(d)
+		}
+	}
+	return inst.scalar
+}
+
+// Bcast distributes root's vector to every rank (MPI_Bcast).
+func (c *Comm) Bcast(data []float64, root int) []float64 {
+	inst := c.enterCollective("bcast")
+	inst.mu.Lock()
+	if c.rank == root {
+		inst.result = append([]float64(nil), data...)
+	}
+	inst.arrived++
+	if inst.arrived == c.world.size {
+		close(inst.done)
+	}
+	inst.mu.Unlock()
+	<-inst.done
+	if c.rank != root {
+		if d := c.world.model.cost(root, c.rank, 8*len(inst.result)); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	return append([]float64(nil), inst.result...)
+}
+
+// barrier is a reusable counting barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	gen   int
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

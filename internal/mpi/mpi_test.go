@@ -1,0 +1,306 @@
+package mpi
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRunSpawnsAllRanks(t *testing.T) {
+	var mask atomic.Int64
+	err := Run(8, nil, func(c *Comm) error {
+		if c.Size() != 8 {
+			t.Errorf("size = %d", c.Size())
+		}
+		mask.Add(1 << c.Rank())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask.Load() != 255 {
+		t.Fatalf("rank mask = %b", mask.Load())
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	err := Run(2, nil, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 7, []float64{1.5, 2.5})
+		}
+		data, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if len(data) != 2 || data[0] != 1.5 || data[1] != 2.5 {
+			t.Errorf("data = %v", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesData(t *testing.T) {
+	err := Run(2, nil, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []float64{1}
+			if err := c.Send(1, 0, buf); err != nil {
+				return err
+			}
+			buf[0] = 99 // mutation after send must not reach the receiver
+			return nil
+		}
+		data, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if data[0] != 1 {
+			t.Errorf("received mutated buffer: %v", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvObj(t *testing.T) {
+	err := Run(2, nil, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.SendObj(1, 3, map[string]int{"k": 42})
+		}
+		v, err := c.RecvObj(0, 3)
+		if err != nil {
+			return err
+		}
+		m, ok := v.(map[string]int)
+		if !ok || m["k"] != 42 {
+			t.Errorf("obj = %v", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMismatchErrors(t *testing.T) {
+	err := Run(2, nil, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 1, []float64{0})
+		}
+		_, err := c.Recv(0, 2)
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "expected tag") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInvalidRanks(t *testing.T) {
+	err := Run(2, nil, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(5, 0, nil); err == nil {
+				t.Error("send to invalid rank accepted")
+			}
+			if _, err := c.Recv(-1, 0); err == nil {
+				t.Error("recv from invalid rank accepted")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(0, nil, func(c *Comm) error { return nil }); err == nil {
+		t.Fatal("world size 0 accepted")
+	}
+}
+
+func TestBarrierOrdersPhases(t *testing.T) {
+	const n = 6
+	var phase1 atomic.Int64
+	err := Run(n, nil, func(c *Comm) error {
+		phase1.Add(1)
+		c.Barrier()
+		if got := phase1.Load(); got != n {
+			t.Errorf("rank %d passed barrier with %d arrivals", c.Rank(), got)
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	const n = 4
+	err := Run(n, nil, func(c *Comm) error {
+		local := []float64{float64(c.Rank() * 10), float64(c.Rank()*10 + 1)}
+		all := c.Allgather(local)
+		if len(all) != 2*n {
+			t.Errorf("len = %d", len(all))
+			return nil
+		}
+		for r := 0; r < n; r++ {
+			if all[2*r] != float64(r*10) || all[2*r+1] != float64(r*10+1) {
+				t.Errorf("rank %d sees %v", c.Rank(), all)
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceOps(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want float64
+	}{
+		{OpSum, 0 + 1 + 2 + 3},
+		{OpMax, 3},
+		{OpMin, 0},
+		{OpProd, 0},
+	}
+	for _, tc := range cases {
+		err := Run(4, nil, func(c *Comm) error {
+			got := c.Allreduce(float64(c.Rank()), tc.op)
+			if got != tc.want {
+				t.Errorf("op %v: rank %d got %v, want %v", tc.op, c.Rank(), got, tc.want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllreduceMatchesLocalReduceProperty(t *testing.T) {
+	f := func(vals [5]float64) bool {
+		want := 0.0
+		for _, v := range vals {
+			want += v
+		}
+		ok := true
+		err := Run(5, nil, func(c *Comm) error {
+			got := c.Allreduce(vals[c.Rank()], OpSum)
+			if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	err := Run(5, nil, func(c *Comm) error {
+		var data []float64
+		if c.Rank() == 2 {
+			data = []float64{7, 8, 9}
+		}
+		got := c.Bcast(data, 2)
+		if len(got) != 3 || got[0] != 7 || got[2] != 9 {
+			t.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatedCollectives(t *testing.T) {
+	// Collective instances must match by call order across ranks.
+	err := Run(3, nil, func(c *Comm) error {
+		for i := 0; i < 20; i++ {
+			got := c.Allreduce(float64(i), OpSum)
+			if got != float64(3*i) {
+				t.Errorf("iteration %d: got %v", i, got)
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankErrorsJoined(t *testing.T) {
+	boom := errors.New("rank failure")
+	err := Run(3, nil, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRankPanicContained(t *testing.T) {
+	err := Run(2, nil, func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("rank 0 dies")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNetworkModelCharges(t *testing.T) {
+	model := &NetworkModel{
+		RanksPerNode: 2,
+		IntraLatency: 0,
+		InterLatency: 20 * time.Millisecond,
+	}
+	// Ranks 0,1 on node 0; ranks 2,3 on node 1.
+	if model.cost(0, 1, 8) != 0 {
+		t.Fatal("intra-node message should be free in this model")
+	}
+	if model.cost(0, 2, 8) != 20*time.Millisecond {
+		t.Fatal("inter-node latency not charged")
+	}
+	// Bandwidth term.
+	model.InterBandwidth = 1e6 // 1 MB/s
+	if got := model.cost(0, 2, 1e6); got < 1020*time.Millisecond {
+		t.Fatalf("bandwidth cost = %v", got)
+	}
+	// End to end: an inter-node send takes measurably longer.
+	start := time.Now()
+	err := Run(4, &NetworkModel{RanksPerNode: 2, InterLatency: 30 * time.Millisecond},
+		func(c *Comm) error {
+			if c.Rank() == 0 {
+				return c.Send(2, 0, []float64{1})
+			}
+			if c.Rank() == 2 {
+				_, err := c.Recv(0, 0)
+				return err
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("network model did not delay the send")
+	}
+}

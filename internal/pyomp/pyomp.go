@@ -1,0 +1,517 @@
+// Package pyomp models the PyOMP baseline of the paper's evaluation:
+// a Numba-based prototype that compiles numerical kernels to native
+// code but supports only a subset of OpenMP (static scheduling, no
+// nowait, no task if clause) and cannot compile dynamic Python
+// features (dicts, graph objects, mpi4py).
+//
+// The kernels here are native Go with OpenMP-style parallelization
+// through the omp package — the correct stand-in for Numba's LLVM
+// output — and double as the sequential reference implementations
+// that validate every OMP4Py execution mode.
+package pyomp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/omp4go/omp4go/omp"
+)
+
+// ErrUnsupported marks benchmarks PyOMP cannot run, with the reason
+// the paper gives.
+var ErrUnsupported = errors.New("pyomp: unsupported benchmark")
+
+// Unsupported lists the evaluation benchmarks PyOMP cannot execute
+// and why (§IV-A, §IV-B).
+var Unsupported = map[string]string{
+	"qsort":     "parallel recursive algorithm using OpenMP tasks with the if clause, not supported",
+	"bfs":       "Numba compilation error at execution time",
+	"graphic":   "Numba cannot compile the graph object and related functions",
+	"wordcount": "Numba lacks support for compiling Python dictionaries",
+}
+
+// Run executes a PyOMP kernel. args are benchmark-specific sizes; it
+// returns the checksum the MiniPy versions also produce.
+func Run(name string, threads int, args []int64) (float64, error) {
+	if reason, no := Unsupported[name]; no {
+		return 0, fmt.Errorf("%w: %s: %s", ErrUnsupported, name, reason)
+	}
+	switch name {
+	case "pi":
+		return ParallelPi(threads, args[0]), nil
+	case "fft":
+		return ParallelFFT(threads, int(args[0]), args[1]), nil
+	case "jacobi":
+		return ParallelJacobi(threads, int(args[0]), int(args[1]), args[2]), nil
+	case "lu":
+		return ParallelLU(threads, int(args[0]), args[1]), nil
+	case "md":
+		return ParallelMD(threads, int(args[0]), int(args[1]), args[2]), nil
+	}
+	return 0, fmt.Errorf("pyomp: unknown benchmark %q", name)
+}
+
+// splitmix is the shared deterministic generator; MiniPy sources use
+// the same recurrence so inputs match bit for bit.
+type splitmix struct{ s uint64 }
+
+func newRand(seed int64) *splitmix {
+	return &splitmix{s: uint64(seed)*6364136223846793005 + 1442695040888963407}
+}
+
+func (r *splitmix) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float returns a uniform value in [0, 1).
+func (r *splitmix) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// ---- pi ----
+
+// SequentialPi integrates 4/(1+x²) with n midpoint intervals.
+func SequentialPi(n int64) float64 {
+	w := 1.0 / float64(n)
+	sum := 0.0
+	for i := int64(0); i < n; i++ {
+		local := (float64(i) + 0.5) * w
+		sum += 4.0 / (1.0 + local*local)
+	}
+	return sum * w
+}
+
+// ParallelPi is the PyOMP kernel: parallel for + reduction, static
+// scheduling only.
+func ParallelPi(threads int, n int64) float64 {
+	w := 1.0 / float64(n)
+	sum, err := omp.ParallelReduce(0, int(n), 0.0, omp.Sum[float64],
+		func(tc *omp.TC, i int, acc float64) float64 {
+			local := (float64(i) + 0.5) * w
+			return acc + 4.0/(1.0+local*local)
+		}, omp.WithNumThreads(threads))
+	if err != nil {
+		panic(err)
+	}
+	return sum * w
+}
+
+// ---- fft ----
+
+// FFTInput builds the deterministic complex test signal.
+func FFTInput(n int, seed int64) (re, im []float64) {
+	r := newRand(seed)
+	re = make([]float64, n)
+	im = make([]float64, n)
+	for i := range re {
+		re[i] = 2*r.float() - 1
+		im[i] = 2*r.float() - 1
+	}
+	return re, im
+}
+
+// fftStages runs the iterative radix-2 Cooley-Tukey FFT in place;
+// body distributes the outer group loop.
+func fftCore(re, im []float64, forEach func(total int, body func(g int))) {
+	n := len(re)
+	// Bit reversal permutation.
+	j := 0
+	for i := 1; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j &^= bit
+		}
+		j |= bit
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wRe, wIm := math.Cos(ang), math.Sin(ang)
+		groups := n / length
+		half := length / 2
+		forEach(groups, func(g int) {
+			base := g * length
+			curRe, curIm := 1.0, 0.0
+			for k := 0; k < half; k++ {
+				aRe, aIm := re[base+k], im[base+k]
+				bRe := re[base+k+half]*curRe - im[base+k+half]*curIm
+				bIm := re[base+k+half]*curIm + im[base+k+half]*curRe
+				re[base+k], im[base+k] = aRe+bRe, aIm+bIm
+				re[base+k+half], im[base+k+half] = aRe-bRe, aIm-bIm
+				curRe, curIm = curRe*wRe-curIm*wIm, curRe*wIm+curIm*wRe
+			}
+		})
+	}
+}
+
+// fftChecksum samples the spectrum into a stable scalar.
+func fftChecksum(re, im []float64) float64 {
+	sum := 0.0
+	step := len(re) / 64
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(re); i += step {
+		sum += math.Abs(re[i]) + math.Abs(im[i])
+	}
+	return sum
+}
+
+// SequentialFFT runs the reference transform and returns the
+// checksum.
+func SequentialFFT(n int, seed int64) float64 {
+	re, im := FFTInput(n, seed)
+	fftCore(re, im, func(total int, body func(int)) {
+		for g := 0; g < total; g++ {
+			body(g)
+		}
+	})
+	return fftChecksum(re, im)
+}
+
+// ParallelFFT distributes each stage's butterfly groups.
+func ParallelFFT(threads, n int, seed int64) float64 {
+	re, im := FFTInput(n, seed)
+	fftCore(re, im, func(total int, body func(int)) {
+		if err := omp.ParallelFor(0, total, func(tc *omp.TC, g int) {
+			body(g)
+		}, omp.WithNumThreads(threads)); err != nil {
+			panic(err)
+		}
+	})
+	return fftChecksum(re, im)
+}
+
+// ---- jacobi ----
+
+// JacobiInput builds a diagonally dominant system A·x = b.
+func JacobiInput(n int, seed int64) (a, b []float64) {
+	r := newRand(seed)
+	a = make([]float64, n*n)
+	b = make([]float64, n)
+	for i := 0; i < n; i++ {
+		rowSum := 0.0
+		for j := 0; j < n; j++ {
+			if i != j {
+				v := r.float() - 0.5
+				a[i*n+j] = v
+				rowSum += math.Abs(v)
+			}
+		}
+		a[i*n+i] = rowSum + 1.0
+		b[i] = r.float() * float64(n)
+	}
+	return a, b
+}
+
+// jacobiCore iterates until maxIter (the stopping tolerance is kept
+// tiny so iteration counts stay deterministic across thread counts).
+func jacobiCore(a, b []float64, n, maxIter int, forRange func(lo, hi int, body func(i int))) []float64 {
+	x := make([]float64, n)
+	xn := make([]float64, n)
+	for it := 0; it < maxIter; it++ {
+		forRange(0, n, func(i int) {
+			s := 0.0
+			row := a[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				if j != i {
+					s += row[j] * x[j]
+				}
+			}
+			xn[i] = (b[i] - s) / row[i]
+		})
+		x, xn = xn, x
+	}
+	return x
+}
+
+func vecSum(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// SequentialJacobi returns the solution checksum after maxIter
+// sweeps.
+func SequentialJacobi(n, maxIter int, seed int64) float64 {
+	a, b := JacobiInput(n, seed)
+	x := jacobiCore(a, b, n, maxIter, func(lo, hi int, body func(int)) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+	return vecSum(x)
+}
+
+// ParallelJacobi distributes each sweep's rows.
+func ParallelJacobi(threads, n, maxIter int, seed int64) float64 {
+	a, b := JacobiInput(n, seed)
+	x := jacobiCore(a, b, n, maxIter, func(lo, hi int, body func(int)) {
+		if err := omp.ParallelFor(lo, hi, func(tc *omp.TC, i int) {
+			body(i)
+		}, omp.WithNumThreads(threads)); err != nil {
+			panic(err)
+		}
+	})
+	return vecSum(x)
+}
+
+// ---- lu ----
+
+// LUInput builds a well-conditioned dense matrix.
+func LUInput(n int, seed int64) []float64 {
+	r := newRand(seed)
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = r.float() - 0.5
+		}
+		a[i*n+i] += float64(n)
+	}
+	return a
+}
+
+// luCore performs in-place Doolittle factorization without pivoting.
+func luCore(a []float64, n int, forRange func(lo, hi int, body func(i int))) {
+	for k := 0; k < n; k++ {
+		pivot := a[k*n+k]
+		forRange(k+1, n, func(i int) {
+			factor := a[i*n+k] / pivot
+			a[i*n+k] = factor
+			for j := k + 1; j < n; j++ {
+				a[i*n+j] -= factor * a[k*n+j]
+			}
+		})
+	}
+}
+
+func luChecksum(a []float64, n int) float64 {
+	// Sum of log|U_kk|: numerically stable determinant surrogate.
+	s := 0.0
+	for k := 0; k < n; k++ {
+		s += math.Log(math.Abs(a[k*n+k]))
+	}
+	return s
+}
+
+// SequentialLU returns the factorization checksum.
+func SequentialLU(n int, seed int64) float64 {
+	a := LUInput(n, seed)
+	luCore(a, n, func(lo, hi int, body func(int)) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+	return luChecksum(a, n)
+}
+
+// ParallelLU distributes the row updates of each elimination step.
+func ParallelLU(threads, n int, seed int64) float64 {
+	a := LUInput(n, seed)
+	luCore(a, n, func(lo, hi int, body func(int)) {
+		if err := omp.ParallelFor(lo, hi, func(tc *omp.TC, i int) {
+			body(i)
+		}, omp.WithNumThreads(threads)); err != nil {
+			panic(err)
+		}
+	})
+	return luChecksum(a, n)
+}
+
+// ---- md ----
+
+// MDInput places particles deterministically in the unit box.
+func MDInput(nParticles int, seed int64) (pos, vel []float64) {
+	r := newRand(seed)
+	pos = make([]float64, 2*nParticles)
+	vel = make([]float64, 2*nParticles)
+	for i := range pos {
+		pos[i] = r.float()
+	}
+	return pos, vel
+}
+
+// mdForces computes soft central pair forces into acc.
+func mdForces(pos, acc []float64, n int, forRange func(lo, hi int, body func(i int))) {
+	forRange(0, n, func(i int) {
+		fx, fy := 0.0, 0.0
+		xi, yi := pos[2*i], pos[2*i+1]
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			dx := xi - pos[2*j]
+			dy := yi - pos[2*j+1]
+			r2 := dx*dx + dy*dy + 1e-6
+			inv := 1.0 / (r2 * math.Sqrt(r2))
+			fx += dx * inv * 1e-6
+			fy += dy * inv * 1e-6
+		}
+		acc[2*i] = fx
+		acc[2*i+1] = fy
+	})
+}
+
+// mdCore runs velocity Verlet steps.
+func mdCore(pos, vel []float64, n, steps int, forRange func(lo, hi int, body func(i int))) {
+	const dt = 1e-3
+	acc := make([]float64, 2*n)
+	mdForces(pos, acc, n, forRange)
+	for s := 0; s < steps; s++ {
+		forRange(0, n, func(i int) {
+			vel[2*i] += 0.5 * dt * acc[2*i]
+			vel[2*i+1] += 0.5 * dt * acc[2*i+1]
+			pos[2*i] += dt * vel[2*i]
+			pos[2*i+1] += dt * vel[2*i+1]
+		})
+		mdForces(pos, acc, n, forRange)
+		forRange(0, n, func(i int) {
+			vel[2*i] += 0.5 * dt * acc[2*i]
+			vel[2*i+1] += 0.5 * dt * acc[2*i+1]
+		})
+	}
+}
+
+func mdChecksum(pos []float64) float64 { return vecSum(pos) }
+
+// SequentialMD returns the position checksum after the simulation.
+func SequentialMD(n, steps int, seed int64) float64 {
+	pos, vel := MDInput(n, seed)
+	mdCore(pos, vel, n, steps, func(lo, hi int, body func(int)) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+	return mdChecksum(pos)
+}
+
+// ParallelMD distributes the force and integration loops.
+func ParallelMD(threads, n, steps int, seed int64) float64 {
+	pos, vel := MDInput(n, seed)
+	mdCore(pos, vel, n, steps, func(lo, hi int, body func(int)) {
+		if err := omp.ParallelFor(lo, hi, func(tc *omp.TC, i int) {
+			body(i)
+		}, omp.WithNumThreads(threads)); err != nil {
+			panic(err)
+		}
+	})
+	return mdChecksum(pos)
+}
+
+// ---- qsort / bfs references (PyOMP cannot run them; OMP4Py modes
+// validate against these) ----
+
+// QsortInput generates the float array to sort.
+func QsortInput(n int, seed int64) []float64 {
+	r := newRand(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.float() * 1e6
+	}
+	return out
+}
+
+// SequentialQsortChecksum sorts the input and folds order-sensitive
+// samples into a checksum.
+func SequentialQsortChecksum(n int, seed int64) float64 {
+	data := QsortInput(n, seed)
+	quicksort(data, 0, len(data)-1)
+	return qsortChecksum(data)
+}
+
+func quicksort(a []float64, lo, hi int) {
+	// Hoare partition: the returned index belongs to the left
+	// subrange ([lo, p] and [p+1, hi]).
+	for lo < hi {
+		p := partition(a, lo, hi)
+		if p-lo < hi-p {
+			quicksort(a, lo, p)
+			lo = p + 1
+		} else {
+			quicksort(a, p+1, hi)
+			hi = p
+		}
+	}
+}
+
+func partition(a []float64, lo, hi int) int {
+	pivot := a[(lo+hi)/2]
+	i, j := lo, hi
+	for {
+		for a[i] < pivot {
+			i++
+		}
+		for a[j] > pivot {
+			j--
+		}
+		if i >= j {
+			return j
+		}
+		a[i], a[j] = a[j], a[i]
+		i++
+		j--
+	}
+}
+
+func qsortChecksum(sorted []float64) float64 {
+	s := 0.0
+	step := len(sorted) / 97
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(sorted); i += step {
+		s += sorted[i] * float64(i%13+1)
+	}
+	return s
+}
+
+// MazeInput builds the BFS grid: 0 = path, 1 = wall, entrance at the
+// top-left, exit at the bottom-right (§IV-A).
+func MazeInput(n int, seed int64) []int64 {
+	r := newRand(seed)
+	grid := make([]int64, n*n)
+	for i := range grid {
+		if r.float() < 0.35 {
+			grid[i] = 1
+		}
+	}
+	grid[0] = 0
+	grid[n*n-1] = 0
+	return grid
+}
+
+// SequentialBFSChecksum flood-fills from the entrance and returns the
+// number of reachable cells (schedule-independent).
+func SequentialBFSChecksum(n int, seed int64) float64 {
+	grid := MazeInput(n, seed)
+	visited := make([]bool, n*n)
+	queue := []int{0}
+	visited[0] = true
+	count := 0
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		count++
+		r, c := cur/n, cur%n
+		for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+			nr, nc := r+d[0], c+d[1]
+			if nr < 0 || nr >= n || nc < 0 || nc >= n {
+				continue
+			}
+			idx := nr*n + nc
+			if grid[idx] == 0 && !visited[idx] {
+				visited[idx] = true
+				queue = append(queue, idx)
+			}
+		}
+	}
+	return float64(count)
+}

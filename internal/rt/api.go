@@ -1,0 +1,179 @@
+package rt
+
+import (
+	"time"
+
+	"github.com/omp4go/omp4go/internal/directive"
+)
+
+// This file implements the OpenMP 3.0 runtime library routines
+// (omp_get_num_threads and friends). Functions that depend on the
+// calling thread take a *Context; ICV accessors live on the Runtime.
+
+// SetNumThreads sets the nthreads-var ICV (omp_set_num_threads).
+func (r *Runtime) SetNumThreads(n int) {
+	if n < 1 {
+		return
+	}
+	r.icv.mu.Lock()
+	r.icv.numThreads = n
+	r.icv.mu.Unlock()
+}
+
+// GetMaxThreads returns the team size an encountering thread would
+// get from a parallel region without a num_threads clause
+// (omp_get_max_threads).
+func (r *Runtime) GetMaxThreads() int {
+	r.icv.mu.Lock()
+	n := r.icv.numThreads
+	r.icv.mu.Unlock()
+	return n
+}
+
+// SetDynamic sets the dyn-var ICV (omp_set_dynamic).
+func (r *Runtime) SetDynamic(v bool) {
+	r.icv.mu.Lock()
+	r.icv.dynamic = v
+	r.icv.mu.Unlock()
+}
+
+// GetDynamic returns the dyn-var ICV (omp_get_dynamic).
+func (r *Runtime) GetDynamic() bool {
+	r.icv.mu.Lock()
+	v := r.icv.dynamic
+	r.icv.mu.Unlock()
+	return v
+}
+
+// SetNested enables nested parallelism (omp_set_nested).
+func (r *Runtime) SetNested(v bool) {
+	r.icv.mu.Lock()
+	r.icv.nested = v
+	r.icv.mu.Unlock()
+}
+
+// GetNested returns the nest-var ICV (omp_get_nested).
+func (r *Runtime) GetNested() bool {
+	r.icv.mu.Lock()
+	v := r.icv.nested
+	r.icv.mu.Unlock()
+	return v
+}
+
+// SetSchedule sets the run-sched-var ICV used by schedule(runtime)
+// (omp_set_schedule).
+func (r *Runtime) SetSchedule(s Schedule) error {
+	switch s.Kind {
+	case directive.ScheduleStatic, directive.ScheduleDynamic,
+		directive.ScheduleGuided, directive.ScheduleAuto:
+	default:
+		return &MisuseError{Construct: "omp_set_schedule", Msg: "invalid schedule kind"}
+	}
+	if s.Chunk < 0 {
+		return &MisuseError{Construct: "omp_set_schedule", Msg: "negative chunk size"}
+	}
+	r.icv.mu.Lock()
+	r.icv.runSched = s
+	r.icv.mu.Unlock()
+	return nil
+}
+
+// GetSchedule returns the run-sched-var ICV (omp_get_schedule).
+func (r *Runtime) GetSchedule() Schedule {
+	r.icv.mu.Lock()
+	s := r.icv.runSched
+	r.icv.mu.Unlock()
+	return s
+}
+
+// SetMaxActiveLevels sets max-active-levels-var
+// (omp_set_max_active_levels).
+func (r *Runtime) SetMaxActiveLevels(n int) {
+	if n < 0 {
+		return
+	}
+	r.icv.mu.Lock()
+	r.icv.maxActiveLevels = n
+	r.icv.mu.Unlock()
+}
+
+// GetMaxActiveLevels returns max-active-levels-var
+// (omp_get_max_active_levels).
+func (r *Runtime) GetMaxActiveLevels() int {
+	r.icv.mu.Lock()
+	n := r.icv.maxActiveLevels
+	r.icv.mu.Unlock()
+	return n
+}
+
+// GetThreadLimit returns thread-limit-var (omp_get_thread_limit).
+func (r *Runtime) GetThreadLimit() int {
+	r.icv.mu.Lock()
+	n := r.icv.threadLimit
+	r.icv.mu.Unlock()
+	return n
+}
+
+// GetWTime returns elapsed wall-clock seconds from a fixed point
+// (omp_get_wtime).
+func (r *Runtime) GetWTime() float64 {
+	return time.Since(r.epoch).Seconds()
+}
+
+// GetWTick returns the timer resolution in seconds (omp_get_wtick).
+func (r *Runtime) GetWTick() float64 { return 1e-9 }
+
+// GetNumThreads returns the size of the current team
+// (omp_get_num_threads).
+func (c *Context) GetNumThreads() int { return c.team.size }
+
+// GetThreadNum returns this thread's number within the current team
+// (omp_get_thread_num).
+func (c *Context) GetThreadNum() int { return c.num }
+
+// InParallel reports whether the thread executes inside an active
+// (size > 1) parallel region (omp_in_parallel).
+func (c *Context) InParallel() bool { return c.activeLevel > 0 }
+
+// GetLevel returns the number of nested parallel regions enclosing
+// the thread, counting serialized regions (omp_get_level).
+func (c *Context) GetLevel() int { return c.level }
+
+// GetActiveLevel returns the number of enclosing active parallel
+// regions (omp_get_active_level).
+func (c *Context) GetActiveLevel() int { return c.activeLevel }
+
+// GetAncestorThreadNum returns the thread number of this thread's
+// ancestor at the given nesting level, or -1 if the level is out of
+// range (omp_get_ancestor_thread_num).
+func (c *Context) GetAncestorThreadNum(level int) int {
+	a := c.ancestorAt(level)
+	if a == nil {
+		return -1
+	}
+	return a.num
+}
+
+// GetTeamSize returns the team size at the given nesting level, or -1
+// if the level is out of range (omp_get_team_size).
+func (c *Context) GetTeamSize(level int) int {
+	a := c.ancestorAt(level)
+	if a == nil {
+		return -1
+	}
+	return a.team.size
+}
+
+func (c *Context) ancestorAt(level int) *Context {
+	if level < 0 || level > c.level {
+		return nil
+	}
+	a := c
+	for a != nil && a.level > level {
+		a = a.parent
+	}
+	if a == nil || a.level != level {
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,55 @@
+package rt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MisuseError reports non-conforming use of the runtime API detected
+// at run time (for example a barrier inside a worksharing construct,
+// or unlocking a lock the caller does not hold). The OpenMP standard
+// leaves such programs undefined; like the paper, we surface the
+// misuse instead of deadlocking where we can detect it cheaply.
+type MisuseError struct {
+	Construct string
+	Msg       string
+}
+
+func (e *MisuseError) Error() string {
+	if e.Construct != "" {
+		return fmt.Sprintf("omp runtime: non-conforming %s: %s", e.Construct, e.Msg)
+	}
+	return "omp runtime: " + e.Msg
+}
+
+// brokenAbort marks errors produced when a synchronization point is
+// abandoned because another thread broke the team; they are secondary
+// to the root cause when errors are joined.
+type brokenAbort struct{ MisuseError }
+
+// Unwrap lets errors.As still match *MisuseError through the wrapper.
+func (e *brokenAbort) Unwrap() error { return &e.MisuseError }
+
+func newBrokenAbort(construct string) error {
+	return &brokenAbort{MisuseError{Construct: construct,
+		Msg: "team broken by failure in another thread"}}
+}
+
+// TeamPanic aggregates panics recovered from the members of a thread
+// team. Per the OpenMP rule, exceptions never escape a parallel
+// region on the thread that raised them; the encountering thread
+// re-raises them after the join so Go callers are not left with
+// silently-lost failures.
+type TeamPanic struct {
+	// Panics maps thread numbers to the recovered panic values.
+	Panics map[int]any
+}
+
+func (e *TeamPanic) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "panic in %d parallel team thread(s):", len(e.Panics))
+	for num, v := range e.Panics {
+		fmt.Fprintf(&b, " [thread %d: %v]", num, v)
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package rt
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/omp4go/omp4go/internal/directive"
+)
+
+// Schedule pairs a scheduling policy with a chunk size (0 means the
+// policy default).
+type Schedule struct {
+	Kind  directive.ScheduleKind
+	Chunk int64
+}
+
+// icvSet holds the internal control variables defined by OpenMP 3.0.
+// The set is guarded by a mutex: ICV reads are off the hot paths.
+type icvSet struct {
+	mu              sync.Mutex
+	numThreads      int      // nthreads-var
+	dynamic         bool     // dyn-var
+	nested          bool     // nest-var
+	runSched        Schedule // run-sched-var, used by schedule(runtime)
+	defSched        Schedule // def-sched-var, used by schedule(auto)
+	maxActiveLevels int      // max-active-levels-var
+	threadLimit     int      // thread-limit-var
+	stackTrace      bool     // diagnostic: dump worker panics
+}
+
+func defaultICVs() icvSet {
+	return icvSet{
+		numThreads:      runtime.NumCPU(),
+		dynamic:         false,
+		nested:          false,
+		runSched:        Schedule{Kind: directive.ScheduleStatic},
+		defSched:        Schedule{Kind: directive.ScheduleStatic},
+		maxActiveLevels: 1 << 30,
+		threadLimit:     1 << 30,
+	}
+}
+
+// loadEnvICVs applies OMP_NUM_THREADS, OMP_SCHEDULE, OMP_DYNAMIC,
+// OMP_NESTED, OMP_THREAD_LIMIT and OMP_MAX_ACTIVE_LEVELS, matching the
+// environment-variable surface of OpenMP 3.0.
+func (s *icvSet) loadEnv(getenv func(string) string) {
+	if getenv == nil {
+		getenv = os.Getenv
+	}
+	if v := getenv("OMP_NUM_THREADS"); v != "" {
+		// OpenMP allows a comma-separated list for nested levels; the
+		// first entry applies to the outermost level.
+		first := strings.Split(v, ",")[0]
+		if n, err := strconv.Atoi(strings.TrimSpace(first)); err == nil && n > 0 {
+			s.numThreads = n
+		}
+	}
+	if v := getenv("OMP_SCHEDULE"); v != "" {
+		if sched, err := ParseScheduleEnv(v); err == nil {
+			s.runSched = sched
+		}
+	}
+	if v := getenv("OMP_DYNAMIC"); v != "" {
+		s.dynamic = isEnvTrue(v)
+	}
+	if v := getenv("OMP_NESTED"); v != "" {
+		s.nested = isEnvTrue(v)
+	}
+	if v := getenv("OMP_THREAD_LIMIT"); v != "" {
+		if n, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && n > 0 {
+			s.threadLimit = n
+		}
+	}
+	if v := getenv("OMP_MAX_ACTIVE_LEVELS"); v != "" {
+		if n, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && n >= 0 {
+			s.maxActiveLevels = n
+		}
+	}
+}
+
+func isEnvTrue(v string) bool {
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
+}
+
+// ParseScheduleEnv parses an OMP_SCHEDULE value such as "dynamic,4".
+func ParseScheduleEnv(v string) (Schedule, error) {
+	parts := strings.SplitN(v, ",", 2)
+	kind, err := directive.ParseScheduleKind(parts[0])
+	if err != nil {
+		return Schedule{}, err
+	}
+	sched := Schedule{Kind: kind}
+	if len(parts) == 2 {
+		chunk, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+		if err != nil || chunk < 1 {
+			return Schedule{}, &MisuseError{Msg: "invalid chunk size in OMP_SCHEDULE: " + v}
+		}
+		sched.Chunk = chunk
+	}
+	return sched, nil
+}

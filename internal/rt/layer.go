@@ -1,0 +1,207 @@
+// Package rt implements the OMP4Py OpenMP runtime in Go: thread
+// teams, barriers, worksharing constructs, loop scheduling, tasking,
+// reductions, locks, and the OpenMP 3.0 runtime library API.
+//
+// Mirroring the paper's dual-runtime architecture, every shared
+// counter, flag, and task-queue link goes through a Layer: LayerMutex
+// coordinates with mutexes the way OMP4Py's pure-Python runtime does,
+// while LayerAtomic uses lock-free fetch-add/compare-exchange the way
+// the Cython cruntime does. Teams built on different layers never
+// share state, just as the paper's runtime and cruntime contexts are
+// independent.
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Layer selects the low-level synchronization implementation used by
+// a Runtime instance.
+type Layer int
+
+const (
+	// LayerMutex guards every shared counter update with a mutex,
+	// modelling OMP4Py's pure-Python runtime.
+	LayerMutex Layer = iota
+	// LayerAtomic performs counter updates with hardware atomics
+	// (fetch_add / compare_exchange), modelling the Cython cruntime.
+	LayerAtomic
+)
+
+// String returns the layer name.
+func (l Layer) String() string {
+	switch l {
+	case LayerMutex:
+		return "mutex"
+	case LayerAtomic:
+		return "atomic"
+	}
+	return fmt.Sprintf("Layer(%d)", int(l))
+}
+
+// Counter is a shared integer cell. Both implementations provide the
+// same operations; only the coordination mechanism differs.
+type Counter interface {
+	// Add atomically adds delta and returns the new value.
+	Add(delta int64) int64
+	// Load returns the current value.
+	Load() int64
+	// Store replaces the current value.
+	Store(v int64)
+	// CompareAndSwap installs new if the current value is old.
+	CompareAndSwap(old, new int64) bool
+}
+
+// NewCounter returns a counter for the layer.
+func NewCounter(l Layer) Counter {
+	if l == LayerAtomic {
+		return &atomicCounter{}
+	}
+	return &mutexCounter{}
+}
+
+type atomicCounter struct{ v atomic.Int64 }
+
+func (c *atomicCounter) Add(d int64) int64                  { return c.v.Add(d) }
+func (c *atomicCounter) Load() int64                        { return c.v.Load() }
+func (c *atomicCounter) Store(v int64)                      { c.v.Store(v) }
+func (c *atomicCounter) CompareAndSwap(old, new int64) bool { return c.v.CompareAndSwap(old, new) }
+
+type mutexCounter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (c *mutexCounter) Add(d int64) int64 {
+	c.mu.Lock()
+	c.v += d
+	v := c.v
+	c.mu.Unlock()
+	return v
+}
+
+func (c *mutexCounter) Load() int64 {
+	c.mu.Lock()
+	v := c.v
+	c.mu.Unlock()
+	return v
+}
+
+func (c *mutexCounter) Store(v int64) {
+	c.mu.Lock()
+	c.v = v
+	c.mu.Unlock()
+}
+
+func (c *mutexCounter) CompareAndSwap(old, new int64) bool {
+	c.mu.Lock()
+	ok := c.v == old
+	if ok {
+		c.v = new
+	}
+	c.mu.Unlock()
+	return ok
+}
+
+// Event is a one-way completion gate with reset, equivalent to
+// Python's threading.Event (runtime) / PyEvent (cruntime).
+type Event interface {
+	// Set marks the event and wakes all waiters.
+	Set()
+	// Clear resets the event to unset.
+	Clear()
+	// IsSet reports whether the event is set.
+	IsSet() bool
+	// Wait blocks until the event is set.
+	Wait()
+}
+
+// NewEvent returns an event for the layer. The mutex layer uses a
+// condition variable throughout; the atomic layer answers IsSet with a
+// single atomic load and only falls back to blocking when unset.
+func NewEvent(l Layer) Event {
+	if l == LayerAtomic {
+		e := &atomicEvent{}
+		e.ch = make(chan struct{})
+		return e
+	}
+	e := &mutexEvent{}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+type mutexEvent struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	set  bool
+}
+
+func (e *mutexEvent) Set() {
+	e.mu.Lock()
+	e.set = true
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}
+
+func (e *mutexEvent) Clear() {
+	e.mu.Lock()
+	e.set = false
+	e.mu.Unlock()
+}
+
+func (e *mutexEvent) IsSet() bool {
+	e.mu.Lock()
+	s := e.set
+	e.mu.Unlock()
+	return s
+}
+
+func (e *mutexEvent) Wait() {
+	e.mu.Lock()
+	for !e.set {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}
+
+type atomicEvent struct {
+	set atomic.Bool
+	mu  sync.Mutex
+	ch  chan struct{}
+}
+
+func (e *atomicEvent) Set() {
+	if e.set.Swap(true) {
+		return
+	}
+	e.mu.Lock()
+	close(e.ch)
+	e.mu.Unlock()
+}
+
+func (e *atomicEvent) Clear() {
+	e.mu.Lock()
+	if e.set.Load() {
+		e.ch = make(chan struct{})
+		e.set.Store(false)
+	}
+	e.mu.Unlock()
+}
+
+func (e *atomicEvent) IsSet() bool { return e.set.Load() }
+
+func (e *atomicEvent) Wait() {
+	if e.set.Load() {
+		return
+	}
+	e.mu.Lock()
+	ch := e.ch
+	set := e.set.Load()
+	e.mu.Unlock()
+	if set {
+		return
+	}
+	<-ch
+}

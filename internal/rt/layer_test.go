@@ -1,0 +1,178 @@
+package rt
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var bothLayers = []Layer{LayerMutex, LayerAtomic}
+
+func TestLayerString(t *testing.T) {
+	if LayerMutex.String() != "mutex" || LayerAtomic.String() != "atomic" {
+		t.Fatalf("layer names: %s %s", LayerMutex, LayerAtomic)
+	}
+}
+
+func TestCounterBasics(t *testing.T) {
+	for _, l := range bothLayers {
+		c := NewCounter(l)
+		if c.Load() != 0 {
+			t.Fatalf("%v: initial value %d", l, c.Load())
+		}
+		if got := c.Add(5); got != 5 {
+			t.Fatalf("%v: Add returned %d", l, got)
+		}
+		if got := c.Add(-2); got != 3 {
+			t.Fatalf("%v: Add returned %d", l, got)
+		}
+		c.Store(10)
+		if c.Load() != 10 {
+			t.Fatalf("%v: Store/Load mismatch", l)
+		}
+		if !c.CompareAndSwap(10, 20) {
+			t.Fatalf("%v: CAS should succeed", l)
+		}
+		if c.CompareAndSwap(10, 30) {
+			t.Fatalf("%v: CAS should fail", l)
+		}
+		if c.Load() != 20 {
+			t.Fatalf("%v: value after CAS = %d", l, c.Load())
+		}
+	}
+}
+
+func TestCounterConcurrentAdd(t *testing.T) {
+	const workers = 8
+	const per = 10000
+	for _, l := range bothLayers {
+		c := NewCounter(l)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < per; j++ {
+					c.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		if got := c.Load(); got != workers*per {
+			t.Fatalf("%v: lost updates, got %d want %d", l, got, workers*per)
+		}
+	}
+}
+
+func TestCounterConcurrentCAS(t *testing.T) {
+	// Exactly one CAS from the same old value may win.
+	for _, l := range bothLayers {
+		c := NewCounter(l)
+		wins := NewCounter(LayerAtomic)
+		var wg sync.WaitGroup
+		for i := 0; i < 16; i++ {
+			wg.Add(1)
+			go func(v int64) {
+				defer wg.Done()
+				if c.CompareAndSwap(0, v+1) {
+					wins.Add(1)
+				}
+			}(int64(i))
+		}
+		wg.Wait()
+		if wins.Load() != 1 {
+			t.Fatalf("%v: %d CAS winners, want 1", l, wins.Load())
+		}
+	}
+}
+
+func TestEventSetWait(t *testing.T) {
+	for _, l := range bothLayers {
+		e := NewEvent(l)
+		if e.IsSet() {
+			t.Fatalf("%v: new event is set", l)
+		}
+		done := make(chan struct{})
+		go func() {
+			e.Wait()
+			close(done)
+		}()
+		time.Sleep(time.Millisecond)
+		select {
+		case <-done:
+			t.Fatalf("%v: Wait returned before Set", l)
+		default:
+		}
+		e.Set()
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("%v: Wait did not return after Set", l)
+		}
+		if !e.IsSet() {
+			t.Fatalf("%v: IsSet false after Set", l)
+		}
+		// Wait on a set event returns immediately.
+		e.Wait()
+	}
+}
+
+func TestEventClearReuse(t *testing.T) {
+	for _, l := range bothLayers {
+		e := NewEvent(l)
+		e.Set()
+		e.Clear()
+		if e.IsSet() {
+			t.Fatalf("%v: set after Clear", l)
+		}
+		done := make(chan struct{})
+		go func() {
+			e.Wait()
+			close(done)
+		}()
+		time.Sleep(time.Millisecond)
+		e.Set()
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("%v: Wait after Clear/Set did not return", l)
+		}
+	}
+}
+
+func TestEventManyWaiters(t *testing.T) {
+	for _, l := range bothLayers {
+		e := NewEvent(l)
+		var wg sync.WaitGroup
+		for i := 0; i < 32; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				e.Wait()
+			}()
+		}
+		e.Set()
+		ok := make(chan struct{})
+		go func() { wg.Wait(); close(ok) }()
+		select {
+		case <-ok:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%v: waiters stuck after Set", l)
+		}
+	}
+}
+
+func TestEventSetIdempotent(t *testing.T) {
+	for _, l := range bothLayers {
+		e := NewEvent(l)
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() { defer wg.Done(); e.Set() }()
+		}
+		wg.Wait()
+		if !e.IsSet() {
+			t.Fatalf("%v: not set after concurrent Set", l)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package rt
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// Lock is an OpenMP simple lock (omp_init_lock family). Setting a
+// simple lock twice from the same thread deadlocks in C; here the
+// misuse of unsetting an unheld lock is detected instead.
+type Lock struct {
+	mu   sync.Mutex
+	held bool
+	hmu  sync.Mutex
+}
+
+// Set acquires the lock (omp_set_lock).
+func (l *Lock) Set() {
+	l.mu.Lock()
+	l.hmu.Lock()
+	l.held = true
+	l.hmu.Unlock()
+}
+
+// Unset releases the lock (omp_unset_lock).
+func (l *Lock) Unset() error {
+	l.hmu.Lock()
+	held := l.held
+	l.held = false
+	l.hmu.Unlock()
+	if !held {
+		return &MisuseError{Construct: "lock", Msg: "unset of a lock that is not set"}
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// Test acquires the lock if it is available (omp_test_lock).
+func (l *Lock) Test() bool {
+	if l.mu.TryLock() {
+		l.hmu.Lock()
+		l.held = true
+		l.hmu.Unlock()
+		return true
+	}
+	return false
+}
+
+// NestLock is an OpenMP nestable lock: the owning context may set it
+// repeatedly; it is released when the count returns to zero.
+type NestLock struct {
+	mu    sync.Mutex
+	state sync.Mutex // guards owner/count
+	owner *Context
+	count int
+}
+
+// Set acquires the nestable lock for ctx (omp_set_nest_lock).
+func (n *NestLock) Set(ctx *Context) {
+	n.state.Lock()
+	if n.owner == ctx && n.count > 0 {
+		n.count++
+		n.state.Unlock()
+		return
+	}
+	n.state.Unlock()
+	n.mu.Lock()
+	n.state.Lock()
+	n.owner = ctx
+	n.count = 1
+	n.state.Unlock()
+}
+
+// Unset releases one nesting level (omp_unset_nest_lock).
+func (n *NestLock) Unset(ctx *Context) error {
+	n.state.Lock()
+	if n.owner != ctx || n.count == 0 {
+		n.state.Unlock()
+		return &MisuseError{Construct: "nest lock", Msg: "unset by a context that does not own the lock"}
+	}
+	n.count--
+	release := n.count == 0
+	if release {
+		n.owner = nil
+	}
+	n.state.Unlock()
+	if release {
+		n.mu.Unlock()
+	}
+	return nil
+}
+
+// Test acquires the nestable lock if available and returns the new
+// nesting count, or 0 if it is held elsewhere (omp_test_nest_lock).
+func (n *NestLock) Test(ctx *Context) int {
+	n.state.Lock()
+	if n.owner == ctx && n.count > 0 {
+		n.count++
+		c := n.count
+		n.state.Unlock()
+		return c
+	}
+	n.state.Unlock()
+	if !n.mu.TryLock() {
+		return 0
+	}
+	n.state.Lock()
+	n.owner = ctx
+	n.count = 1
+	n.state.Unlock()
+	return 1
+}
+
+// CriticalEnter acquires the named critical section. All critical
+// constructs with the same name (the empty name is the unnamed
+// critical) exclude each other across the whole runtime instance.
+func (r *Runtime) CriticalEnter(name string) {
+	r.criticalLock(name).Lock()
+}
+
+// CriticalExit releases the named critical section.
+func (r *Runtime) CriticalExit(name string) {
+	r.criticalLock(name).Unlock()
+}
+
+func (r *Runtime) criticalLock(name string) *sync.Mutex {
+	r.criticalMu.Lock()
+	m, ok := r.criticals[name]
+	if !ok {
+		m = &sync.Mutex{}
+		r.criticals[name] = m
+	}
+	r.criticalMu.Unlock()
+	return m
+}
+
+var atomicSeed = maphash.MakeSeed()
+
+// AtomicUpdate runs update under the lock striped for the given cell
+// identity, implementing the atomic construct for locations that
+// cannot be updated with hardware atomics (boxed interpreter values).
+// Distinct cells contend only on hash collisions.
+func (r *Runtime) AtomicUpdate(cellID uint64, update func()) {
+	var h maphash.Hash
+	h.SetSeed(atomicSeed)
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(cellID >> (8 * i))
+	}
+	h.Write(buf[:])
+	m := &r.atomicCells[h.Sum64()%uint64(len(r.atomicCells))]
+	m.Lock()
+	update()
+	m.Unlock()
+}

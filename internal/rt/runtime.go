@@ -1,0 +1,384 @@
+package rt
+
+import (
+	"sync"
+	"time"
+)
+
+// Runtime is one OpenMP runtime instance. OMP4Py instantiates the
+// same logic twice (pure-Python runtime and Cython cruntime); here a
+// Runtime is parameterized by its Layer instead. Instances are fully
+// independent: contexts from one runtime are treated as foreign
+// initial threads by another, exactly as in the paper.
+type Runtime struct {
+	layer Layer
+	icv   icvSet
+
+	criticalMu sync.Mutex
+	criticals  map[string]*sync.Mutex
+
+	// atomicCells stripes locks for the atomic construct; cells are
+	// selected by hashing the updated location's identity.
+	atomicCells [64]sync.Mutex
+
+	declRedMu sync.Mutex
+	declRed   map[string]*DeclaredReduction
+
+	epoch time.Time
+}
+
+// New returns a runtime using the given synchronization layer with
+// ICVs initialized from the OMP_* environment variables.
+func New(layer Layer) *Runtime {
+	return NewWithEnv(layer, nil)
+}
+
+// NewWithEnv is New with an explicit environment lookup (tests use a
+// fake; nil means os.Getenv).
+func NewWithEnv(layer Layer, getenv func(string) string) *Runtime {
+	r := &Runtime{
+		layer:     layer,
+		icv:       defaultICVs(),
+		criticals: make(map[string]*sync.Mutex),
+		declRed:   make(map[string]*DeclaredReduction),
+		epoch:     time.Now(),
+	}
+	r.icv.loadEnv(getenv)
+	return r
+}
+
+// Layer reports the synchronization layer of this runtime.
+func (r *Runtime) Layer() Layer { return r.layer }
+
+// Context is the per-thread OpenMP execution context: the task stack
+// of the paper's §III-C. CPython stores it in threading.local /
+// C thread_local storage; Go has no TLS, so contexts are threaded
+// explicitly through every runtime call.
+type Context struct {
+	rt     *Runtime
+	team   *Team
+	parent *Context // encountering thread's context, nil for initial threads
+	num    int      // thread number within the team
+
+	level       int // nesting depth of parallel regions (incl. serialized)
+	activeLevel int // nesting depth counting only teams with size > 1
+
+	curTask *task // innermost task (implicit or explicit)
+
+	wsIndex      int64 // worksharing constructs encountered in this region
+	wsDepth      int   // >0 while inside a worksharing construct body
+	barrierEpoch int64 // barriers passed in this region
+	curLoop      *LoopBounds
+}
+
+// NewContext creates the context for an initial thread: a thread that
+// exists outside any OpenMP-created team. It is implicitly part of a
+// single-thread parallel team consisting only of itself.
+func (r *Runtime) NewContext() *Context {
+	ctx := &Context{rt: r}
+	team := newTeam(r, nil, 1)
+	ctx.team = team
+	ctx.curTask = newTask(r.layer, nil, nil, false)
+	team.members[0] = ctx
+	return ctx
+}
+
+// Runtime returns the runtime that owns this context.
+func (c *Context) Runtime() *Runtime { return c.rt }
+
+// ThreadNum returns the thread number within the current team.
+func (c *Context) ThreadNum() int { return c.num }
+
+// TeamSize returns the size of the current team.
+func (c *Context) TeamSize() int { return c.team.size }
+
+// Team is a thread team created by a parallel directive.
+type Team struct {
+	rt    *Runtime
+	layer Layer
+	size  int
+
+	members []*Context
+
+	// wake is the team-wide wake-up channel used by barriers,
+	// taskwait, ordered sections and copyprivate. Wakers broadcast
+	// under the mutex so waiters cannot miss a state change.
+	wakeMu   sync.Mutex
+	wakeCond *sync.Cond
+
+	queue       taskQueue
+	outstanding Counter // explicit tasks submitted but not yet completed
+
+	arrivals Counter // monotonically increasing barrier arrival count
+
+	regions *regionTable
+
+	// broken is set when a team thread dies from a panic; barriers
+	// and waits abort instead of deadlocking on the missing thread.
+	broken Counter
+
+	taskErrMu sync.Mutex
+	taskErrs  []error
+}
+
+func newTeam(r *Runtime, master *Context, size int) *Team {
+	t := &Team{
+		rt:          r,
+		layer:       r.layer,
+		size:        size,
+		members:     make([]*Context, size),
+		queue:       newTaskQueue(r.layer),
+		outstanding: NewCounter(r.layer),
+		arrivals:    NewCounter(r.layer),
+		regions:     newRegionTable(r.layer),
+		broken:      NewCounter(r.layer),
+	}
+	t.wakeCond = sync.NewCond(&t.wakeMu)
+	_ = master
+	return t
+}
+
+// wakeAll wakes every thread blocked on the team (barrier, taskwait,
+// ordered, copyprivate). Broadcasting under the mutex pairs with
+// waitFor's check-then-wait so no wake-up is lost.
+func (t *Team) wakeAll() {
+	t.wakeMu.Lock()
+	t.wakeCond.Broadcast()
+	t.wakeMu.Unlock()
+}
+
+// waitFor blocks until pred() holds. pred must be monotonic with
+// respect to the wake events (every state change that can make it
+// true is followed by wakeAll).
+func (t *Team) waitFor(pred func() bool) {
+	t.wakeMu.Lock()
+	for !pred() {
+		t.wakeCond.Wait()
+	}
+	t.wakeMu.Unlock()
+}
+
+// ParallelOpts carries the clauses of a parallel directive that the
+// runtime itself consumes.
+type ParallelOpts struct {
+	// NumThreads is the num_threads clause; 0 means the nthreads ICV.
+	NumThreads int
+	// If is the value of the if clause; it only applies when IfSet.
+	If    bool
+	IfSet bool
+}
+
+// Parallel executes body on a new thread team, implementing the
+// parallel directive. The encountering thread becomes thread 0 of the
+// new team (the master); the remaining team members run on fresh
+// goroutines. An implicit task-draining barrier joins the team.
+//
+// Errors returned by body do not cross the region boundary on their
+// own thread (the OpenMP rule); they are collected and returned as a
+// single error from Parallel on the encountering thread. Panics in
+// team threads are recovered and reported the same way.
+func (r *Runtime) Parallel(ctx *Context, opts ParallelOpts, body func(*Context) error) error {
+	if ctx.rt != r {
+		return &MisuseError{Construct: "parallel", Msg: "context belongs to a different runtime"}
+	}
+	if ctx.wsDepth > 0 {
+		return &MisuseError{Construct: "parallel",
+			Msg: "parallel region may not be closely nested inside a worksharing construct without enclosing parallel"}
+	}
+	n := r.resolveTeamSize(ctx, opts)
+	team := newTeam(r, ctx, n)
+
+	errs := make([]error, n)
+	panics := make(map[int]any)
+	var panicMu sync.Mutex
+
+	run := func(member *Context) {
+		defer func() {
+			if p := recover(); p != nil {
+				panicMu.Lock()
+				panics[member.num] = p
+				panicMu.Unlock()
+				// Mark the team broken so surviving threads abandon
+				// barriers instead of waiting for the dead thread.
+				team.broken.Store(1)
+				team.wakeAll()
+			}
+		}()
+		errs[member.num] = body(member)
+		if errs[member.num] != nil {
+			// An error escaping the region body means this thread
+			// abandons its remaining synchronization points (the
+			// OpenMP rule is that exceptions must be handled inside
+			// the region); mark the team broken so peers blocked on
+			// this thread — barriers, copyprivate — abort instead of
+			// deadlocking.
+			team.broken.Store(1)
+			team.wakeAll()
+		}
+		// Implicit barrier at region end: drains outstanding tasks.
+		// Barrier aborts caused by another thread's failure are not
+		// recorded: the causing thread already carries the error.
+		if err := team.Barrier(member); err != nil && errs[member.num] == nil &&
+			team.broken.Load() == 0 {
+			errs[member.num] = err
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		member := &Context{
+			rt:          r,
+			team:        team,
+			parent:      ctx,
+			num:         i,
+			level:       ctx.level + 1,
+			activeLevel: ctx.activeLevel,
+		}
+		if n > 1 {
+			member.activeLevel++
+		}
+		member.curTask = newTask(r.layer, nil, nil, false)
+		team.members[i] = member
+		if i == 0 {
+			continue // master runs on the encountering goroutine
+		}
+		wg.Add(1)
+		go func(m *Context) {
+			defer wg.Done()
+			run(m)
+		}(member)
+	}
+	run(team.members[0])
+	wg.Wait()
+
+	if len(panics) > 0 {
+		return &TeamPanic{Panics: panics}
+	}
+	errs = append(errs, team.takeTaskErrors()...)
+	return joinErrors(errs)
+}
+
+func joinErrors(errs []error) error {
+	// Broken-team aborts are consequences, not causes: a thread that
+	// bailed out of a barrier because another thread failed should
+	// not mask that thread's actual error.
+	var first error
+	total := 0
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		total++
+		if _, secondary := e.(*brokenAbort); secondary {
+			continue
+		}
+		if first == nil {
+			first = e
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	if first == nil {
+		// Every error is a broken abort (e.g. the causing thread
+		// panicked and is reported separately).
+		for _, e := range errs {
+			if e != nil {
+				first = e
+				break
+			}
+		}
+	}
+	if total > 1 {
+		return &teamError{first: first, extra: total - 1}
+	}
+	return first
+}
+
+type teamError struct {
+	first error
+	extra int
+}
+
+func (e *teamError) Error() string {
+	return e.first.Error() + " (and " + itoa(e.extra) + " more team thread error(s))"
+}
+
+func (e *teamError) Unwrap() error { return e.first }
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func (r *Runtime) resolveTeamSize(ctx *Context, opts ParallelOpts) int {
+	r.icv.mu.Lock()
+	n := r.icv.numThreads
+	nested := r.icv.nested
+	maxActive := r.icv.maxActiveLevels
+	limit := r.icv.threadLimit
+	r.icv.mu.Unlock()
+
+	if opts.NumThreads > 0 {
+		n = opts.NumThreads
+	}
+	if opts.IfSet && !opts.If {
+		n = 1
+	}
+	if ctx.activeLevel >= 1 && !nested {
+		n = 1 // nested region serialized unless omp_set_nested(true)
+	}
+	if ctx.activeLevel >= maxActive {
+		n = 1
+	}
+	if n > limit {
+		n = limit
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Barrier implements the barrier construct: every thread of the team
+// waits until all have arrived, consuming pending explicit tasks
+// while waiting (§III-E of the paper). All explicit tasks generated
+// in the region complete before any thread leaves.
+func (t *Team) Barrier(ctx *Context) error {
+	if ctx.wsDepth > 0 {
+		return &MisuseError{Construct: "barrier",
+			Msg: "barrier may not appear inside a worksharing construct body"}
+	}
+	ctx.barrierEpoch++
+	target := ctx.barrierEpoch * int64(t.size)
+	t.arrivals.Add(1)
+	t.wakeAll()
+	for {
+		if tk := t.queue.take(); tk != nil {
+			t.runTask(ctx, tk)
+			continue
+		}
+		if t.broken.Load() != 0 {
+			return newBrokenAbort("barrier")
+		}
+		if t.arrivals.Load() >= target && t.outstanding.Load() == 0 {
+			return nil
+		}
+		t.waitFor(func() bool {
+			return t.queue.hasRunnable() || t.broken.Load() != 0 ||
+				(t.arrivals.Load() >= target && t.outstanding.Load() == 0)
+		})
+	}
+}
+
+// Barrier is the context-level entry point for the barrier directive.
+func (c *Context) Barrier() error { return c.team.Barrier(c) }

@@ -1,0 +1,326 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func newTestRuntime(l Layer) *Runtime {
+	// Empty environment: tests control ICVs explicitly.
+	return NewWithEnv(l, func(string) string { return "" })
+}
+
+func TestParallelRunsAllThreads(t *testing.T) {
+	for _, l := range bothLayers {
+		r := newTestRuntime(l)
+		ctx := r.NewContext()
+		var seen sync.Map
+		err := r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+			seen.Store(c.GetThreadNum(), true)
+			if c.GetNumThreads() != 4 {
+				t.Errorf("team size = %d", c.GetNumThreads())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+		for i := 0; i < 4; i++ {
+			if _, ok := seen.Load(i); !ok {
+				t.Fatalf("%v: thread %d never ran", l, i)
+			}
+		}
+	}
+}
+
+func TestParallelMasterIsEncounteringGoroutine(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	var masterRan atomic.Bool
+	marker := make(chan int, 8)
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 3}, func(c *Context) error {
+		if c.Master() {
+			masterRan.Store(true)
+			if c.GetThreadNum() != 0 {
+				t.Errorf("master thread num = %d", c.GetThreadNum())
+			}
+		}
+		marker <- c.GetThreadNum()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !masterRan.Load() {
+		t.Fatal("master did not execute")
+	}
+	if len(marker) != 3 {
+		t.Fatalf("%d threads ran, want 3", len(marker))
+	}
+}
+
+func TestParallelDefaultsToICV(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	r.SetNumThreads(5)
+	ctx := r.NewContext()
+	var size atomic.Int64
+	if err := r.Parallel(ctx, ParallelOpts{}, func(c *Context) error {
+		size.Store(int64(c.GetNumThreads()))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if size.Load() != 5 {
+		t.Fatalf("team size = %d, want 5", size.Load())
+	}
+}
+
+func TestParallelIfFalseSerializes(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	ran := 0
+	if err := r.Parallel(ctx, ParallelOpts{NumThreads: 8, If: false, IfSet: true},
+		func(c *Context) error {
+			ran++
+			if c.GetNumThreads() != 1 {
+				t.Errorf("if(false) team size = %d", c.GetNumThreads())
+			}
+			if c.InParallel() {
+				t.Error("if(false) region reports in-parallel")
+			}
+			return nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("body ran %d times", ran)
+	}
+}
+
+func TestNestedParallelSerializedByDefault(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 2}, func(outer *Context) error {
+		return r.Parallel(outer, ParallelOpts{NumThreads: 4}, func(inner *Context) error {
+			if inner.GetNumThreads() != 1 {
+				t.Errorf("nested team size = %d, want 1 (nesting disabled)", inner.GetNumThreads())
+			}
+			if inner.GetLevel() != 2 {
+				t.Errorf("nested level = %d, want 2", inner.GetLevel())
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedParallelEnabled(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	r.SetNested(true)
+	ctx := r.NewContext()
+	var innerTotal atomic.Int64
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 2}, func(outer *Context) error {
+		return r.Parallel(outer, ParallelOpts{NumThreads: 3}, func(inner *Context) error {
+			innerTotal.Add(1)
+			if inner.GetNumThreads() != 3 {
+				t.Errorf("nested team size = %d, want 3", inner.GetNumThreads())
+			}
+			if inner.GetActiveLevel() != 2 {
+				t.Errorf("active level = %d, want 2", inner.GetActiveLevel())
+			}
+			if got := inner.GetAncestorThreadNum(1); got != outer.GetThreadNum() {
+				t.Errorf("ancestor(1) = %d, want %d", got, outer.GetThreadNum())
+			}
+			if got := inner.GetTeamSize(1); got != 2 {
+				t.Errorf("team size at level 1 = %d, want 2", got)
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if innerTotal.Load() != 6 {
+		t.Fatalf("inner bodies ran %d times, want 6", innerTotal.Load())
+	}
+}
+
+func TestMaxActiveLevelsCapsNesting(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	r.SetNested(true)
+	r.SetMaxActiveLevels(1)
+	ctx := r.NewContext()
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 2}, func(outer *Context) error {
+		return r.Parallel(outer, ParallelOpts{NumThreads: 4}, func(inner *Context) error {
+			if inner.GetNumThreads() != 1 {
+				t.Errorf("nested team size = %d, want 1 (max active levels)", inner.GetNumThreads())
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelCollectsBodyErrors(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	boom := errors.New("boom")
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+		if c.GetThreadNum()%2 == 1 {
+			return fmt.Errorf("thread %d: %w", c.GetThreadNum(), boom)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap boom", err)
+	}
+}
+
+func TestParallelRecoversPanics(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+		if c.GetThreadNum() == 2 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	var tp *TeamPanic
+	if !errors.As(err, &tp) {
+		t.Fatalf("error = %v, want TeamPanic", err)
+	}
+	if _, ok := tp.Panics[2]; !ok {
+		t.Fatalf("panic map %v missing thread 2", tp.Panics)
+	}
+}
+
+func TestPanicDoesNotDeadlockBarrier(t *testing.T) {
+	// One thread panics before an explicit barrier the others reach:
+	// survivors must abandon the barrier, not hang.
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+		if c.GetThreadNum() == 0 {
+			panic("early death")
+		}
+		return c.Barrier()
+	})
+	var tp *TeamPanic
+	if !errors.As(err, &tp) {
+		t.Fatalf("error = %v, want TeamPanic", err)
+	}
+}
+
+func TestExplicitBarrierSynchronizes(t *testing.T) {
+	for _, l := range bothLayers {
+		r := newTestRuntime(l)
+		ctx := r.NewContext()
+		const n = 8
+		phase1 := make([]int, n)
+		err := r.Parallel(ctx, ParallelOpts{NumThreads: n}, func(c *Context) error {
+			phase1[c.GetThreadNum()] = 1
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			// After the barrier every phase-1 write must be visible.
+			for i, v := range phase1 {
+				if v != 1 {
+					t.Errorf("%v: thread %d missing phase-1 write of %d", l, c.GetThreadNum(), i)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+	}
+}
+
+func TestManyBarriersInSequence(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	const n = 4
+	const rounds = 200
+	counter := NewCounter(LayerAtomic)
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: n}, func(c *Context) error {
+		for round := 1; round <= rounds; round++ {
+			counter.Add(1)
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if got := counter.Load(); got != int64(round*n) {
+				return fmt.Errorf("round %d: counter %d, want %d", round, got, round*n)
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOnSingleThreadTeam(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	if err := ctx.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContextFromDifferentRuntimeRejected(t *testing.T) {
+	r1 := newTestRuntime(LayerAtomic)
+	r2 := newTestRuntime(LayerMutex)
+	ctx := r1.NewContext()
+	err := r2.Parallel(ctx, ParallelOpts{NumThreads: 2}, func(c *Context) error { return nil })
+	var me *MisuseError
+	if !errors.As(err, &me) {
+		t.Fatalf("error = %v, want MisuseError", err)
+	}
+}
+
+func TestInitialThreadContext(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	if ctx.GetNumThreads() != 1 || ctx.GetThreadNum() != 0 {
+		t.Fatalf("initial context: size=%d num=%d", ctx.GetNumThreads(), ctx.GetThreadNum())
+	}
+	if ctx.InParallel() {
+		t.Fatal("initial thread reports in-parallel")
+	}
+	if ctx.GetLevel() != 0 || ctx.GetActiveLevel() != 0 {
+		t.Fatalf("initial levels: %d/%d", ctx.GetLevel(), ctx.GetActiveLevel())
+	}
+}
+
+func TestThreadLimitCapsTeam(t *testing.T) {
+	r := NewWithEnv(LayerAtomic, func(k string) string {
+		if k == "OMP_THREAD_LIMIT" {
+			return "3"
+		}
+		return ""
+	})
+	ctx := r.NewContext()
+	var size atomic.Int64
+	if err := r.Parallel(ctx, ParallelOpts{NumThreads: 16}, func(c *Context) error {
+		size.Store(int64(c.GetNumThreads()))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if size.Load() != 3 {
+		t.Fatalf("team size = %d, want 3", size.Load())
+	}
+}

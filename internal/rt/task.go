@@ -1,0 +1,284 @@
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Task states, as in the paper: free, in-progress, completed.
+const (
+	taskFree int64 = iota
+	taskInProgress
+	taskDone
+)
+
+// task is one node of the shared task queue. The queue is a linked
+// list whose nodes carry the execution state, a completion event, the
+// task function, and the next-reference (§III-E).
+type task struct {
+	fn       func(*Context) error
+	state    Counter
+	done     Event
+	parent   *task
+	children Counter // outstanding direct children (for taskwait)
+	explicit bool
+	final    bool
+	next     atomic.Pointer[task]
+	err      error
+}
+
+func newTask(l Layer, fn func(*Context) error, parent *task, explicit bool) *task {
+	return &task{
+		fn:       fn,
+		state:    NewCounter(l),
+		done:     NewEvent(l),
+		parent:   parent,
+		children: NewCounter(l),
+		explicit: explicit,
+	}
+}
+
+// taskQueue is the shared team queue. Enqueueing updates the tail's
+// next-reference: the mutex implementation locks around the update
+// (Python runtime), the atomic one uses compare_exchange (cruntime).
+type taskQueue interface {
+	submit(*task)
+	// take claims a free task (marking it in-progress) or returns nil.
+	take() *task
+	// hasRunnable reports whether a free task is visible.
+	hasRunnable() bool
+}
+
+func newTaskQueue(l Layer) taskQueue {
+	if l == LayerAtomic {
+		q := &atomicTaskQueue{}
+		sentinel := &task{state: NewCounter(l)}
+		sentinel.state.Store(taskDone)
+		q.head.Store(sentinel)
+		q.tail.Store(sentinel)
+		return q
+	}
+	return &mutexTaskQueue{}
+}
+
+// mutexTaskQueue is the Python-runtime flavour: one mutex guards both
+// the tail update on submit and the scan on take.
+type mutexTaskQueue struct {
+	mu         sync.Mutex
+	head, tail *task
+}
+
+func (q *mutexTaskQueue) submit(t *task) {
+	q.mu.Lock()
+	if q.tail == nil {
+		q.head, q.tail = t, t
+	} else {
+		q.tail.next.Store(t)
+		q.tail = t
+	}
+	q.mu.Unlock()
+}
+
+func (q *mutexTaskQueue) take() *task {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	// Drop the completed prefix, then claim the first free node.
+	for q.head != nil && q.head.state.Load() == taskDone {
+		q.head = q.head.next.Load()
+	}
+	if q.head == nil {
+		q.tail = nil
+	}
+	for n := q.head; n != nil; n = n.next.Load() {
+		if n.state.CompareAndSwap(taskFree, taskInProgress) {
+			return n
+		}
+	}
+	return nil
+}
+
+func (q *mutexTaskQueue) hasRunnable() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for n := q.head; n != nil; n = n.next.Load() {
+		if n.state.Load() == taskFree {
+			return true
+		}
+	}
+	return false
+}
+
+// atomicTaskQueue is the cruntime flavour: enqueue installs the
+// next-reference with compare_exchange, and consumers advance the
+// head hint past completed nodes without locking.
+type atomicTaskQueue struct {
+	head atomic.Pointer[task]
+	tail atomic.Pointer[task]
+}
+
+func (q *atomicTaskQueue) submit(t *task) {
+	for {
+		tl := q.tail.Load()
+		if tl.next.CompareAndSwap(nil, t) {
+			q.tail.CompareAndSwap(tl, t)
+			return
+		}
+		// Help a stalled enqueuer move the tail forward.
+		q.tail.CompareAndSwap(tl, tl.next.Load())
+	}
+}
+
+func (q *atomicTaskQueue) take() *task {
+	// Advance the head hint past completed nodes (nodes are never
+	// recycled, so racing advances are safe under GC).
+	for {
+		h := q.head.Load()
+		n := h.next.Load()
+		if n == nil || n.state.Load() != taskDone {
+			break
+		}
+		q.head.CompareAndSwap(h, n)
+	}
+	for n := q.head.Load().next.Load(); n != nil; n = n.next.Load() {
+		if n.state.CompareAndSwap(taskFree, taskInProgress) {
+			return n
+		}
+	}
+	return nil
+}
+
+func (q *atomicTaskQueue) hasRunnable() bool {
+	for n := q.head.Load().next.Load(); n != nil; n = n.next.Load() {
+		if n.state.Load() == taskFree {
+			return true
+		}
+	}
+	return false
+}
+
+// TaskOpts carries the task directive clauses the runtime consumes.
+type TaskOpts struct {
+	// If false (with IfSet), the task is undeferred: the encountering
+	// thread suspends and executes it immediately.
+	If    bool
+	IfSet bool
+	// Final makes every descendant task included (executed inline).
+	Final    bool
+	FinalSet bool
+}
+
+// SubmitTask implements the task directive: fn is packaged with its
+// context into a task object and placed on the team's shared queue,
+// unless the if clause (or an enclosing final task) forces immediate
+// execution on the encountering thread.
+func (c *Context) SubmitTask(opts TaskOpts, fn func(*Context) error) error {
+	t := c.team
+	// The if clause makes the task undeferred; descendants of a
+	// final task are included (executed immediately) as well.
+	undeferred := (opts.IfSet && !opts.If) || c.inFinal()
+	tk := newTask(t.layer, fn, c.curTask, true)
+	if opts.FinalSet && opts.Final {
+		tk.final = true
+	}
+	if undeferred {
+		tk.state.Store(taskInProgress)
+		c.curTask.children.Add(1)
+		t.runClaimed(c, tk)
+		return tk.err
+	}
+	c.curTask.children.Add(1)
+	t.outstanding.Add(1)
+	t.queue.submit(tk)
+	// Threads waiting at a barrier are reawakened to consume newly
+	// submitted work (§III-E).
+	t.wakeAll()
+	return nil
+}
+
+func (c *Context) inFinal() bool {
+	for tk := c.curTask; tk != nil; tk = tk.parent {
+		if tk.final {
+			return true
+		}
+	}
+	return false
+}
+
+// runTask executes a queue-claimed task on this thread.
+func (t *Team) runTask(ctx *Context, tk *task) {
+	t.runClaimed(ctx, tk)
+	t.outstanding.Add(-1)
+	t.wakeAll()
+}
+
+// runClaimed runs a task already marked in-progress, pushing it onto
+// the thread's context stack for the duration.
+func (t *Team) runClaimed(ctx *Context, tk *task) {
+	prevTask := ctx.curTask
+	prevWS := ctx.wsDepth
+	prevLoop := ctx.curLoop
+	ctx.curTask = tk
+	ctx.wsDepth = 0
+	ctx.curLoop = nil
+	defer func() {
+		if p := recover(); p != nil {
+			tk.err = fmt.Errorf("panic in task: %v", p)
+			t.recordTaskError(tk.err)
+		}
+		ctx.curTask = prevTask
+		ctx.wsDepth = prevWS
+		ctx.curLoop = prevLoop
+		tk.state.Store(taskDone)
+		tk.done.Set()
+		if tk.parent != nil {
+			tk.parent.children.Add(-1)
+		}
+		t.wakeAll()
+	}()
+	if tk.fn != nil {
+		tk.err = tk.fn(ctx)
+		if tk.err != nil {
+			t.recordTaskError(tk.err)
+		}
+	}
+}
+
+// TaskWait implements the taskwait directive: the current task waits
+// for the completion of its direct children, executing queued tasks
+// while it waits instead of blocking idle.
+func (c *Context) TaskWait() error {
+	t := c.team
+	cur := c.curTask
+	for cur.children.Load() > 0 {
+		if tk := t.queue.take(); tk != nil {
+			t.runTask(c, tk)
+			continue
+		}
+		if t.broken.Load() != 0 {
+			return newBrokenAbort("taskwait")
+		}
+		t.waitFor(func() bool {
+			return cur.children.Load() == 0 || t.queue.hasRunnable() || t.broken.Load() != 0
+		})
+	}
+	return nil
+}
+
+// recordTaskError keeps the first few task errors for reporting at
+// the region join.
+func (t *Team) recordTaskError(err error) {
+	t.taskErrMu.Lock()
+	if len(t.taskErrs) < 16 {
+		t.taskErrs = append(t.taskErrs, err)
+	}
+	t.taskErrMu.Unlock()
+}
+
+func (t *Team) takeTaskErrors() []error {
+	t.taskErrMu.Lock()
+	errs := t.taskErrs
+	t.taskErrs = nil
+	t.taskErrMu.Unlock()
+	return errs
+}

@@ -1,0 +1,450 @@
+package rt
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTasksRunToCompletionAtBarrier(t *testing.T) {
+	for _, l := range bothLayers {
+		r := newTestRuntime(l)
+		ctx := r.NewContext()
+		const nTasks = 100
+		done := NewCounter(LayerAtomic)
+		err := r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+			s, err := c.SingleBegin(false, false)
+			if err != nil {
+				return err
+			}
+			if s.Executes() {
+				for i := 0; i < nTasks; i++ {
+					if err := c.SubmitTask(TaskOpts{}, func(*Context) error {
+						done.Add(1)
+						return nil
+					}); err != nil {
+						return err
+					}
+				}
+			}
+			_, err = s.End() // implicit barrier drains the queue
+			if err != nil {
+				return err
+			}
+			if got := done.Load(); got != nTasks {
+				t.Errorf("%v: after barrier %d tasks done, want %d", l, got, nTasks)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+		if done.Load() != nTasks {
+			t.Fatalf("%v: %d tasks done, want %d", l, done.Load(), nTasks)
+		}
+	}
+}
+
+func TestTasksAreExecutedByMultipleThreads(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	// Every task blocks until two distinct threads have started
+	// executing tasks, forcing the work to spread over the team.
+	var mu sync.Mutex
+	distinct := make(map[int]bool)
+	gate := make(chan struct{})
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+		s, err := c.SingleBegin(false, false)
+		if err != nil {
+			return err
+		}
+		if s.Executes() {
+			for i := 0; i < 64; i++ {
+				if err := c.SubmitTask(TaskOpts{}, func(tc *Context) error {
+					mu.Lock()
+					if !distinct[tc.GetThreadNum()] {
+						distinct[tc.GetThreadNum()] = true
+						if len(distinct) == 2 {
+							close(gate)
+						}
+					}
+					mu.Unlock()
+					<-gate
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		_, err = s.End()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	n := len(distinct)
+	mu.Unlock()
+	if n < 2 {
+		t.Fatalf("tasks executed by %d distinct threads, want >= 2", n)
+	}
+}
+
+func TestTaskWaitWaitsForDirectChildren(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+		s, err := c.SingleBegin(false, false)
+		if err != nil {
+			return err
+		}
+		if s.Executes() {
+			var child1, child2 atomic.Bool
+			if err := c.SubmitTask(TaskOpts{}, func(*Context) error {
+				child1.Store(true)
+				return nil
+			}); err != nil {
+				return err
+			}
+			if err := c.SubmitTask(TaskOpts{}, func(*Context) error {
+				child2.Store(true)
+				return nil
+			}); err != nil {
+				return err
+			}
+			if err := c.TaskWait(); err != nil {
+				return err
+			}
+			if !child1.Load() || !child2.Load() {
+				t.Error("taskwait returned before direct children completed")
+			}
+		}
+		_, err = s.End()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fib computes Fibonacci numbers with nested tasks and taskwait —
+// the paper's Fig. 4 pattern.
+func fib(c *Context, n int64) (int64, error) {
+	if n <= 1 {
+		return n, nil
+	}
+	var f1, f2 int64
+	var err1, err2 error
+	// The if clause serializes small subproblems (task if).
+	opts := TaskOpts{If: n > 8, IfSet: true}
+	if err := c.SubmitTask(opts, func(tc *Context) error {
+		f1, err1 = fib(tc, n-1)
+		return err1
+	}); err != nil {
+		return 0, err
+	}
+	if err := c.SubmitTask(opts, func(tc *Context) error {
+		f2, err2 = fib(tc, n-2)
+		return err2
+	}); err != nil {
+		return 0, err
+	}
+	if err := c.TaskWait(); err != nil {
+		return 0, err
+	}
+	if err1 != nil {
+		return 0, err1
+	}
+	if err2 != nil {
+		return 0, err2
+	}
+	return f1 + f2, nil
+}
+
+func TestFibonacciWithNestedTasks(t *testing.T) {
+	for _, l := range bothLayers {
+		r := newTestRuntime(l)
+		ctx := r.NewContext()
+		var result int64
+		err := r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+			s, err := c.SingleBegin(false, false)
+			if err != nil {
+				return err
+			}
+			if s.Executes() {
+				result, err = fib(c, 20)
+				if err != nil {
+					return err
+				}
+			}
+			_, err = s.End()
+			return err
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+		if result != 6765 {
+			t.Fatalf("%v: fib(20) = %d, want 6765", l, result)
+		}
+	}
+}
+
+func TestTaskIfFalseRunsImmediately(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 2}, func(c *Context) error {
+		if !c.Master() {
+			return nil
+		}
+		var ranOn int = -1
+		var before, after int
+		before = 1
+		if err := c.SubmitTask(TaskOpts{If: false, IfSet: true}, func(tc *Context) error {
+			ranOn = tc.GetThreadNum()
+			if before != 1 || after != 0 {
+				t.Error("undeferred task did not run synchronously")
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		after = 1
+		if ranOn != c.GetThreadNum() {
+			t.Errorf("undeferred task ran on thread %d, want %d", ranOn, c.GetThreadNum())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFinalTaskMakesDescendantsIncluded(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 2}, func(c *Context) error {
+		s, err := c.SingleBegin(false, false)
+		if err != nil {
+			return err
+		}
+		if s.Executes() {
+			outer := c.GetThreadNum()
+			if err := c.SubmitTask(TaskOpts{Final: true, FinalSet: true, If: false, IfSet: true},
+				func(tc *Context) error {
+					// Descendant of a final task: must execute inline.
+					inner := -1
+					if err := tc.SubmitTask(TaskOpts{}, func(tc2 *Context) error {
+						inner = tc2.GetThreadNum()
+						return nil
+					}); err != nil {
+						return err
+					}
+					if inner != outer {
+						t.Errorf("descendant of final ran on %d, want inline on %d", inner, outer)
+					}
+					return nil
+				}); err != nil {
+				return err
+			}
+		}
+		_, err = s.End()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaskErrorSurfacesAtJoin(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	boom := errors.New("task boom")
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 2}, func(c *Context) error {
+		s, err := c.SingleBegin(false, false)
+		if err != nil {
+			return err
+		}
+		if s.Executes() {
+			if err := c.SubmitTask(TaskOpts{}, func(*Context) error { return boom }); err != nil {
+				return err
+			}
+		}
+		_, err = s.End()
+		return err
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("join error = %v, want to wrap task error", err)
+	}
+}
+
+func TestTaskPanicIsContained(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 2}, func(c *Context) error {
+		s, err := c.SingleBegin(false, false)
+		if err != nil {
+			return err
+		}
+		if s.Executes() {
+			if err := c.SubmitTask(TaskOpts{}, func(*Context) error { panic("inside task") }); err != nil {
+				return err
+			}
+		}
+		_, err = s.End()
+		return err
+	})
+	if err == nil {
+		t.Fatal("expected an error from the panicking task")
+	}
+}
+
+func TestTasksOnInitialThreadContext(t *testing.T) {
+	// Tasks submitted outside any parallel region run on the implicit
+	// single-thread team.
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	ran := false
+	if err := ctx.SubmitTask(TaskOpts{}, func(*Context) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.TaskWait(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("task never ran")
+	}
+}
+
+func TestDeepTaskRecursionQsortPattern(t *testing.T) {
+	// A divide-and-conquer sort via tasks: validates heavy queue churn.
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	const n = 2000
+	data := make([]int, n)
+	for i := range data {
+		data[i] = (i * 7919) % n
+	}
+	var qsort func(c *Context, lo, hi int) error
+	qsort = func(c *Context, lo, hi int) error {
+		if hi-lo < 2 {
+			return nil
+		}
+		p := data[(lo+hi)/2]
+		i, j := lo, hi-1
+		for i <= j {
+			for data[i] < p {
+				i++
+			}
+			for data[j] > p {
+				j--
+			}
+			if i <= j {
+				data[i], data[j] = data[j], data[i]
+				i++
+				j--
+			}
+		}
+		opts := TaskOpts{If: hi-lo > 64, IfSet: true}
+		if err := c.SubmitTask(opts, func(tc *Context) error { return qsort(tc, lo, j+1) }); err != nil {
+			return err
+		}
+		if err := c.SubmitTask(opts, func(tc *Context) error { return qsort(tc, i, hi) }); err != nil {
+			return err
+		}
+		return c.TaskWait()
+	}
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+		s, err := c.SingleBegin(false, false)
+		if err != nil {
+			return err
+		}
+		if s.Executes() {
+			if err := qsort(c, 0, n); err != nil {
+				return err
+			}
+		}
+		_, err = s.End()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if data[i-1] > data[i] {
+			t.Fatalf("not sorted at %d: %d > %d", i, data[i-1], data[i])
+		}
+	}
+}
+
+func TestTaskQueueDirect(t *testing.T) {
+	for _, l := range bothLayers {
+		q := newTaskQueue(l)
+		if q.hasRunnable() {
+			t.Fatalf("%v: empty queue has runnable", l)
+		}
+		if q.take() != nil {
+			t.Fatalf("%v: take on empty queue", l)
+		}
+		t1 := newTask(l, nil, nil, true)
+		t2 := newTask(l, nil, nil, true)
+		q.submit(t1)
+		q.submit(t2)
+		if !q.hasRunnable() {
+			t.Fatalf("%v: queue should have runnable tasks", l)
+		}
+		a := q.take()
+		b := q.take()
+		if a == nil || b == nil || a == b {
+			t.Fatalf("%v: take returned %v, %v", l, a, b)
+		}
+		if q.take() != nil {
+			t.Fatalf("%v: queue should be drained", l)
+		}
+		a.state.Store(taskDone)
+		b.state.Store(taskDone)
+		t3 := newTask(l, nil, nil, true)
+		q.submit(t3)
+		if got := q.take(); got != t3 {
+			t.Fatalf("%v: expected t3 after completed prefix", l)
+		}
+	}
+}
+
+func TestTaskQueueConcurrent(t *testing.T) {
+	for _, l := range bothLayers {
+		q := newTaskQueue(l)
+		const producers = 4
+		const perProducer = 500
+		taken := NewCounter(LayerAtomic)
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perProducer; i++ {
+					q.submit(newTask(l, nil, nil, true))
+				}
+			}()
+		}
+		for cns := 0; cns < 4; cns++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for taken.Load() < producers*perProducer {
+					if tk := q.take(); tk != nil {
+						tk.state.Store(taskDone)
+						taken.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if taken.Load() != producers*perProducer {
+			t.Fatalf("%v: took %d tasks, want %d", l, taken.Load(), producers*perProducer)
+		}
+		if q.take() != nil {
+			t.Fatalf("%v: residual task in queue", l)
+		}
+	}
+}

@@ -1,0 +1,715 @@
+package rt
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/omp4go/omp4go/internal/directive"
+)
+
+// runLoop executes a parallel for over the triplets and records every
+// claimed loop-variable value; it returns per-value visit counts.
+func runLoop(t *testing.T, l Layer, threads int, opts ForOpts, trip Triplet) map[int64]int {
+	t.Helper()
+	r := newTestRuntime(l)
+	ctx := r.NewContext()
+	var mu sync.Mutex
+	visits := make(map[int64]int)
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: threads}, func(c *Context) error {
+		b := ForBounds(trip)
+		if err := c.ForInit(b, opts); err != nil {
+			return err
+		}
+		for b.ForNext() {
+			local := make([]int64, 0, b.Hi-b.Lo)
+			for v := b.LoValue(); differentSign(trip.Step, v, b.HiValue()); v += trip.Step {
+				local = append(local, v)
+			}
+			mu.Lock()
+			for _, v := range local {
+				visits[v]++
+			}
+			mu.Unlock()
+		}
+		return c.ForEnd(b)
+	})
+	if err != nil {
+		t.Fatalf("loop failed: %v", err)
+	}
+	return visits
+}
+
+// differentSign reports v < hi for positive step and v > hi for
+// negative step.
+func differentSign(step, v, hi int64) bool {
+	if step > 0 {
+		return v < hi
+	}
+	return v > hi
+}
+
+func expectExactCoverage(t *testing.T, visits map[int64]int, trip Triplet) {
+	t.Helper()
+	want := make(map[int64]bool)
+	if trip.Step > 0 {
+		for v := trip.Start; v < trip.End; v += trip.Step {
+			want[v] = true
+		}
+	} else if trip.Step < 0 {
+		for v := trip.Start; v > trip.End; v += trip.Step {
+			want[v] = true
+		}
+	}
+	if len(visits) != len(want) {
+		t.Fatalf("visited %d values, want %d", len(visits), len(want))
+	}
+	for v := range want {
+		if visits[v] != 1 {
+			t.Fatalf("value %d visited %d times", v, visits[v])
+		}
+	}
+}
+
+func TestForSchedulesCoverEveryIterationOnce(t *testing.T) {
+	trip := Triplet{Start: 0, End: 1000, Step: 1}
+	cases := []ForOpts{
+		{}, // default static
+		{Sched: Schedule{Kind: directive.ScheduleStatic, Chunk: 7}, SchedSet: true},
+		{Sched: Schedule{Kind: directive.ScheduleDynamic, Chunk: 13}, SchedSet: true},
+		{Sched: Schedule{Kind: directive.ScheduleDynamic}, SchedSet: true},
+		{Sched: Schedule{Kind: directive.ScheduleGuided, Chunk: 4}, SchedSet: true},
+		{Sched: Schedule{Kind: directive.ScheduleGuided}, SchedSet: true},
+		{Sched: Schedule{Kind: directive.ScheduleAuto}, SchedSet: true},
+		{Sched: Schedule{Kind: directive.ScheduleRuntime}, SchedSet: true},
+	}
+	for _, l := range bothLayers {
+		for _, opts := range cases {
+			for _, threads := range []int{1, 3, 8} {
+				visits := runLoop(t, l, threads, opts, trip)
+				expectExactCoverage(t, visits, trip)
+			}
+		}
+	}
+}
+
+func TestForNonUnitAndNegativeSteps(t *testing.T) {
+	trips := []Triplet{
+		{Start: 0, End: 100, Step: 3},
+		{Start: 5, End: 6, Step: 1},
+		{Start: 10, End: 10, Step: 1}, // empty
+		{Start: 10, End: 0, Step: -1}, // descending
+		{Start: 100, End: -1, Step: -7},
+		{Start: -50, End: 50, Step: 11},
+	}
+	opts := ForOpts{Sched: Schedule{Kind: directive.ScheduleDynamic, Chunk: 2}, SchedSet: true}
+	for _, trip := range trips {
+		visits := runLoop(t, LayerAtomic, 4, opts, trip)
+		expectExactCoverage(t, visits, trip)
+	}
+}
+
+func TestForScheduleCoverageProperty(t *testing.T) {
+	// Property: every (bounds, schedule, threads) combination covers
+	// each iteration exactly once.
+	f := func(start int16, count uint8, step uint8, sched uint8, chunk uint8, threads uint8) bool {
+		st := int64(step%5) + 1
+		trip := Triplet{
+			Start: int64(start),
+			End:   int64(start) + int64(count)*st,
+			Step:  st,
+		}
+		kinds := []directive.ScheduleKind{
+			directive.ScheduleStatic, directive.ScheduleDynamic, directive.ScheduleGuided,
+		}
+		opts := ForOpts{
+			Sched: Schedule{
+				Kind:  kinds[int(sched)%len(kinds)],
+				Chunk: int64(chunk % 9), // 0 = policy default
+			},
+			SchedSet: true,
+		}
+		nThreads := int(threads%6) + 1
+		visits := runLoop(t, LayerAtomic, nThreads, opts, trip)
+		n := trip.count()
+		if int64(len(visits)) != n {
+			return false
+		}
+		for _, c := range visits {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticBlockPartitionIsContiguousAndBalanced(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	const total = 103
+	const threads = 4
+	type chunk struct{ lo, hi int64 }
+	chunks := make([]chunk, threads)
+	counts := make([]int64, threads)
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: threads}, func(c *Context) error {
+		b := ForBounds(Triplet{0, total, 1})
+		if err := c.ForInit(b, ForOpts{}); err != nil {
+			return err
+		}
+		n := 0
+		for b.ForNext() {
+			chunks[c.GetThreadNum()] = chunk{b.Lo, b.Hi}
+			counts[c.GetThreadNum()] = b.Hi - b.Lo
+			n++
+		}
+		if n != 1 {
+			t.Errorf("static no-chunk gave thread %d chunks, want 1", n)
+		}
+		return c.ForEnd(b)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Balanced: sizes differ by at most one, ordered by thread number.
+	var minSz, maxSz int64 = 1 << 60, 0
+	var next int64
+	for tn := 0; tn < threads; tn++ {
+		if chunks[tn].lo != next {
+			t.Fatalf("thread %d chunk starts at %d, want %d", tn, chunks[tn].lo, next)
+		}
+		next = chunks[tn].hi
+		if counts[tn] < minSz {
+			minSz = counts[tn]
+		}
+		if counts[tn] > maxSz {
+			maxSz = counts[tn]
+		}
+	}
+	if next != total {
+		t.Fatalf("chunks end at %d, want %d", next, total)
+	}
+	if maxSz-minSz > 1 {
+		t.Fatalf("imbalanced static partition: min %d max %d", minSz, maxSz)
+	}
+}
+
+func TestStaticChunkedIsRoundRobin(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	const total, threads, chunkSz = 40, 4, 5
+	owner := make([]int, total)
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: threads}, func(c *Context) error {
+		b := ForBounds(Triplet{0, total, 1})
+		opts := ForOpts{Sched: Schedule{Kind: directive.ScheduleStatic, Chunk: chunkSz}, SchedSet: true}
+		if err := c.ForInit(b, opts); err != nil {
+			return err
+		}
+		for b.ForNext() {
+			for i := b.Lo; i < b.Hi; i++ {
+				owner[i] = c.GetThreadNum()
+			}
+		}
+		return c.ForEnd(b)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		want := (i / chunkSz) % threads
+		if owner[i] != want {
+			t.Fatalf("iteration %d owned by thread %d, want %d", i, owner[i], want)
+		}
+	}
+}
+
+func TestGuidedChunksDecrease(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	var sizes []int64
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 1}, func(c *Context) error {
+		b := ForBounds(Triplet{0, 1000, 1})
+		opts := ForOpts{Sched: Schedule{Kind: directive.ScheduleGuided, Chunk: 1}, SchedSet: true}
+		if err := c.ForInit(b, opts); err != nil {
+			return err
+		}
+		for b.ForNext() {
+			sizes = append(sizes, b.Hi-b.Lo)
+		}
+		return c.ForEnd(b)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) < 3 {
+		t.Fatalf("guided produced %d chunks", len(sizes))
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] > sizes[i-1] {
+			t.Fatalf("guided chunk grew: %v", sizes)
+		}
+	}
+	if sizes[0] != 500 { // remaining/(2*1) = 500 on the first claim
+		t.Fatalf("first guided chunk = %d, want 500", sizes[0])
+	}
+}
+
+func TestCollapseUnravelRoundTrip(t *testing.T) {
+	trips := []Triplet{{0, 4, 1}, {10, 1, -3}, {2, 11, 4}}
+	b := ForBounds(trips...)
+	want := [][]int64{}
+	for i := int64(0); i < 4; i++ {
+		for j := int64(10); j > 1; j -= 3 {
+			for k := int64(2); k < 11; k += 4 {
+				want = append(want, []int64{i, j, k})
+			}
+		}
+	}
+	if b.Total != int64(len(want)) {
+		t.Fatalf("Total = %d, want %d", b.Total, len(want))
+	}
+	for lin := int64(0); lin < b.Total; lin++ {
+		got := b.Unravel(lin)
+		for d := 0; d < 3; d++ {
+			if got[d] != want[lin][d] {
+				t.Fatalf("Unravel(%d) = %v, want %v", lin, got, want[lin])
+			}
+		}
+	}
+}
+
+func TestCollapsedLoopCoverage(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	const ni, nj = 13, 7
+	var mu sync.Mutex
+	seen := make(map[[2]int64]int)
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+		b := ForBounds(Triplet{0, ni, 1}, Triplet{0, nj, 1})
+		opts := ForOpts{Sched: Schedule{Kind: directive.ScheduleDynamic, Chunk: 3}, SchedSet: true}
+		if err := c.ForInit(b, opts); err != nil {
+			return err
+		}
+		for b.ForNext() {
+			for lin := b.Lo; lin < b.Hi; lin++ {
+				idx := b.Unravel(lin)
+				mu.Lock()
+				seen[[2]int64{idx[0], idx[1]}]++
+				mu.Unlock()
+			}
+		}
+		return c.ForEnd(b)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != ni*nj {
+		t.Fatalf("covered %d pairs, want %d", len(seen), ni*nj)
+	}
+	for k, v := range seen {
+		if v != 1 {
+			t.Fatalf("pair %v visited %d times", k, v)
+		}
+	}
+}
+
+func TestLastprivateIsLast(t *testing.T) {
+	for _, kind := range []directive.ScheduleKind{
+		directive.ScheduleStatic, directive.ScheduleDynamic, directive.ScheduleGuided,
+	} {
+		r := newTestRuntime(LayerAtomic)
+		ctx := r.NewContext()
+		lastOwners := NewCounter(LayerAtomic)
+		var lastVal atomic.Int64
+		err := r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+			b := ForBounds(Triplet{0, 100, 1})
+			opts := ForOpts{Sched: Schedule{Kind: kind, Chunk: 3}, SchedSet: true}
+			if err := c.ForInit(b, opts); err != nil {
+				return err
+			}
+			var priv int64
+			sawLast := false
+			for b.ForNext() {
+				for i := b.LoValue(); i < b.HiValue(); i++ {
+					priv = i * 2
+				}
+				if b.IsLast() {
+					sawLast = true
+				}
+			}
+			if sawLast {
+				lastOwners.Add(1)
+				lastVal.Store(priv)
+			}
+			return c.ForEnd(b)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lastOwners.Load() != 1 {
+			t.Fatalf("%v: %d threads saw the last chunk, want 1", kind, lastOwners.Load())
+		}
+		if lastVal.Load() != 198 {
+			t.Fatalf("%v: lastprivate value = %d, want 198", kind, lastVal.Load())
+		}
+	}
+}
+
+func TestForNowaitAllowsRunAhead(t *testing.T) {
+	// With nowait, a fast thread proceeds to the next loop while the
+	// slow ones are still in the first; both loops must still cover
+	// all iterations.
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	c1 := NewCounter(LayerAtomic)
+	c2 := NewCounter(LayerAtomic)
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+		for loop, counter := range []Counter{c1, c2} {
+			b := ForBounds(Triplet{0, 50, 1})
+			opts := ForOpts{
+				Sched:    Schedule{Kind: directive.ScheduleDynamic, Chunk: 1},
+				SchedSet: true,
+				NoWait:   true,
+			}
+			if err := c.ForInit(b, opts); err != nil {
+				return err
+			}
+			for b.ForNext() {
+				counter.Add(b.Hi - b.Lo)
+			}
+			if err := c.ForEnd(b); err != nil {
+				return err
+			}
+			_ = loop
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Load() != 50 || c2.Load() != 50 {
+		t.Fatalf("coverage: %d, %d; want 50, 50", c1.Load(), c2.Load())
+	}
+}
+
+func TestNestedWorksharingRejected(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 2}, func(c *Context) error {
+		b := ForBounds(Triplet{0, 10, 1})
+		if err := c.ForInit(b, ForOpts{}); err != nil {
+			return err
+		}
+		defer c.ForEnd(b)
+		inner := ForBounds(Triplet{0, 10, 1})
+		err := c.ForInit(inner, ForOpts{})
+		var me *MisuseError
+		if !errors.As(err, &me) {
+			t.Errorf("nested ForInit error = %v, want MisuseError", err)
+		}
+		// Drain the outer loop so ForEnd's barrier is well-formed.
+		for b.ForNext() {
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierInsideWorksharingRejected(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 2}, func(c *Context) error {
+		b := ForBounds(Triplet{0, 4, 1})
+		if err := c.ForInit(b, ForOpts{}); err != nil {
+			return err
+		}
+		berr := c.Barrier()
+		var me *MisuseError
+		if !errors.As(berr, &me) {
+			t.Errorf("barrier inside for = %v, want MisuseError", berr)
+		}
+		for b.ForNext() {
+		}
+		return c.ForEnd(b)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleExecutesOnce(t *testing.T) {
+	for _, l := range bothLayers {
+		r := newTestRuntime(l)
+		ctx := r.NewContext()
+		const rounds = 20
+		execs := NewCounter(LayerAtomic)
+		err := r.Parallel(ctx, ParallelOpts{NumThreads: 8}, func(c *Context) error {
+			for i := 0; i < rounds; i++ {
+				s, err := c.SingleBegin(false, false)
+				if err != nil {
+					return err
+				}
+				if s.Executes() {
+					execs.Add(1)
+				}
+				if _, err := s.End(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+		if execs.Load() != rounds {
+			t.Fatalf("%v: single executed %d times, want %d", l, execs.Load(), rounds)
+		}
+	}
+}
+
+func TestSingleCopyPrivateBroadcasts(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	const n = 6
+	got := make([]any, n)
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: n}, func(c *Context) error {
+		s, err := c.SingleBegin(false, true)
+		if err != nil {
+			return err
+		}
+		if s.Executes() {
+			if err := s.CopyPrivate(12345); err != nil {
+				return err
+			}
+		}
+		v, err := s.End()
+		if err != nil {
+			return err
+		}
+		got[c.GetThreadNum()] = v
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 12345 {
+			t.Fatalf("thread %d received %v", i, v)
+		}
+	}
+}
+
+func TestSingleCopyPrivateNowaitRejected(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	_, err := ctx.SingleBegin(true, true)
+	var me *MisuseError
+	if !errors.As(err, &me) {
+		t.Fatalf("error = %v, want MisuseError", err)
+	}
+}
+
+func TestSectionsEachExecutedOnce(t *testing.T) {
+	for _, l := range bothLayers {
+		r := newTestRuntime(l)
+		ctx := r.NewContext()
+		const nSec = 11
+		counts := make([]Counter, nSec)
+		for i := range counts {
+			counts[i] = NewCounter(LayerAtomic)
+		}
+		err := r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+			s, err := c.SectionsBegin(nSec, false)
+			if err != nil {
+				return err
+			}
+			for {
+				id := s.Next()
+				if id < 0 {
+					break
+				}
+				counts[id].Add(1)
+			}
+			return s.End()
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+		for i, c := range counts {
+			if c.Load() != 1 {
+				t.Fatalf("%v: section %d executed %d times", l, i, c.Load())
+			}
+		}
+	}
+}
+
+func TestSectionsIsLast(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	lastCount := NewCounter(LayerAtomic)
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 3}, func(c *Context) error {
+		s, err := c.SectionsBegin(5, false)
+		if err != nil {
+			return err
+		}
+		for s.Next() >= 0 {
+		}
+		if s.IsLast() {
+			lastCount.Add(1)
+		}
+		return s.End()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastCount.Load() != 1 {
+		t.Fatalf("%d threads executed the last section, want 1", lastCount.Load())
+	}
+}
+
+func TestOrderedExecutesInIterationOrder(t *testing.T) {
+	for _, kind := range []directive.ScheduleKind{directive.ScheduleStatic, directive.ScheduleDynamic} {
+		r := newTestRuntime(LayerAtomic)
+		ctx := r.NewContext()
+		var mu sync.Mutex
+		var order []int64
+		err := r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+			b := ForBounds(Triplet{0, 64, 1})
+			opts := ForOpts{
+				Sched:    Schedule{Kind: kind, Chunk: 4},
+				SchedSet: true,
+				Ordered:  true,
+			}
+			if err := c.ForInit(b, opts); err != nil {
+				return err
+			}
+			for b.ForNext() {
+				for i := b.LoValue(); i < b.HiValue(); i++ {
+					if err := c.OrderedBegin(i); err != nil {
+						return err
+					}
+					mu.Lock()
+					order = append(order, i)
+					mu.Unlock()
+					if err := c.OrderedEnd(); err != nil {
+						return err
+					}
+				}
+			}
+			return c.ForEnd(b)
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if len(order) != 64 {
+			t.Fatalf("%v: %d ordered entries", kind, len(order))
+		}
+		for i, v := range order {
+			if v != int64(i) {
+				t.Fatalf("%v: ordered sequence %v broken at %d", kind, order[:i+1], i)
+			}
+		}
+	}
+}
+
+func TestOrderedOutsideOrderedLoopRejected(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	err := ctx.OrderedBegin(0)
+	var me *MisuseError
+	if !errors.As(err, &me) {
+		t.Fatalf("error = %v, want MisuseError", err)
+	}
+}
+
+func TestMasterOnlyThreadZero(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	masters := NewCounter(LayerAtomic)
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 6}, func(c *Context) error {
+		if c.Master() {
+			masters.Add(1)
+			if c.GetThreadNum() != 0 {
+				t.Errorf("master is thread %d", c.GetThreadNum())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if masters.Load() != 1 {
+		t.Fatalf("%d masters", masters.Load())
+	}
+}
+
+func TestEmptyLoop(t *testing.T) {
+	visits := runLoop(t, LayerAtomic, 4, ForOpts{}, Triplet{5, 5, 1})
+	if len(visits) != 0 {
+		t.Fatalf("empty loop visited %d values", len(visits))
+	}
+}
+
+func TestCopyPrivateWinnerFailureDoesNotDeadlock(t *testing.T) {
+	// The executing thread errors out of the region before publishing
+	// the copyprivate value; the waiting threads must abort rather
+	// than block forever (previously a deadlock).
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	done := make(chan error, 1)
+	go func() {
+		done <- r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+			s, err := c.SingleBegin(false, true)
+			if err != nil {
+				return err
+			}
+			if s.Executes() {
+				// Die before CopyPrivate, abandoning End entirely.
+				return errors.New("single body failed before publishing")
+			}
+			_, err = s.End()
+			return err
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "failed before publishing") {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("team deadlocked waiting for an unpublished copyprivate value")
+	}
+}
+
+func TestBodyErrorBreaksExplicitBarrier(t *testing.T) {
+	// One thread errors before an explicit barrier the others reach.
+	r := newTestRuntime(LayerAtomic)
+	ctx := r.NewContext()
+	done := make(chan error, 1)
+	go func() {
+		done <- r.Parallel(ctx, ParallelOpts{NumThreads: 3}, func(c *Context) error {
+			if c.GetThreadNum() == 1 {
+				return errors.New("early exit")
+			}
+			return c.Barrier()
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "early exit") {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("survivors deadlocked at the explicit barrier")
+	}
+}

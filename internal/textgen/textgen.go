@@ -1,0 +1,160 @@
+// Package textgen generates the synthetic corpus standing in for the
+// Spanish Wikipedia dump of the wordcount benchmark (§IV-B). Token
+// frequencies follow a Zipf distribution — the property that drives
+// the load imbalance visible in the scheduling-policy study (Fig. 7)
+// — and generation is deterministic given a seed, matching the
+// artifact's "synthetic data generated from a fixed seed".
+package textgen
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Corpus holds generated text as lines of whitespace-separated words.
+type Corpus struct {
+	Lines []string
+}
+
+// Words returns the total token count.
+func (c *Corpus) Words() int {
+	total := 0
+	for _, l := range c.Lines {
+		total += len(strings.Fields(l))
+	}
+	return total
+}
+
+// Options control corpus generation.
+type Options struct {
+	// Lines is the number of lines to generate.
+	Lines int
+	// MeanWordsPerLine is the average line length; actual lengths
+	// vary heavily (long-tail), creating per-line load imbalance.
+	MeanWordsPerLine int
+	// Vocabulary is the number of distinct words.
+	Vocabulary int
+	// ZipfS is the Zipf exponent (≈1.1 for natural language).
+	ZipfS float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Default fills unset fields with natural-language-like values.
+func (o Options) withDefaults() Options {
+	if o.Lines <= 0 {
+		o.Lines = 1000
+	}
+	if o.MeanWordsPerLine <= 0 {
+		o.MeanWordsPerLine = 12
+	}
+	if o.Vocabulary <= 0 {
+		o.Vocabulary = 10000
+	}
+	if o.ZipfS == 0 {
+		o.ZipfS = 1.1
+	}
+	return o
+}
+
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// Generate builds a corpus.
+func Generate(opts Options) *Corpus {
+	opts = opts.withDefaults()
+	r := &rng{s: uint64(opts.Seed)*6364136223846793005 + 1442695040888963407}
+
+	// Precompute the Zipf CDF over the vocabulary.
+	cdf := make([]float64, opts.Vocabulary)
+	total := 0.0
+	for i := range cdf {
+		total += 1.0 / math.Pow(float64(i+1), opts.ZipfS)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	pick := func() int {
+		u := r.float()
+		lo, hi := 0, len(cdf)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+
+	vocab := makeVocabulary(opts.Vocabulary)
+	lines := make([]string, opts.Lines)
+	var b strings.Builder
+	for li := range lines {
+		// Long-tail line lengths: most lines short, a few very long
+		// (the imbalance source for dynamic-vs-static scheduling).
+		n := 1 + int(float64(opts.MeanWordsPerLine)*(0.25+2*r.float()*r.float()*r.float()))
+		b.Reset()
+		for w := 0; w < n; w++ {
+			if w > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(vocab[pick()])
+		}
+		lines[li] = b.String()
+	}
+	return &Corpus{Lines: lines}
+}
+
+// makeVocabulary synthesizes pronounceable distinct words.
+func makeVocabulary(n int) []string {
+	consonants := []string{"b", "c", "d", "f", "g", "l", "m", "n", "p", "r", "s", "t", "v", "z"}
+	vowels := []string{"a", "e", "i", "o", "u"}
+	out := make([]string, n)
+	for i := range out {
+		var b strings.Builder
+		k := i
+		syllables := 2 + k%3
+		for s := 0; s < syllables; s++ {
+			b.WriteString(consonants[k%len(consonants)])
+			k /= len(consonants)
+			b.WriteString(vowels[k%len(vowels)])
+			k /= len(vowels)
+		}
+		out[i] = b.String()
+	}
+	// Guarantee uniqueness: digits never occur in generated words, so
+	// an index suffix cannot collide.
+	seen := make(map[string]bool, n)
+	for i, w := range out {
+		if seen[w] {
+			out[i] = w + strconv.Itoa(i)
+		}
+		seen[out[i]] = true
+	}
+	return out
+}
+
+// SequentialWordCount is the reference counter used to validate the
+// parallel implementations.
+func SequentialWordCount(c *Corpus) map[string]int {
+	counts := make(map[string]int)
+	for _, line := range c.Lines {
+		for _, w := range strings.Fields(line) {
+			counts[strings.ToLower(w)]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,108 @@
+package textgen
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Options{Lines: 100, Seed: 42})
+	b := Generate(Options{Lines: 100, Seed: 42})
+	c := Generate(Options{Lines: 100, Seed: 43})
+	for i := range a.Lines {
+		if a.Lines[i] != b.Lines[i] {
+			t.Fatal("same seed produced different corpora")
+		}
+	}
+	same := true
+	for i := range a.Lines {
+		if a.Lines[i] != c.Lines[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	c := Generate(Options{Lines: 500, MeanWordsPerLine: 10, Vocabulary: 200, Seed: 1})
+	if len(c.Lines) != 500 {
+		t.Fatalf("lines = %d", len(c.Lines))
+	}
+	words := c.Words()
+	if words < 500 || words > 500*40 {
+		t.Fatalf("total words = %d out of plausible range", words)
+	}
+	for _, line := range c.Lines {
+		if strings.TrimSpace(line) == "" {
+			t.Fatal("empty line generated")
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// The most frequent word must dominate the median word by a wide
+	// margin — the imbalance property Fig. 7 depends on.
+	c := Generate(Options{Lines: 2000, MeanWordsPerLine: 20, Vocabulary: 5000, Seed: 9})
+	counts := SequentialWordCount(c)
+	freqs := make([]int, 0, len(counts))
+	for _, n := range counts {
+		freqs = append(freqs, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	if len(freqs) < 100 {
+		t.Fatalf("only %d distinct words", len(freqs))
+	}
+	if freqs[0] < 10*freqs[len(freqs)/2] {
+		t.Fatalf("distribution not skewed: top %d vs median %d", freqs[0], freqs[len(freqs)/2])
+	}
+}
+
+func TestLineLengthImbalance(t *testing.T) {
+	c := Generate(Options{Lines: 5000, MeanWordsPerLine: 12, Seed: 5})
+	maxLen, minLen := 0, 1<<30
+	for _, line := range c.Lines {
+		n := len(strings.Fields(line))
+		if n > maxLen {
+			maxLen = n
+		}
+		if n < minLen {
+			minLen = n
+		}
+	}
+	if maxLen < 3*minLen {
+		t.Fatalf("line lengths too uniform: min %d max %d", minLen, maxLen)
+	}
+}
+
+func TestVocabularyUnique(t *testing.T) {
+	v := makeVocabulary(5000)
+	seen := make(map[string]bool, len(v))
+	for _, w := range v {
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+		if w == "" {
+			t.Fatal("empty word")
+		}
+	}
+}
+
+func TestSequentialWordCount(t *testing.T) {
+	c := &Corpus{Lines: []string{"The cat and the dog", "THE bird"}}
+	counts := SequentialWordCount(c)
+	if counts["the"] != 3 || counts["cat"] != 1 || counts["bird"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := Generate(Options{Seed: 1})
+	if len(c.Lines) == 0 || c.Words() == 0 {
+		t.Fatal("defaults produced an empty corpus")
+	}
+}

@@ -1,0 +1,795 @@
+package transform
+
+import (
+	"github.com/omp4go/omp4go/internal/directive"
+	"github.com/omp4go/omp4go/internal/minipy"
+)
+
+// construct dispatches a block directive.
+func (tr *transformer) construct(ctx *fnCtx, dir *directive.Directive, w *minipy.With) ([]minipy.Stmt, error) {
+	switch dir.Name {
+	case directive.NameParallel, directive.NameParallelFor, directive.NameParallelSections:
+		return tr.parallel(ctx, dir, w)
+	case directive.NameFor:
+		return tr.forConstruct(ctx, dir, w.Body, w.NodePos())
+	case directive.NameSections:
+		return tr.sections(ctx, dir, w.Body, w.NodePos())
+	case directive.NameSingle:
+		return tr.single(ctx, dir, w)
+	case directive.NameMaster:
+		return tr.master(ctx, w)
+	case directive.NameCritical:
+		return tr.critical(ctx, dir, w)
+	case directive.NameAtomic:
+		return tr.atomic(ctx, dir, w)
+	case directive.NameOrdered:
+		return tr.ordered(ctx, w)
+	case directive.NameTask:
+		return tr.task(ctx, dir, w)
+	case directive.NameSection:
+		return nil, errAt(w.NodePos(), "section directive is only valid inside a sections construct")
+	}
+	return nil, errAt(w.NodePos(), "unsupported directive %q", dir.Name)
+}
+
+// dataPlan is the uniform machinery behind the data-sharing clauses:
+// renamed privates, capture statements, per-thread initializers, and
+// mutex-guarded reduction merges (the code shape of Fig. 2).
+type dataPlan struct {
+	renames   map[string]string
+	preOuter  []minipy.Stmt  // before the construct (capture points)
+	preInner  []minipy.Stmt  // per thread, before the body
+	postInner []minipy.Stmt  // per thread, after the body (merges)
+	lastPriv  [][2]string    // (shared, private) pairs for lastprivate
+	params    []minipy.Param // firstprivate captures for function-based constructs
+	vars      map[string]bool
+}
+
+// buildDataPlan processes private/firstprivate/lastprivate/reduction/
+// copyin clauses. body is the (already transformed) construct body;
+// renames are applied to it here.
+//
+// asFunction selects the capture mechanism for firstprivate: function
+// constructs (parallel, task) bind the value as a default parameter
+// of the generated inner function, so each task/region captures at
+// packaging time; inline constructs (for, sections, single) read the
+// shared variable at construct entry. outside is the enclosing scope
+// with the construct excluded (used by default(...) handling); nil
+// falls back to the full function scope.
+func (tr *transformer) buildDataPlan(ctx *fnCtx, dir *directive.Directive,
+	body []minipy.Stmt, pos minipy.Position, asFunction bool,
+	outside *minipy.ScopeInfo) (*dataPlan, error) {
+
+	plan := &dataPlan{renames: make(map[string]string), vars: make(map[string]bool)}
+	if outside == nil {
+		outside = ctx.scope
+	}
+	capture := func(priv, shared string) {
+		if asFunction {
+			plan.params = append(plan.params, minipy.Param{Name: priv, Default: nameRef(shared)})
+			return
+		}
+		cap := tr.fresh("cap_" + shared)
+		plan.preOuter = append(plan.preOuter, assignStmt(cap, nameRef(shared)))
+		plan.preInner = append(plan.preInner, assignStmt(priv, nameRef(cap)))
+	}
+
+	addRename := func(v string) string {
+		if nn, ok := plan.renames[v]; ok {
+			return nn
+		}
+		nn := tr.fresh(v)
+		plan.renames[v] = nn
+		plan.vars[v] = true
+		return nn
+	}
+
+	// Threadprivate variables behave as private in every region of
+	// this function (copyin turns them into firstprivate).
+	copyin := map[string]bool{}
+	if cl := dir.Find(directive.ClauseCopyin); cl != nil {
+		for _, v := range cl.Vars {
+			copyin[v] = true
+		}
+	}
+	for v := range ctx.threadprivate {
+		nn := addRename(v)
+		if copyin[v] {
+			capture(nn, v)
+		} else {
+			plan.preInner = append(plan.preInner, assignStmt(nn, noneLit()))
+		}
+	}
+
+	for _, cl := range dir.FindAll(directive.ClausePrivate) {
+		for _, v := range cl.Vars {
+			nn := addRename(v)
+			// OpenMP private copies start uninitialized; None is the
+			// closest Python rendering.
+			plan.preInner = append(plan.preInner, assignStmt(nn, noneLit()))
+		}
+	}
+	for _, cl := range dir.FindAll(directive.ClauseFirstprivate) {
+		for _, v := range cl.Vars {
+			nn := addRename(v)
+			capture(nn, v)
+		}
+	}
+	for _, cl := range dir.FindAll(directive.ClauseLastprivate) {
+		for _, v := range cl.Vars {
+			nn := addRename(v)
+			// firstprivate+lastprivate combination: the firstprivate
+			// initializer (if any) already ran; otherwise start unset.
+			already := false
+			for _, pre := range plan.preInner {
+				if a, ok := pre.(*minipy.Assign); ok {
+					if n, ok := a.Targets[0].(*minipy.Name); ok && n.ID == nn {
+						already = true
+					}
+				}
+			}
+			for _, p := range plan.params {
+				if p.Name == nn {
+					already = true
+				}
+			}
+			if !already {
+				plan.preInner = append(plan.preInner, assignStmt(nn, noneLit()))
+			}
+			plan.lastPriv = append(plan.lastPriv, [2]string{v, nn})
+		}
+	}
+	for _, cl := range dir.FindAll(directive.ClauseReduction) {
+		for _, v := range cl.Vars {
+			nn := addRename(v)
+			init, merge, err := tr.reductionPieces(cl.Op, v, nn, pos)
+			if err != nil {
+				return nil, err
+			}
+			plan.preInner = append(plan.preInner, init)
+			plan.postInner = append(plan.postInner, merge)
+		}
+	}
+
+	// default(none/private/firstprivate) applies to variables bound
+	// outside the construct and referenced inside it.
+	if def := dir.Find(directive.ClauseDefault); def != nil && def.Default != directive.DefaultShared {
+		used := collectNames(body)
+		var unlisted []string
+		for name := range used {
+			if plan.vars[name] || isGeneratedName(name) || name == "omp" {
+				continue
+			}
+			if !outside.IsLocal(name) {
+				continue // not bound in the enclosing function: module global or builtin
+			}
+			unlisted = append(unlisted, name)
+		}
+		switch def.Default {
+		case directive.DefaultNone:
+			// Shared-clause names are explicitly listed.
+			shared := map[string]bool{}
+			for _, cl := range dir.FindAll(directive.ClauseShared) {
+				for _, v := range cl.Vars {
+					shared[v] = true
+				}
+			}
+			for _, name := range unlisted {
+				if !shared[name] {
+					return nil, errAt(pos,
+						"default(none): variable %q used in the construct has no data-sharing clause", name)
+				}
+			}
+		case directive.DefaultPrivate:
+			for _, name := range unlisted {
+				nn := addRename(name)
+				plan.preInner = append(plan.preInner, assignStmt(nn, noneLit()))
+			}
+		case directive.DefaultFirstprivate:
+			for _, name := range unlisted {
+				capture(addRename(name), name)
+			}
+		}
+	}
+
+	renameInStmts(body, plan.renames)
+	return plan, nil
+}
+
+func isGeneratedName(name string) bool {
+	return len(name) >= 6 && name[:6] == "__omp_" || name == "__omp"
+}
+
+// reductionPieces builds the private initializer and the
+// mutex-guarded merge statement for one reduction variable.
+func (tr *transformer) reductionPieces(op, shared, private string, pos minipy.Position) (minipy.Stmt, minipy.Stmt, error) {
+	var init minipy.Stmt
+	var mergeExpr minipy.Expr
+	sharedRef := func() minipy.Expr { return nameRef(shared) }
+	privRef := func() minipy.Expr { return nameRef(private) }
+	switch op {
+	case "+", "-":
+		init = assignStmt(private, intLit(0))
+		mergeExpr = &minipy.BinOp{Op: "+", L: sharedRef(), R: privRef()}
+	case "*":
+		init = assignStmt(private, intLit(1))
+		mergeExpr = &minipy.BinOp{Op: "*", L: sharedRef(), R: privRef()}
+	case "&":
+		init = assignStmt(private, intLit(-1))
+		mergeExpr = &minipy.BinOp{Op: "&", L: sharedRef(), R: privRef()}
+	case "|":
+		init = assignStmt(private, intLit(0))
+		mergeExpr = &minipy.BinOp{Op: "|", L: sharedRef(), R: privRef()}
+	case "^":
+		init = assignStmt(private, intLit(0))
+		mergeExpr = &minipy.BinOp{Op: "^", L: sharedRef(), R: privRef()}
+	case "&&":
+		init = assignStmt(private, boolLit(true))
+		mergeExpr = &minipy.BoolOp{Op: "and", Values: []minipy.Expr{sharedRef(), privRef()}}
+	case "||":
+		init = assignStmt(private, boolLit(false))
+		mergeExpr = &minipy.BoolOp{Op: "or", Values: []minipy.Expr{sharedRef(), privRef()}}
+	case "min", "max":
+		// Seed the private copy from the shared value (idempotent for
+		// min/max, avoiding a typed infinity). The read takes the
+		// reduction mutex: another thread may already be merging.
+		init = &minipy.Try{
+			Body: []minipy.Stmt{
+				exprStmt(ompCall("mutex_lock")),
+				assignStmt(private, sharedRef()),
+			},
+			Final: []minipy.Stmt{exprStmt(ompCall("mutex_unlock"))},
+		}
+		mergeExpr = &minipy.Call{Fn: nameRef(op), Args: []minipy.Expr{sharedRef(), privRef()}}
+	default:
+		// User-declared reduction.
+		init = assignStmt(private, ompCall("reduce_init", strLit(op)))
+		mergeExpr = ompCall("reduce_combine", strLit(op), sharedRef(), privRef())
+	}
+	// try: __omp.mutex_lock(); shared = merge finally: __omp.mutex_unlock()
+	merge := &minipy.Try{
+		Body: []minipy.Stmt{
+			exprStmt(ompCall("mutex_lock")),
+			assignStmt(shared, mergeExpr),
+		},
+		Final: []minipy.Stmt{exprStmt(ompCall("mutex_unlock"))},
+	}
+	return init, merge, nil
+}
+
+// shareDecls builds the nonlocal/global declarations for shared
+// variables assigned inside a generated inner function (Fig. 2's
+// `nonlocal pi_value`). outside is the enclosing function's scope
+// with the construct excluded.
+func shareDecls(ctx *fnCtx, outside *minipy.ScopeInfo, innerBody []minipy.Stmt) []minipy.Stmt {
+	inner := minipy.AnalyzeScope(nil, innerBody)
+	var nonlocals, globals []string
+	for _, name := range inner.Locals {
+		if isGeneratedName(name) {
+			continue
+		}
+		switch {
+		case ctx.scope.Globals[name]:
+			globals = append(globals, name)
+		case outside.IsLocal(name):
+			nonlocals = append(nonlocals, name)
+		}
+		// Names bound only inside the block stay thread-private
+		// locals of the inner function.
+	}
+	var out []minipy.Stmt
+	if len(globals) > 0 {
+		out = append(out, &minipy.Global{Names: globals})
+	}
+	if len(nonlocals) > 0 {
+		out = append(out, &minipy.Nonlocal{Names: nonlocals})
+	}
+	return out
+}
+
+// parallel transforms parallel, parallel for, and parallel sections.
+func (tr *transformer) parallel(ctx *fnCtx, dir *directive.Directive, w *minipy.With) ([]minipy.Stmt, error) {
+	pos := w.NodePos()
+	outside := minipy.AnalyzeScopeExcluding(ctx.fd.Params, ctx.fd.Body, w)
+
+	var innerBody []minipy.Stmt
+	var err error
+	switch dir.Name {
+	case directive.NameParallelFor:
+		loopDir := subsetDirective(dir, directive.NameFor,
+			directive.ClauseSchedule, directive.ClauseCollapse, directive.ClauseOrdered,
+			directive.ClauseLastprivate, directive.ClauseReduction)
+		innerBody, err = tr.forConstruct(ctx, loopDir, w.Body, pos)
+	case directive.NameParallelSections:
+		secDir := subsetDirective(dir, directive.NameSections,
+			directive.ClauseLastprivate, directive.ClauseReduction)
+		innerBody, err = tr.sections(ctx, secDir, w.Body, pos)
+	default:
+		innerBody, err = tr.block(ctx, w.Body)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Data clauses held by the parallel part (reduction is delegated
+	// to the inner worksharing construct for the combined forms).
+	parDir := dir
+	if dir.Name != directive.NameParallel {
+		parDir = subsetDirective(dir, directive.NameParallel,
+			directive.ClauseIf, directive.ClauseNumThreads, directive.ClauseDefault,
+			directive.ClausePrivate, directive.ClauseFirstprivate, directive.ClauseShared,
+			directive.ClauseCopyin)
+	}
+	plan, err := tr.buildDataPlan(ctx, parDir, innerBody, pos, true, outside)
+	if err != nil {
+		return nil, err
+	}
+
+	fnBody := append(append(append([]minipy.Stmt{}, plan.preInner...), innerBody...), plan.postInner...)
+	decls := shareDecls(ctx, outside, fnBody)
+	fnBody = append(decls, fnBody...)
+
+	fnName := tr.fresh("parallel")
+	fd := &minipy.FuncDef{Name: fnName, Params: plan.params, Body: fnBody}
+
+	// parallel_run(fn, num_threads, if_set, if_val)
+	var numThreads minipy.Expr = intLit(0)
+	if cl := dir.Find(directive.ClauseNumThreads); cl != nil {
+		numThreads, err = parseClauseExpr(cl, pos)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var ifSet minipy.Expr = boolLit(false)
+	var ifVal minipy.Expr = boolLit(false)
+	if cl := dir.Find(directive.ClauseIf); cl != nil {
+		ifSet = boolLit(true)
+		ifVal, err = parseClauseExpr(cl, pos)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := append([]minipy.Stmt{}, plan.preOuter...)
+	out = append(out, fd,
+		exprStmt(ompCall("parallel_run", nameRef(fnName), numThreads, ifSet, ifVal)))
+	return out, nil
+}
+
+// subsetDirective builds a synthetic directive holding only the
+// listed clause kinds of dir.
+func subsetDirective(dir *directive.Directive, name directive.Name, kinds ...directive.ClauseKind) *directive.Directive {
+	out := &directive.Directive{Name: name, Raw: dir.Raw}
+	keep := make(map[directive.ClauseKind]bool, len(kinds))
+	for _, k := range kinds {
+		keep[k] = true
+	}
+	for _, c := range dir.Clauses {
+		if keep[c.Kind] {
+			out.Clauses = append(out.Clauses, c)
+		}
+	}
+	return out
+}
+
+// forConstruct transforms the for directive (Fig. 3).
+func (tr *transformer) forConstruct(ctx *fnCtx, dir *directive.Directive,
+	body []minipy.Stmt, pos minipy.Position) ([]minipy.Stmt, error) {
+
+	collapse := 1
+	if cl := dir.Find(directive.ClauseCollapse); cl != nil {
+		if n, ok := intFromString(cl.Expr); ok {
+			collapse = int(n)
+		}
+	}
+
+	// Peel the loop nest: collapse levels must be perfectly nested
+	// range loops.
+	loops := make([]*minipy.For, 0, collapse)
+	cur := body
+	for level := 0; level < collapse; level++ {
+		if len(cur) != 1 {
+			return nil, errAt(pos, "for directive requires a single (perfectly nested) for loop, found %d statements", len(cur))
+		}
+		loop, ok := cur[0].(*minipy.For)
+		if !ok {
+			return nil, errAt(pos, "for directive requires a for loop as its body")
+		}
+		loops = append(loops, loop)
+		cur = loop.Body
+	}
+	innerBody := loops[len(loops)-1].Body
+
+	// Extract range() triplets.
+	var tripletArgs []minipy.Expr
+	var loopVars []string
+	for _, loop := range loops {
+		v, ok := loop.Target.(*minipy.Name)
+		if !ok {
+			return nil, errAt(loop.NodePos(), "parallel loop variable must be a simple name")
+		}
+		loopVars = append(loopVars, v.ID)
+		call, ok := loop.Iter.(*minipy.Call)
+		if !ok {
+			return nil, errAt(loop.NodePos(), "parallel loops must iterate over range(...)")
+		}
+		fnName, ok := call.Fn.(*minipy.Name)
+		if !ok || fnName.ID != "range" {
+			return nil, errAt(loop.NodePos(),
+				"parallel loops must iterate over range(...); list comprehensions and other iterables are not supported")
+		}
+		var start, stop, step minipy.Expr
+		switch len(call.Args) {
+		case 1:
+			start, stop, step = intLit(0), call.Args[0], intLit(1)
+		case 2:
+			start, stop, step = call.Args[0], call.Args[1], intLit(1)
+		case 3:
+			start, stop, step = call.Args[0], call.Args[1], call.Args[2]
+		default:
+			return nil, errAt(loop.NodePos(), "range() takes 1 to 3 arguments")
+		}
+		tripletArgs = append(tripletArgs, start, stop, step)
+	}
+
+	ordered := dir.Has(directive.ClauseOrdered)
+
+	// Transform the loop body (nested directives see the ordered
+	// loop variable).
+	prevLoopVar := ctx.loopVar
+	if ordered {
+		ctx.loopVar = loopVars[0]
+	}
+	tBody, err := tr.block(ctx, innerBody)
+	ctx.loopVar = prevLoopVar
+	if err != nil {
+		return nil, err
+	}
+
+	plan, err := tr.buildDataPlan(ctx, dir, tBody, pos, false, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// Schedule clause.
+	var kindExpr minipy.Expr = strLit("")
+	var chunkExpr minipy.Expr = noneLit()
+	if cl := dir.Find(directive.ClauseSchedule); cl != nil {
+		kindExpr = strLit(cl.Sched.String())
+		if cl.Expr != "" {
+			chunkExpr, err = parseClauseExpr(cl, pos)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	nowait := dir.Has(directive.ClauseNowait)
+
+	bVar := tr.fresh("bounds")
+	var out []minipy.Stmt
+	out = append(out, plan.preOuter...)
+	out = append(out, plan.preInner...)
+	out = append(out, assignStmt(bVar, ompCall("for_bounds", tripletArgs...)))
+	out = append(out, exprStmt(ompCall("for_init", nameRef(bVar), kindExpr, chunkExpr,
+		boolLit(ordered), boolLit(nowait))))
+
+	var chunkLoop minipy.Stmt
+	if collapse == 1 {
+		// for i in range(b[0], b[1], b[2]):
+		iter := &minipy.Call{Fn: nameRef("range"), Args: []minipy.Expr{
+			&minipy.Index{X: nameRef(bVar), I: intLit(0)},
+			&minipy.Index{X: nameRef(bVar), I: intLit(1)},
+			&minipy.Index{X: nameRef(bVar), I: intLit(2)},
+		}}
+		chunkLoop = &minipy.For{Target: nameRef(loopVars[0]), Iter: iter, Body: tBody}
+	} else {
+		// Linear chunk with unraveling into the loop variables.
+		linVar := tr.fresh("lin")
+		idxVar := tr.fresh("idx")
+		inner := []minipy.Stmt{
+			assignStmt(idxVar, ompCall("unravel", nameRef(bVar), nameRef(linVar))),
+		}
+		for d, lv := range loopVars {
+			inner = append(inner, assignStmt(lv,
+				&minipy.Index{X: nameRef(idxVar), I: intLit(int64(d))}))
+		}
+		inner = append(inner, tBody...)
+		iter := &minipy.Call{Fn: nameRef("range"), Args: []minipy.Expr{
+			ompCall("lin_lo", nameRef(bVar)),
+			ompCall("lin_hi", nameRef(bVar)),
+		}}
+		chunkLoop = &minipy.For{Target: nameRef(linVar), Iter: iter, Body: inner}
+	}
+
+	out = append(out, &minipy.While{
+		Cond: ompCall("for_next", nameRef(bVar)),
+		Body: []minipy.Stmt{chunkLoop},
+	})
+	for _, lp := range plan.lastPriv {
+		out = append(out, &minipy.If{
+			Cond: ompCall("for_last", nameRef(bVar)),
+			Body: []minipy.Stmt{assignStmt(lp[0], nameRef(lp[1]))},
+		})
+	}
+	out = append(out, plan.postInner...)
+	out = append(out, exprStmt(ompCall("for_end", nameRef(bVar))))
+	return out, nil
+}
+
+// sections transforms the sections construct: each section gets a
+// fixed sequence id claimed through the shared counter (§III-D).
+func (tr *transformer) sections(ctx *fnCtx, dir *directive.Directive,
+	body []minipy.Stmt, pos minipy.Position) ([]minipy.Stmt, error) {
+
+	var sectionBodies [][]minipy.Stmt
+	for _, s := range body {
+		w, ok := s.(*minipy.With)
+		if ok {
+			if d, isDir := withDirective(w); isDir {
+				sd, err := directive.Parse(d)
+				if err != nil {
+					return nil, errAt(w.NodePos(), "%v", err)
+				}
+				if sd.Name == directive.NameSection {
+					tb, err := tr.block(ctx, w.Body)
+					if err != nil {
+						return nil, err
+					}
+					sectionBodies = append(sectionBodies, tb)
+					continue
+				}
+			}
+		}
+		return nil, errAt(s.NodePos(), "only 'with omp(\"section\")' blocks may appear inside sections")
+	}
+	if len(sectionBodies) == 0 {
+		return nil, errAt(pos, "sections construct contains no section blocks")
+	}
+
+	var all []minipy.Stmt
+	for _, sb := range sectionBodies {
+		all = append(all, sb...)
+	}
+	plan, err := tr.buildDataPlan(ctx, dir, all, pos, false, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	nowait := dir.Has(directive.ClauseNowait)
+	sVar := tr.fresh("section")
+
+	// if s == 0: ... elif s == 1: ...
+	var dispatch minipy.Stmt
+	for i := len(sectionBodies) - 1; i >= 0; i-- {
+		node := &minipy.If{
+			Cond: &minipy.Compare{L: nameRef(sVar), Ops: []string{"=="},
+				Rights: []minipy.Expr{intLit(int64(i))}},
+			Body: sectionBodies[i],
+		}
+		if dispatch != nil {
+			node.Else = []minipy.Stmt{dispatch}
+		}
+		dispatch = node
+	}
+
+	var out []minipy.Stmt
+	out = append(out, plan.preOuter...)
+	out = append(out, plan.preInner...)
+	out = append(out, exprStmt(ompCall("sections_begin",
+		intLit(int64(len(sectionBodies))), boolLit(nowait))))
+	loop := &minipy.While{
+		Cond: boolLit(true),
+		Body: []minipy.Stmt{
+			assignStmt(sVar, ompCall("sections_next")),
+			&minipy.If{
+				Cond: &minipy.Compare{L: nameRef(sVar), Ops: []string{"<"},
+					Rights: []minipy.Expr{intLit(0)}},
+				Body: []minipy.Stmt{&minipy.Break{}},
+			},
+			dispatch,
+		},
+	}
+	out = append(out, loop)
+	for _, lp := range plan.lastPriv {
+		out = append(out, &minipy.If{
+			Cond: ompCall("sections_last"),
+			Body: []minipy.Stmt{assignStmt(lp[0], nameRef(lp[1]))},
+		})
+	}
+	out = append(out, plan.postInner...)
+	out = append(out, exprStmt(ompCall("sections_end")))
+	return out, nil
+}
+
+// single transforms the single construct with optional copyprivate.
+func (tr *transformer) single(ctx *fnCtx, dir *directive.Directive, w *minipy.With) ([]minipy.Stmt, error) {
+	pos := w.NodePos()
+	tBody, err := tr.block(ctx, w.Body)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := tr.buildDataPlan(ctx, dir, tBody, pos, false, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	var cpVars []string
+	for _, cl := range dir.FindAll(directive.ClauseCopyprivate) {
+		cpVars = append(cpVars, cl.Vars...)
+	}
+	hasCP := len(cpVars) > 0
+	nowait := dir.Has(directive.ClauseNowait)
+
+	wonVar := tr.fresh("won")
+	ifBody := append(append([]minipy.Stmt{}, plan.preInner...), tBody...)
+	if hasCP {
+		elts := make([]minipy.Expr, len(cpVars))
+		for i, v := range cpVars {
+			// copyprivate publishes the private copy when the name is
+			// private in this construct, else the variable itself.
+			if nn, ok := plan.renames[v]; ok {
+				elts[i] = nameRef(nn)
+			} else {
+				elts[i] = nameRef(v)
+			}
+		}
+		ifBody = append(ifBody,
+			exprStmt(ompCall("single_copyprivate", &minipy.TupleLit{Elts: elts})))
+	}
+
+	var out []minipy.Stmt
+	out = append(out, plan.preOuter...)
+	out = append(out, assignStmt(wonVar, ompCall("single_begin", boolLit(nowait), boolLit(hasCP))))
+	out = append(out, &minipy.If{Cond: nameRef(wonVar), Body: ifBody})
+	if hasCP {
+		cpVar := tr.fresh("cp")
+		out = append(out, assignStmt(cpVar, ompCall("single_end")))
+		for i, v := range cpVars {
+			out = append(out, assignStmt(v,
+				&minipy.Index{X: nameRef(cpVar), I: intLit(int64(i))}))
+		}
+	} else {
+		out = append(out, exprStmt(ompCall("single_end")))
+	}
+	out = append(out, plan.postInner...)
+	return out, nil
+}
+
+func (tr *transformer) master(ctx *fnCtx, w *minipy.With) ([]minipy.Stmt, error) {
+	tBody, err := tr.block(ctx, w.Body)
+	if err != nil {
+		return nil, err
+	}
+	return []minipy.Stmt{
+		&minipy.If{Cond: ompCall("master"), Body: tBody},
+	}, nil
+}
+
+func (tr *transformer) critical(ctx *fnCtx, dir *directive.Directive, w *minipy.With) ([]minipy.Stmt, error) {
+	name := ""
+	if cl := dir.Find(directive.ClauseCriticalName); cl != nil {
+		name = cl.Expr
+	}
+	tBody, err := tr.block(ctx, w.Body)
+	if err != nil {
+		return nil, err
+	}
+	return []minipy.Stmt{
+		exprStmt(ompCall("critical_enter", strLit(name))),
+		&minipy.Try{
+			Body:  tBody,
+			Final: []minipy.Stmt{exprStmt(ompCall("critical_exit", strLit(name)))},
+		},
+	}, nil
+}
+
+// atomic validates the single-update restriction and lowers to a
+// per-location critical section (boxed interpreter values cannot use
+// hardware atomics; the runtime stripes the locks).
+func (tr *transformer) atomic(ctx *fnCtx, dir *directive.Directive, w *minipy.With) ([]minipy.Stmt, error) {
+	if len(w.Body) != 1 {
+		return nil, errAt(w.NodePos(), "atomic construct requires exactly one update statement")
+	}
+	var target minipy.Expr
+	switch t := w.Body[0].(type) {
+	case *minipy.AugAssign:
+		target = t.Target
+	case *minipy.Assign:
+		if len(t.Targets) != 1 {
+			return nil, errAt(w.NodePos(), "atomic construct requires a single assignment target")
+		}
+		target = t.Targets[0]
+	case *minipy.ExprStmt:
+		return nil, errAt(w.NodePos(), "atomic construct requires an assignment or augmented assignment")
+	default:
+		return nil, errAt(w.NodePos(), "atomic construct requires an assignment or augmented assignment")
+	}
+	root := rootName(target)
+	if root == "" {
+		return nil, errAt(w.NodePos(), "atomic update target must be a variable or subscript")
+	}
+	name := "__omp_atomic_" + root
+	return []minipy.Stmt{
+		exprStmt(ompCall("critical_enter", strLit(name))),
+		&minipy.Try{
+			Body:  []minipy.Stmt{w.Body[0]},
+			Final: []minipy.Stmt{exprStmt(ompCall("critical_exit", strLit(name)))},
+		},
+	}, nil
+}
+
+func rootName(e minipy.Expr) string {
+	switch t := e.(type) {
+	case *minipy.Name:
+		return t.ID
+	case *minipy.Index:
+		return rootName(t.X)
+	case *minipy.Attribute:
+		return rootName(t.X)
+	}
+	return ""
+}
+
+func (tr *transformer) ordered(ctx *fnCtx, w *minipy.With) ([]minipy.Stmt, error) {
+	if ctx.loopVar == "" {
+		return nil, errAt(w.NodePos(),
+			"ordered region must be closely nested inside a loop with the ordered clause")
+	}
+	tBody, err := tr.block(ctx, w.Body)
+	if err != nil {
+		return nil, err
+	}
+	return []minipy.Stmt{
+		exprStmt(ompCall("ordered_begin", nameRef(ctx.loopVar))),
+		&minipy.Try{
+			Body:  tBody,
+			Final: []minipy.Stmt{exprStmt(ompCall("ordered_end"))},
+		},
+	}, nil
+}
+
+// task transforms the task directive: the body is packaged into an
+// inner function submitted to the team's shared queue (§III-E).
+func (tr *transformer) task(ctx *fnCtx, dir *directive.Directive, w *minipy.With) ([]minipy.Stmt, error) {
+	pos := w.NodePos()
+	outside := minipy.AnalyzeScopeExcluding(ctx.fd.Params, ctx.fd.Body, w)
+
+	tBody, err := tr.block(ctx, w.Body)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := tr.buildDataPlan(ctx, dir, tBody, pos, true, outside)
+	if err != nil {
+		return nil, err
+	}
+
+	fnBody := append(append([]minipy.Stmt{}, plan.preInner...), tBody...)
+	fnBody = append(fnBody, plan.postInner...)
+	decls := shareDecls(ctx, outside, fnBody)
+	fnBody = append(decls, fnBody...)
+
+	fnName := tr.fresh("task")
+	fd := &minipy.FuncDef{Name: fnName, Params: plan.params, Body: fnBody}
+
+	var ifSet, ifVal minipy.Expr = boolLit(false), boolLit(false)
+	if cl := dir.Find(directive.ClauseIf); cl != nil {
+		ifSet = boolLit(true)
+		ifVal, err = parseClauseExpr(cl, pos)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var finalSet, finalVal minipy.Expr = boolLit(false), boolLit(false)
+	if cl := dir.Find(directive.ClauseFinal); cl != nil {
+		finalSet = boolLit(true)
+		finalVal, err = parseClauseExpr(cl, pos)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := append([]minipy.Stmt{}, plan.preOuter...)
+	out = append(out, fd, exprStmt(ompCall("task_submit",
+		nameRef(fnName), ifSet, ifVal, finalSet, finalVal)))
+	return out, nil
+}

@@ -1,0 +1,406 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/omp4go/omp4go/internal/minipy"
+)
+
+// These tests target the transformer's less-travelled paths:
+// directives nested under ordinary control flow, renaming through
+// every expression form, and the remaining clause combinations.
+
+func TestDirectiveInsideControlFlow(t *testing.T) {
+	// Directives under if/while/for/try/with all transform.
+	expectOMP(t, `
+from omp4py import *
+
+@omp
+def f(flag):
+    total = 0
+    if flag:
+        with omp("parallel for reduction(+:total) num_threads(2)"):
+            for i in range(10):
+                total += i
+    else:
+        total = -1
+    k = 0
+    while k < 2:
+        with omp("parallel num_threads(2)"):
+            with omp("critical"):
+                total += 1
+        k += 1
+    for r in range(2):
+        with omp("parallel num_threads(2)"):
+            with omp("single"):
+                total += 10
+    try:
+        with omp("parallel num_threads(2)"):
+            with omp("master"):
+                total += 100
+    finally:
+        total += 1000
+    return total
+
+print(f(True))
+`, "1169\n") // 45 + 2*2 + 2*10 + 100 + 1000
+}
+
+func TestDirectiveInsideOrdinaryWith(t *testing.T) {
+	expectOMP(t, `
+from omp4py import *
+
+@omp
+def f():
+    total = [0]
+    ctx = "not a directive"
+    with ctx as alias:
+        with omp("parallel num_threads(2)"):
+            with omp("atomic"):
+                total[0] += 1
+    return (total[0], alias)
+
+print(f())
+`, "(2, 'not a directive')\n")
+}
+
+func TestNestedFunctionWithDirectives(t *testing.T) {
+	// A nested (non-decorated) def inside a decorated function also
+	// has its directives transformed against its own scope.
+	expectOMP(t, `
+from omp4py import *
+
+@omp
+def outer():
+    def inner(n):
+        acc = 0
+        with omp("parallel for reduction(+:acc) num_threads(2)"):
+            for i in range(n):
+                acc += i
+        return acc
+    return inner(10) + inner(5)
+
+print(outer())
+`, "55\n")
+}
+
+func TestInnerDecoratedFunction(t *testing.T) {
+	// @omp on a nested function inside an undecorated one.
+	expectOMP(t, `
+from omp4py import *
+
+def factory():
+    @omp
+    def worker(n):
+        s = 0
+        with omp("parallel for reduction(+:s) num_threads(2)"):
+            for i in range(n):
+                s += 1
+        return s
+    return worker
+
+w = factory()
+print(w(30))
+`, "30\n")
+}
+
+func TestRenameThroughAllExpressionForms(t *testing.T) {
+	// The private rename must reach names inside every expression
+	// kind: subscripts, slices, calls, dict/set/tuple literals,
+	// lambdas, conditionals, comparisons.
+	expectOMP(t, `
+from omp4py import *
+
+@omp
+def f():
+    x = 5
+    out = []
+    with omp("parallel num_threads(1) firstprivate(x)"):
+        a = [x, x * 2]
+        d = {x: "v"}
+        s = {x}
+        t = (x, -x)
+        cond = x if x > 0 else -x
+        cmp = 0 < x < 10
+        fn = lambda k=x: k + x
+        sub = a[x - 5]
+        sl = a[0:x - 3]
+        with omp("critical"):
+            out.append(a[1] + t[0] + cond + fn() + sub + sl[0])
+        x = 99
+    return (out[0], x)
+
+print(f())
+`, "(40, 5)\n")
+}
+
+func TestRenameShadowedByNestedDef(t *testing.T) {
+	// A nested function whose parameter shadows a private name must
+	// not have its body renamed.
+	expectOMP(t, `
+from omp4py import *
+
+@omp
+def f():
+    x = 3
+    res = [0]
+    with omp("parallel num_threads(1) firstprivate(x)"):
+        def g(x):
+            return x * 100
+        res[0] = g(2) + x
+    return res[0]
+
+print(f())
+`, "203\n")
+}
+
+func TestSectionsWithDataClauses(t *testing.T) {
+	expectOMP(t, `
+from omp4py import *
+
+@omp
+def f():
+    acc = 0
+    last = -1
+    with omp("parallel num_threads(2)"):
+        with omp("sections reduction(+:acc) lastprivate(last)"):
+            with omp("section"):
+                acc += 5
+                last = 1
+            with omp("section"):
+                acc += 7
+                last = 2
+    return (acc, last)
+
+print(f())
+`, "(12, 2)\n")
+}
+
+func TestSectionsNowait(t *testing.T) {
+	expectOMP(t, `
+from omp4py import *
+
+@omp
+def f():
+    hits = [0, 0]
+    with omp("parallel num_threads(2)"):
+        with omp("sections nowait"):
+            with omp("section"):
+                hits[0] = 1
+            with omp("section"):
+                hits[1] = 1
+        omp("barrier")
+    return hits
+
+print(f())
+`, "[1, 1]\n")
+}
+
+func TestSingleNowaitAndPrivate(t *testing.T) {
+	expectOMP(t, `
+from omp4py import *
+
+@omp
+def f():
+    v = 10
+    count = [0]
+    with omp("parallel num_threads(3)"):
+        with omp("single nowait private(v)"):
+            v = 99
+            with omp("atomic"):
+                count[0] += 1
+        omp("barrier")
+    return (count[0], v)
+
+print(f())
+`, "(1, 10)\n")
+}
+
+func TestAtomicOnSubscript(t *testing.T) {
+	expectOMP(t, `
+from omp4py import *
+
+@omp
+def f():
+    cells = [0, 0]
+    with omp("parallel num_threads(4)"):
+        for r in range(50):
+            with omp("atomic"):
+                cells[0] += 1
+            with omp("atomic update"):
+                cells[1] = cells[1] + 2
+    return cells
+
+print(f())
+`, "[200, 400]\n")
+}
+
+func TestCriticalExceptionStillReleases(t *testing.T) {
+	// An exception inside a critical body must release the section
+	// (the generated try/finally), so later entries do not deadlock.
+	expectOMP(t, `
+from omp4py import *
+
+@omp
+def f():
+    hits = [0]
+    with omp("parallel num_threads(2)"):
+        try:
+            with omp("critical(guard)"):
+                raise ValueError("inside critical")
+        except ValueError:
+            pass
+        with omp("critical(guard)"):
+            hits[0] += 1
+    return hits[0]
+
+print(f())
+`, "2\n")
+}
+
+func TestParallelForWithIfAndSchedule(t *testing.T) {
+	expectOMP(t, `
+from omp4py import *
+
+@omp
+def f(n, go):
+    total = 0
+    with omp("parallel for reduction(+:total) num_threads(4) if(go) schedule(guided, 2)"):
+        for i in range(n):
+            total += omp_get_num_threads()
+    return total
+
+print(f(10, False))
+print(f(10, True) > 10)
+`, "10\nTrue\n")
+}
+
+func TestMultipleReductionsOneClauseList(t *testing.T) {
+	expectOMP(t, `
+from omp4py import *
+
+@omp
+def f(n):
+    a = 0
+    b = 0
+    with omp("parallel for reduction(+:a, b) num_threads(2)"):
+        for i in range(n):
+            a += 1
+            b += 2
+    return (a, b)
+
+print(f(50))
+`, "(50, 100)\n")
+}
+
+func TestProductReduction(t *testing.T) {
+	expectOMP(t, `
+from omp4py import *
+
+@omp
+def f():
+    p = 1
+    with omp("parallel for reduction(*:p) num_threads(3)"):
+        for i in range(1, 11):
+            p *= i
+    return p
+
+print(f())
+`, "3628800\n")
+}
+
+func TestStandaloneFlushAndThreadprivateDecl(t *testing.T) {
+	expectOMP(t, `
+from omp4py import *
+
+@omp
+def f():
+    done = [0]
+    with omp("parallel num_threads(2)"):
+        with omp("atomic"):
+            done[0] += 1
+        omp("flush(done)")
+    return done[0]
+
+print(f())
+`, "2\n")
+}
+
+func TestUnderscoreCombinedNameInTransform(t *testing.T) {
+	// OpenMP 6.0 lexical convention through the whole pipeline.
+	expectOMP(t, `
+from omp4py import *
+
+@omp
+def f(n):
+    s = 0
+    with omp("parallel_for reduction(+:s); num_threads(2)"):
+        for i in range(n):
+            s += i
+    return s
+
+print(f(10))
+`, "45\n")
+}
+
+func TestTransformedCodeReparses(t *testing.T) {
+	// Unparse → reparse of a transformed module must succeed for a
+	// program using every construct.
+	src := `
+from omp4py import *
+
+@omp
+def everything(n):
+    omp("declare reduction(cat : omp_out + omp_in) initializer(omp_priv = 0)")
+    total = 0
+    last = -1
+    tp = 1
+    omp("threadprivate(tp)")
+    with omp("parallel num_threads(2) copyin(tp) default(shared)"):
+        with omp("for schedule(dynamic, 2) lastprivate(last) reduction(cat:total)"):
+            for i in range(n):
+                total += i
+                last = i
+        with omp("sections nowait"):
+            with omp("section"):
+                pass
+            with omp("section"):
+                pass
+        omp("barrier")
+        with omp("single copyprivate(tp)"):
+            tp = 7
+        with omp("master"):
+            pass
+        with omp("critical(zone)"):
+            pass
+        with omp("atomic"):
+            total += 0
+        with omp("task if(n > 100) final(n > 1000) untied mergeable firstprivate(n)"):
+            pass
+        omp("taskwait")
+        omp("flush")
+    return (total, last, tp)
+
+print(everything(6))
+`
+	mod, err := minipy.Parse(src, "all.py")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Module(mod); err != nil {
+		t.Fatal(err)
+	}
+	out := minipy.Unparse(mod)
+	if _, err := minipy.Parse(out, "reparse.py"); err != nil {
+		t.Fatalf("transformed module does not reparse: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "task_submit") || !strings.Contains(out, "declare_reduction") {
+		t.Fatalf("expected runtime calls in transformed output:\n%s", out)
+	}
+	// And it runs.
+	got := runOMP(t, src)
+	if got != "(15, 5, 1)\n" {
+		t.Fatalf("output = %q", got)
+	}
+}

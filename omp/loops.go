@@ -1,0 +1,149 @@
+package omp
+
+import "github.com/omp4go/omp4go/internal/rt"
+
+// For distributes the iterations of [lo, hi) over the current team
+// with step +1, implementing the for directive. Scheduling, nowait,
+// and ordered come from options.
+func (tc *TC) For(lo, hi int, body func(i int), opts ...Option) error {
+	return tc.ForStep(lo, hi, 1, body, opts...)
+}
+
+// ForStep is For with an explicit (possibly negative) step.
+func (tc *TC) ForStep(lo, hi, step int, body func(i int), opts ...Option) error {
+	o := buildOptions(opts)
+	b := rt.ForBounds(rt.Triplet{Start: int64(lo), End: int64(hi), Step: int64(step)})
+	fo := rt.ForOpts{
+		Sched:    o.sched,
+		SchedSet: o.schedSet,
+		Ordered:  o.ordered,
+		NoWait:   o.nowait,
+	}
+	if err := tc.ctx.ForInit(b, fo); err != nil {
+		return err
+	}
+	for b.ForNext() {
+		loVal, hiVal := b.LoValue(), b.HiValue()
+		if step > 0 {
+			for i := loVal; i < hiVal; i += int64(step) {
+				body(int(i))
+			}
+		} else {
+			for i := loVal; i > hiVal; i += int64(step) {
+				body(int(i))
+			}
+		}
+	}
+	return tc.ctx.ForEnd(b)
+}
+
+// ForCollapse distributes the collapsed iteration space of the given
+// loop triplets (the collapse clause); body receives one loop
+// variable value per level.
+func (tc *TC) ForCollapse(loops [][3]int, body func(idx []int), opts ...Option) error {
+	o := buildOptions(opts)
+	trips := make([]rt.Triplet, len(loops))
+	for i, l := range loops {
+		trips[i] = rt.Triplet{Start: int64(l[0]), End: int64(l[1]), Step: int64(l[2])}
+	}
+	b := rt.ForBounds(trips...)
+	fo := rt.ForOpts{
+		Sched:    o.sched,
+		SchedSet: o.schedSet,
+		NoWait:   o.nowait,
+	}
+	if err := tc.ctx.ForInit(b, fo); err != nil {
+		return err
+	}
+	idx := make([]int, len(loops))
+	for b.ForNext() {
+		for lin := b.Lo; lin < b.Hi; lin++ {
+			vals := b.Unravel(lin)
+			for d, v := range vals {
+				idx[d] = int(v)
+			}
+			body(idx)
+		}
+	}
+	return tc.ctx.ForEnd(b)
+}
+
+// ParallelFor is the combined parallel-for directive: it forks a team
+// and distributes [lo, hi) over it.
+func ParallelFor(lo, hi int, body func(tc *TC, i int), opts ...Option) error {
+	return Parallel(func(tc *TC) {
+		// The loop error surfaces through the region error; a
+		// conforming loop cannot fail after ForInit succeeds.
+		if err := tc.For(lo, hi, func(i int) { body(tc, i) }, opts...); err != nil {
+			panic(err)
+		}
+	}, opts...)
+}
+
+// Number is the constraint for built-in numeric reductions.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 | ~float32 | ~float64
+}
+
+// ReduceFor runs a worksharing loop with a reduction: each thread
+// folds its iterations into a private accumulator seeded with
+// identity, and the partials are merged with combine inside a
+// critical section — the code shape OMP4Py generates for
+// reduction clauses (Fig. 2).
+func ReduceFor[T any](tc *TC, lo, hi int, identity T,
+	combine func(a, b T) T, body func(i int, acc T) T, opts ...Option) (T, error) {
+
+	acc := identity
+	err := tc.For(lo, hi, func(i int) {
+		acc = body(i, acc)
+	}, opts...)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return acc, nil
+}
+
+// ParallelReduce forks a team, folds [lo, hi) into per-thread
+// accumulators, and merges them with combine under the unnamed
+// critical section, returning the combined result.
+func ParallelReduce[T any](lo, hi int, identity T,
+	combine func(a, b T) T, body func(tc *TC, i int, acc T) T, opts ...Option) (T, error) {
+
+	result := identity
+	err := Parallel(func(tc *TC) {
+		acc := identity
+		if err := tc.For(lo, hi, func(i int) {
+			acc = body(tc, i, acc)
+		}, opts...); err != nil {
+			panic(err)
+		}
+		tc.Critical("__omp_reduce", func() {
+			result = combine(result, acc)
+		})
+	}, opts...)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return result, nil
+}
+
+// Sum is a ready-made combiner for ParallelReduce.
+func Sum[T Number](a, b T) T { return a + b }
+
+// Max is a ready-made combiner for ParallelReduce.
+func Max[T Number](a, b T) T {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min is a ready-made combiner for ParallelReduce.
+func Min[T Number](a, b T) T {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,274 @@
+// Package omp is the public API of omp4go, a Go implementation of the
+// OMP4Py system (CGO 2026): OpenMP's directive-based fork-join
+// programming model, including worksharing, scheduling policies,
+// reductions, tasking, and the OpenMP 3.0 runtime library routines.
+//
+// The package offers two surfaces:
+//
+//   - A native Go API (this file and its siblings): Parallel, For,
+//     Task, Critical, Barrier, ... operating on *TC team contexts.
+//   - A MiniPy pipeline (pipeline.go): Exec/Run compile programs
+//     written in the Python-subset MiniPy language, where OpenMP
+//     directives appear as `with omp("...")` blocks under an @omp
+//     decorator, exactly as in the paper.
+//
+// A program begins on the initial thread. Parallel forks a team whose
+// members each receive a *TC; the encountering goroutine becomes
+// thread 0 of the team:
+//
+//	omp.Parallel(func(tc *omp.TC) {
+//	    fmt.Println("hello from", tc.ThreadNum())
+//	}, omp.WithNumThreads(4))
+package omp
+
+import (
+	"sync"
+
+	"github.com/omp4go/omp4go/internal/directive"
+	"github.com/omp4go/omp4go/internal/rt"
+)
+
+// ScheduleKind names a loop scheduling policy.
+type ScheduleKind = directive.ScheduleKind
+
+// Loop scheduling policies.
+const (
+	Static  = directive.ScheduleStatic
+	Dynamic = directive.ScheduleDynamic
+	Guided  = directive.ScheduleGuided
+	Auto    = directive.ScheduleAuto
+	Runtime = directive.ScheduleRuntime
+)
+
+var (
+	defaultMu sync.Mutex
+	defaultRT *rt.Runtime
+	defaultTC *TC
+)
+
+// defaultRuntime returns the process-wide runtime (atomic layer, the
+// paper's Hybrid default), creating it on first use.
+func defaultRuntime() *rt.Runtime {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultRT == nil {
+		defaultRT = rt.New(rt.LayerAtomic)
+		defaultTC = &TC{ctx: defaultRT.NewContext()}
+	}
+	return defaultRT
+}
+
+// Root returns the initial-thread context of the default runtime.
+// Calls made outside any parallel region (taskwait, barrier, the
+// thread-info routines) go through it.
+func Root() *TC {
+	defaultRuntime()
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	return defaultTC
+}
+
+// TC is a team context: the per-thread handle threaded through every
+// construct. CPython keeps this in thread-local storage; Go has no
+// TLS, so the context is explicit.
+type TC struct {
+	ctx *rt.Context
+}
+
+// ThreadNum returns this thread's number within the current team
+// (omp_get_thread_num).
+func (tc *TC) ThreadNum() int { return tc.ctx.GetThreadNum() }
+
+// NumThreads returns the size of the current team
+// (omp_get_num_threads).
+func (tc *TC) NumThreads() int { return tc.ctx.GetNumThreads() }
+
+// InParallel reports whether the thread runs inside an active
+// parallel region (omp_in_parallel).
+func (tc *TC) InParallel() bool { return tc.ctx.InParallel() }
+
+// Level returns the number of enclosing parallel regions
+// (omp_get_level).
+func (tc *TC) Level() int { return tc.ctx.GetLevel() }
+
+// ActiveLevel returns the number of enclosing active parallel regions
+// (omp_get_active_level).
+func (tc *TC) ActiveLevel() int { return tc.ctx.GetActiveLevel() }
+
+// AncestorThreadNum returns the thread number of the ancestor at the
+// given level (omp_get_ancestor_thread_num).
+func (tc *TC) AncestorThreadNum(level int) int { return tc.ctx.GetAncestorThreadNum(level) }
+
+// TeamSize returns the team size at the given nesting level
+// (omp_get_team_size).
+func (tc *TC) TeamSize(level int) int { return tc.ctx.GetTeamSize(level) }
+
+// IsMaster reports whether this thread is thread 0 of its team.
+func (tc *TC) IsMaster() bool { return tc.ctx.Master() }
+
+// Parallel forks a team executing body, using the default runtime and
+// the initial-thread context (the outermost parallel directive).
+func Parallel(body func(tc *TC), opts ...Option) error {
+	return Root().Parallel(body, opts...)
+}
+
+// Parallel forks a nested team from this context (a nested parallel
+// directive; enable with SetNested).
+func (tc *TC) Parallel(body func(tc *TC), opts ...Option) error {
+	o := buildOptions(opts)
+	po := rt.ParallelOpts{NumThreads: o.numThreads}
+	if o.ifSet {
+		po.If, po.IfSet = o.ifVal, true
+	}
+	return tc.ctx.Runtime().Parallel(tc.ctx, po, func(c *rt.Context) error {
+		inner := &TC{ctx: c}
+		body(inner)
+		return nil
+	})
+}
+
+// Barrier waits for every thread of the current team, executing
+// pending tasks while waiting (the barrier directive).
+func (tc *TC) Barrier() error { return tc.ctx.Barrier() }
+
+// Critical runs fn inside the named critical section; the empty name
+// is the unnamed critical (the critical directive).
+func (tc *TC) Critical(name string, fn func()) {
+	r := tc.ctx.Runtime()
+	r.CriticalEnter(name)
+	defer r.CriticalExit(name)
+	fn()
+}
+
+// Atomic performs update atomically with respect to every other
+// Atomic call with the same cell identity (the atomic construct for
+// locations that hardware atomics cannot cover).
+func (tc *TC) Atomic(cellID uint64, update func()) {
+	tc.ctx.Runtime().AtomicUpdate(cellID, update)
+}
+
+// Master runs fn on thread 0 only; no implied barrier (the master
+// directive).
+func (tc *TC) Master(fn func()) {
+	if tc.ctx.Master() {
+		fn()
+	}
+}
+
+// Single runs fn on exactly one thread of the team, with the implicit
+// barrier of the single directive.
+func (tc *TC) Single(fn func()) error { return tc.single(fn, false) }
+
+// SingleNowait is Single without the implicit barrier (the nowait
+// clause).
+func (tc *TC) SingleNowait(fn func()) error { return tc.single(fn, true) }
+
+func (tc *TC) single(fn func(), nowait bool) error {
+	s, err := tc.ctx.SingleBegin(nowait, false)
+	if err != nil {
+		return err
+	}
+	if s.Executes() {
+		fn()
+	}
+	_, err = s.End()
+	return err
+}
+
+// SingleCopyPrivate runs fn on one thread and broadcasts its return
+// value to the whole team (the copyprivate clause).
+func (tc *TC) SingleCopyPrivate(fn func() any) (any, error) {
+	s, err := tc.ctx.SingleBegin(false, true)
+	if err != nil {
+		return nil, err
+	}
+	if s.Executes() {
+		if err := s.CopyPrivate(fn()); err != nil {
+			return nil, err
+		}
+	}
+	return s.End()
+}
+
+// Sections distributes the given blocks over the team, each executed
+// exactly once (the sections directive).
+func (tc *TC) Sections(blocks ...func()) error {
+	return tc.sections(blocks, false)
+}
+
+// SectionsNowait is Sections without the implicit barrier.
+func (tc *TC) SectionsNowait(blocks ...func()) error {
+	return tc.sections(blocks, true)
+}
+
+func (tc *TC) sections(blocks []func(), nowait bool) error {
+	s, err := tc.ctx.SectionsBegin(len(blocks), nowait)
+	if err != nil {
+		return err
+	}
+	for {
+		id := s.Next()
+		if id < 0 {
+			break
+		}
+		blocks[id]()
+	}
+	return s.End()
+}
+
+// Ordered runs fn in iteration order within a loop declared with
+// WithOrdered; i is the current loop variable value.
+func (tc *TC) Ordered(i int, fn func()) error {
+	if err := tc.ctx.OrderedBegin(int64(i)); err != nil {
+		return err
+	}
+	fn()
+	return tc.ctx.OrderedEnd()
+}
+
+// SetNumThreads sets the default team size (omp_set_num_threads).
+func SetNumThreads(n int) { defaultRuntime().SetNumThreads(n) }
+
+// GetMaxThreads returns the default team size (omp_get_max_threads).
+func GetMaxThreads() int { return defaultRuntime().GetMaxThreads() }
+
+// SetNested enables nested parallelism (omp_set_nested).
+func SetNested(v bool) { defaultRuntime().SetNested(v) }
+
+// GetNested reports whether nested parallelism is enabled
+// (omp_get_nested).
+func GetNested() bool { return defaultRuntime().GetNested() }
+
+// SetDynamic sets the dynamic-adjustment ICV (omp_set_dynamic).
+func SetDynamic(v bool) { defaultRuntime().SetDynamic(v) }
+
+// GetDynamic returns the dynamic-adjustment ICV (omp_get_dynamic).
+func GetDynamic() bool { return defaultRuntime().GetDynamic() }
+
+// SetSchedule sets the policy applied by schedule(runtime)
+// (omp_set_schedule).
+func SetSchedule(kind ScheduleKind, chunk int) error {
+	return defaultRuntime().SetSchedule(rt.Schedule{Kind: kind, Chunk: int64(chunk)})
+}
+
+// GetSchedule returns the runtime schedule (omp_get_schedule).
+func GetSchedule() (ScheduleKind, int) {
+	s := defaultRuntime().GetSchedule()
+	return s.Kind, int(s.Chunk)
+}
+
+// SetMaxActiveLevels sets the nesting cap (omp_set_max_active_levels).
+func SetMaxActiveLevels(n int) { defaultRuntime().SetMaxActiveLevels(n) }
+
+// GetMaxActiveLevels returns the nesting cap
+// (omp_get_max_active_levels).
+func GetMaxActiveLevels() int { return defaultRuntime().GetMaxActiveLevels() }
+
+// GetWTime returns elapsed wall-clock seconds (omp_get_wtime).
+func GetWTime() float64 { return defaultRuntime().GetWTime() }
+
+// GetWTick returns timer resolution in seconds (omp_get_wtick).
+func GetWTick() float64 { return defaultRuntime().GetWTick() }
+
+// Lock is an OpenMP simple lock (omp_init_lock family).
+type Lock = rt.Lock

@@ -1,0 +1,377 @@
+package omp
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelHello(t *testing.T) {
+	var seen sync.Map
+	err := Parallel(func(tc *TC) {
+		seen.Store(tc.ThreadNum(), true)
+		if tc.NumThreads() != 4 {
+			t.Errorf("NumThreads = %d", tc.NumThreads())
+		}
+		if !tc.InParallel() {
+			t.Error("InParallel false inside region")
+		}
+	}, WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := seen.Load(i); !ok {
+			t.Fatalf("thread %d missing", i)
+		}
+	}
+}
+
+func TestPiReduction(t *testing.T) {
+	// The paper's Fig. 1 workload through the native API.
+	const n = 100000
+	w := 1.0 / n
+	pi, err := ParallelReduce(0, n, 0.0, Sum[float64],
+		func(tc *TC, i int, acc float64) float64 {
+			local := (float64(i) + 0.5) * w
+			return acc + 4.0/(1.0+local*local)
+		}, WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi *= w
+	if math.Abs(pi-math.Pi) > 1e-6 {
+		t.Fatalf("pi = %.10f", pi)
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	const n = 1000
+	hits := make([]int32, n)
+	err := ParallelFor(0, n, func(tc *TC, i int) {
+		atomic.AddInt32(&hits[i], 1)
+	}, WithNumThreads(8), WithSchedule(Dynamic, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("iteration %d executed %d times", i, h)
+		}
+	}
+}
+
+func TestForStepNegative(t *testing.T) {
+	var mu sync.Mutex
+	var got []int
+	err := Parallel(func(tc *TC) {
+		if err := tc.ForStep(10, 0, -2, func(i int) {
+			mu.Lock()
+			got = append(got, i)
+			mu.Unlock()
+		}); err != nil {
+			t.Error(err)
+		}
+	}, WithNumThreads(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("visited %v", got)
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		seen[v] = true
+	}
+	for _, want := range []int{10, 8, 6, 4, 2} {
+		if !seen[want] {
+			t.Fatalf("missing %d in %v", want, got)
+		}
+	}
+}
+
+func TestForCollapse(t *testing.T) {
+	var count atomic.Int64
+	err := Parallel(func(tc *TC) {
+		err := tc.ForCollapse([][3]int{{0, 6, 1}, {0, 7, 1}}, func(idx []int) {
+			if idx[0] < 0 || idx[0] >= 6 || idx[1] < 0 || idx[1] >= 7 {
+				t.Errorf("bad index %v", idx)
+			}
+			count.Add(1)
+		}, WithSchedule(Dynamic, 5))
+		if err != nil {
+			t.Error(err)
+		}
+	}, WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 42 {
+		t.Fatalf("count = %d, want 42", count.Load())
+	}
+}
+
+func TestSingleAndMaster(t *testing.T) {
+	var singles, masters atomic.Int64
+	err := Parallel(func(tc *TC) {
+		if err := tc.Single(func() { singles.Add(1) }); err != nil {
+			t.Error(err)
+		}
+		tc.Master(func() { masters.Add(1) })
+		if err := tc.Barrier(); err != nil {
+			t.Error(err)
+		}
+	}, WithNumThreads(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if singles.Load() != 1 || masters.Load() != 1 {
+		t.Fatalf("singles=%d masters=%d", singles.Load(), masters.Load())
+	}
+}
+
+func TestSingleCopyPrivate(t *testing.T) {
+	vals := make([]any, 4)
+	err := Parallel(func(tc *TC) {
+		v, err := tc.SingleCopyPrivate(func() any { return "broadcast" })
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		vals[tc.ThreadNum()] = v
+	}, WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != "broadcast" {
+			t.Fatalf("thread %d got %v", i, v)
+		}
+	}
+}
+
+func TestSections(t *testing.T) {
+	var a, b, c atomic.Int64
+	err := Parallel(func(tc *TC) {
+		err := tc.Sections(
+			func() { a.Add(1) },
+			func() { b.Add(1) },
+			func() { c.Add(1) },
+		)
+		if err != nil {
+			t.Error(err)
+		}
+	}, WithNumThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Load() != 1 || b.Load() != 1 || c.Load() != 1 {
+		t.Fatalf("sections ran %d/%d/%d times", a.Load(), b.Load(), c.Load())
+	}
+}
+
+func TestTasksFibonacci(t *testing.T) {
+	var fibTask func(tc *TC, n int, out *int64)
+	fibTask = func(tc *TC, n int, out *int64) {
+		if n <= 1 {
+			*out = int64(n)
+			return
+		}
+		var f1, f2 int64
+		if err := tc.Task(func(tt *TC) { fibTask(tt, n-1, &f1) }, TaskIf(n > 10)); err != nil {
+			t.Error(err)
+		}
+		if err := tc.Task(func(tt *TC) { fibTask(tt, n-2, &f2) }, TaskIf(n > 10)); err != nil {
+			t.Error(err)
+		}
+		if err := tc.TaskWait(); err != nil {
+			t.Error(err)
+		}
+		*out = f1 + f2
+	}
+	var result int64
+	err := Parallel(func(tc *TC) {
+		if err := tc.Single(func() { fibTask(tc, 18, &result) }); err != nil {
+			t.Error(err)
+		}
+	}, WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result != 2584 {
+		t.Fatalf("fib(18) = %d", result)
+	}
+}
+
+func TestCriticalProtectsSharedState(t *testing.T) {
+	counter := 0
+	err := Parallel(func(tc *TC) {
+		for i := 0; i < 500; i++ {
+			tc.Critical("", func() { counter++ })
+		}
+	}, WithNumThreads(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter != 4000 {
+		t.Fatalf("counter = %d", counter)
+	}
+}
+
+func TestAtomicHelper(t *testing.T) {
+	x := 0
+	err := Parallel(func(tc *TC) {
+		for i := 0; i < 500; i++ {
+			tc.Atomic(1, func() { x++ })
+		}
+	}, WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 2000 {
+		t.Fatalf("x = %d", x)
+	}
+}
+
+func TestOrderedLoop(t *testing.T) {
+	var mu sync.Mutex
+	var order []int
+	err := Parallel(func(tc *TC) {
+		err := tc.For(0, 32, func(i int) {
+			if err := tc.Ordered(i, func() {
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+			}); err != nil {
+				t.Error(err)
+			}
+		}, WithOrdered(), WithSchedule(Dynamic, 2))
+		if err != nil {
+			t.Error(err)
+		}
+	}, WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ordered sequence broken: %v", order)
+		}
+	}
+}
+
+func TestIfClauseSerializes(t *testing.T) {
+	err := Parallel(func(tc *TC) {
+		if tc.NumThreads() != 1 {
+			t.Errorf("if(false): team size %d", tc.NumThreads())
+		}
+	}, WithNumThreads(8), WithIf(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedParallelAPI(t *testing.T) {
+	SetNested(true)
+	defer SetNested(false)
+	var innerCount atomic.Int64
+	err := Parallel(func(outer *TC) {
+		err := outer.Parallel(func(inner *TC) {
+			innerCount.Add(1)
+			if inner.Level() != 2 {
+				t.Errorf("level = %d", inner.Level())
+			}
+			if inner.TeamSize(1) != 2 {
+				t.Errorf("team size at level 1 = %d", inner.TeamSize(1))
+			}
+		}, WithNumThreads(2))
+		if err != nil {
+			t.Error(err)
+		}
+	}, WithNumThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if innerCount.Load() != 4 {
+		t.Fatalf("inner ran %d times, want 4", innerCount.Load())
+	}
+}
+
+func TestGlobalAPIRoundTrip(t *testing.T) {
+	old := GetMaxThreads()
+	defer SetNumThreads(old)
+	SetNumThreads(3)
+	if GetMaxThreads() != 3 {
+		t.Fatalf("GetMaxThreads = %d", GetMaxThreads())
+	}
+	if err := SetSchedule(Guided, 9); err != nil {
+		t.Fatal(err)
+	}
+	kind, chunk := GetSchedule()
+	if kind != Guided || chunk != 9 {
+		t.Fatalf("schedule = %v,%d", kind, chunk)
+	}
+	SetDynamic(true)
+	if !GetDynamic() {
+		t.Fatal("dynamic lost")
+	}
+	SetDynamic(false)
+	SetMaxActiveLevels(5)
+	if GetMaxActiveLevels() != 5 {
+		t.Fatal("max active levels lost")
+	}
+	if GetWTime() < 0 || GetWTick() <= 0 {
+		t.Fatal("wtime/wtick")
+	}
+	if Root().ThreadNum() != 0 || Root().NumThreads() != 1 {
+		t.Fatal("root context")
+	}
+}
+
+func TestReduceForWithinParallel(t *testing.T) {
+	total := int64(0)
+	err := Parallel(func(tc *TC) {
+		part, err := ReduceFor(tc, 1, 101, int64(0), Sum[int64],
+			func(i int, acc int64) int64 { return acc + int64(i) })
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		tc.Critical("", func() { total += part })
+	}, WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5050 {
+		t.Fatalf("sum = %d", total)
+	}
+}
+
+func TestMinMaxCombiners(t *testing.T) {
+	minV, err := ParallelReduce(0, 100, int64(1<<60), Min[int64],
+		func(tc *TC, i int, acc int64) int64 {
+			v := int64((i*37)%100 - 50)
+			if v < acc {
+				return v
+			}
+			return acc
+		}, WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxV, err := ParallelReduce(0, 100, int64(-1<<60), Max[int64],
+		func(tc *TC, i int, acc int64) int64 {
+			v := int64((i*37)%100 - 50)
+			if v > acc {
+				return v
+			}
+			return acc
+		}, WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minV != -50 || maxV != 49 {
+		t.Fatalf("min=%d max=%d", minV, maxV)
+	}
+}

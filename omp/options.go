@@ -1,0 +1,57 @@
+package omp
+
+import "github.com/omp4go/omp4go/internal/rt"
+
+// Option configures a parallel region or worksharing loop, mirroring
+// OpenMP clauses.
+type Option func(*options)
+
+type options struct {
+	numThreads int
+	ifSet      bool
+	ifVal      bool
+	schedSet   bool
+	sched      rt.Schedule
+	nowait     bool
+	ordered    bool
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithNumThreads is the num_threads clause.
+func WithNumThreads(n int) Option {
+	return func(o *options) { o.numThreads = n }
+}
+
+// WithIf is the if clause: when cond is false the region runs
+// serialized (teams of one) and tasks run undeferred.
+func WithIf(cond bool) Option {
+	return func(o *options) { o.ifSet, o.ifVal = true, cond }
+}
+
+// WithSchedule is the schedule clause; chunk 0 selects the policy
+// default.
+func WithSchedule(kind ScheduleKind, chunk int) Option {
+	return func(o *options) {
+		o.schedSet = true
+		o.sched = rt.Schedule{Kind: kind, Chunk: int64(chunk)}
+	}
+}
+
+// WithNoWait is the nowait clause: the worksharing construct skips
+// its implicit barrier.
+func WithNoWait() Option {
+	return func(o *options) { o.nowait = true }
+}
+
+// WithOrdered is the ordered clause, enabling tc.Ordered inside the
+// loop.
+func WithOrdered() Option {
+	return func(o *options) { o.ordered = true }
+}

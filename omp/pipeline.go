@@ -1,0 +1,216 @@
+package omp
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/omp4go/omp4go/internal/compile"
+	"github.com/omp4go/omp4go/internal/interp"
+	"github.com/omp4go/omp4go/internal/minipy"
+	"github.com/omp4go/omp4go/internal/rt"
+	"github.com/omp4go/omp4go/internal/transform"
+)
+
+// Mode selects an OMP4Py execution mode for MiniPy programs (§III-B):
+// how user code executes and which runtime flavour backs the OpenMP
+// primitives.
+type Mode int
+
+// Execution modes.
+const (
+	// ModePure interprets user code and coordinates the runtime with
+	// mutexes (the pure-Python runtime).
+	ModePure Mode = iota
+	// ModeHybrid interprets user code over the atomic native runtime
+	// (the cruntime; OMP4Py's default).
+	ModeHybrid
+	// ModeCompiled compiles user code to closures with boxed values
+	// (Cython without annotations).
+	ModeCompiled
+	// ModeCompiledDT additionally honours int/float annotations for
+	// unboxed native execution (Cython with data types).
+	ModeCompiledDT
+)
+
+// String returns the paper's mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModePure:
+		return "Pure"
+	case ModeHybrid:
+		return "Hybrid"
+	case ModeCompiled:
+		return "Compiled"
+	case ModeCompiledDT:
+		return "CompiledDT"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ProgramOption configures Load/Exec.
+type ProgramOption func(*programConfig)
+
+type programConfig struct {
+	stdout io.Writer
+	gil    bool
+	getenv func(string) string
+}
+
+// WithStdout routes print() output (default os.Stdout).
+func WithStdout(w io.Writer) ProgramOption {
+	return func(c *programConfig) { c.stdout = w }
+}
+
+// WithGIL enables the GIL-enabled-interpreter model for interpreted
+// modes (the pre-free-threading baseline).
+func WithGIL() ProgramOption {
+	return func(c *programConfig) { c.gil = true }
+}
+
+// WithEnv supplies OMP_* environment variables (default os.Getenv).
+func WithEnv(getenv func(string) string) ProgramOption {
+	return func(c *programConfig) { c.getenv = getenv }
+}
+
+// Program is a loaded MiniPy module: its top-level code has run and
+// its functions are callable from Go.
+type Program struct {
+	in   *interp.Interp
+	mode Mode
+	// Transformed lists the @omp-decorated functions that were
+	// rewritten, and Dumps their generated source for functions
+	// decorated with @omp(dump=True).
+	Transformed []string
+	Dumps       map[string]string
+}
+
+// Load parses source, applies the @omp transformation, compiles it
+// when the mode asks for it, and executes the module top level.
+func Load(source, filename string, mode Mode, opts ...ProgramOption) (*Program, error) {
+	cfg := programConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	mod, err := minipy.Parse(source, filename)
+	if err != nil {
+		return nil, err
+	}
+	res, err := transform.Module(mod)
+	if err != nil {
+		return nil, err
+	}
+	layer := rt.LayerAtomic
+	if mode == ModePure {
+		layer = rt.LayerMutex
+	}
+	in := interp.New(interp.Options{
+		Layer:  layer,
+		GIL:    cfg.gil && (mode == ModePure || mode == ModeHybrid),
+		Stdout: cfg.stdout,
+		Getenv: cfg.getenv,
+	})
+	switch mode {
+	case ModeCompiled, ModeCompiledDT:
+		if err := compile.Install(in, mod, compile.Options{Typed: mode == ModeCompiledDT}); err != nil {
+			return nil, err
+		}
+	case ModeHybrid:
+		// Per-function @omp(compile=True) is honoured in Hybrid mode,
+		// matching §III-F's mixing of Hybrid and Compiled functions.
+		if len(res.Compile) > 0 {
+			if err := compile.Install(in, mod, compile.Options{Only: res.Compile}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := in.RunModule(mod); err != nil {
+		return nil, err
+	}
+	return &Program{in: in, mode: mode, Transformed: res.Functions, Dumps: res.Dumps}, nil
+}
+
+// Exec is Load for programs that do all their work at module level.
+func Exec(source, filename string, mode Mode, opts ...ProgramOption) error {
+	_, err := Load(source, filename, mode, opts...)
+	return err
+}
+
+// Mode reports the program's execution mode.
+func (p *Program) Mode() Mode { return p.mode }
+
+// Call invokes a module-level function with Go values (bool, int,
+// int64, float64, string, []float64, []int64, and nested []any are
+// converted) and converts the result back the same way.
+func (p *Program) Call(fn string, args ...any) (any, error) {
+	vals := make([]interp.Value, len(args))
+	for i, a := range args {
+		v, err := toValue(a)
+		if err != nil {
+			return nil, fmt.Errorf("omp: argument %d: %w", i, err)
+		}
+		vals[i] = v
+	}
+	out, err := p.in.CallFunction(fn, vals...)
+	if err != nil {
+		return nil, err
+	}
+	return fromValue(out), nil
+}
+
+func toValue(a any) (interp.Value, error) {
+	switch v := a.(type) {
+	case nil, bool, int64, float64, string:
+		return v, nil
+	case int:
+		return int64(v), nil
+	case float32:
+		return float64(v), nil
+	case []float64:
+		return interp.AdoptFloats(v), nil
+	case []int64:
+		return interp.AdoptInts(v), nil
+	case []any:
+		elts := make([]interp.Value, len(v))
+		for i, e := range v {
+			ev, err := toValue(e)
+			if err != nil {
+				return nil, err
+			}
+			elts[i] = ev
+		}
+		return interp.NewList(elts), nil
+	}
+	return nil, fmt.Errorf("unsupported Go value of type %T", a)
+}
+
+func fromValue(v interp.Value) any {
+	switch t := v.(type) {
+	case nil, bool, int64, float64, string:
+		return t
+	case *interp.List:
+		if fs, ok := t.FloatData(); ok {
+			return append([]float64(nil), fs...)
+		}
+		if is, ok := t.IntData(); ok {
+			return append([]int64(nil), is...)
+		}
+		out := make([]any, t.Len())
+		for i := range out {
+			out[i] = fromValue(t.Get(i))
+		}
+		return out
+	case *interp.Tuple:
+		out := make([]any, len(t.Elts))
+		for i, e := range t.Elts {
+			out[i] = fromValue(e)
+		}
+		return out
+	case *interp.Dict:
+		out := make(map[any]any, t.Len())
+		for _, kv := range t.Items() {
+			out[fromValue(kv[0])] = fromValue(kv[1])
+		}
+		return out
+	}
+	return v
+}

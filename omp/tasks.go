@@ -1,0 +1,50 @@
+package omp
+
+import "github.com/omp4go/omp4go/internal/rt"
+
+// TaskOption configures a task directive.
+type TaskOption func(*taskOptions)
+
+type taskOptions struct {
+	ifSet    bool
+	ifVal    bool
+	finalSet bool
+	finalVal bool
+}
+
+// TaskIf is the task if clause: when cond is false the task is
+// undeferred and runs immediately on the encountering thread.
+func TaskIf(cond bool) TaskOption {
+	return func(o *taskOptions) { o.ifSet, o.ifVal = true, cond }
+}
+
+// TaskFinal is the final clause: descendants of a final task are
+// executed inline instead of being deferred.
+func TaskFinal(cond bool) TaskOption {
+	return func(o *taskOptions) { o.finalSet, o.finalVal = true, cond }
+}
+
+// Task packages fn into a task placed on the team's shared queue; any
+// team thread may pick it up (the task directive).
+func (tc *TC) Task(fn func(tc *TC), opts ...TaskOption) error {
+	var o taskOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	ro := rt.TaskOpts{}
+	if o.ifSet {
+		ro.If, ro.IfSet = o.ifVal, true
+	}
+	if o.finalSet {
+		ro.Final, ro.FinalSet = o.finalVal, true
+	}
+	return tc.ctx.SubmitTask(ro, func(c *rt.Context) error {
+		fn(&TC{ctx: c})
+		return nil
+	})
+}
+
+// TaskWait suspends the current task until all its direct children
+// complete, executing queued tasks meanwhile (the taskwait
+// directive).
+func (tc *TC) TaskWait() error { return tc.ctx.TaskWait() }
