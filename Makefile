@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: build test race vet verify bench trace clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the packages with concurrency-sensitive tests under the
+# race detector (runtime, tracing, public API).
+race:
+	$(GO) test -race ./internal/rt/... ./internal/ompt/... ./omp/...
+
+vet:
+	$(GO) vet ./...
+
+# verify is the CI gate: static checks plus the race-detector pass
+# over the runtime and observability layers.
+verify: vet
+	$(GO) test ./...
+	$(GO) test -race ./internal/rt/... ./internal/ompt/... ./omp/...
+
+bench:
+	$(GO) test -run=NONE -bench=BenchmarkFig5 -benchtime=1x ./...
+
+# trace produces the demo Chrome trace (load in chrome://tracing or
+# ui.perfetto.dev).
+trace:
+	$(GO) run ./cmd/omp4go-trace pi 4
+
+clean:
+	$(GO) clean ./...
+	rm -f *-trace.json BENCH_report.json

@@ -1,9 +1,12 @@
 // Command omp4go-report regenerates the paper's tables and figures:
 // table1, fig5, fig6, fig7, fig8, summary, or all. Output is plain
-// text suitable for EXPERIMENTS.md.
+// text suitable for EXPERIMENTS.md; -json additionally writes the
+// figure datasets (per-benchmark mode x threads timings) to a
+// machine-readable report file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -16,6 +19,8 @@ func main() {
 	threadsFlag := flag.Int("maxthreads", 8, "cap the thread sweep (paper: 32)")
 	reps := flag.Int("reps", 1, "repetitions to average (paper: 10)")
 	scale := flag.Float64("scale", 1.0, "problem-size multiplier over the defaults")
+	jsonPath := flag.String("json", "BENCH_report.json",
+		"write figure datasets as JSON to this file (empty disables)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: omp4go-report [flags] table1|fig5|fig6|fig7|fig8|summary|all")
 		flag.PrintDefaults()
@@ -57,12 +62,54 @@ func main() {
 	default:
 		flag.Usage()
 	}
+
+	if *jsonPath != "" && len(r.figures) > 0 {
+		check(r.writeJSON(*jsonPath))
+		fmt.Printf("wrote %d figure datasets to %s\n", len(r.figures), *jsonPath)
+	}
 }
 
 type reporter struct {
 	threads []int
 	reps    int
 	scale   float64
+	figures []figureJSON
+}
+
+// figureJSON is one figure dataset in the -json report: the figure the
+// points belong to, the benchmark, and the mode x threads timings.
+type figureJSON struct {
+	Figure    string         `json:"figure"`
+	Benchmark string         `json:"benchmark,omitempty"`
+	Title     string         `json:"title"`
+	XLabel    string         `json:"xlabel"`
+	Series    []bench.Series `json:"series"`
+}
+
+func (r *reporter) record(figure, benchmark string, f *bench.Figure) {
+	r.figures = append(r.figures, figureJSON{
+		Figure: figure, Benchmark: benchmark,
+		Title: f.Title, XLabel: f.XLabel, Series: f.Series,
+	})
+}
+
+func (r *reporter) writeJSON(path string) error {
+	report := struct {
+		MaxThreads  int          `json:"max_threads"`
+		Repetitions int          `json:"repetitions"`
+		Scale       float64      `json:"scale"`
+		Figures     []figureJSON `json:"figures"`
+	}{
+		MaxThreads:  r.threads[len(r.threads)-1],
+		Repetitions: r.reps,
+		Scale:       r.scale,
+		Figures:     r.figures,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func (r *reporter) opts(name string) bench.FigureOptions {
@@ -90,6 +137,7 @@ func (r *reporter) fig5() {
 		}
 		fig, err := bench.Figure5(name, r.opts(name))
 		check(err)
+		r.record("fig5", name, fig)
 		fmt.Println(fig.Render())
 	}
 }
@@ -99,6 +147,7 @@ func (r *reporter) fig6() {
 	for _, name := range []string{"graphic", "wordcount"} {
 		fig, err := bench.Figure6(name, r.opts(name))
 		check(err)
+		r.record("fig6", name, fig)
 		fmt.Println(fig.Render())
 	}
 }
@@ -109,6 +158,7 @@ func (r *reporter) fig7() {
 		fig, err := bench.Figure7(name,
 			[]bench.Mode{bench.Pure, bench.Hybrid, bench.CompiledDT}, 300, r.opts(name))
 		check(err)
+		r.record("fig7", name, fig)
 		fmt.Println(fig.Render())
 	}
 }
@@ -125,6 +175,7 @@ func (r *reporter) fig8() {
 		N: int(192 * r.scale), Iters: 5,
 	})
 	check(err)
+	r.record("fig8", "jacobi", fig)
 	fmt.Println(fig.Render())
 	fmt.Println(fig.Speedups("").Render())
 }

@@ -1,0 +1,116 @@
+// Command omp4go-trace runs one benchmark under the observability
+// subsystem and writes a Chrome trace_event JSON file (open in
+// chrome://tracing or https://ui.perfetto.dev) plus a plain-text
+// summary of wait times and load imbalance.
+//
+// usage: omp4go-trace [flags] <test> <threads> [size-args...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/omp4go/omp4go/internal/bench"
+	"github.com/omp4go/omp4go/internal/ompt"
+	"github.com/omp4go/omp4go/internal/rt"
+)
+
+func main() {
+	modeFlag := flag.Int("mode", 1, "execution mode: 0=Pure 1=Hybrid 2=Compiled 3=CompiledDT")
+	out := flag.String("o", "", "trace output file (default <test>-trace.json)")
+	paper := flag.Bool("paper", false, "use the paper's problem sizes (may take hours)")
+	validate := flag.Bool("validate", false, "check the checksum against the sequential reference")
+	summary := flag.Bool("summary", true, "print the plain-text trace summary")
+	sched := flag.String("schedule", "", "run-sched ICV for schedule(runtime) loops, e.g. dynamic,300")
+	ringSize := flag.Int("ringsize", 0, "per-thread ring capacity in events (0 = default)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: omp4go-trace [flags] <test> <threads> [size-args...]\n  test: %s\nflags:\n",
+			strings.Join(bench.Names, ", "))
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	flag.Parse()
+	if flag.NArg() < 2 {
+		flag.Usage()
+	}
+	name := flag.Arg(0)
+	b, ok := bench.Registry[name]
+	if !ok {
+		fail("unknown test %q (valid: %s)", name, strings.Join(bench.Names, ", "))
+	}
+	threads, err := strconv.Atoi(flag.Arg(1))
+	if err != nil || threads < 1 {
+		fail("invalid thread count %q", flag.Arg(1))
+	}
+	mode, err := bench.ParseMode(*modeFlag)
+	if err != nil || mode == bench.PyOMP {
+		fail("invalid mode %d (tracing needs an OMP4Py mode, 0-3)", *modeFlag)
+	}
+
+	args := b.DefaultArgs
+	if *paper {
+		args = b.PaperArgs
+	}
+	if flag.NArg() > 2 {
+		args = nil
+		for _, a := range flag.Args()[2:] {
+			v, err := strconv.ParseInt(a, 10, 64)
+			if err != nil {
+				fail("invalid size arg %q", a)
+			}
+			args = append(args, v)
+		}
+	}
+
+	cfg := bench.RunConfig{Threads: threads, Args: args}
+	if *sched != "" {
+		s, err := rt.ParseScheduleEnv(*sched)
+		if err != nil {
+			fail("invalid -schedule %q: %v", *sched, err)
+		}
+		cfg.Schedule = s
+	}
+	tracer := ompt.NewTracer(*ringSize)
+	cfg.Tool = tracer
+
+	run := bench.Run
+	if *validate {
+		run = bench.Validate
+	}
+	res, err := run(mode, name, cfg)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	path := *out
+	if path == "" {
+		path = name + "-trace.json"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		fail("writing trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fail("writing trace: %v", err)
+	}
+
+	fmt.Printf("%s %s %d threads: %.4fs checksum %v\n", name, mode, threads, res.Seconds, res.Checksum)
+	fmt.Printf("trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", path)
+	if *summary {
+		fmt.Println()
+		if err := tracer.WriteSummary(os.Stdout); err != nil {
+			fail("writing summary: %v", err)
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "omp4go-trace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -10,6 +10,7 @@ import (
 	"github.com/omp4go/omp4go/internal/graph"
 	"github.com/omp4go/omp4go/internal/interp"
 	"github.com/omp4go/omp4go/internal/minipy"
+	"github.com/omp4go/omp4go/internal/ompt"
 	"github.com/omp4go/omp4go/internal/pyomp"
 	"github.com/omp4go/omp4go/internal/rt"
 	"github.com/omp4go/omp4go/internal/textgen"
@@ -225,6 +226,14 @@ type RunConfig struct {
 	ContendedAllocOff bool
 	// Stdout captures program prints (nil discards them).
 	Stdout io.Writer
+	// Tool attaches an observability tool to the program's runtime
+	// before the kernel runs (OMP4Py modes only; PyOMP is native Go
+	// and has no instrumented runtime).
+	Tool ompt.Tool
+	// CollectMetrics attaches an internal tracer (when Tool is nil)
+	// and fills Result.Metrics with aggregate wait-time and
+	// load-imbalance statistics.
+	CollectMetrics bool
 }
 
 // Result is one measurement.
@@ -234,6 +243,9 @@ type Result struct {
 	Mode     Mode
 	Name     string
 	Threads  int
+	// Metrics holds trace aggregates (barrier wait, load imbalance,
+	// task counts) when CollectMetrics was set.
+	Metrics *ompt.Stats
 }
 
 // Run executes one benchmark in one mode and times the kernel
@@ -257,6 +269,9 @@ func Run(mode Mode, name string, cfg RunConfig) (Result, error) {
 	}
 	res := Result{Mode: mode, Name: name, Threads: cfg.Threads}
 
+	if mode == PyOMP && (cfg.Tool != nil || cfg.CollectMetrics) {
+		return Result{}, fmt.Errorf("bench: tracing is not supported for the native PyOMP baseline")
+	}
 	if mode == PyOMP {
 		start := time.Now()
 		sum, err := pyomp.Run(name, cfg.Threads, args)
@@ -293,6 +308,15 @@ func Run(mode Mode, name string, cfg RunConfig) (Result, error) {
 	}
 	in := interp.New(opts)
 	installInputModules(in)
+	tool := cfg.Tool
+	var tracer *ompt.Tracer
+	if cfg.CollectMetrics && tool == nil {
+		tracer = ompt.NewTracer(0)
+		tool = tracer
+	}
+	if tool != nil {
+		in.Runtime().SetTool(tool)
+	}
 	if mode == Compiled || mode == CompiledDT {
 		if err := compile.Install(in, mod, compile.Options{Typed: mode == CompiledDT}); err != nil {
 			return Result{}, fmt.Errorf("bench: compile %s: %w", name, err)
@@ -323,6 +347,14 @@ func Run(mode Mode, name string, cfg RunConfig) (Result, error) {
 		return Result{}, fmt.Errorf("bench: %s returned %s, want a number", name, interp.TypeName(v))
 	}
 	res.Checksum = sum
+	if cfg.CollectMetrics {
+		if tracer == nil {
+			tracer, _ = tool.(*ompt.Tracer)
+		}
+		if tracer != nil {
+			res.Metrics = tracer.Stats()
+		}
+	}
 	return res, nil
 }
 

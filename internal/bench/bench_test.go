@@ -170,3 +170,35 @@ func TestCompiledDTFasterThanPureOnPi(t *testing.T) {
 		t.Errorf("CompiledDT (%.4fs) not faster than Pure (%.4fs)", dt.Seconds, pure.Seconds)
 	}
 }
+
+func TestCollectMetrics(t *testing.T) {
+	res, err := Run(Hybrid, "pi", RunConfig{
+		Threads:        4,
+		Args:           smallArgs["pi"],
+		CollectMetrics: true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	m := res.Metrics
+	if m == nil {
+		t.Fatal("CollectMetrics did not fill Result.Metrics")
+	}
+	if m.Regions < 1 || m.Records == 0 {
+		t.Fatalf("metrics = %+v, want at least one region", m)
+	}
+	if m.LoadImbalance < 1.0 {
+		t.Fatalf("LoadImbalance = %v, want >= 1", m.LoadImbalance)
+	}
+}
+
+func TestTracingRejectedForPyOMP(t *testing.T) {
+	_, err := Run(PyOMP, "pi", RunConfig{
+		Threads:        2,
+		Args:           smallArgs["pi"],
+		CollectMetrics: true,
+	})
+	if err == nil {
+		t.Fatal("PyOMP with tracing should be rejected")
+	}
+}

@@ -464,23 +464,23 @@ func (in *Interp) installOmpModule() {
 
 	reg(gen, "critical_enter", true, func(th *Thread, args []Value) (Value, error) {
 		name, _ := args[0].(string)
-		th.in.rt.CriticalEnter(name)
+		th.ctx.CriticalEnter(name)
 		return nil, nil
 	})
 
 	reg(gen, "critical_exit", false, func(th *Thread, args []Value) (Value, error) {
 		name, _ := args[0].(string)
-		th.in.rt.CriticalExit(name)
+		th.ctx.CriticalExit(name)
 		return nil, nil
 	})
 
 	reg(gen, "mutex_lock", true, func(th *Thread, args []Value) (Value, error) {
-		th.in.rt.CriticalEnter("__omp_reduction")
+		th.ctx.CriticalEnter("__omp_reduction")
 		return nil, nil
 	})
 
 	reg(gen, "mutex_unlock", false, func(th *Thread, args []Value) (Value, error) {
-		th.in.rt.CriticalExit("__omp_reduction")
+		th.ctx.CriticalExit("__omp_reduction")
 		return nil, nil
 	})
 
@@ -614,6 +614,7 @@ func (in *Interp) installOmpModule() {
 		if !found {
 			return nil, nameErrorf(minipy.Position{}, "reduction %q is not declared", ident)
 		}
+		th.ctx.ReductionMerge(ident)
 		return d.Combine(args[1], args[2]), nil
 	})
 

@@ -1,0 +1,205 @@
+package ompt
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingPushSnapshot(t *testing.T) {
+	r := newRing(8)
+	for i := 0; i < 5; i++ {
+		r.push(Record{Time: int64(i), Kind: EvLoopChunk})
+	}
+	recs, dropped := r.snapshot()
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", dropped)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("len(recs) = %d, want 5", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Time != int64(i) {
+			t.Fatalf("recs[%d].Time = %d, want %d", i, rec.Time, i)
+		}
+	}
+}
+
+func TestRingOverflowDropsOldest(t *testing.T) {
+	r := newRing(8)
+	for i := 0; i < 20; i++ {
+		r.push(Record{Time: int64(i)})
+	}
+	recs, dropped := r.snapshot()
+	if dropped != 12 {
+		t.Fatalf("dropped = %d, want 12", dropped)
+	}
+	if len(recs) != 8 {
+		t.Fatalf("len(recs) = %d, want 8", len(recs))
+	}
+	// The retained window is the newest 8 records, in push order.
+	for i, rec := range recs {
+		if want := int64(12 + i); rec.Time != want {
+			t.Fatalf("recs[%d].Time = %d, want %d", i, rec.Time, want)
+		}
+	}
+}
+
+func TestRingRoundsToPowerOfTwo(t *testing.T) {
+	r := newRing(10)
+	if len(r.buf) != 16 {
+		t.Fatalf("capacity = %d, want 16", len(r.buf))
+	}
+	if d := newRing(0); len(d.buf) != DefaultRingSize {
+		t.Fatalf("default capacity = %d, want %d", len(d.buf), DefaultRingSize)
+	}
+}
+
+// TestTracerConcurrentEmit exercises the one-ring-per-GTID path from
+// many goroutines at once (run under -race).
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(64)
+	const threads, events = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(gtid int32) {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				tr.Emit(Record{Time: int64(gtid)*1000 + int64(i), GTID: gtid, Kind: EvLoopChunk})
+			}
+		}(int32(g))
+	}
+	wg.Wait()
+	recs := tr.Records()
+	if len(recs) != threads*events {
+		t.Fatalf("len(recs) = %d, want %d", len(recs), threads*events)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Time < recs[i-1].Time {
+			t.Fatalf("records not sorted by time at %d", i)
+		}
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", tr.Dropped())
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	recs := []Record{
+		{Time: 0, Kind: EvParallelBegin, GTID: 0, A: 1, B: 2},
+		{Time: 10, Kind: EvLoopChunk, GTID: 1, A: 0, B: 50, Dur: 100},
+		{Time: 20, Kind: EvLoopChunk, GTID: 2, A: 50, B: 100, Dur: 300},
+		{Time: 30, Kind: EvBarrierExit, GTID: 1, Dur: 40},
+		{Time: 30, Kind: EvBarrierExit, GTID: 2, Dur: 10},
+		{Time: 40, Kind: EvTaskCreate, GTID: 1, A: 1, B: 3},
+		{Time: 50, Kind: EvTaskEnd, GTID: 2, A: 1, Dur: 25},
+		{Time: 60, Kind: EvCriticalAcquire, GTID: 1, Dur: 7},
+		{Time: 100, Kind: EvParallelEnd, GTID: 0, A: 1, B: 2, Dur: 100},
+	}
+	s := ComputeStats(recs, 3)
+	if s.Regions != 1 {
+		t.Fatalf("Regions = %d, want 1", s.Regions)
+	}
+	if s.TasksCreated != 1 || s.MaxQueueDepth != 3 {
+		t.Fatalf("tasks = %d depth = %d, want 1 and 3", s.TasksCreated, s.MaxQueueDepth)
+	}
+	if s.TotalBarrierWaitNS != 50 {
+		t.Fatalf("TotalBarrierWaitNS = %d, want 50", s.TotalBarrierWaitNS)
+	}
+	if s.TotalCriticalWaitNS != 7 {
+		t.Fatalf("TotalCriticalWaitNS = %d, want 7", s.TotalCriticalWaitNS)
+	}
+	if s.Dropped != 3 {
+		t.Fatalf("Dropped = %d, want 3", s.Dropped)
+	}
+	if s.SpanNS != 100 {
+		t.Fatalf("SpanNS = %d, want 100", s.SpanNS)
+	}
+	// Thread 1 work = 100 (chunk); thread 2 work = 300 + 25 (chunk +
+	// task). Imbalance = max/mean = 325 / 212.5.
+	want := 325.0 / 212.5
+	if s.LoadImbalance < want-1e-9 || s.LoadImbalance > want+1e-9 {
+		t.Fatalf("LoadImbalance = %v, want %v", s.LoadImbalance, want)
+	}
+	var t1 *ThreadStats
+	for i := range s.Threads {
+		if s.Threads[i].GTID == 1 {
+			t1 = &s.Threads[i]
+		}
+	}
+	if t1 == nil || t1.Chunks != 1 || t1.Iterations != 50 || t1.BarrierWaitNS != 40 {
+		t.Fatalf("thread 1 stats = %+v", t1)
+	}
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Emit(Record{Time: 0, Kind: EvParallelBegin, GTID: 0, A: 1, B: 2})
+	tr.Emit(Record{Time: 5, Kind: EvImplicitTaskBegin, GTID: 1, A: 1, B: 0})
+	tr.Emit(Record{Time: 10, Kind: EvLoopBegin, GTID: 1, A: 100, Label: "static"})
+	tr.Emit(Record{Time: 40, Kind: EvLoopChunk, GTID: 1, A: 0, B: 100, Dur: 30})
+	tr.Emit(Record{Time: 41, Kind: EvLoopEnd, GTID: 1, A: 100})
+	tr.Emit(Record{Time: 42, Kind: EvBarrierEnter, GTID: 1, B: 1})
+	tr.Emit(Record{Time: 50, Kind: EvBarrierExit, GTID: 1, B: 1, Dur: 8})
+	tr.Emit(Record{Time: 55, Kind: EvImplicitTaskEnd, GTID: 1, A: 1, B: 0})
+	tr.Emit(Record{Time: 60, Kind: EvParallelEnd, GTID: 0, A: 1, B: 2, Dur: 60})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Unit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", doc.Unit)
+	}
+	var phases []string
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		phases = append(phases, ph)
+	}
+	joined := strings.Join(phases, "")
+	for _, want := range []string{"B", "E", "X", "M"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("trace has no %q events: %v", want, phases)
+		}
+	}
+	// The barrier enter/exit pair must collapse into one X span with a
+	// wait_us arg.
+	found := false
+	for _, e := range doc.TraceEvents {
+		if name, _ := e["name"].(string); strings.HasPrefix(name, "barrier") {
+			args, _ := e["args"].(map[string]any)
+			if _, ok := args["wait_us"]; ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no barrier X event with wait_us arg:\n%s", buf.String())
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Emit(Record{Time: 0, Kind: EvParallelBegin, GTID: 0, A: 1, B: 2})
+	tr.Emit(Record{Time: 10, Kind: EvLoopChunk, GTID: 1, A: 0, B: 10, Dur: 5})
+	tr.Emit(Record{Time: 90, Kind: EvParallelEnd, GTID: 0, A: 1, B: 2, Dur: 90})
+	var buf bytes.Buffer
+	if err := tr.WriteSummary(&buf); err != nil {
+		t.Fatalf("WriteSummary: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"trace summary", "parallel regions 1", "thread"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package ompt
+
+import "sync/atomic"
+
+// DefaultRingSize is the per-thread ring capacity (records) used when
+// a Tracer is created with size 0. At 16384 records × ~80 bytes a
+// busy thread holds ~1.3 MB of trace.
+const DefaultRingSize = 1 << 14
+
+// ring is a single-producer ring buffer of records. Exactly one
+// goroutine (the owning thread) pushes; readers snapshot only after
+// the producer has quiesced (after the enclosing parallel region
+// joined), so pushes need no locks: the write cursor is published
+// with a single atomic store. When the ring wraps, the oldest records
+// are overwritten and counted as dropped — tracing never blocks or
+// unboundedly grows the traced program.
+type ring struct {
+	buf  []Record
+	mask uint64
+	// head is the total number of records ever pushed; the next
+	// record lands at buf[head&mask].
+	head atomic.Uint64
+}
+
+// newRing creates a ring with capacity rounded up to a power of two.
+func newRing(size int) *ring {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	capacity := 1
+	for capacity < size {
+		capacity <<= 1
+	}
+	return &ring{buf: make([]Record, capacity), mask: uint64(capacity - 1)}
+}
+
+// push appends one record, overwriting the oldest when full. Caller
+// must be the ring's single producer.
+func (r *ring) push(rec Record) {
+	h := r.head.Load()
+	r.buf[h&r.mask] = rec
+	// Store-release publishes the record before the new cursor.
+	r.head.Store(h + 1)
+}
+
+// snapshot returns the retained records in push order plus the count
+// of records lost to wrapping. Call only while the producer is
+// quiescent (e.g. after the traced parallel regions have joined).
+func (r *ring) snapshot() (recs []Record, dropped uint64) {
+	h := r.head.Load()
+	n := uint64(len(r.buf))
+	if h <= n {
+		out := make([]Record, h)
+		copy(out, r.buf[:h])
+		return out, 0
+	}
+	// The ring wrapped: the oldest retained record is at head&mask.
+	out := make([]Record, n)
+	start := h & r.mask
+	copy(out, r.buf[start:])
+	copy(out[n-start:], r.buf[:start])
+	return out, h - n
+}

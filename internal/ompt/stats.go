@@ -1,0 +1,129 @@
+package ompt
+
+import "sort"
+
+// ThreadStats aggregates one thread's events.
+type ThreadStats struct {
+	GTID   int32
+	Events int
+	// Chunks and Iterations count worksharing-loop work claimed by
+	// the thread; WorkNS is the time spent executing it plus
+	// explicit-task bodies.
+	Chunks     int
+	Iterations int64
+	WorkNS     int64
+	// Barriers counts barrier passages; BarrierWaitNS is the
+	// accumulated wait time (task execution while waiting excluded).
+	Barriers      int
+	BarrierWaitNS int64
+	// CriticalWaitNS is time spent contending for critical sections;
+	// CriticalHeldNS time spent holding them.
+	CriticalWaitNS int64
+	CriticalHeldNS int64
+	TasksRun       int
+}
+
+// Stats is the aggregate view of one trace: where the team's time
+// went, and how evenly the work was spread.
+type Stats struct {
+	Threads []ThreadStats // sorted by GTID
+
+	Regions      int
+	TasksCreated int
+	// MaxQueueDepth is the deepest observed task queue (outstanding
+	// explicit tasks at any submission).
+	MaxQueueDepth int64
+
+	TotalBarrierWaitNS  int64
+	TotalCriticalWaitNS int64
+
+	// LoadImbalance is max(thread work time) / mean(thread work
+	// time) over threads that executed any work; 1.0 is perfectly
+	// balanced. Zero when no work was traced.
+	LoadImbalance float64
+
+	// SpanNS is the time between the first and last event.
+	SpanNS int64
+
+	Records int
+	Dropped uint64
+}
+
+// ComputeStats aggregates a sorted or unsorted record stream.
+func ComputeStats(recs []Record, dropped uint64) *Stats {
+	s := &Stats{Records: len(recs), Dropped: dropped}
+	if len(recs) == 0 {
+		return s
+	}
+	byThread := make(map[int32]*ThreadStats)
+	th := func(gtid int32) *ThreadStats {
+		t, ok := byThread[gtid]
+		if !ok {
+			t = &ThreadStats{GTID: gtid}
+			byThread[gtid] = t
+		}
+		return t
+	}
+	minT, maxT := recs[0].Time, recs[0].Time
+	for _, r := range recs {
+		if r.Time < minT {
+			minT = r.Time
+		}
+		if end := r.Time; end > maxT {
+			maxT = end
+		}
+		t := th(r.GTID)
+		t.Events++
+		switch r.Kind {
+		case EvParallelBegin:
+			s.Regions++
+		case EvBarrierExit:
+			t.Barriers++
+			t.BarrierWaitNS += r.Dur
+			s.TotalBarrierWaitNS += r.Dur
+		case EvLoopChunk:
+			t.Chunks++
+			t.Iterations += r.B - r.A
+			t.WorkNS += r.Dur
+		case EvTaskCreate:
+			s.TasksCreated++
+			if r.B > s.MaxQueueDepth {
+				s.MaxQueueDepth = r.B
+			}
+		case EvTaskEnd:
+			t.TasksRun++
+			t.WorkNS += r.Dur
+		case EvCriticalAcquire:
+			t.CriticalWaitNS += r.Dur
+			s.TotalCriticalWaitNS += r.Dur
+		case EvCriticalRelease:
+			t.CriticalHeldNS += r.Dur
+		}
+	}
+	s.SpanNS = maxT - minT
+	for _, t := range byThread {
+		s.Threads = append(s.Threads, *t)
+	}
+	sort.Slice(s.Threads, func(i, j int) bool { return s.Threads[i].GTID < s.Threads[j].GTID })
+
+	var busy []int64
+	for _, t := range s.Threads {
+		if t.WorkNS > 0 {
+			busy = append(busy, t.WorkNS)
+		}
+	}
+	if len(busy) > 0 {
+		var max, sum int64
+		for _, w := range busy {
+			sum += w
+			if w > max {
+				max = w
+			}
+		}
+		mean := float64(sum) / float64(len(busy))
+		if mean > 0 {
+			s.LoadImbalance = float64(max) / mean
+		}
+	}
+	return s
+}

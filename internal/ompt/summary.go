@@ -1,0 +1,46 @@
+package ompt
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteSummary exports the tracer's events as the plain-text
+// aggregate report. Call after the traced regions have joined.
+func (t *Tracer) WriteSummary(w io.Writer) error {
+	return t.Stats().Write(w)
+}
+
+func ns(v int64) string {
+	return time.Duration(v).Round(time.Microsecond).String()
+}
+
+// Write renders the aggregate statistics as an aligned text table:
+// the plain-text exporter of the tracing subsystem.
+func (s *Stats) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== omp4go trace summary ==\n"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "records %d (%d dropped), span %s\n", s.Records, s.Dropped, ns(s.SpanNS))
+	fmt.Fprintf(w, "parallel regions %d, tasks created %d, max task-queue depth %d\n",
+		s.Regions, s.TasksCreated, s.MaxQueueDepth)
+	fmt.Fprintf(w, "total barrier wait %s, total critical wait %s\n",
+		ns(s.TotalBarrierWaitNS), ns(s.TotalCriticalWaitNS))
+	if s.LoadImbalance > 0 {
+		fmt.Fprintf(w, "load-imbalance factor %.3f (max/mean thread work time)\n", s.LoadImbalance)
+	}
+	if len(s.Threads) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "%-7s %7s %7s %10s %12s %12s %12s %6s\n",
+		"thread", "events", "chunks", "iters", "work", "barrier", "crit-wait", "tasks")
+	for _, t := range s.Threads {
+		if _, err := fmt.Fprintf(w, "%-7d %7d %7d %10d %12s %12s %12s %6d\n",
+			t.GTID, t.Events, t.Chunks, t.Iterations,
+			ns(t.WorkNS), ns(t.BarrierWaitNS), ns(t.CriticalWaitNS), t.TasksRun); err != nil {
+			return err
+		}
+	}
+	return nil
+}

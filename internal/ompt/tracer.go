@@ -1,0 +1,68 @@
+package ompt
+
+import (
+	"sort"
+	"sync"
+)
+
+// Tracer is the built-in Tool: it records events into one lock-free
+// ring buffer per thread (keyed by GTID) and exports them after the
+// fact. Emit takes no locks on the steady-state path — a sync.Map
+// read plus a ring push — so the tracer perturbs the thread timings
+// it measures as little as possible.
+type Tracer struct {
+	ringSize int
+	// rings maps GTID -> *ring. Each ring has a single producer (the
+	// thread owning that GTID); the map itself is lock-free to read.
+	rings sync.Map
+}
+
+// NewTracer creates a tracer with the given per-thread ring capacity
+// in records (0 means DefaultRingSize).
+func NewTracer(ringSize int) *Tracer {
+	return &Tracer{ringSize: ringSize}
+}
+
+// Emit records one event into the emitting thread's ring.
+func (t *Tracer) Emit(rec Record) {
+	v, ok := t.rings.Load(rec.GTID)
+	if !ok {
+		// First event from this thread: install its ring. LoadOrStore
+		// keeps exactly one winner if the GTID were ever shared.
+		v, _ = t.rings.LoadOrStore(rec.GTID, newRing(t.ringSize))
+	}
+	v.(*ring).push(rec)
+}
+
+// Records returns every retained event sorted by timestamp. Call
+// after the traced parallel regions have joined; snapshotting a ring
+// with a live producer is a data race.
+func (t *Tracer) Records() []Record {
+	recs, _ := t.collect()
+	return recs
+}
+
+// Dropped returns the number of events lost to ring-buffer wrapping.
+func (t *Tracer) Dropped() uint64 {
+	_, dropped := t.collect()
+	return dropped
+}
+
+func (t *Tracer) collect() ([]Record, uint64) {
+	var recs []Record
+	var dropped uint64
+	t.rings.Range(func(_, v any) bool {
+		r, d := v.(*ring).snapshot()
+		recs = append(recs, r...)
+		dropped += d
+		return true
+	})
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time < recs[j].Time })
+	return recs, dropped
+}
+
+// Stats aggregates the retained events (see ComputeStats).
+func (t *Tracer) Stats() *Stats {
+	recs, dropped := t.collect()
+	return ComputeStats(recs, dropped)
+}

@@ -106,6 +106,16 @@ func (r *Runtime) GetMaxActiveLevels() int {
 	return n
 }
 
+// GetWaitPolicy returns the wait-policy-var hint loaded from
+// OMP_WAIT_POLICY ("active" or "passive"; the default is "passive",
+// matching the runtime's block-on-condition-variable waits).
+func (r *Runtime) GetWaitPolicy() string {
+	r.icv.mu.Lock()
+	p := r.icv.waitPolicy
+	r.icv.mu.Unlock()
+	return waitPolicyOrDefault(p)
+}
+
 // GetThreadLimit returns thread-limit-var (omp_get_thread_limit).
 func (r *Runtime) GetThreadLimit() int {
 	r.icv.mu.Lock()

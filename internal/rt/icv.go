@@ -1,6 +1,8 @@
 package rt
 
 import (
+	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -29,6 +31,9 @@ type icvSet struct {
 	maxActiveLevels int      // max-active-levels-var
 	threadLimit     int      // thread-limit-var
 	stackTrace      bool     // diagnostic: dump worker panics
+	waitPolicy      string   // wait-policy-var: "active" or "passive"
+	displayEnv      string   // OMP_DISPLAY_ENV: "", "true" or "verbose"
+	traceFile       string   // OMP4GO_TRACE output file (tool activation)
 }
 
 func defaultICVs() icvSet {
@@ -43,9 +48,11 @@ func defaultICVs() icvSet {
 	}
 }
 
-// loadEnvICVs applies OMP_NUM_THREADS, OMP_SCHEDULE, OMP_DYNAMIC,
-// OMP_NESTED, OMP_THREAD_LIMIT and OMP_MAX_ACTIVE_LEVELS, matching the
-// environment-variable surface of OpenMP 3.0.
+// loadEnv applies OMP_NUM_THREADS, OMP_SCHEDULE, OMP_DYNAMIC,
+// OMP_NESTED, OMP_THREAD_LIMIT, OMP_MAX_ACTIVE_LEVELS,
+// OMP_WAIT_POLICY and OMP_DISPLAY_ENV, matching the
+// environment-variable surface of OpenMP 3.0, plus the OMP4Go
+// extension OMP4GO_TRACE (tool activation, mirroring OMP_TOOL).
 func (s *icvSet) loadEnv(getenv func(string) string) {
 	if getenv == nil {
 		getenv = os.Getenv
@@ -79,6 +86,72 @@ func (s *icvSet) loadEnv(getenv func(string) string) {
 			s.maxActiveLevels = n
 		}
 	}
+	if v := getenv("OMP_WAIT_POLICY"); v != "" {
+		// Barriers and waits consume queued tasks and then block on a
+		// condition variable, so the runtime's behaviour is passive;
+		// the policy is recorded as a hint, as libgomp does for
+		// values it maps onto one strategy.
+		switch strings.ToLower(strings.TrimSpace(v)) {
+		case "active":
+			s.waitPolicy = "active"
+		case "passive":
+			s.waitPolicy = "passive"
+		}
+	}
+	if v := getenv("OMP_DISPLAY_ENV"); v != "" {
+		switch strings.ToLower(strings.TrimSpace(v)) {
+		case "1", "true", "yes", "on":
+			s.displayEnv = "true"
+		case "verbose":
+			s.displayEnv = "verbose"
+		}
+	}
+	if v := getenv("OMP4GO_TRACE"); v != "" {
+		s.traceFile = strings.TrimSpace(v)
+	}
+}
+
+// displayEnvOut receives the OMP_DISPLAY_ENV report at runtime init
+// (a package variable so tests can capture it).
+var displayEnvOut io.Writer = os.Stderr
+
+// display prints the ICVs in libgomp's OMP_DISPLAY_ENV format.
+func (s *icvSet) display(w io.Writer) {
+	onoff := func(b bool) string {
+		if b {
+			return "TRUE"
+		}
+		return "FALSE"
+	}
+	fmt.Fprintln(w, "OPENMP DISPLAY ENVIRONMENT BEGIN")
+	fmt.Fprintf(w, "  _OPENMP = '200805'\n") // OpenMP 3.0
+	fmt.Fprintf(w, "  OMP_DYNAMIC = '%s'\n", onoff(s.dynamic))
+	fmt.Fprintf(w, "  OMP_NESTED = '%s'\n", onoff(s.nested))
+	fmt.Fprintf(w, "  OMP_NUM_THREADS = '%d'\n", s.numThreads)
+	fmt.Fprintf(w, "  OMP_SCHEDULE = '%s'\n", scheduleEnvString(s.runSched))
+	fmt.Fprintf(w, "  OMP_THREAD_LIMIT = '%d'\n", s.threadLimit)
+	fmt.Fprintf(w, "  OMP_MAX_ACTIVE_LEVELS = '%d'\n", s.maxActiveLevels)
+	fmt.Fprintf(w, "  OMP_WAIT_POLICY = '%s'\n", strings.ToUpper(waitPolicyOrDefault(s.waitPolicy)))
+	if s.displayEnv == "verbose" {
+		fmt.Fprintf(w, "  OMP4GO_TRACE = '%s'\n", s.traceFile)
+	}
+	fmt.Fprintln(w, "OPENMP DISPLAY ENVIRONMENT END")
+}
+
+func waitPolicyOrDefault(p string) string {
+	if p == "" {
+		return "passive"
+	}
+	return p
+}
+
+// scheduleEnvString renders a Schedule in OMP_SCHEDULE syntax.
+func scheduleEnvString(s Schedule) string {
+	out := strings.ToUpper(s.Kind.String())
+	if s.Chunk > 0 {
+		out += "," + strconv.FormatInt(s.Chunk, 10)
+	}
+	return out
 }
 
 func isEnvTrue(v string) bool {
@@ -94,7 +167,7 @@ func ParseScheduleEnv(v string) (Schedule, error) {
 	parts := strings.SplitN(v, ",", 2)
 	kind, err := directive.ParseScheduleKind(parts[0])
 	if err != nil {
-		return Schedule{}, err
+		return Schedule{}, &MisuseError{Msg: "invalid OMP_SCHEDULE: " + err.Error()}
 	}
 	sched := Schedule{Kind: kind}
 	if len(parts) == 2 {

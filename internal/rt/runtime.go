@@ -2,7 +2,10 @@ package rt
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"github.com/omp4go/omp4go/internal/ompt"
 )
 
 // Runtime is one OpenMP runtime instance. OMP4Py instantiates the
@@ -25,6 +28,21 @@ type Runtime struct {
 	declRed   map[string]*DeclaredReduction
 
 	epoch time.Time
+
+	// tool is the attached OMPT-style observability tool; nil means
+	// tracing disabled (the fast path at every hook site is a single
+	// nil check). envTracer/traceFile are set when OMP4GO_TRACE
+	// activated tracing through the environment.
+	tool      ompt.Tool
+	envTracer *ompt.Tracer
+	traceFile string
+
+	// gtidSeq hands out per-context global trace thread ids;
+	// regionSeq numbers parallel regions; taskSeq numbers explicit
+	// tasks (assigned only while a tool is attached).
+	gtidSeq   atomic.Int64
+	regionSeq atomic.Int64
+	taskSeq   atomic.Int64
 }
 
 // New returns a runtime using the given synchronization layer with
@@ -44,6 +62,17 @@ func NewWithEnv(layer Layer, getenv func(string) string) *Runtime {
 		epoch:     time.Now(),
 	}
 	r.icv.loadEnv(getenv)
+	if r.icv.displayEnv != "" {
+		r.icv.display(displayEnvOut)
+	}
+	if r.icv.traceFile != "" {
+		// OMP4GO_TRACE=<file> activates the built-in tracer at
+		// runtime init, mirroring how OMP_TOOL attaches an OMPT tool;
+		// FlushTrace writes the file when the program is done.
+		r.traceFile = r.icv.traceFile
+		r.envTracer = ompt.NewTracer(0)
+		r.tool = r.envTracer
+	}
 	return r
 }
 
@@ -69,13 +98,19 @@ type Context struct {
 	wsDepth      int   // >0 while inside a worksharing construct body
 	barrierEpoch int64 // barriers passed in this region
 	curLoop      *LoopBounds
+
+	// gtid is the global trace thread id (unique per context across
+	// all teams); critT0 stacks critical-section entry times. Both
+	// serve the observability subsystem only.
+	gtid   int32
+	critT0 []int64
 }
 
 // NewContext creates the context for an initial thread: a thread that
 // exists outside any OpenMP-created team. It is implicitly part of a
 // single-thread parallel team consisting only of itself.
 func (r *Runtime) NewContext() *Context {
-	ctx := &Context{rt: r}
+	ctx := &Context{rt: r, gtid: int32(r.gtidSeq.Add(1) - 1)}
 	team := newTeam(r, nil, 1)
 	ctx.team = team
 	ctx.curTask = newTask(r.layer, nil, nil, false)
@@ -119,10 +154,15 @@ type Team struct {
 
 	taskErrMu sync.Mutex
 	taskErrs  []error
+
+	// regionID numbers the parallel region this team executes
+	// (observability subsystem).
+	regionID int32
 }
 
 func newTeam(r *Runtime, master *Context, size int) *Team {
 	t := &Team{
+		regionID:    int32(r.regionSeq.Add(1)),
 		rt:          r,
 		layer:       r.layer,
 		size:        size,
@@ -188,11 +228,23 @@ func (r *Runtime) Parallel(ctx *Context, opts ParallelOpts, body func(*Context) 
 	n := r.resolveTeamSize(ctx, opts)
 	team := newTeam(r, ctx, n)
 
+	var regionT0 int64
+	if r.tool != nil {
+		regionT0 = ompt.Now()
+		ctx.emit(ompt.EvParallelBegin, int64(team.regionID), int64(n), 0, "")
+	}
+
 	errs := make([]error, n)
 	panics := make(map[int]any)
 	var panicMu sync.Mutex
 
 	run := func(member *Context) {
+		if r.tool != nil {
+			member.emit(ompt.EvImplicitTaskBegin, int64(team.regionID), int64(member.num), 0, "")
+			// The deferred end event also fires when the member dies
+			// from a panic, keeping every begin paired in the trace.
+			defer member.emit(ompt.EvImplicitTaskEnd, int64(team.regionID), int64(member.num), 0, "")
+		}
 		defer func() {
 			if p := recover(); p != nil {
 				panicMu.Lock()
@@ -233,6 +285,7 @@ func (r *Runtime) Parallel(ctx *Context, opts ParallelOpts, body func(*Context) 
 			num:         i,
 			level:       ctx.level + 1,
 			activeLevel: ctx.activeLevel,
+			gtid:        int32(r.gtidSeq.Add(1) - 1),
 		}
 		if n > 1 {
 			member.activeLevel++
@@ -250,6 +303,10 @@ func (r *Runtime) Parallel(ctx *Context, opts ParallelOpts, body func(*Context) 
 	}
 	run(team.members[0])
 	wg.Wait()
+
+	if r.tool != nil {
+		ctx.emit(ompt.EvParallelEnd, int64(team.regionID), int64(n), ompt.Now()-regionT0, "")
+	}
 
 	if len(panics) > 0 {
 		return &TeamPanic{Panics: panics}
@@ -349,36 +406,67 @@ func (r *Runtime) resolveTeamSize(ctx *Context, opts ParallelOpts) int {
 	return n
 }
 
-// Barrier implements the barrier construct: every thread of the team
-// waits until all have arrived, consuming pending explicit tasks
-// while waiting (§III-E of the paper). All explicit tasks generated
-// in the region complete before any thread leaves.
+// Barrier implements the implicit barrier of a parallel region or
+// worksharing construct: every thread of the team waits until all
+// have arrived, consuming pending explicit tasks while waiting
+// (§III-E of the paper). All explicit tasks generated in the region
+// complete before any thread leaves.
 func (t *Team) Barrier(ctx *Context) error {
+	return t.barrier(ctx, ompt.BarrierImplicit)
+}
+
+// Barrier is the context-level entry point for the explicit barrier
+// directive.
+func (c *Context) Barrier() error { return c.team.barrier(c, ompt.BarrierExplicit) }
+
+func (t *Team) barrier(ctx *Context, kind int64) error {
 	if ctx.wsDepth > 0 {
 		return &MisuseError{Construct: "barrier",
 			Msg: "barrier may not appear inside a worksharing construct body"}
 	}
 	ctx.barrierEpoch++
 	target := ctx.barrierEpoch * int64(t.size)
+	tool := t.rt.tool
+	// Wait-time accounting: the barrier's wait is the time spent in
+	// the barrier minus the time spent productively executing stolen
+	// tasks while waiting.
+	var t0, taskNS int64
+	if tool != nil {
+		t0 = ompt.Now()
+		ctx.emit(ompt.EvBarrierEnter, kind, ctx.barrierEpoch, 0, "")
+	}
 	t.arrivals.Add(1)
 	t.wakeAll()
-	for {
-		if tk := t.queue.take(); tk != nil {
-			t.runTask(ctx, tk)
-			continue
+	err := func() error {
+		for {
+			if tk := t.queue.take(); tk != nil {
+				if tool != nil {
+					s := ompt.Now()
+					t.runTask(ctx, tk)
+					taskNS += ompt.Now() - s
+				} else {
+					t.runTask(ctx, tk)
+				}
+				continue
+			}
+			if t.broken.Load() != 0 {
+				return newBrokenAbort("barrier")
+			}
+			if t.arrivals.Load() >= target && t.outstanding.Load() == 0 {
+				return nil
+			}
+			t.waitFor(func() bool {
+				return t.queue.hasRunnable() || t.broken.Load() != 0 ||
+					(t.arrivals.Load() >= target && t.outstanding.Load() == 0)
+			})
 		}
-		if t.broken.Load() != 0 {
-			return newBrokenAbort("barrier")
+	}()
+	if tool != nil {
+		wait := ompt.Now() - t0 - taskNS
+		if wait < 0 {
+			wait = 0
 		}
-		if t.arrivals.Load() >= target && t.outstanding.Load() == 0 {
-			return nil
-		}
-		t.waitFor(func() bool {
-			return t.queue.hasRunnable() || t.broken.Load() != 0 ||
-				(t.arrivals.Load() >= target && t.outstanding.Load() == 0)
-		})
+		ctx.emit(ompt.EvBarrierExit, kind, ctx.barrierEpoch, wait, "")
 	}
+	return err
 }
-
-// Barrier is the context-level entry point for the barrier directive.
-func (c *Context) Barrier() error { return c.team.Barrier(c) }

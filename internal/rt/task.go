@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"github.com/omp4go/omp4go/internal/ompt"
 )
 
 // Task states, as in the paper: free, in-progress, completed.
@@ -26,6 +28,11 @@ type task struct {
 	final    bool
 	next     atomic.Pointer[task]
 	err      error
+
+	// id and startNS serve the observability subsystem: id is
+	// non-zero only for tasks created while a tool was attached.
+	id      int64
+	startNS int64
 }
 
 func newTask(l Layer, fn func(*Context) error, parent *task, explicit bool) *task {
@@ -181,15 +188,24 @@ func (c *Context) SubmitTask(opts TaskOpts, fn func(*Context) error) error {
 	if opts.FinalSet && opts.Final {
 		tk.final = true
 	}
+	if c.rt.tool != nil {
+		tk.id = c.rt.taskSeq.Add(1)
+	}
 	if undeferred {
 		tk.state.Store(taskInProgress)
 		c.curTask.children.Add(1)
+		if tk.id != 0 {
+			c.emit(ompt.EvTaskCreate, tk.id, t.outstanding.Load(), 0, "undeferred")
+		}
 		t.runClaimed(c, tk)
 		return tk.err
 	}
 	c.curTask.children.Add(1)
-	t.outstanding.Add(1)
+	depth := t.outstanding.Add(1)
 	t.queue.submit(tk)
+	if tk.id != 0 {
+		c.emit(ompt.EvTaskCreate, tk.id, depth, 0, "")
+	}
 	// Threads waiting at a barrier are reawakened to consume newly
 	// submitted work (§III-E).
 	t.wakeAll()
@@ -215,6 +231,10 @@ func (t *Team) runTask(ctx *Context, tk *task) {
 // runClaimed runs a task already marked in-progress, pushing it onto
 // the thread's context stack for the duration.
 func (t *Team) runClaimed(ctx *Context, tk *task) {
+	if tk.id != 0 && t.rt.tool != nil {
+		tk.startNS = ompt.Now()
+		ctx.emit(ompt.EvTaskBegin, tk.id, 0, 0, "")
+	}
 	prevTask := ctx.curTask
 	prevWS := ctx.wsDepth
 	prevLoop := ctx.curLoop
@@ -229,6 +249,9 @@ func (t *Team) runClaimed(ctx *Context, tk *task) {
 		ctx.curTask = prevTask
 		ctx.wsDepth = prevWS
 		ctx.curLoop = prevLoop
+		if tk.id != 0 && t.rt.tool != nil {
+			ctx.emit(ompt.EvTaskEnd, tk.id, 0, ompt.Now()-tk.startNS, "")
+		}
 		tk.state.Store(taskDone)
 		tk.done.Set()
 		if tk.parent != nil {

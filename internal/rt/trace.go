@@ -1,0 +1,97 @@
+package rt
+
+import (
+	"os"
+
+	"github.com/omp4go/omp4go/internal/ompt"
+)
+
+// This file wires the OMPT-style observability subsystem
+// (internal/ompt) into the runtime. Every hook site guards on a nil
+// tool so the disabled cost is one predictable branch; event
+// construction and the Emit call happen only when a tool is attached.
+
+// SetTool attaches an event tool (nil detaches). Attach before
+// entering parallel regions: the field is published to team threads
+// by the goroutine start that forks them, and is not synchronized
+// against regions already in flight.
+func (r *Runtime) SetTool(t ompt.Tool) { r.tool = t }
+
+// Tool returns the attached event tool, or nil.
+func (r *Runtime) Tool() ompt.Tool { return r.tool }
+
+// EnvTracer returns the tracer installed by OMP4GO_TRACE, or nil when
+// tracing was not activated through the environment.
+func (r *Runtime) EnvTracer() *ompt.Tracer { return r.envTracer }
+
+// FlushTrace writes the environment-activated trace (OMP4GO_TRACE=
+// <file>) to its file in Chrome trace_event format. It is a no-op
+// when tracing was not activated through the environment. Call after
+// the traced parallel regions have completed, typically at program
+// exit.
+func (r *Runtime) FlushTrace() error {
+	if r.envTracer == nil || r.traceFile == "" {
+		return nil
+	}
+	f, err := os.Create(r.traceFile)
+	if err != nil {
+		return err
+	}
+	werr := r.envTracer.WriteChromeTrace(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// emit sends one event to the attached tool. Callers check
+// c.rt.tool != nil first so the disabled path never reaches here.
+func (c *Context) emit(kind ompt.EventKind, a, b, dur int64, label string) {
+	t := c.rt.tool
+	if t == nil {
+		return
+	}
+	t.Emit(ompt.Record{
+		Time: ompt.Now(), Kind: kind, GTID: c.gtid, Team: c.team.regionID,
+		A: a, B: b, Dur: dur, Label: label,
+	})
+}
+
+// CriticalEnter enters the named critical section from this thread,
+// emitting an acquire event with the contention wait time when a tool
+// is attached.
+func (c *Context) CriticalEnter(name string) {
+	r := c.rt
+	if r.tool == nil {
+		r.CriticalEnter(name)
+		return
+	}
+	t0 := ompt.Now()
+	r.CriticalEnter(name)
+	now := ompt.Now()
+	c.critT0 = append(c.critT0, now)
+	c.emit(ompt.EvCriticalAcquire, 0, 0, now-t0, name)
+}
+
+// CriticalExit leaves the named critical section, emitting a release
+// event with the hold duration when a tool is attached.
+func (c *Context) CriticalExit(name string) {
+	r := c.rt
+	if r.tool != nil && len(c.critT0) > 0 {
+		t0 := c.critT0[len(c.critT0)-1]
+		c.critT0 = c.critT0[:len(c.critT0)-1]
+		c.emit(ompt.EvCriticalRelease, 0, 0, ompt.Now()-t0, name)
+	}
+	r.CriticalExit(name)
+}
+
+// ReductionMerge notes that this thread merged its reduction partial
+// into the shared result (the caller performs the merge itself, under
+// whatever lock the construct requires). Tooling only; a no-op with
+// no tool attached.
+func (c *Context) ReductionMerge(ident string) {
+	if c.rt.tool != nil {
+		c.emit(ompt.EvReduceMerge, 0, 0, 0, ident)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"github.com/omp4go/omp4go/internal/directive"
+	"github.com/omp4go/omp4go/internal/ompt"
 )
 
 // regionState is the team-shared state of one worksharing construct
@@ -152,6 +153,13 @@ type LoopBounds struct {
 	ctx    *Context
 	last   bool
 	inited bool
+
+	// Observability: the chunk claimed by the previous ForNext is
+	// still executing when the next ForNext runs, so its completion
+	// event (with execution time) is emitted one call late.
+	chunkOpen        bool
+	chunkLo, chunkHi int64
+	chunkT0          int64
 }
 
 // ForBounds builds a loop descriptor from one triplet per collapsed
@@ -240,6 +248,9 @@ func (c *Context) ForInit(b *LoopBounds, opts ForOpts) error {
 	b.inited = true
 	c.wsDepth++
 	c.curLoop = b
+	if c.rt.tool != nil {
+		c.emit(ompt.EvLoopBegin, b.Total, b.sched.Chunk, 0, b.sched.Kind.String())
+	}
 	return nil
 }
 
@@ -247,6 +258,30 @@ func (c *Context) ForInit(b *LoopBounds, opts ForOpts) error {
 // in linear space. It returns false when the thread's share of the
 // iteration space is exhausted (the for_next call of Fig. 3).
 func (b *LoopBounds) ForNext() bool {
+	claimed := b.claimNext()
+	if b.ctx != nil && b.ctx.rt.tool != nil {
+		b.traceChunk(claimed)
+	}
+	return claimed
+}
+
+// traceChunk closes the previous chunk's completion event (its body
+// just finished executing) and opens the newly claimed one.
+func (b *LoopBounds) traceChunk(claimed bool) {
+	now := ompt.Now()
+	if b.chunkOpen {
+		b.chunkOpen = false
+		b.ctx.emit(ompt.EvLoopChunk, b.chunkLo, b.chunkHi, now-b.chunkT0, "")
+	}
+	if claimed {
+		b.chunkOpen = true
+		b.chunkLo, b.chunkHi = b.Lo, b.Hi
+		b.chunkT0 = now
+	}
+}
+
+// claimNext is the scheduling core of ForNext, free of tracing.
+func (b *LoopBounds) claimNext() bool {
 	if !b.inited {
 		return false
 	}
@@ -335,6 +370,12 @@ func (b *LoopBounds) Unravel(linear int64) []int64 {
 func (c *Context) ForEnd(b *LoopBounds) error {
 	if !b.inited {
 		return &MisuseError{Construct: "for", Msg: "ForEnd without ForInit"}
+	}
+	if c.rt.tool != nil {
+		// An early break can leave the final chunk's completion event
+		// unemitted; close it before the loop-end event.
+		b.traceChunk(false)
+		c.emit(ompt.EvLoopEnd, b.Total, 0, 0, b.sched.Kind.String())
 	}
 	c.wsDepth--
 	c.curLoop = nil

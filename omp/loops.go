@@ -121,6 +121,7 @@ func ParallelReduce[T any](lo, hi int, identity T,
 		tc.Critical("__omp_reduce", func() {
 			result = combine(result, acc)
 		})
+		tc.ctx.ReductionMerge("__omp_reduce")
 	}, opts...)
 	if err != nil {
 		var zero T

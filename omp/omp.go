@@ -134,9 +134,8 @@ func (tc *TC) Barrier() error { return tc.ctx.Barrier() }
 // Critical runs fn inside the named critical section; the empty name
 // is the unnamed critical (the critical directive).
 func (tc *TC) Critical(name string, fn func()) {
-	r := tc.ctx.Runtime()
-	r.CriticalEnter(name)
-	defer r.CriticalExit(name)
+	tc.ctx.CriticalEnter(name)
+	defer tc.ctx.CriticalExit(name)
 	fn()
 }
 

@@ -54,6 +54,7 @@ type programConfig struct {
 	stdout io.Writer
 	gil    bool
 	getenv func(string) string
+	tool   Tool
 }
 
 // WithStdout routes print() output (default os.Stdout).
@@ -70,6 +71,12 @@ func WithGIL() ProgramOption {
 // WithEnv supplies OMP_* environment variables (default os.Getenv).
 func WithEnv(getenv func(string) string) ProgramOption {
 	return func(c *programConfig) { c.getenv = getenv }
+}
+
+// WithTool attaches an observability tool (see EnableTrace / Tracer)
+// to the program's runtime before any parallel region runs.
+func WithTool(t Tool) ProgramOption {
+	return func(c *programConfig) { c.tool = t }
 }
 
 // Program is a loaded MiniPy module: its top-level code has run and
@@ -109,6 +116,9 @@ func Load(source, filename string, mode Mode, opts ...ProgramOption) (*Program, 
 		Stdout: cfg.stdout,
 		Getenv: cfg.getenv,
 	})
+	if cfg.tool != nil {
+		in.Runtime().SetTool(cfg.tool)
+	}
 	switch mode {
 	case ModeCompiled, ModeCompiledDT:
 		if err := compile.Install(in, mod, compile.Options{Typed: mode == ModeCompiledDT}); err != nil {
@@ -137,6 +147,15 @@ func Exec(source, filename string, mode Mode, opts ...ProgramOption) error {
 
 // Mode reports the program's execution mode.
 func (p *Program) Mode() Mode { return p.mode }
+
+// Runtime exposes the program's OpenMP runtime, e.g. for SetTool or
+// the ICV accessors.
+func (p *Program) Runtime() *rt.Runtime { return p.in.Runtime() }
+
+// FlushTrace writes the trace activated by OMP4GO_TRACE=<file> to its
+// file; a no-op when the variable was not set. Call once the traced
+// program functions have returned.
+func (p *Program) FlushTrace() error { return p.in.Runtime().FlushTrace() }
 
 // Call invokes a module-level function with Go values (bool, int,
 // int64, float64, string, []float64, []int64, and nested []any are

@@ -1,0 +1,126 @@
+package omp
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/omp4go/omp4go/internal/ompt"
+)
+
+// TestEnableTraceParallelFor traces a native-API parallel loop on the
+// default runtime and checks both exporters.
+func TestEnableTraceParallelFor(t *testing.T) {
+	tr := EnableTrace()
+	defer DisableTrace()
+	err := ParallelFor(0, 1000, func(tc *TC, i int) {}, WithNumThreads(2))
+	if err != nil {
+		t.Fatalf("ParallelFor: %v", err)
+	}
+
+	stats := tr.Stats()
+	if stats.Regions < 1 {
+		t.Fatalf("Regions = %d, want >= 1", stats.Regions)
+	}
+	if stats.Records == 0 {
+		t.Fatalf("no events recorded")
+	}
+
+	var trace bytes.Buffer
+	if err := WriteChromeTrace(&trace); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatalf("empty trace")
+	}
+
+	var summary bytes.Buffer
+	if err := WriteTraceSummary(&summary); err != nil {
+		t.Fatalf("WriteTraceSummary: %v", err)
+	}
+	if summary.Len() == 0 {
+		t.Fatalf("empty summary")
+	}
+}
+
+func TestWriteChromeTraceWithoutTracer(t *testing.T) {
+	DisableTrace()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf); err == nil {
+		t.Fatalf("WriteChromeTrace with no tracer should fail")
+	}
+}
+
+// TestWithToolAllModes traces the MiniPy pi program through every
+// execution mode: the @omp-generated code must produce parallel,
+// loop-chunk and critical events in each.
+func TestWithToolAllModes(t *testing.T) {
+	for _, mode := range []Mode{ModePure, ModeHybrid, ModeCompiled, ModeCompiledDT} {
+		tracer := NewTracer(0)
+		p, err := Load(piProgram, "pi.py", mode, WithTool(tracer))
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if _, err := p.Call("pi", 10000); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		counts := map[ompt.EventKind]int{}
+		for _, r := range tracer.Records() {
+			counts[r.Kind]++
+		}
+		if counts[ompt.EvParallelBegin] < 1 || counts[ompt.EvParallelEnd] < 1 {
+			t.Fatalf("%v: no parallel events: %v", mode, counts)
+		}
+		if counts[ompt.EvLoopChunk] < 1 {
+			t.Fatalf("%v: no chunk events: %v", mode, counts)
+		}
+		if counts[ompt.EvCriticalAcquire] < 1 {
+			t.Fatalf("%v: no critical (reduction merge) events: %v", mode, counts)
+		}
+		if counts[ompt.EvBarrierExit] < counts[ompt.EvBarrierEnter] {
+			t.Fatalf("%v: unbalanced barrier events: %v", mode, counts)
+		}
+	}
+}
+
+// TestEnvTracePipeline covers OMP4GO_TRACE through the MiniPy
+// pipeline: env activation at Load, FlushTrace writing the file.
+func TestEnvTracePipeline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pi-trace.json")
+	p, err := Load(piProgram, "pi.py", ModeHybrid, WithEnv(func(k string) string {
+		if k == "OMP4GO_TRACE" {
+			return path
+		}
+		return ""
+	}))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if _, err := p.Call("pi", 10000); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if err := p.FlushTrace(); err != nil {
+		t.Fatalf("FlushTrace: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading trace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatalf("empty trace file")
+	}
+}
