@@ -9,9 +9,11 @@ test:
 	$(GO) test ./...
 
 # race runs the packages with concurrency-sensitive tests under the
-# race detector (runtime, tracing, public API).
+# race detector (runtime, tracing, public API). The timeout is a
+# deadlock watchdog: a scheduler bug that wedges a barrier fails the
+# run in 120s instead of hanging CI.
 race:
-	$(GO) test -race ./internal/rt/... ./internal/ompt/... ./omp/...
+	$(GO) test -race -timeout 120s ./internal/rt/... ./internal/ompt/... ./omp/...
 
 vet:
 	$(GO) vet ./...
@@ -20,10 +22,16 @@ vet:
 # over the runtime and observability layers.
 verify: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/rt/... ./internal/ompt/... ./omp/...
+	$(GO) test -race -timeout 120s ./internal/rt/... ./internal/ompt/... ./omp/...
 
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkFig5 -benchtime=1x ./...
+
+# bench-smoke is the cheap scheduler-regression canary: one qsort
+# (task-heavy) Fig. 5 run plus the direct scheduler microbenchmarks.
+bench-smoke:
+	$(GO) test -run=NONE -bench='BenchmarkFig5/qsort' -benchtime=1x -timeout 300s .
+	$(GO) test -run=NONE -bench=BenchmarkTaskSched -benchtime=1x -timeout 300s ./internal/rt/
 
 # trace produces the demo Chrome trace (load in chrome://tracing or
 # ui.perfetto.dev).

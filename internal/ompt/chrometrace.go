@@ -124,6 +124,18 @@ func WriteChromeTrace(w io.Writer, recs []Record, dropped uint64) error {
 				Ts: us(r.Time - r.Dur), Dur: us(r.Dur), Pid: tracePid, Tid: r.GTID,
 				Args: map[string]any{"task": r.A},
 			})
+		case EvTaskSteal:
+			events = append(events, traceEvent{
+				Name: fmt.Sprintf("task #%d steal", r.A), Cat: "task", Ph: "i",
+				Ts: us(r.Time), Pid: tracePid, Tid: r.GTID, S: "t",
+				Args: map[string]any{"task": r.A, "victim": r.B},
+			})
+		case EvTaskOverflow:
+			events = append(events, traceEvent{
+				Name: fmt.Sprintf("task #%d overflow", r.A), Cat: "task", Ph: "i",
+				Ts: us(r.Time), Pid: tracePid, Tid: r.GTID, S: "t",
+				Args: map[string]any{"task": r.A, "queue_depth": r.B},
+			})
 		case EvCriticalAcquire:
 			if r.Dur > 0 {
 				events = append(events, traceEvent{

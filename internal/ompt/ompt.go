@@ -60,6 +60,14 @@ const (
 	// EvTaskEnd: an explicit task completed. A = task id,
 	// Dur = execution time.
 	EvTaskEnd
+	// EvTaskSteal: a thread claimed a task from another team member's
+	// deque (work-stealing scheduler). A = task id, B = victim thread
+	// number. Emitted on the thief.
+	EvTaskSteal
+	// EvTaskOverflow: a submitted task spilled to the scheduler's
+	// shared overflow list because the submitting thread's deque was
+	// full. A = task id, B = outstanding-task depth at submission.
+	EvTaskOverflow
 	// EvCriticalAcquire: a critical section was entered.
 	// Label = section name, Dur = contention wait time.
 	EvCriticalAcquire
@@ -98,6 +106,10 @@ func (k EventKind) String() string {
 		return "task-begin"
 	case EvTaskEnd:
 		return "task-end"
+	case EvTaskSteal:
+		return "task-steal"
+	case EvTaskOverflow:
+		return "task-overflow"
 	case EvCriticalAcquire:
 		return "critical-acquire"
 	case EvCriticalRelease:

@@ -21,6 +21,9 @@ type ThreadStats struct {
 	CriticalWaitNS int64
 	CriticalHeldNS int64
 	TasksRun       int
+	// TasksStolen counts tasks this thread claimed from another
+	// member's deque (work-stealing scheduler).
+	TasksStolen int
 }
 
 // Stats is the aggregate view of one trace: where the team's time
@@ -33,6 +36,10 @@ type Stats struct {
 	// MaxQueueDepth is the deepest observed task queue (outstanding
 	// explicit tasks at any submission).
 	MaxQueueDepth int64
+	// TasksStolen totals cross-thread deque steals; TaskOverflows
+	// counts submissions that spilled to the shared overflow list.
+	TasksStolen   int
+	TaskOverflows int
 
 	TotalBarrierWaitNS  int64
 	TotalCriticalWaitNS int64
@@ -93,6 +100,11 @@ func ComputeStats(recs []Record, dropped uint64) *Stats {
 		case EvTaskEnd:
 			t.TasksRun++
 			t.WorkNS += r.Dur
+		case EvTaskSteal:
+			t.TasksStolen++
+			s.TasksStolen++
+		case EvTaskOverflow:
+			s.TaskOverflows++
 		case EvCriticalAcquire:
 			t.CriticalWaitNS += r.Dur
 			s.TotalCriticalWaitNS += r.Dur

@@ -25,6 +25,10 @@ func (s *Stats) Write(w io.Writer) error {
 	fmt.Fprintf(w, "records %d (%d dropped), span %s\n", s.Records, s.Dropped, ns(s.SpanNS))
 	fmt.Fprintf(w, "parallel regions %d, tasks created %d, max task-queue depth %d\n",
 		s.Regions, s.TasksCreated, s.MaxQueueDepth)
+	if s.TasksStolen > 0 || s.TaskOverflows > 0 {
+		fmt.Fprintf(w, "tasks stolen %d, deque overflows %d\n",
+			s.TasksStolen, s.TaskOverflows)
+	}
 	fmt.Fprintf(w, "total barrier wait %s, total critical wait %s\n",
 		ns(s.TotalBarrierWaitNS), ns(s.TotalCriticalWaitNS))
 	if s.LoadImbalance > 0 {
@@ -33,12 +37,12 @@ func (s *Stats) Write(w io.Writer) error {
 	if len(s.Threads) == 0 {
 		return nil
 	}
-	fmt.Fprintf(w, "%-7s %7s %7s %10s %12s %12s %12s %6s\n",
-		"thread", "events", "chunks", "iters", "work", "barrier", "crit-wait", "tasks")
+	fmt.Fprintf(w, "%-7s %7s %7s %10s %12s %12s %12s %6s %6s\n",
+		"thread", "events", "chunks", "iters", "work", "barrier", "crit-wait", "tasks", "stolen")
 	for _, t := range s.Threads {
-		if _, err := fmt.Fprintf(w, "%-7d %7d %7d %10d %12s %12s %12s %6d\n",
+		if _, err := fmt.Fprintf(w, "%-7d %7d %7d %10d %12s %12s %12s %6d %6d\n",
 			t.GTID, t.Events, t.Chunks, t.Iterations,
-			ns(t.WorkNS), ns(t.BarrierWaitNS), ns(t.CriticalWaitNS), t.TasksRun); err != nil {
+			ns(t.WorkNS), ns(t.BarrierWaitNS), ns(t.CriticalWaitNS), t.TasksRun, t.TasksStolen); err != nil {
 			return err
 		}
 	}

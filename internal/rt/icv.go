@@ -34,6 +34,7 @@ type icvSet struct {
 	waitPolicy      string   // wait-policy-var: "active" or "passive"
 	displayEnv      string   // OMP_DISPLAY_ENV: "", "true" or "verbose"
 	traceFile       string   // OMP4GO_TRACE output file (tool activation)
+	taskSched       string   // OMP4GO_TASK_SCHED: "", "steal" or "list"
 }
 
 func defaultICVs() icvSet {
@@ -109,6 +110,17 @@ func (s *icvSet) loadEnv(getenv func(string) string) {
 	if v := getenv("OMP4GO_TRACE"); v != "" {
 		s.traceFile = strings.TrimSpace(v)
 	}
+	if v := getenv("OMP4GO_TASK_SCHED"); v != "" {
+		// Scheduler selection: "steal" (default, per-thread
+		// work-stealing deques) or "list" (the paper's shared
+		// linked-list queue, kept for differential comparison).
+		switch strings.ToLower(strings.TrimSpace(v)) {
+		case "steal":
+			s.taskSched = "steal"
+		case "list":
+			s.taskSched = "list"
+		}
+	}
 }
 
 // displayEnvOut receives the OMP_DISPLAY_ENV report at runtime init
@@ -134,6 +146,7 @@ func (s *icvSet) display(w io.Writer) {
 	fmt.Fprintf(w, "  OMP_WAIT_POLICY = '%s'\n", strings.ToUpper(waitPolicyOrDefault(s.waitPolicy)))
 	if s.displayEnv == "verbose" {
 		fmt.Fprintf(w, "  OMP4GO_TRACE = '%s'\n", s.traceFile)
+		fmt.Fprintf(w, "  OMP4GO_TASK_SCHED = '%s'\n", parseSchedMode(s.taskSched))
 	}
 	fmt.Fprintln(w, "OPENMP DISPLAY ENVIRONMENT END")
 }

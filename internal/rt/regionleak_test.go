@@ -1,0 +1,124 @@
+package rt
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/omp4go/omp4go/internal/directive"
+)
+
+// size is a test-only probe counting live entries in the team's
+// regionTable. Error-path constructs must release their entries, or
+// the table grows for the lifetime of the team.
+func (rt *regionTable) size() int {
+	if rt.layer == LayerAtomic {
+		n := 0
+		rt.am.Range(func(any, any) bool { n++; return true })
+		return n
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.m)
+}
+
+// TestForInitErrorDoesNotLeakRegion exercises the clause-validation
+// error path of ForInit: a "chunk size must be positive" return must
+// not have entered the worksharing region (no regionTable entry, no
+// wsIndex advance), and a subsequent valid loop must still line up
+// across the team.
+func TestForInitErrorDoesNotLeakRegion(t *testing.T) {
+	for _, l := range bothLayers {
+		r := newTestRuntime(l)
+		ctx := r.NewContext()
+		var team *Team
+		covered := make([]Counter, 100)
+		for i := range covered {
+			covered[i] = NewCounter(LayerAtomic)
+		}
+		err := r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+			if c.Master() {
+				team = c.team
+			}
+			// Invalid chunk: every thread's ForInit must fail without
+			// touching shared region state.
+			bad := ForBounds(Triplet{0, 10, 1})
+			err := c.ForInit(bad, ForOpts{
+				Sched:    Schedule{Kind: directive.ScheduleDynamic, Chunk: -3},
+				SchedSet: true,
+			})
+			var misuse *MisuseError
+			if !errors.As(err, &misuse) {
+				t.Errorf("%v: ForInit with negative chunk: %v", l, err)
+			}
+			if c.wsDepth != 0 {
+				t.Errorf("%v: wsDepth = %d after failed ForInit", l, c.wsDepth)
+			}
+			// The next construct must still pair up team-wide: if the
+			// failed ForInit had advanced wsIndex on some threads the
+			// region keys would diverge and this loop would deadlock
+			// or miscount.
+			b := ForBounds(Triplet{0, 100, 1})
+			if err := c.ForInit(b, ForOpts{
+				Sched:    Schedule{Kind: directive.ScheduleDynamic, Chunk: 7},
+				SchedSet: true,
+			}); err != nil {
+				return err
+			}
+			for b.ForNext() {
+				for i := b.Lo; i < b.Hi; i++ {
+					covered[i].Add(1)
+				}
+			}
+			return c.ForEnd(b)
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+		for i, c := range covered {
+			if c.Load() != 1 {
+				t.Fatalf("%v: iteration %d executed %d times", l, i, c.Load())
+			}
+		}
+		if n := team.regions.size(); n != 0 {
+			t.Fatalf("%v: regionTable retains %d entries after error-path construct", l, n)
+		}
+	}
+}
+
+// TestSingleEndBrokenTeamDoesNotLeakRegion exercises the
+// "copyprivate value was never published" error path of Single.End:
+// every thread — including the executing one, whose body died before
+// publishing — must release its regionTable entry.
+func TestSingleEndBrokenTeamDoesNotLeakRegion(t *testing.T) {
+	for _, l := range bothLayers {
+		r := newTestRuntime(l)
+		ctx := r.NewContext()
+		var team *Team
+		err := r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+			if c.Master() {
+				team = c.team
+			}
+			s, err := c.SingleBegin(false, true)
+			if err != nil {
+				return err
+			}
+			if s.Executes() {
+				// Simulate the single body dying before CopyPrivate:
+				// the team is marked broken, exactly as a body error
+				// escaping the region does.
+				c.team.broken.Store(1)
+				c.team.wakeAll()
+			}
+			if _, err := s.End(); err == nil {
+				t.Errorf("%v: Single.End on a broken team returned nil error", l)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+		if n := team.regions.size(); n != 0 {
+			t.Fatalf("%v: regionTable retains %d entries after broken single", l, n)
+		}
+	}
+}

@@ -43,6 +43,11 @@ type Runtime struct {
 	gtidSeq   atomic.Int64
 	regionSeq atomic.Int64
 	taskSeq   atomic.Int64
+
+	// taskSched selects the team task scheduler: work-stealing
+	// deques by default, the paper's shared list queue when
+	// OMP4GO_TASK_SCHED=list (differential testing).
+	taskSched schedMode
 }
 
 // New returns a runtime using the given synchronization layer with
@@ -62,6 +67,7 @@ func NewWithEnv(layer Layer, getenv func(string) string) *Runtime {
 		epoch:     time.Now(),
 	}
 	r.icv.loadEnv(getenv)
+	r.taskSched = parseSchedMode(r.icv.taskSched)
 	if r.icv.displayEnv != "" {
 		r.icv.display(displayEnvOut)
 	}
@@ -141,7 +147,7 @@ type Team struct {
 	wakeMu   sync.Mutex
 	wakeCond *sync.Cond
 
-	queue       taskQueue
+	sched       taskScheduler
 	outstanding Counter // explicit tasks submitted but not yet completed
 
 	arrivals Counter // monotonically increasing barrier arrival count
@@ -167,7 +173,7 @@ func newTeam(r *Runtime, master *Context, size int) *Team {
 		layer:       r.layer,
 		size:        size,
 		members:     make([]*Context, size),
-		queue:       newTaskQueue(r.layer),
+		sched:       newTaskScheduler(r.layer, size, r.taskSched),
 		outstanding: NewCounter(r.layer),
 		arrivals:    NewCounter(r.layer),
 		regions:     newRegionTable(r.layer),
@@ -439,7 +445,7 @@ func (t *Team) barrier(ctx *Context, kind int64) error {
 	t.wakeAll()
 	err := func() error {
 		for {
-			if tk := t.queue.take(); tk != nil {
+			if tk := t.claimTask(ctx); tk != nil {
 				if tool != nil {
 					s := ompt.Now()
 					t.runTask(ctx, tk)
@@ -456,7 +462,7 @@ func (t *Team) barrier(ctx *Context, kind int64) error {
 				return nil
 			}
 			t.waitFor(func() bool {
-				return t.queue.hasRunnable() || t.broken.Load() != 0 ||
+				return t.sched.hasRunnable() || t.broken.Load() != 0 ||
 					(t.arrivals.Load() >= target && t.outstanding.Load() == 0)
 			})
 		}

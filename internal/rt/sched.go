@@ -1,0 +1,338 @@
+package rt
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the team task scheduler. The default is a
+// work-stealing scheduler: each team member owns a bounded Chase–Lev
+// deque (owner pushes and pops at the bottom, thieves steal from the
+// top), with a shared overflow list absorbing submission bursts that
+// exceed a deque's capacity. Consumers (barriers, taskwait) drain the
+// local deque first, then the overflow list, then steal round-robin
+// from the other members. Retirement is O(1): a claimed task leaves
+// the scheduler entirely, so completed tasks are never retained or
+// re-scanned — unlike the paper's shared linked list, which both
+// sync-layer flavours keep available as the "list" scheduler for
+// differential testing (OMP4GO_TASK_SCHED=list).
+//
+// The paper's runtime-vs-cruntime contrast is preserved: LayerAtomic
+// deques coordinate with sync/atomic loads and compare-and-swap (the
+// classic Chase–Lev protocol), LayerMutex deques guard a slice with a
+// per-deque mutex.
+
+// schedMode selects the team task-scheduler implementation.
+type schedMode int
+
+const (
+	// schedSteal is the per-thread work-stealing deque scheduler.
+	schedSteal schedMode = iota
+	// schedList is the paper's shared linked-list queue (§III-E),
+	// retained for differential tests and before/after benchmarks.
+	schedList
+)
+
+func parseSchedMode(v string) schedMode {
+	if v == "list" {
+		return schedList
+	}
+	return schedSteal
+}
+
+func (m schedMode) String() string {
+	if m == schedList {
+		return "list"
+	}
+	return "steal"
+}
+
+// taskScheduler is the team task pool. submit places a task from
+// thread self (reporting whether it landed on the overflow list), and
+// take claims a free task for thread self, marking it in-progress and
+// reporting the thread it was taken from (victim == self for a local
+// pop, -1 for the overflow list or the legacy shared queue).
+type taskScheduler interface {
+	submit(self int, t *task) (overflowed bool)
+	take(self int) (tk *task, victim int)
+	// hasRunnable reports whether an unclaimed task is visible.
+	hasRunnable() bool
+	// retained counts task references the scheduler still holds —
+	// a probe for tests asserting O(1) retirement (it may over-count
+	// while threads are actively claiming, so probe at quiescence).
+	retained() int
+}
+
+func newTaskScheduler(l Layer, size int, mode schedMode) taskScheduler {
+	if mode == schedList {
+		return newListQueue(l)
+	}
+	s := &stealScheduler{
+		deques: make([]deque, size),
+		queued: NewCounter(l),
+	}
+	for i := range s.deques {
+		s.deques[i] = newDeque(l)
+	}
+	return s
+}
+
+// dequeCap bounds each per-thread deque; submission bursts beyond it
+// spill to the scheduler's shared overflow list. Must be a power of
+// two (the atomic deque masks indices instead of dividing).
+const dequeCap = 256
+
+// deque is one thread's task deque. push and pop are owner-only
+// operations on the bottom; steal takes from the top and may be
+// called by any thread.
+type deque interface {
+	push(t *task) bool // false when full
+	pop() *task
+	steal() *task
+	retained() int
+}
+
+func newDeque(l Layer) deque {
+	if l == LayerAtomic {
+		return &atomicDeque{}
+	}
+	return &mutexDeque{}
+}
+
+// atomicDeque is a bounded Chase–Lev work-stealing deque built on
+// sync/atomic (the cruntime flavour). top only ever increases, so
+// index reuse cannot alias a stale compare-and-swap (no ABA). Claimed
+// slots are cleared so completed tasks are not retained by the
+// buffer.
+type atomicDeque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    [dequeCap]atomic.Pointer[task]
+}
+
+func (d *atomicDeque) push(t *task) bool {
+	b := d.bottom.Load()
+	tp := d.top.Load()
+	if b-tp >= dequeCap {
+		return false
+	}
+	d.buf[b&(dequeCap-1)].Store(t)
+	d.bottom.Store(b + 1)
+	return true
+}
+
+func (d *atomicDeque) pop() *task {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	tp := d.top.Load()
+	if tp > b {
+		// Empty: restore bottom.
+		d.bottom.Store(b + 1)
+		return nil
+	}
+	slot := &d.buf[b&(dequeCap-1)]
+	t := slot.Load()
+	if tp == b {
+		// Last element: race the thieves for it via top.
+		if !d.top.CompareAndSwap(tp, tp+1) {
+			t = nil
+		}
+		d.bottom.Store(b + 1)
+		if t != nil {
+			slot.Store(nil)
+		}
+		return t
+	}
+	slot.Store(nil)
+	return t
+}
+
+func (d *atomicDeque) steal() *task {
+	for {
+		tp := d.top.Load()
+		b := d.bottom.Load()
+		if tp >= b {
+			return nil
+		}
+		slot := &d.buf[tp&(dequeCap-1)]
+		t := slot.Load()
+		if d.top.CompareAndSwap(tp, tp+1) {
+			// Won the element. Clear the slot so the completed task is
+			// not retained — but only if it still holds the stolen
+			// pointer: once top has advanced the owner may wrap around
+			// and push a new task into the same physical slot, and a
+			// plain store would wipe it out. Task pointers enter a
+			// deque at most once, so the CAS cannot be fooled by ABA.
+			slot.CompareAndSwap(t, nil)
+			return t
+		}
+		// Lost to another thief or the owner's pop of the last
+		// element; retry from the new top.
+	}
+}
+
+func (d *atomicDeque) retained() int {
+	n := 0
+	for i := range d.buf {
+		if d.buf[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// mutexDeque is the Python-runtime flavour: one mutex per deque
+// guards a slice used as the deque (owner end at the back, thief end
+// at the front).
+type mutexDeque struct {
+	mu  sync.Mutex
+	buf []*task
+}
+
+func (d *mutexDeque) push(t *task) bool {
+	d.mu.Lock()
+	if len(d.buf) >= dequeCap {
+		d.mu.Unlock()
+		return false
+	}
+	d.buf = append(d.buf, t)
+	d.mu.Unlock()
+	return true
+}
+
+func (d *mutexDeque) pop() *task {
+	d.mu.Lock()
+	n := len(d.buf)
+	if n == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	t := d.buf[n-1]
+	d.buf[n-1] = nil
+	d.buf = d.buf[:n-1]
+	d.mu.Unlock()
+	return t
+}
+
+func (d *mutexDeque) steal() *task {
+	d.mu.Lock()
+	if len(d.buf) == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	t := d.buf[0]
+	d.buf[0] = nil
+	d.buf = d.buf[1:]
+	if len(d.buf) == 0 {
+		d.buf = nil // release the drifted backing array
+	}
+	d.mu.Unlock()
+	return t
+}
+
+func (d *mutexDeque) retained() int {
+	d.mu.Lock()
+	n := 0
+	for _, t := range d.buf {
+		if t != nil {
+			n++
+		}
+	}
+	d.mu.Unlock()
+	return n
+}
+
+// stealScheduler distributes tasks over per-thread deques with a
+// shared overflow list. queued tracks visible unclaimed tasks so
+// hasRunnable is O(1) — the barrier wake predicate no longer rescans
+// the pool.
+type stealScheduler struct {
+	deques []deque
+	queued Counter
+
+	ovMu     sync.Mutex
+	overflow []*task
+}
+
+func (s *stealScheduler) submit(self int, t *task) bool {
+	// Publish the count first: a waiter woken between the push and a
+	// late Add would otherwise see hasRunnable() == false and go back
+	// to sleep until the submitter's wakeAll.
+	s.queued.Add(1)
+	if self < len(s.deques) && s.deques[self].push(t) {
+		return false
+	}
+	s.ovMu.Lock()
+	s.overflow = append(s.overflow, t)
+	s.ovMu.Unlock()
+	return true
+}
+
+func (s *stealScheduler) take(self int) (*task, int) {
+	if self >= len(s.deques) {
+		self = 0
+	}
+	// 1. Local deque (LIFO: best cache locality for recursive tasks).
+	for {
+		t := s.deques[self].pop()
+		if t == nil {
+			break
+		}
+		s.queued.Add(-1)
+		if t.state.CompareAndSwap(taskFree, taskInProgress) {
+			return t, self
+		}
+	}
+	// 2. Overflow list (FIFO: burst order preserved).
+	for {
+		s.ovMu.Lock()
+		var t *task
+		if n := len(s.overflow); n > 0 {
+			t = s.overflow[0]
+			s.overflow[0] = nil
+			s.overflow = s.overflow[1:]
+			if len(s.overflow) == 0 {
+				s.overflow = nil
+			}
+		}
+		s.ovMu.Unlock()
+		if t == nil {
+			break
+		}
+		s.queued.Add(-1)
+		if t.state.CompareAndSwap(taskFree, taskInProgress) {
+			return t, -1
+		}
+	}
+	// 3. Steal round-robin from the other members, oldest first.
+	n := len(s.deques)
+	for i := 1; i < n; i++ {
+		victim := (self + i) % n
+		if t := s.deques[victim].steal(); t != nil {
+			s.queued.Add(-1)
+			if t.state.CompareAndSwap(taskFree, taskInProgress) {
+				return t, victim
+			}
+		}
+	}
+	return nil, -1
+}
+
+func (s *stealScheduler) hasRunnable() bool {
+	return s.queued.Load() > 0
+}
+
+func (s *stealScheduler) retained() int {
+	n := 0
+	for _, d := range s.deques {
+		n += d.retained()
+	}
+	s.ovMu.Lock()
+	for _, t := range s.overflow {
+		if t != nil {
+			n++
+		}
+	}
+	s.ovMu.Unlock()
+	return n
+}

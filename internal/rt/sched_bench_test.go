@@ -1,0 +1,123 @@
+package rt
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Scheduler benchmarks: the task-heavy patterns of the paper's
+// evaluation (qsort's divide-and-conquer and Fig. 4's fibonacci)
+// driven directly through the runtime, contrasting the work-stealing
+// scheduler against the legacy shared-list queue at team sizes where
+// the list's O(n) locked scan dominates.
+//
+//	go test -run=NONE -bench=BenchmarkTaskSched ./internal/rt/
+
+func benchSchedModes(b *testing.B, threads int, body func(c *Context) error) {
+	for _, m := range []schedMode{schedList, schedSteal} {
+		for _, l := range bothLayers {
+			b.Run(fmt.Sprintf("%v/%v/%dT", m, l, threads), func(b *testing.B) {
+				r := newSchedRuntime(l, m)
+				ctx := r.NewContext()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := r.Parallel(ctx, ParallelOpts{NumThreads: threads}, body); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkTaskSchedQsort(b *testing.B) {
+	const n = 20000
+	data := make([]int, n)
+	var qsort func(c *Context, lo, hi int) error
+	qsort = func(c *Context, lo, hi int) error {
+		if hi-lo < 2 {
+			return nil
+		}
+		p := data[(lo+hi)/2]
+		i, j := lo, hi-1
+		for i <= j {
+			for data[i] < p {
+				i++
+			}
+			for data[j] > p {
+				j--
+			}
+			if i <= j {
+				data[i], data[j] = data[j], data[i]
+				i++
+				j--
+			}
+		}
+		opts := TaskOpts{If: hi-lo > 256, IfSet: true}
+		if err := c.SubmitTask(opts, func(tc *Context) error { return qsort(tc, lo, j+1) }); err != nil {
+			return err
+		}
+		if err := c.SubmitTask(opts, func(tc *Context) error { return qsort(tc, i, hi) }); err != nil {
+			return err
+		}
+		return c.TaskWait()
+	}
+	benchSchedModes(b, 8, func(c *Context) error {
+		s, err := c.SingleBegin(false, false)
+		if err != nil {
+			return err
+		}
+		if s.Executes() {
+			for i := range data {
+				data[i] = (i * 7919) % n
+			}
+			if err := qsort(c, 0, n); err != nil {
+				return err
+			}
+		}
+		_, err = s.End()
+		return err
+	})
+}
+
+func BenchmarkTaskSchedFib(b *testing.B) {
+	benchSchedModes(b, 8, func(c *Context) error {
+		s, err := c.SingleBegin(false, false)
+		if err != nil {
+			return err
+		}
+		if s.Executes() {
+			v, err := fib(c, 21)
+			if err != nil {
+				return err
+			}
+			if v != 10946 {
+				return fmt.Errorf("fib(21) = %d", v)
+			}
+		}
+		_, err = s.End()
+		return err
+	})
+}
+
+// BenchmarkTaskSchedFlat submits a flat burst of trivial tasks from
+// one producer — the pattern where the legacy list queue's take() is
+// O(queue length) and every barrier wake rescans the whole chain.
+func BenchmarkTaskSchedFlat(b *testing.B) {
+	const tasks = 2000
+	benchSchedModes(b, 8, func(c *Context) error {
+		s, err := c.SingleBegin(false, false)
+		if err != nil {
+			return err
+		}
+		if s.Executes() {
+			for i := 0; i < tasks; i++ {
+				if err := c.SubmitTask(TaskOpts{}, func(*Context) error { return nil }); err != nil {
+					return err
+				}
+			}
+		}
+		_, err = s.End()
+		return err
+	})
+}

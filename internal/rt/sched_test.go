@@ -1,0 +1,205 @@
+package rt
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/omp4go/omp4go/internal/ompt"
+)
+
+// newSchedRuntime builds a runtime pinned to one scheduler mode.
+func newSchedRuntime(l Layer, m schedMode) *Runtime {
+	r := newTestRuntime(l)
+	r.taskSched = m
+	return r
+}
+
+// TestSchedulerDifferentialEveryTaskRunsOnce is the differential test
+// between the legacy list queue and the work-stealing scheduler:
+// under every mode × layer × team size, every submitted task executes
+// exactly once — including second-generation tasks submitted from
+// inside running tasks (which land on the claiming thread's deque and
+// are visible to the whole team through stealing).
+func TestSchedulerDifferentialEveryTaskRunsOnce(t *testing.T) {
+	const firstGen = 64
+	const childrenPer = 4
+	for _, l := range bothLayers {
+		for _, m := range []schedMode{schedSteal, schedList} {
+			for _, threads := range []int{1, 2, 4, 8} {
+				name := fmt.Sprintf("%v/%v/%dT", l, m, threads)
+				r := newSchedRuntime(l, m)
+				ctx := r.NewContext()
+				runs := make([]Counter, firstGen*(1+childrenPer))
+				for i := range runs {
+					runs[i] = NewCounter(LayerAtomic)
+				}
+				err := r.Parallel(ctx, ParallelOpts{NumThreads: threads}, func(c *Context) error {
+					s, err := c.SingleBegin(false, false)
+					if err != nil {
+						return err
+					}
+					if s.Executes() {
+						for i := 0; i < firstGen; i++ {
+							id := i
+							if err := c.SubmitTask(TaskOpts{}, func(tc *Context) error {
+								runs[id].Add(1)
+								for ch := 0; ch < childrenPer; ch++ {
+									cid := firstGen + id*childrenPer + ch
+									if err := tc.SubmitTask(TaskOpts{}, func(*Context) error {
+										runs[cid].Add(1)
+										return nil
+									}); err != nil {
+										return err
+									}
+								}
+								return tc.TaskWait()
+							}); err != nil {
+								return err
+							}
+						}
+					}
+					_, err = s.End() // implicit barrier drains everything
+					return err
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				for i := range runs {
+					if got := runs[i].Load(); got != 1 {
+						t.Fatalf("%s: task %d ran %d times, want exactly 1", name, i, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStealSchedulerRetainsNothingAfterDrain is the queue-length
+// probe of the acceptance criteria: once a region's tasks have all
+// completed, the work-stealing scheduler holds zero task references —
+// retirement is O(1), with no completed-task chains kept alive (the
+// legacy list queue retained every done node until a later take()
+// happened to walk past it).
+func TestStealSchedulerRetainsNothingAfterDrain(t *testing.T) {
+	for _, l := range bothLayers {
+		r := newSchedRuntime(l, schedSteal)
+		ctx := r.NewContext()
+		var team *Team
+		err := r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+			if c.Master() {
+				team = c.team
+			}
+			s, err := c.SingleBegin(false, false)
+			if err != nil {
+				return err
+			}
+			if s.Executes() {
+				// More than dequeCap tasks so the overflow list is
+				// exercised too.
+				for i := 0; i < dequeCap+64; i++ {
+					if err := c.SubmitTask(TaskOpts{}, func(*Context) error { return nil }); err != nil {
+						return err
+					}
+				}
+			}
+			_, err = s.End()
+			return err
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+		if n := team.sched.retained(); n != 0 {
+			t.Fatalf("%v: scheduler retains %d task references after barrier", l, n)
+		}
+		if team.sched.hasRunnable() {
+			t.Fatalf("%v: hasRunnable after drain", l)
+		}
+	}
+}
+
+// TestStealEventEmitted asserts the observability contract of the
+// work-stealing scheduler: when a team member claims a task from
+// another member's deque while a tool is attached, an EvTaskSteal
+// record naming the victim is emitted on the thief.
+func TestStealEventEmitted(t *testing.T) {
+	r := newSchedRuntime(LayerAtomic, schedSteal)
+	tool := &recordingTool{}
+	r.SetTool(tool)
+	ctx := r.NewContext()
+	// Gate every task until two distinct threads are executing tasks,
+	// guaranteeing at least one cross-thread steal.
+	gate := make(chan struct{})
+	distinct := NewCounter(LayerAtomic)
+	seen := [4]Counter{}
+	for i := range seen {
+		seen[i] = NewCounter(LayerAtomic)
+	}
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+		s, err := c.SingleBegin(false, false)
+		if err != nil {
+			return err
+		}
+		if s.Executes() {
+			for i := 0; i < 32; i++ {
+				if err := c.SubmitTask(TaskOpts{}, func(tc *Context) error {
+					if seen[tc.num].Add(1) == 1 && distinct.Add(1) == 2 {
+						close(gate)
+					}
+					<-gate
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		_, err = s.End()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steals := 0
+	for _, recs := range tool.byGTID() {
+		for _, rec := range recs {
+			if rec.Kind == ompt.EvTaskSteal {
+				steals++
+				if rec.B < 0 || rec.B >= 4 {
+					t.Fatalf("steal event names victim %d", rec.B)
+				}
+			}
+		}
+	}
+	if steals == 0 {
+		t.Fatal("no EvTaskSteal emitted despite cross-thread task execution")
+	}
+}
+
+// TestSchedulerOverflowBurst drives a submission burst past the deque
+// capacity from inside a parallel region and checks nothing is lost.
+func TestSchedulerOverflowBurst(t *testing.T) {
+	for _, l := range bothLayers {
+		r := newSchedRuntime(l, schedSteal)
+		ctx := r.NewContext()
+		const n = 3 * dequeCap
+		done := NewCounter(LayerAtomic)
+		err := r.Parallel(ctx, ParallelOpts{NumThreads: 2}, func(c *Context) error {
+			if c.Master() {
+				for i := 0; i < n; i++ {
+					if err := c.SubmitTask(TaskOpts{}, func(*Context) error {
+						done.Add(1)
+						return nil
+					}); err != nil {
+						return err
+					}
+				}
+			}
+			return nil // implicit region barrier drains
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+		if done.Load() != n {
+			t.Fatalf("%v: %d tasks ran, want %d", l, done.Load(), n)
+		}
+	}
+}

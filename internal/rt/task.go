@@ -15,9 +15,10 @@ const (
 	taskDone
 )
 
-// task is one node of the shared task queue. The queue is a linked
-// list whose nodes carry the execution state, a completion event, the
-// task function, and the next-reference (§III-E).
+// task is one deferred (or undeferred) task instance, carrying the
+// execution state, a completion event, the task function, and — for
+// the legacy list scheduler only — the linked-list next-reference of
+// the paper's shared queue (§III-E).
 type task struct {
 	fn       func(*Context) error
 	state    Counter
@@ -26,7 +27,7 @@ type task struct {
 	children Counter // outstanding direct children (for taskwait)
 	explicit bool
 	final    bool
-	next     atomic.Pointer[task]
+	next     atomic.Pointer[task] // list scheduler only
 	err      error
 
 	// id and startNS serve the observability subsystem: id is
@@ -46,18 +47,13 @@ func newTask(l Layer, fn func(*Context) error, parent *task, explicit bool) *tas
 	}
 }
 
-// taskQueue is the shared team queue. Enqueueing updates the tail's
-// next-reference: the mutex implementation locks around the update
-// (Python runtime), the atomic one uses compare_exchange (cruntime).
-type taskQueue interface {
-	submit(*task)
-	// take claims a free task (marking it in-progress) or returns nil.
-	take() *task
-	// hasRunnable reports whether a free task is visible.
-	hasRunnable() bool
-}
-
-func newTaskQueue(l Layer) taskQueue {
+// newListQueue builds the paper's shared linked-list queue (§III-E):
+// enqueueing updates the tail's next-reference — the mutex
+// implementation locks around the update (Python runtime), the atomic
+// one uses compare_exchange (cruntime). It remains available as the
+// "list" scheduler mode for differential tests against the default
+// work-stealing scheduler (sched.go).
+func newListQueue(l Layer) taskScheduler {
 	if l == LayerAtomic {
 		q := &atomicTaskQueue{}
 		sentinel := &task{state: NewCounter(l)}
@@ -76,7 +72,7 @@ type mutexTaskQueue struct {
 	head, tail *task
 }
 
-func (q *mutexTaskQueue) submit(t *task) {
+func (q *mutexTaskQueue) submit(_ int, t *task) bool {
 	q.mu.Lock()
 	if q.tail == nil {
 		q.head, q.tail = t, t
@@ -85,9 +81,10 @@ func (q *mutexTaskQueue) submit(t *task) {
 		q.tail = t
 	}
 	q.mu.Unlock()
+	return false
 }
 
-func (q *mutexTaskQueue) take() *task {
+func (q *mutexTaskQueue) take(int) (*task, int) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	// Drop the completed prefix, then claim the first free node.
@@ -99,10 +96,10 @@ func (q *mutexTaskQueue) take() *task {
 	}
 	for n := q.head; n != nil; n = n.next.Load() {
 		if n.state.CompareAndSwap(taskFree, taskInProgress) {
-			return n
+			return n, -1
 		}
 	}
-	return nil
+	return nil, -1
 }
 
 func (q *mutexTaskQueue) hasRunnable() bool {
@@ -116,6 +113,16 @@ func (q *mutexTaskQueue) hasRunnable() bool {
 	return false
 }
 
+func (q *mutexTaskQueue) retained() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for t := q.head; t != nil; t = t.next.Load() {
+		n++
+	}
+	return n
+}
+
 // atomicTaskQueue is the cruntime flavour: enqueue installs the
 // next-reference with compare_exchange, and consumers advance the
 // head hint past completed nodes without locking.
@@ -124,19 +131,19 @@ type atomicTaskQueue struct {
 	tail atomic.Pointer[task]
 }
 
-func (q *atomicTaskQueue) submit(t *task) {
+func (q *atomicTaskQueue) submit(_ int, t *task) bool {
 	for {
 		tl := q.tail.Load()
 		if tl.next.CompareAndSwap(nil, t) {
 			q.tail.CompareAndSwap(tl, t)
-			return
+			return false
 		}
 		// Help a stalled enqueuer move the tail forward.
 		q.tail.CompareAndSwap(tl, tl.next.Load())
 	}
 }
 
-func (q *atomicTaskQueue) take() *task {
+func (q *atomicTaskQueue) take(int) (*task, int) {
 	// Advance the head hint past completed nodes (nodes are never
 	// recycled, so racing advances are safe under GC).
 	for {
@@ -149,10 +156,10 @@ func (q *atomicTaskQueue) take() *task {
 	}
 	for n := q.head.Load().next.Load(); n != nil; n = n.next.Load() {
 		if n.state.CompareAndSwap(taskFree, taskInProgress) {
-			return n
+			return n, -1
 		}
 	}
-	return nil
+	return nil, -1
 }
 
 func (q *atomicTaskQueue) hasRunnable() bool {
@@ -162,6 +169,14 @@ func (q *atomicTaskQueue) hasRunnable() bool {
 		}
 	}
 	return false
+}
+
+func (q *atomicTaskQueue) retained() int {
+	n := 0
+	for t := q.head.Load().next.Load(); t != nil; t = t.next.Load() {
+		n++
+	}
+	return n
 }
 
 // TaskOpts carries the task directive clauses the runtime consumes.
@@ -202,14 +217,29 @@ func (c *Context) SubmitTask(opts TaskOpts, fn func(*Context) error) error {
 	}
 	c.curTask.children.Add(1)
 	depth := t.outstanding.Add(1)
-	t.queue.submit(tk)
+	overflowed := t.sched.submit(c.num, tk)
 	if tk.id != 0 {
 		c.emit(ompt.EvTaskCreate, tk.id, depth, 0, "")
+		if overflowed {
+			c.emit(ompt.EvTaskOverflow, tk.id, depth, 0, "")
+		}
 	}
 	// Threads waiting at a barrier are reawakened to consume newly
 	// submitted work (§III-E).
 	t.wakeAll()
 	return nil
+}
+
+// claimTask claims the next runnable task for ctx's thread: local
+// deque first, then overflow, then a round-robin steal. A successful
+// steal from another member's deque is reported to the observability
+// subsystem.
+func (t *Team) claimTask(ctx *Context) *task {
+	tk, victim := t.sched.take(ctx.num)
+	if tk != nil && tk.id != 0 && t.rt.tool != nil && victim >= 0 && victim != ctx.num {
+		ctx.emit(ompt.EvTaskSteal, tk.id, int64(victim), 0, "")
+	}
+	return tk
 }
 
 func (c *Context) inFinal() bool {
@@ -274,7 +304,7 @@ func (c *Context) TaskWait() error {
 	t := c.team
 	cur := c.curTask
 	for cur.children.Load() > 0 {
-		if tk := t.queue.take(); tk != nil {
+		if tk := t.claimTask(c); tk != nil {
 			t.runTask(c, tk)
 			continue
 		}
@@ -282,7 +312,7 @@ func (c *Context) TaskWait() error {
 			return newBrokenAbort("taskwait")
 		}
 		t.waitFor(func() bool {
-			return cur.children.Load() == 0 || t.queue.hasRunnable() || t.broken.Load() != 0
+			return cur.children.Load() == 0 || t.sched.hasRunnable() || t.broken.Load() != 0
 		})
 	}
 	return nil

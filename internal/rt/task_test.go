@@ -377,74 +377,91 @@ func TestDeepTaskRecursionQsortPattern(t *testing.T) {
 	}
 }
 
-func TestTaskQueueDirect(t *testing.T) {
+// schedVariants enumerates every scheduler implementation × layer for
+// direct-drive tests. size is the simulated team size.
+func schedVariants(size int) map[string]taskScheduler {
+	out := make(map[string]taskScheduler)
 	for _, l := range bothLayers {
-		q := newTaskQueue(l)
-		if q.hasRunnable() {
-			t.Fatalf("%v: empty queue has runnable", l)
+		for _, m := range []schedMode{schedSteal, schedList} {
+			out[l.String()+"/"+m.String()] = newTaskScheduler(l, size, m)
 		}
-		if q.take() != nil {
-			t.Fatalf("%v: take on empty queue", l)
+	}
+	return out
+}
+
+func TestTaskSchedulerDirect(t *testing.T) {
+	for name, q := range schedVariants(4) {
+		l := LayerAtomic
+		if q.hasRunnable() {
+			t.Fatalf("%s: empty scheduler has runnable", name)
+		}
+		if tk, _ := q.take(0); tk != nil {
+			t.Fatalf("%s: take on empty scheduler", name)
 		}
 		t1 := newTask(l, nil, nil, true)
 		t2 := newTask(l, nil, nil, true)
-		q.submit(t1)
-		q.submit(t2)
+		q.submit(0, t1)
+		q.submit(0, t2)
 		if !q.hasRunnable() {
-			t.Fatalf("%v: queue should have runnable tasks", l)
+			t.Fatalf("%s: scheduler should have runnable tasks", name)
 		}
-		a := q.take()
-		b := q.take()
+		a, _ := q.take(0)
+		b, _ := q.take(1) // thread 1 must find thread 0's remaining task
 		if a == nil || b == nil || a == b {
-			t.Fatalf("%v: take returned %v, %v", l, a, b)
+			t.Fatalf("%s: take returned %v, %v", name, a, b)
 		}
-		if q.take() != nil {
-			t.Fatalf("%v: queue should be drained", l)
+		if tk, _ := q.take(2); tk != nil {
+			t.Fatalf("%s: scheduler should be drained", name)
 		}
 		a.state.Store(taskDone)
 		b.state.Store(taskDone)
 		t3 := newTask(l, nil, nil, true)
-		q.submit(t3)
-		if got := q.take(); got != t3 {
-			t.Fatalf("%v: expected t3 after completed prefix", l)
+		q.submit(3, t3)
+		if got, _ := q.take(3); got != t3 {
+			t.Fatalf("%s: expected t3 after completed tasks", name)
 		}
 	}
 }
 
-func TestTaskQueueConcurrent(t *testing.T) {
-	for _, l := range bothLayers {
-		q := newTaskQueue(l)
-		const producers = 4
-		const perProducer = 500
+func TestTaskSchedulerConcurrent(t *testing.T) {
+	// Each team-thread id is driven by exactly one goroutine that both
+	// submits and consumes — the deque bottom end is owner-only, and
+	// this is the invariant the runtime upholds (a context's thread
+	// number is only ever used from that member's goroutine).
+	for name, q := range schedVariants(4) {
+		const workers = 4
+		const perWorker = 500
 		taken := NewCounter(LayerAtomic)
 		var wg sync.WaitGroup
-		for p := 0; p < producers; p++ {
+		for p := 0; p < workers; p++ {
 			wg.Add(1)
-			go func() {
+			go func(self int) {
 				defer wg.Done()
-				for i := 0; i < perProducer; i++ {
-					q.submit(newTask(l, nil, nil, true))
-				}
-			}()
-		}
-		for cns := 0; cns < 4; cns++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for taken.Load() < producers*perProducer {
-					if tk := q.take(); tk != nil {
+				for i := 0; i < perWorker; i++ {
+					q.submit(self, newTask(LayerAtomic, nil, nil, true))
+					// Interleave claims with submissions, then drain.
+					if tk, _ := q.take(self); tk != nil {
 						tk.state.Store(taskDone)
 						taken.Add(1)
 					}
 				}
-			}()
+				for taken.Load() < workers*perWorker {
+					if tk, _ := q.take(self); tk != nil {
+						tk.state.Store(taskDone)
+						taken.Add(1)
+					}
+				}
+			}(p)
 		}
 		wg.Wait()
-		if taken.Load() != producers*perProducer {
-			t.Fatalf("%v: took %d tasks, want %d", l, taken.Load(), producers*perProducer)
+		if taken.Load() != workers*perWorker {
+			t.Fatalf("%s: took %d tasks, want %d", name, taken.Load(), workers*perWorker)
 		}
-		if q.take() != nil {
-			t.Fatalf("%v: residual task in queue", l)
+		if tk, _ := q.take(0); tk != nil {
+			t.Fatalf("%s: residual task in scheduler", name)
+		}
+		if n := q.retained(); n != 0 {
+			t.Fatalf("%s: scheduler retains %d task references after drain", name, n)
 		}
 	}
 }

@@ -194,14 +194,11 @@ func (c *Context) ForInit(b *LoopBounds, opts ForOpts) error {
 		return &MisuseError{Construct: "for",
 			Msg: "worksharing construct may not be closely nested inside another worksharing construct"}
 	}
-	b.ctx = c
-	b.team = c.team
-	b.tnum = c.num
-	b.tsize = c.team.size
-	b.nowait = opts.NoWait
-	b.ordered = opts.Ordered
-	b.region, b.regIdx = c.enterRegion()
-
+	// Resolve and validate the clauses before touching any shared
+	// state: an error return must not have entered the worksharing
+	// region, or the regionState would leak (its finished counter
+	// could never reach team size) and wsIndex would advance without
+	// a matching leaveRegion.
 	sched := opts.Sched
 	if !opts.SchedSet {
 		sched = Schedule{Kind: directive.ScheduleStatic}
@@ -219,6 +216,14 @@ func (c *Context) ForInit(b *LoopBounds, opts ForOpts) error {
 	if sched.Chunk < 0 {
 		return &MisuseError{Construct: "for", Msg: "chunk size must be positive"}
 	}
+
+	b.ctx = c
+	b.team = c.team
+	b.tnum = c.num
+	b.tsize = c.team.size
+	b.nowait = opts.NoWait
+	b.ordered = opts.Ordered
+	b.region, b.regIdx = c.enterRegion()
 	b.sched = sched
 
 	switch sched.Kind {
@@ -316,9 +321,10 @@ func (b *LoopBounds) claimNext() bool {
 			if remaining <= 0 {
 				return false
 			}
-			// Decreasing chunks: half the remaining work divided
-			// among the team, but never below the minimum chunk.
-			sz := remaining / int64(2*b.tsize)
+			// Decreasing chunks: the remaining work divided among
+			// the team (remaining/tsize, libgomp's guided formula),
+			// but never below the minimum chunk.
+			sz := remaining / int64(b.tsize)
 			if sz < b.sched.Chunk {
 				sz = b.sched.Chunk
 			}
@@ -499,6 +505,10 @@ func (s *Single) End() (any, error) {
 				return s.region.cpEvent.IsSet() || c.team.broken.Load() != 0
 			})
 			if !s.region.cpEvent.IsSet() {
+				// Release the region entry even on this error path:
+				// returning without leaveRegion would leak the entry
+				// in the team's regionTable.
+				c.leaveRegion(s.region, s.regIdx)
 				return nil, &MisuseError{Construct: "single",
 					Msg: "copyprivate value was never published (team broken)"}
 			}

@@ -231,23 +231,23 @@ func TestStaticChunkedIsRoundRobin(t *testing.T) {
 	}
 }
 
+// guidedBounds builds a loop descriptor wired for direct claimNext
+// driving: a simulated team of tsize threads, all chunks claimed from
+// one goroutine so the sequence is deterministic.
+func guidedBounds(l Layer, total, tsize, chunk int64) *LoopBounds {
+	b := ForBounds(Triplet{0, total, 1})
+	b.sched = Schedule{Kind: directive.ScheduleGuided, Chunk: chunk}
+	b.tsize = int(tsize)
+	b.region = newRegionState(l)
+	b.inited = true
+	return b
+}
+
 func TestGuidedChunksDecrease(t *testing.T) {
-	r := newTestRuntime(LayerAtomic)
-	ctx := r.NewContext()
 	var sizes []int64
-	err := r.Parallel(ctx, ParallelOpts{NumThreads: 1}, func(c *Context) error {
-		b := ForBounds(Triplet{0, 1000, 1})
-		opts := ForOpts{Sched: Schedule{Kind: directive.ScheduleGuided, Chunk: 1}, SchedSet: true}
-		if err := c.ForInit(b, opts); err != nil {
-			return err
-		}
-		for b.ForNext() {
-			sizes = append(sizes, b.Hi-b.Lo)
-		}
-		return c.ForEnd(b)
-	})
-	if err != nil {
-		t.Fatal(err)
+	b := guidedBounds(LayerAtomic, 1000, 4, 1)
+	for b.claimNext() {
+		sizes = append(sizes, b.Hi-b.Lo)
 	}
 	if len(sizes) < 3 {
 		t.Fatalf("guided produced %d chunks", len(sizes))
@@ -257,8 +257,47 @@ func TestGuidedChunksDecrease(t *testing.T) {
 			t.Fatalf("guided chunk grew: %v", sizes)
 		}
 	}
-	if sizes[0] != 500 { // remaining/(2*1) = 500 on the first claim
-		t.Fatalf("first guided chunk = %d, want 500", sizes[0])
+	if sizes[0] != 250 { // remaining/tsize = 1000/4 on the first claim
+		t.Fatalf("first guided chunk = %d, want 250", sizes[0])
+	}
+}
+
+// TestGuidedChunkSequenceExact locks the exact guided chunk sequence
+// to the libgomp formula (chunk = remaining/tsize, clamped below by
+// the minimum chunk and above by the remaining iterations).
+func TestGuidedChunkSequenceExact(t *testing.T) {
+	cases := []struct {
+		name                string
+		total, tsize, chunk int64
+		want                []int64
+	}{
+		{"t4-chunk1", 100, 4, 1,
+			[]int64{25, 18, 14, 10, 8, 6, 4, 3, 3, 2, 1, 1, 1, 1, 1, 1, 1}},
+		{"t2-chunk4", 40, 2, 4, []int64{20, 10, 5, 4, 1}},
+		{"t1-chunk1", 16, 1, 1, []int64{16}},
+		{"t8-chunk16", 64, 8, 16, []int64{16, 16, 16, 16}},
+	}
+	for _, l := range bothLayers {
+		for _, tc := range cases {
+			b := guidedBounds(l, tc.total, tc.tsize, tc.chunk)
+			var got []int64
+			var sum int64
+			for b.claimNext() {
+				got = append(got, b.Hi-b.Lo)
+				sum += b.Hi - b.Lo
+			}
+			if sum != tc.total {
+				t.Errorf("%v/%s: chunks sum to %d, want %d", l, tc.name, sum, tc.total)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("%v/%s: chunk sequence %v, want %v", l, tc.name, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("%v/%s: chunk sequence %v, want %v", l, tc.name, got, tc.want)
+				}
+			}
+		}
 	}
 }
 

@@ -24,8 +24,10 @@ func TaskFinal(cond bool) TaskOption {
 	return func(o *taskOptions) { o.finalSet, o.finalVal = true, cond }
 }
 
-// Task packages fn into a task placed on the team's shared queue; any
-// team thread may pick it up (the task directive).
+// Task packages fn into a task pushed onto the submitting thread's
+// work-stealing deque; idle team threads steal it if the owner is
+// busy (the task directive). See docs/tasking.md for the scheduler
+// design and the OMP4GO_TASK_SCHED knob.
 func (tc *TC) Task(fn func(tc *TC), opts ...TaskOption) error {
 	var o taskOptions
 	for _, opt := range opts {
@@ -45,6 +47,6 @@ func (tc *TC) Task(fn func(tc *TC), opts ...TaskOption) error {
 }
 
 // TaskWait suspends the current task until all its direct children
-// complete, executing queued tasks meanwhile (the taskwait
-// directive).
+// complete, draining the local deque and stealing from teammates
+// meanwhile (the taskwait directive).
 func (tc *TC) TaskWait() error { return tc.ctx.TaskWait() }
