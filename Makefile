@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench trace clean
+.PHONY: build test race vet verify bench bench-compare trace clean
 
 build:
 	$(GO) build ./...
@@ -19,10 +19,13 @@ vet:
 	$(GO) vet ./...
 
 # verify is the CI gate: static checks plus the race-detector pass
-# over the runtime and observability layers.
+# over the runtime and observability layers, plus a single-iteration
+# smoke of the pool-vs-spawn overhead benchmark so a dispatch
+# regression that only bites under the pool path fails loudly.
 verify: vet
 	$(GO) test ./...
 	$(GO) test -race -timeout 120s ./internal/rt/... ./internal/ompt/... ./omp/...
+	$(GO) test -run=NONE -bench=BenchmarkRegionOverhead -benchtime=1x -timeout 120s ./internal/rt/
 
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkFig5 -benchtime=1x ./...
@@ -32,6 +35,20 @@ bench:
 bench-smoke:
 	$(GO) test -run=NONE -bench='BenchmarkFig5/qsort' -benchtime=1x -timeout 300s .
 	$(GO) test -run=NONE -bench=BenchmarkTaskSched -benchtime=1x -timeout 300s ./internal/rt/
+
+# bench-compare quantifies the persistent worker pool against the
+# spawn-per-region baseline: the region-overhead microbenchmark runs
+# both modes in-process (the pool=on/off sub-benchmarks), and the awk
+# pass prints the off/on time ratio per team size — the Fig. 5
+# thread-management amortization. A task-heavy Fig. 5 kernel then runs
+# once under each mode via the real OMP4GO_POOL environment ICV.
+bench-compare:
+	$(GO) test -run=NONE -bench=BenchmarkRegionOverhead -benchtime=500ms -timeout 600s ./internal/rt/ \
+	  | awk '/^BenchmarkRegionOverhead/ { split($$1, p, "/"); t[p[2] "/" p[3]] = $$3 } \
+	    END { for (k in t) if (k ~ /^pool=on/) { size = substr(k, 9); off = t["pool=off/" size]; \
+	      if (off) printf "  %-4s spawn/pool ratio: %.2fx (%.0f ns -> %.0f ns)\n", size, off / t[k], off, t[k] } }'
+	$(GO) test -run=NONE -bench='BenchmarkFig5/qsort' -benchtime=1x -timeout 300s .
+	OMP4GO_POOL=off $(GO) test -run=NONE -bench='BenchmarkFig5/qsort' -benchtime=1x -timeout 300s .
 
 # trace produces the demo Chrome trace (load in chrome://tracing or
 # ui.perfetto.dev).

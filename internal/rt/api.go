@@ -106,14 +106,30 @@ func (r *Runtime) GetMaxActiveLevels() int {
 	return n
 }
 
-// GetWaitPolicy returns the wait-policy-var hint loaded from
-// OMP_WAIT_POLICY ("active" or "passive"; the default is "passive",
-// matching the runtime's block-on-condition-variable waits).
+// GetWaitPolicy returns the wait-policy-var ICV ("active" or
+// "passive"; the default is "passive"). The policy governs how idle
+// pool workers wait for the next parallel region: "active" spins with
+// scheduler-yield backoff before parking, "passive" parks at once.
 func (r *Runtime) GetWaitPolicy() string {
 	r.icv.mu.Lock()
 	p := r.icv.waitPolicy
 	r.icv.mu.Unlock()
 	return waitPolicyOrDefault(p)
+}
+
+// SetWaitPolicy sets the wait-policy-var ICV without going through
+// OMP_WAIT_POLICY. Accepts "active" or "passive" (any case); other
+// values are rejected. Workers observe the new policy the next time
+// they go idle.
+func (r *Runtime) SetWaitPolicy(policy string) error {
+	p, err := parseWaitPolicy(policy)
+	if err != nil {
+		return err
+	}
+	r.icv.mu.Lock()
+	r.icv.waitPolicy = p
+	r.icv.mu.Unlock()
+	return nil
 }
 
 // GetThreadLimit returns thread-limit-var (omp_get_thread_limit).

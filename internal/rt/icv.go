@@ -35,6 +35,7 @@ type icvSet struct {
 	displayEnv      string   // OMP_DISPLAY_ENV: "", "true" or "verbose"
 	traceFile       string   // OMP4GO_TRACE output file (tool activation)
 	taskSched       string   // OMP4GO_TASK_SCHED: "", "steal" or "list"
+	poolMode        string   // OMP4GO_POOL: "", "on" or "off"
 }
 
 func defaultICVs() icvSet {
@@ -88,15 +89,12 @@ func (s *icvSet) loadEnv(getenv func(string) string) {
 		}
 	}
 	if v := getenv("OMP_WAIT_POLICY"); v != "" {
-		// Barriers and waits consume queued tasks and then block on a
-		// condition variable, so the runtime's behaviour is passive;
-		// the policy is recorded as a hint, as libgomp does for
-		// values it maps onto one strategy.
-		switch strings.ToLower(strings.TrimSpace(v)) {
-		case "active":
-			s.waitPolicy = "active"
-		case "passive":
-			s.waitPolicy = "passive"
+		// The policy controls the idle loop of persistent pool
+		// workers between regions (pool.go): "active" spins before
+		// parking, "passive" parks immediately. Unknown values keep
+		// the default, as libgomp does.
+		if p, err := parseWaitPolicy(v); err == nil {
+			s.waitPolicy = p
 		}
 	}
 	if v := getenv("OMP_DISPLAY_ENV"); v != "" {
@@ -109,6 +107,18 @@ func (s *icvSet) loadEnv(getenv func(string) string) {
 	}
 	if v := getenv("OMP4GO_TRACE"); v != "" {
 		s.traceFile = strings.TrimSpace(v)
+	}
+	if v := getenv("OMP4GO_POOL"); v != "" {
+		// Worker-pool selection: "on" (default, persistent worker
+		// goroutines reused across regions) or "off" (the seed's
+		// spawn-per-region path, kept as a differential baseline
+		// mirroring OMP4GO_TASK_SCHED=list).
+		switch strings.ToLower(strings.TrimSpace(v)) {
+		case "1", "true", "yes", "on":
+			s.poolMode = "on"
+		case "0", "false", "no", "off":
+			s.poolMode = "off"
+		}
 	}
 	if v := getenv("OMP4GO_TASK_SCHED"); v != "" {
 		// Scheduler selection: "steal" (default, per-thread
@@ -147,6 +157,11 @@ func (s *icvSet) display(w io.Writer) {
 	if s.displayEnv == "verbose" {
 		fmt.Fprintf(w, "  OMP4GO_TRACE = '%s'\n", s.traceFile)
 		fmt.Fprintf(w, "  OMP4GO_TASK_SCHED = '%s'\n", parseSchedMode(s.taskSched))
+		pool := "on"
+		if s.poolMode == "off" {
+			pool = "off"
+		}
+		fmt.Fprintf(w, "  OMP4GO_POOL = '%s'\n", pool)
 	}
 	fmt.Fprintln(w, "OPENMP DISPLAY ENVIRONMENT END")
 }
@@ -156,6 +171,19 @@ func waitPolicyOrDefault(p string) string {
 		return "passive"
 	}
 	return p
+}
+
+// parseWaitPolicy normalizes a wait-policy value ("active" or
+// "passive", any case), rejecting anything else.
+func parseWaitPolicy(v string) (string, error) {
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "active":
+		return "active", nil
+	case "passive":
+		return "passive", nil
+	}
+	return "", &MisuseError{Construct: "omp_set_wait_policy",
+		Msg: "wait policy must be \"active\" or \"passive\", got " + strconv.Quote(v)}
 }
 
 // scheduleEnvString renders a Schedule in OMP_SCHEDULE syntax.

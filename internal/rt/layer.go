@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Layer selects the low-level synchronization implementation used by
@@ -164,6 +165,151 @@ func (e *mutexEvent) Wait() {
 		e.cond.Wait()
 	}
 	e.mu.Unlock()
+}
+
+// parkSlot is the one-element work handoff cell a persistent pool
+// worker parks on between parallel regions (pool.go). Exactly one
+// consumer (the worker) polls/gets; producers hand over at most one
+// function at a time — a worker is dispatched to only after it was
+// taken off the pool's free list, so put never overtakes an
+// unconsumed function. The mutex flavour coordinates through a
+// condition-style pending field (the Python runtime's Event idiom),
+// the atomic flavour through a buffered channel (the cruntime's
+// futex-style wait).
+type parkSlot interface {
+	// put hands d to the worker, waking it if parked.
+	put(d dispatch)
+	// poll returns a pending dispatch without blocking; ok is false
+	// when none is pending (the wait policies' spin probe).
+	poll() (d dispatch, ok bool)
+	// get blocks until a dispatch arrives, the slot is closed, or
+	// timeout elapses (timeout <= 0 blocks forever). closed is true
+	// when the slot was closed; both false means timeout.
+	get(timeout time.Duration) (d dispatch, ok, closed bool)
+	// closeSlot permanently wakes the worker with closed = true. It
+	// must not race with put: only close a slot whose worker cannot
+	// be dispatched to anymore.
+	closeSlot()
+}
+
+func newParkSlot(l Layer) parkSlot {
+	if l == LayerAtomic {
+		return &atomicParkSlot{ch: make(chan dispatch, 1)}
+	}
+	return &mutexParkSlot{sig: make(chan struct{}, 1)}
+}
+
+// atomicParkSlot parks the worker on a buffered channel receive.
+// timer is owned by the single consumer and reused across parks so a
+// park-unpark cycle costs no allocation (go.mod is past 1.23, so
+// Stop/Reset need no channel drain).
+type atomicParkSlot struct {
+	ch    chan dispatch
+	timer *time.Timer
+}
+
+func (s *atomicParkSlot) put(d dispatch) { s.ch <- d }
+
+func (s *atomicParkSlot) poll() (dispatch, bool) {
+	select {
+	case d, ok := <-s.ch:
+		// ok is false only on a closed channel; the subsequent get
+		// reports the close.
+		return d, ok
+	default:
+		return dispatch{}, false
+	}
+}
+
+func (s *atomicParkSlot) get(timeout time.Duration) (dispatch, bool, bool) {
+	if timeout <= 0 {
+		d, ok := <-s.ch
+		return d, ok, !ok
+	}
+	if s.timer == nil {
+		s.timer = time.NewTimer(timeout)
+	} else {
+		s.timer.Reset(timeout)
+	}
+	select {
+	case d, ok := <-s.ch:
+		s.timer.Stop()
+		return d, ok, !ok
+	case <-s.timer.C:
+		return dispatch{}, false, false
+	}
+}
+
+func (s *atomicParkSlot) closeSlot() { close(s.ch) }
+
+// mutexParkSlot guards the pending function with a mutex and parks on
+// a one-shot wakeup signal. A spurious wakeup (a stale signal left in
+// the buffer) only re-runs the guarded check.
+type mutexParkSlot struct {
+	mu     sync.Mutex
+	d      dispatch
+	has    bool
+	closed bool
+	sig    chan struct{}
+	timer  *time.Timer // consumer-owned, reused across parks
+}
+
+func (s *mutexParkSlot) put(d dispatch) {
+	s.mu.Lock()
+	s.d, s.has = d, true
+	s.mu.Unlock()
+	select {
+	case s.sig <- struct{}{}:
+	default:
+	}
+}
+
+func (s *mutexParkSlot) poll() (dispatch, bool) {
+	s.mu.Lock()
+	d, ok := s.d, s.has
+	s.d, s.has = dispatch{}, false
+	s.mu.Unlock()
+	return d, ok
+}
+
+func (s *mutexParkSlot) get(timeout time.Duration) (dispatch, bool, bool) {
+	var expired <-chan time.Time
+	if timeout > 0 {
+		if s.timer == nil {
+			s.timer = time.NewTimer(timeout)
+		} else {
+			s.timer.Reset(timeout)
+		}
+		defer s.timer.Stop()
+		expired = s.timer.C
+	}
+	for {
+		s.mu.Lock()
+		d, ok, closed := s.d, s.has, s.closed
+		s.d, s.has = dispatch{}, false
+		s.mu.Unlock()
+		if ok {
+			return d, true, false
+		}
+		if closed {
+			return dispatch{}, false, true
+		}
+		select {
+		case <-s.sig:
+		case <-expired:
+			return dispatch{}, false, false
+		}
+	}
+}
+
+func (s *mutexParkSlot) closeSlot() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	select {
+	case s.sig <- struct{}{}:
+	default:
+	}
 }
 
 type atomicEvent struct {

@@ -134,6 +134,17 @@ func (r *Runtime) criticalLock(name string) *sync.Mutex {
 	return m
 }
 
+// DropCritical releases the runtime's lock object for a critical
+// section name. It exists for generated per-region names (the unique
+// reduction slots of omp.ParallelReduce) whose locks would otherwise
+// accumulate in the runtime for its lifetime; call only after every
+// thread that could enter the name has left the region.
+func (r *Runtime) DropCritical(name string) {
+	r.criticalMu.Lock()
+	delete(r.criticals, name)
+	r.criticalMu.Unlock()
+}
+
 var atomicSeed = maphash.MakeSeed()
 
 // AtomicUpdate runs update under the lock striped for the given cell

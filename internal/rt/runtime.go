@@ -48,7 +48,22 @@ type Runtime struct {
 	// deques by default, the paper's shared list queue when
 	// OMP4GO_TASK_SCHED=list (differential testing).
 	taskSched schedMode
+
+	// pool holds the persistent worker goroutines Parallel dispatches
+	// region bodies to (pool.go); nil when OMP4GO_POOL=off selects the
+	// spawn-per-region baseline.
+	pool *workerPool
+
+	// teamCache recycles Team objects (and with them the scheduler's
+	// per-thread deques) between same-size regions; pool mode only, so
+	// the spawn baseline keeps its allocate-per-region behaviour.
+	teamCacheMu sync.Mutex
+	teamCache   map[int][]*Team
 }
+
+// maxCachedTeams bounds the recycled teams kept per team size; nested
+// parallelism can hold several same-size teams live at once.
+const maxCachedTeams = 8
 
 // New returns a runtime using the given synchronization layer with
 // ICVs initialized from the OMP_* environment variables.
@@ -68,6 +83,10 @@ func NewWithEnv(layer Layer, getenv func(string) string) *Runtime {
 	}
 	r.icv.loadEnv(getenv)
 	r.taskSched = parseSchedMode(r.icv.taskSched)
+	if r.icv.poolMode != "off" {
+		r.pool = newWorkerPool(r)
+		r.teamCache = make(map[int][]*Team)
+	}
 	if r.icv.displayEnv != "" {
 		r.icv.display(displayEnvOut)
 	}
@@ -84,6 +103,72 @@ func NewWithEnv(layer Layer, getenv func(string) string) *Runtime {
 
 // Layer reports the synchronization layer of this runtime.
 func (r *Runtime) Layer() Layer { return r.layer }
+
+// PoolEnabled reports whether Parallel dispatches to the persistent
+// worker pool (true unless OMP4GO_POOL=off).
+func (r *Runtime) PoolEnabled() bool { return r.pool != nil }
+
+// Shutdown retires the runtime's parked pool workers. It is optional
+// — idle workers retire on their own after workerIdleTimeout — but
+// gives deterministic teardown for tests and short-lived runtimes.
+// Parallel remains usable afterwards, falling back to spawning
+// goroutines per region.
+func (r *Runtime) Shutdown() {
+	if r.pool != nil {
+		r.pool.shutdownAll()
+	}
+}
+
+// takeTeam returns a recycled team of the given size or builds a new
+// one. Recycling is a pool-mode optimization: the spawn-per-region
+// baseline allocates fresh, as the seed runtime did.
+func (r *Runtime) takeTeam(size int) *Team {
+	if r.pool != nil {
+		r.teamCacheMu.Lock()
+		if list := r.teamCache[size]; len(list) > 0 {
+			t := list[len(list)-1]
+			list[len(list)-1] = nil
+			r.teamCache[size] = list[:len(list)-1]
+			r.teamCacheMu.Unlock()
+			t.reset()
+			return t
+		}
+		r.teamCacheMu.Unlock()
+	}
+	return newTeam(r, nil, size)
+}
+
+// putTeam recycles a team whose region joined cleanly. A broken team
+// (or one with tasks unaccounted for) may hold abandoned tasks in its
+// deques and is left for the garbage collector instead.
+func (r *Runtime) putTeam(t *Team) {
+	if r.pool == nil || t.broken.Load() != 0 || t.outstanding.Load() != 0 {
+		return
+	}
+	r.teamCacheMu.Lock()
+	if len(r.teamCache[t.size]) < maxCachedTeams {
+		r.teamCache[t.size] = append(r.teamCache[t.size], t)
+	}
+	r.teamCacheMu.Unlock()
+}
+
+// reset prepares a recycled team for its next region. Member contexts
+// are overwritten by Parallel; the scheduler keeps its deques (empty
+// after a clean join) and the region table is replaced because its
+// entries are keyed by per-thread construct sequence numbers that
+// restart at zero with the fresh contexts.
+func (t *Team) reset() {
+	t.regionID = int32(t.rt.regionSeq.Add(1))
+	t.arrivals.Store(0)
+	t.broken.Store(0)
+	t.outstanding.Store(0)
+	// t.regions is kept: a cleanly-joined region leaves the table
+	// empty (every worksharing region is dropped when its last thread
+	// leaves — regionleak_test.go holds this invariant), so reusing
+	// it is safe even though wsIndex keys restart per region.
+	t.taskErrs = nil
+	t.sched.reset()
+}
 
 // Context is the per-thread OpenMP execution context: the task stack
 // of the paper's §III-C. CPython stores it in threading.local /
@@ -161,6 +246,10 @@ type Team struct {
 	taskErrMu sync.Mutex
 	taskErrs  []error
 
+	// errbuf backs the per-region member error slice; recycled with
+	// the team so joining a region costs no allocation.
+	errbuf []error
+
 	// regionID numbers the parallel region this team executes
 	// (observability subsystem).
 	regionID int32
@@ -178,6 +267,7 @@ func newTeam(r *Runtime, master *Context, size int) *Team {
 		arrivals:    NewCounter(r.layer),
 		regions:     newRegionTable(r.layer),
 		broken:      NewCounter(r.layer),
+		errbuf:      make([]error, size),
 	}
 	t.wakeCond = sync.NewCond(&t.wakeMu)
 	_ = master
@@ -232,7 +322,7 @@ func (r *Runtime) Parallel(ctx *Context, opts ParallelOpts, body func(*Context) 
 			Msg: "parallel region may not be closely nested inside a worksharing construct without enclosing parallel"}
 	}
 	n := r.resolveTeamSize(ctx, opts)
-	team := newTeam(r, ctx, n)
+	team := r.takeTeam(n)
 
 	var regionT0 int64
 	if r.tool != nil {
@@ -240,8 +330,11 @@ func (r *Runtime) Parallel(ctx *Context, opts ParallelOpts, body func(*Context) 
 		ctx.emit(ompt.EvParallelBegin, int64(team.regionID), int64(n), 0, "")
 	}
 
-	errs := make([]error, n)
-	panics := make(map[int]any)
+	errs := team.errbuf[:n]
+	for i := range errs {
+		errs[i] = nil
+	}
+	var panics map[int]any // allocated on first panic only
 	var panicMu sync.Mutex
 
 	run := func(member *Context) {
@@ -254,6 +347,9 @@ func (r *Runtime) Parallel(ctx *Context, opts ParallelOpts, body func(*Context) 
 		defer func() {
 			if p := recover(); p != nil {
 				panicMu.Lock()
+				if panics == nil {
+					panics = make(map[int]any)
+				}
 				panics[member.num] = p
 				panicMu.Unlock()
 				// Mark the team broken so surviving threads abandon
@@ -282,26 +378,53 @@ func (r *Runtime) Parallel(ctx *Context, opts ParallelOpts, body func(*Context) 
 		}
 	}
 
+	// Workers come from the persistent pool when enabled; the pool may
+	// come up short (cap reached, nested demand, shutdown), in which
+	// case the remaining members run on spawned goroutines exactly as
+	// in the OMP4GO_POOL=off baseline.
+	var workers []*poolWorker
+	if r.pool != nil && n > 1 {
+		workers = r.pool.acquire(n - 1)
+	}
 	var wg sync.WaitGroup
+	wg.Add(n - 1) // every member but the master signals completion
 	for i := 0; i < n; i++ {
-		member := &Context{
-			rt:          r,
-			team:        team,
-			parent:      ctx,
-			num:         i,
-			level:       ctx.level + 1,
-			activeLevel: ctx.activeLevel,
-			gtid:        int32(r.gtidSeq.Add(1) - 1),
+		// A recycled team still holds its previous members: reuse the
+		// Context and its implicit task in place of reallocating both
+		// per region. Safe because teams are recycled only after a
+		// clean join (every member back at its implicit task, no
+		// outstanding children) and contexts are dead outside their
+		// region by the OpenMP contract.
+		member := team.members[i]
+		if member == nil {
+			member = &Context{rt: r, team: team, num: i}
+			member.curTask = newTask(r.layer, nil, nil, false)
+			team.members[i] = member
+		} else {
+			member.curTask.resetImplicit()
+			member.wsIndex, member.wsDepth, member.barrierEpoch = 0, 0, 0
+			member.curLoop = nil
+			member.critT0 = member.critT0[:0]
 		}
+		member.parent = ctx
+		member.level = ctx.level + 1
+		member.activeLevel = ctx.activeLevel
 		if n > 1 {
 			member.activeLevel++
 		}
-		member.curTask = newTask(r.layer, nil, nil, false)
-		team.members[i] = member
 		if i == 0 {
+			member.gtid = int32(r.gtidSeq.Add(1) - 1)
 			continue // master runs on the encountering goroutine
 		}
-		wg.Add(1)
+		if i-1 < len(workers) {
+			// Pool dispatch: the member inherits the worker's stable
+			// gtid, so per-thread trace rings persist across regions.
+			w := workers[i-1]
+			member.gtid = w.gtid
+			w.slot.put(dispatch{run: run, m: member, wg: &wg})
+			continue
+		}
+		member.gtid = int32(r.gtidSeq.Add(1) - 1)
 		go func(m *Context) {
 			defer wg.Done()
 			run(m)
@@ -309,6 +432,11 @@ func (r *Runtime) Parallel(ctx *Context, opts ParallelOpts, body func(*Context) 
 	}
 	run(team.members[0])
 	wg.Wait()
+	// Borrowed slots go back in one batch: cheaper than per-worker
+	// release locking, and still ordered before Parallel returns.
+	if r.pool != nil {
+		r.pool.releaseAll(workers)
+	}
 
 	if r.tool != nil {
 		ctx.emit(ompt.EvParallelEnd, int64(team.regionID), int64(n), ompt.Now()-regionT0, "")
@@ -317,8 +445,13 @@ func (r *Runtime) Parallel(ctx *Context, opts ParallelOpts, body func(*Context) 
 	if len(panics) > 0 {
 		return &TeamPanic{Panics: panics}
 	}
+	// joinErrors runs before the team is recycled: errs aliases the
+	// team's errbuf, which the next region borrowing this team will
+	// overwrite.
 	errs = append(errs, team.takeTaskErrors()...)
-	return joinErrors(errs)
+	err := joinErrors(errs)
+	r.putTeam(team)
+	return err
 }
 
 func joinErrors(errs []error) error {
@@ -441,8 +574,13 @@ func (t *Team) barrier(ctx *Context, kind int64) error {
 		t0 = ompt.Now()
 		ctx.emit(ompt.EvBarrierEnter, kind, ctx.barrierEpoch, 0, "")
 	}
-	t.arrivals.Add(1)
-	t.wakeAll()
+	// Only the arrival that completes the epoch can flip another
+	// thread's wait predicate (the predicates are monotonic in
+	// arrivals), so earlier arrivals skip the broadcast — one wake per
+	// barrier instead of one per thread.
+	if t.arrivals.Add(1) >= target {
+		t.wakeAll()
+	}
 	err := func() error {
 		for {
 			if tk := t.claimTask(ctx); tk != nil {

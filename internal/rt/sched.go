@@ -61,6 +61,11 @@ type taskScheduler interface {
 	// a probe for tests asserting O(1) retirement (it may over-count
 	// while threads are actively claiming, so probe at quiescence).
 	retained() int
+	// reset prepares the scheduler for reuse by a recycled team. Only
+	// called at quiescence after a clean region join (every submitted
+	// task completed), so the deques are already empty; reset clears
+	// the bookkeeping that outlives the drained tasks.
+	reset()
 }
 
 func newTaskScheduler(l Layer, size int, mode schedMode) taskScheduler {
@@ -269,6 +274,13 @@ func (s *stealScheduler) submit(self int, t *task) bool {
 }
 
 func (s *stealScheduler) take(self int) (*task, int) {
+	// Fast path for task-free regions: no queued work anywhere means
+	// no deque scan. A push that races past this read is caught by
+	// the caller's wait predicate (hasRunnable reads the same
+	// counter), which the submitter's wake-up re-evaluates.
+	if s.queued.Load() == 0 {
+		return nil, -1
+	}
 	if self >= len(s.deques) {
 		self = 0
 	}
@@ -320,6 +332,13 @@ func (s *stealScheduler) take(self int) (*task, int) {
 
 func (s *stealScheduler) hasRunnable() bool {
 	return s.queued.Load() > 0
+}
+
+func (s *stealScheduler) reset() {
+	s.queued.Store(0)
+	s.ovMu.Lock()
+	s.overflow = nil
+	s.ovMu.Unlock()
 }
 
 func (s *stealScheduler) retained() int {

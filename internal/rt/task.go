@@ -47,6 +47,24 @@ func newTask(l Layer, fn func(*Context) error, parent *task, explicit bool) *tas
 	}
 }
 
+// resetImplicit returns a joined member's implicit task to its
+// initial state for team recycling (runtime.go). Only valid at
+// quiescence: state back at free-equivalent, no outstanding children.
+func (t *task) resetImplicit() {
+	t.fn = nil
+	t.state.Store(taskFree)
+	if t.done.IsSet() { // implicit tasks normally never complete-signal
+		t.done.Clear()
+	}
+	t.parent = nil
+	t.children.Store(0)
+	t.explicit = false
+	t.final = false
+	t.next.Store(nil)
+	t.err = nil
+	t.id, t.startNS = 0, 0
+}
+
 // newListQueue builds the paper's shared linked-list queue (§III-E):
 // enqueueing updates the tail's next-reference — the mutex
 // implementation locks around the update (Python runtime), the atomic
@@ -55,11 +73,8 @@ func newTask(l Layer, fn func(*Context) error, parent *task, explicit bool) *tas
 // work-stealing scheduler (sched.go).
 func newListQueue(l Layer) taskScheduler {
 	if l == LayerAtomic {
-		q := &atomicTaskQueue{}
-		sentinel := &task{state: NewCounter(l)}
-		sentinel.state.Store(taskDone)
-		q.head.Store(sentinel)
-		q.tail.Store(sentinel)
+		q := &atomicTaskQueue{layer: l}
+		q.reset()
 		return q
 	}
 	return &mutexTaskQueue{}
@@ -123,12 +138,19 @@ func (q *mutexTaskQueue) retained() int {
 	return n
 }
 
+func (q *mutexTaskQueue) reset() {
+	q.mu.Lock()
+	q.head, q.tail = nil, nil
+	q.mu.Unlock()
+}
+
 // atomicTaskQueue is the cruntime flavour: enqueue installs the
 // next-reference with compare_exchange, and consumers advance the
 // head hint past completed nodes without locking.
 type atomicTaskQueue struct {
-	head atomic.Pointer[task]
-	tail atomic.Pointer[task]
+	layer Layer
+	head  atomic.Pointer[task]
+	tail  atomic.Pointer[task]
 }
 
 func (q *atomicTaskQueue) submit(_ int, t *task) bool {
@@ -177,6 +199,15 @@ func (q *atomicTaskQueue) retained() int {
 		n++
 	}
 	return n
+}
+
+// reset reinstalls a fresh sentinel, dropping the chain of completed
+// nodes a recycled team would otherwise retain.
+func (q *atomicTaskQueue) reset() {
+	sentinel := &task{state: NewCounter(q.layer)}
+	sentinel.state.Store(taskDone)
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
 }
 
 // TaskOpts carries the task directive clauses the runtime consumes.

@@ -1,6 +1,11 @@
 package omp
 
-import "github.com/omp4go/omp4go/internal/rt"
+import (
+	"strconv"
+	"sync/atomic"
+
+	"github.com/omp4go/omp4go/internal/rt"
+)
 
 // For distributes the iterations of [lo, hi) over the current team
 // with step +1, implementing the for directive. Scheduling, nowait,
@@ -104,12 +109,20 @@ func ReduceFor[T any](tc *TC, lo, hi int, identity T,
 	return acc, nil
 }
 
+// reduceSeq numbers ParallelReduce invocations so each region merges
+// under its own critical-section slot. A fixed shared name would make
+// every reduction in the process — including nested or concurrent
+// regions — contend on one lock and blur per-region merge attribution
+// in traces.
+var reduceSeq atomic.Uint64
+
 // ParallelReduce forks a team, folds [lo, hi) into per-thread
-// accumulators, and merges them with combine under the unnamed
+// accumulators, and merges them with combine under a per-region
 // critical section, returning the combined result.
 func ParallelReduce[T any](lo, hi int, identity T,
 	combine func(a, b T) T, body func(tc *TC, i int, acc T) T, opts ...Option) (T, error) {
 
+	slot := "__omp_reduce#" + strconv.FormatUint(reduceSeq.Add(1), 10)
 	result := identity
 	err := Parallel(func(tc *TC) {
 		acc := identity
@@ -118,11 +131,14 @@ func ParallelReduce[T any](lo, hi int, identity T,
 		}, opts...); err != nil {
 			panic(err)
 		}
-		tc.Critical("__omp_reduce", func() {
+		tc.Critical(slot, func() {
 			result = combine(result, acc)
 		})
-		tc.ctx.ReductionMerge("__omp_reduce")
+		tc.ctx.ReductionMerge(slot)
 	}, opts...)
+	// The slot name never recurs: release its lock object so unique
+	// names do not accumulate in the runtime's critical table.
+	Root().ctx.Runtime().DropCritical(slot)
 	if err != nil {
 		var zero T
 		return zero, err

@@ -256,6 +256,15 @@ func GetSchedule() (ScheduleKind, int) {
 	return s.Kind, int(s.Chunk)
 }
 
+// SetWaitPolicy sets the wait-policy ICV ("active" or "passive")
+// controlling how the runtime's idle pool workers wait for the next
+// parallel region, without going through OMP_WAIT_POLICY.
+func SetWaitPolicy(policy string) error { return defaultRuntime().SetWaitPolicy(policy) }
+
+// GetWaitPolicy returns the wait-policy ICV ("active" or "passive";
+// the default is "passive").
+func GetWaitPolicy() string { return defaultRuntime().GetWaitPolicy() }
+
 // SetMaxActiveLevels sets the nesting cap (omp_set_max_active_levels).
 func SetMaxActiveLevels(n int) { defaultRuntime().SetMaxActiveLevels(n) }
 

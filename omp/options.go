@@ -2,8 +2,13 @@ package omp
 
 import "github.com/omp4go/omp4go/internal/rt"
 
-// Option configures a parallel region or worksharing loop, mirroring
-// OpenMP clauses.
+// Option configures an OpenMP construct, mirroring directive clauses.
+// One option type serves every construct — Parallel, For, Task — the
+// way a clause applies to whichever directive carries it; options that
+// a construct does not consume are ignored, as OMP4Py ignores clauses
+// foreign to a directive's runtime entry point. WithIf, for example,
+// serializes a Parallel region and makes a Task undeferred, and
+// WithFinal only has an effect on Task.
 type Option func(*options)
 
 type options struct {
@@ -14,6 +19,8 @@ type options struct {
 	sched      rt.Schedule
 	nowait     bool
 	ordered    bool
+	finalSet   bool
+	finalVal   bool
 }
 
 func buildOptions(opts []Option) options {
@@ -24,19 +31,26 @@ func buildOptions(opts []Option) options {
 	return o
 }
 
-// WithNumThreads is the num_threads clause.
+// WithNumThreads is the num_threads clause (Parallel).
 func WithNumThreads(n int) Option {
 	return func(o *options) { o.numThreads = n }
 }
 
-// WithIf is the if clause: when cond is false the region runs
-// serialized (teams of one) and tasks run undeferred.
+// WithIf is the if clause: on Parallel, a false cond serializes the
+// region (team of one); on Task, a false cond makes the task
+// undeferred, running immediately on the encountering thread.
 func WithIf(cond bool) Option {
 	return func(o *options) { o.ifSet, o.ifVal = true, cond }
 }
 
-// WithSchedule is the schedule clause; chunk 0 selects the policy
-// default.
+// WithFinal is the final clause (Task): descendants of a final task
+// are included — executed inline instead of deferred.
+func WithFinal(cond bool) Option {
+	return func(o *options) { o.finalSet, o.finalVal = true, cond }
+}
+
+// WithSchedule is the schedule clause (For); chunk 0 selects the
+// policy default.
 func WithSchedule(kind ScheduleKind, chunk int) Option {
 	return func(o *options) {
 		o.schedSet = true

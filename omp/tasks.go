@@ -2,37 +2,30 @@ package omp
 
 import "github.com/omp4go/omp4go/internal/rt"
 
-// TaskOption configures a task directive.
-type TaskOption func(*taskOptions)
+// TaskOption is the historical name of Option from when tasks had a
+// separate clause surface.
+//
+// Deprecated: use Option; WithIf and WithFinal apply to Task directly.
+type TaskOption = Option
 
-type taskOptions struct {
-	ifSet    bool
-	ifVal    bool
-	finalSet bool
-	finalVal bool
-}
+// TaskIf is the task if clause.
+//
+// Deprecated: use WithIf, which serves Parallel and Task uniformly.
+func TaskIf(cond bool) Option { return WithIf(cond) }
 
-// TaskIf is the task if clause: when cond is false the task is
-// undeferred and runs immediately on the encountering thread.
-func TaskIf(cond bool) TaskOption {
-	return func(o *taskOptions) { o.ifSet, o.ifVal = true, cond }
-}
-
-// TaskFinal is the final clause: descendants of a final task are
-// executed inline instead of being deferred.
-func TaskFinal(cond bool) TaskOption {
-	return func(o *taskOptions) { o.finalSet, o.finalVal = true, cond }
-}
+// TaskFinal is the final clause.
+//
+// Deprecated: use WithFinal.
+func TaskFinal(cond bool) Option { return WithFinal(cond) }
 
 // Task packages fn into a task pushed onto the submitting thread's
 // work-stealing deque; idle team threads steal it if the owner is
-// busy (the task directive). See docs/tasking.md for the scheduler
-// design and the OMP4GO_TASK_SCHED knob.
-func (tc *TC) Task(fn func(tc *TC), opts ...TaskOption) error {
-	var o taskOptions
-	for _, opt := range opts {
-		opt(&o)
-	}
+// busy (the task directive). WithIf(false) makes the task undeferred
+// and WithFinal(true) runs every descendant inline. See
+// docs/tasking.md for the scheduler design and the OMP4GO_TASK_SCHED
+// knob.
+func (tc *TC) Task(fn func(tc *TC), opts ...Option) error {
+	o := buildOptions(opts)
 	ro := rt.TaskOpts{}
 	if o.ifSet {
 		ro.If, ro.IfSet = o.ifVal, true
