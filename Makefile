@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-compare trace clean
+.PHONY: build test race vet verify metrics-smoke bench bench-compare trace clean
 
 build:
 	$(GO) build ./...
@@ -18,11 +18,20 @@ race:
 vet:
 	$(GO) vet ./...
 
+# metrics-smoke exercises the observability endpoint end to end: a
+# runtime started with OMP4GO_METRICS on a random port runs a parallel
+# region, then /metrics is scraped over real HTTP and the region and
+# barrier counters are asserted non-zero. -count=1 defeats the test
+# cache so the smoke actually runs on every invocation.
+metrics-smoke:
+	$(GO) test -run='TestMetricsEndpointSmoke|TestMetricsAgreeWithTraceSummary' -count=1 -timeout 60s ./internal/rt/
+
 # verify is the CI gate: static checks plus the race-detector pass
 # over the runtime and observability layers, plus a single-iteration
 # smoke of the pool-vs-spawn overhead benchmark so a dispatch
-# regression that only bites under the pool path fails loudly.
-verify: vet
+# regression that only bites under the pool path fails loudly, plus
+# the metrics endpoint smoke.
+verify: vet metrics-smoke
 	$(GO) test ./...
 	$(GO) test -race -timeout 120s ./internal/rt/... ./internal/ompt/... ./omp/...
 	$(GO) test -run=NONE -bench=BenchmarkRegionOverhead -benchtime=1x -timeout 120s ./internal/rt/

@@ -11,9 +11,16 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 
 	"github.com/omp4go/omp4go/internal/bench"
 )
+
+// reportSchemaVersion identifies the shape of the -json report so
+// downstream consumers (plot scripts, CI comparisons) can reject
+// reports written by an incompatible omp4go-report. Bump on any
+// breaking change to the JSON structure.
+const reportSchemaVersion = 1
 
 func main() {
 	threadsFlag := flag.Int("maxthreads", 8, "cap the thread sweep (paper: 32)")
@@ -95,15 +102,21 @@ func (r *reporter) record(figure, benchmark string, f *bench.Figure) {
 
 func (r *reporter) writeJSON(path string) error {
 	report := struct {
-		MaxThreads  int          `json:"max_threads"`
-		Repetitions int          `json:"repetitions"`
-		Scale       float64      `json:"scale"`
-		Figures     []figureJSON `json:"figures"`
+		SchemaVersion int          `json:"schema_version"`
+		GoVersion     string       `json:"go_version"`
+		GOMAXPROCS    int          `json:"gomaxprocs"`
+		MaxThreads    int          `json:"max_threads"`
+		Repetitions   int          `json:"repetitions"`
+		Scale         float64      `json:"scale"`
+		Figures       []figureJSON `json:"figures"`
 	}{
-		MaxThreads:  r.threads[len(r.threads)-1],
-		Repetitions: r.reps,
-		Scale:       r.scale,
-		Figures:     r.figures,
+		SchemaVersion: reportSchemaVersion,
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		MaxThreads:    r.threads[len(r.threads)-1],
+		Repetitions:   r.reps,
+		Scale:         r.scale,
+		Figures:       r.figures,
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

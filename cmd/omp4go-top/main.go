@@ -1,0 +1,184 @@
+// Command omp4go-top renders a polling terminal view of a running
+// omp4go program's introspection endpoint (started by OMP4GO_METRICS=
+// <addr> or omp.ServeMetrics): the always-on counters with per-poll
+// rates, the persistent pool state, every in-flight parallel region
+// with member wait states and deque depths, and recent watchdog stall
+// reports.
+//
+// Usage:
+//
+//	omp4go-top -addr localhost:9090 [-interval 1s] [-once]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:9090",
+		"host:port of the omp4go introspection endpoint (OMP4GO_METRICS)")
+	interval := flag.Duration("interval", time.Second, "poll interval")
+	once := flag.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+	flag.Parse()
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	var prev map[string]int64
+	var prevAt time.Time
+	for {
+		snap, err := fetchDebug(client, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omp4go-top: %v\n", err)
+			os.Exit(1)
+		}
+		now := time.Now()
+		if !*once {
+			// ANSI clear + home keeps the view in place between polls.
+			fmt.Print("\x1b[2J\x1b[H")
+		}
+		render(os.Stdout, base, snap, prev, now.Sub(prevAt))
+		if *once {
+			return
+		}
+		prev, prevAt = snap.Counters, now
+		time.Sleep(*interval)
+	}
+}
+
+// debugSnapshot mirrors rt.DebugSnapshot's JSON; decoded structurally
+// so the tool has no dependency on the runtime packages and can
+// inspect any omp4go process, not just one built from this tree.
+type debugSnapshot struct {
+	ICVs map[string]any `json:"icvs"`
+	Pool *struct {
+		Idle int `json:"idle"`
+		Live int `json:"live"`
+		Max  int `json:"max"`
+	} `json:"pool"`
+	Regions []struct {
+		RegionID    int32 `json:"region_id"`
+		Size        int   `json:"size"`
+		Outstanding int64 `json:"outstanding_tasks"`
+		Members     []struct {
+			GTID       int32  `json:"gtid"`
+			ThreadNum  int    `json:"thread_num"`
+			Wait       string `json:"wait"`
+			WaitNS     int64  `json:"wait_ns"`
+			DequeDepth int    `json:"deque_depth"`
+		} `json:"members"`
+	} `json:"inflight_regions"`
+	Stalls []struct {
+		RegionID int32  `json:"region_id"`
+		Kind     string `json:"kind"`
+		Waiting  []struct {
+			GTID   int32 `json:"gtid"`
+			WaitNS int64 `json:"wait_ns"`
+		} `json:"waiting"`
+		Missing     []int32 `json:"missing_gtids"`
+		DequeDepths []int   `json:"deque_depths"`
+		Outstanding int64   `json:"outstanding_tasks"`
+	} `json:"stalls"`
+	Counters map[string]int64 `json:"counters"`
+}
+
+func fetchDebug(client *http.Client, base string) (*debugSnapshot, error) {
+	resp, err := client.Get(base + "/debug/omp")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("%s/debug/omp: %s: %s", base, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var snap debugSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decoding /debug/omp: %w", err)
+	}
+	return &snap, nil
+}
+
+func render(w io.Writer, base string, s *debugSnapshot, prev map[string]int64, elapsed time.Duration) {
+	fmt.Fprintf(w, "omp4go-top  %s  %s\n\n", base, time.Now().Format("15:04:05"))
+
+	// ICVs on one line, stable order.
+	keys := make([]string, 0, len(s.ICVs))
+	for k := range s.ICVs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		v := s.ICVs[k]
+		// JSON numbers decode as float64; the ICVs are all integral.
+		if f, ok := v.(float64); ok && f == float64(int64(f)) {
+			v = int64(f)
+		}
+		parts = append(parts, fmt.Sprintf("%s=%v", k, v))
+	}
+	fmt.Fprintf(w, "icvs: %s\n", strings.Join(parts, " "))
+
+	if s.Pool != nil {
+		fmt.Fprintf(w, "pool: %d idle / %d live (cap %d)\n", s.Pool.Idle, s.Pool.Live, s.Pool.Max)
+	} else {
+		fmt.Fprintln(w, "pool: disabled")
+	}
+
+	fmt.Fprintf(w, "\n%-40s %15s %12s\n", "counter", "total", "per-sec")
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := s.Counters[name]
+		rate := ""
+		if prev != nil && elapsed > 0 {
+			if d := v - prev[name]; d >= 0 {
+				rate = fmt.Sprintf("%.1f", float64(d)/elapsed.Seconds())
+			}
+		}
+		fmt.Fprintf(w, "%-40s %15d %12s\n", name, v, rate)
+	}
+
+	fmt.Fprintf(w, "\nin-flight regions: %d\n", len(s.Regions))
+	for _, r := range s.Regions {
+		fmt.Fprintf(w, "  region %d  size %d  outstanding tasks %d\n", r.RegionID, r.Size, r.Outstanding)
+		for _, m := range r.Members {
+			state := "running"
+			if m.Wait != "" {
+				state = fmt.Sprintf("waiting in %s %s", m.Wait, time.Duration(m.WaitNS).Round(time.Microsecond))
+			}
+			fmt.Fprintf(w, "    thread %d (gtid %d): %s, deque depth %d\n", m.ThreadNum, m.GTID, state, m.DequeDepth)
+		}
+	}
+
+	if len(s.Stalls) > 0 {
+		fmt.Fprintf(w, "\nrecent stalls: %d\n", len(s.Stalls))
+		for _, st := range s.Stalls {
+			waiting := make([]string, 0, len(st.Waiting))
+			longest := time.Duration(0)
+			for _, m := range st.Waiting {
+				waiting = append(waiting, fmt.Sprint(m.GTID))
+				if d := time.Duration(m.WaitNS); d > longest {
+					longest = d
+				}
+			}
+			fmt.Fprintf(w, "  region %d %s stalled %s: waiting gtids [%s], missing %v, %d outstanding tasks, deques %v\n",
+				st.RegionID, st.Kind, longest.Round(time.Millisecond),
+				strings.Join(waiting, " "), st.Missing, st.Outstanding, st.DequeDepths)
+		}
+	}
+}

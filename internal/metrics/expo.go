@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// counterHelp documents each counter for the Prometheus exposition.
+var counterHelp = [NumCounters]string{
+	RegionsForked:   "Parallel regions entered (including serialized size-1 regions).",
+	RegionsJoined:   "Parallel regions whose implicit join completed.",
+	Barriers:        "Per-thread barrier passages (implicit and explicit).",
+	BarrierWaitNS:   "Nanoseconds spent waiting in barriers (task execution while waiting excluded).",
+	TasksCreated:    "Explicit tasks submitted (deferred and undeferred).",
+	TasksRun:        "Explicit tasks run to completion.",
+	TasksStolen:     "Tasks claimed from another team member's deque.",
+	TasksOverflowed: "Task submissions spilled to the scheduler's shared overflow list.",
+	LoopChunks:      "Worksharing loop chunks claimed.",
+	LoopIterations:  "Worksharing loop iterations covered by claimed chunks.",
+	CriticalWaitNS:  "Nanoseconds spent contending for critical sections.",
+	CriticalHoldNS:  "Nanoseconds critical sections were held.",
+	PoolParks:       "Times a persistent pool worker parked waiting for a region.",
+	PoolUnparks:     "Times a parked pool worker was woken with work.",
+	PoolRetirements: "Idle pool worker goroutines retired.",
+}
+
+var histHelp = [NumHists]string{
+	HistBarrierWait:  "Barrier wait time (task execution while waiting excluded).",
+	HistCriticalWait: "Critical-section contention wait time.",
+	HistCriticalHold: "Critical-section hold time.",
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4): every counter as a _total
+// counter, every histogram as _bucket/_sum/_count series with
+// boundaries in seconds.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	for c := CounterID(0); c < NumCounters; c++ {
+		name := c.Name()
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			name, counterHelp[c], name, name, s.Counters[c]); err != nil {
+			return err
+		}
+	}
+	for h := HistID(0); h < NumHists; h++ {
+		name := h.Name()
+		hs := &s.Hists[h]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
+			name, histHelp[h], name); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for b := 0; b < NumBuckets; b++ {
+			cum += hs.Buckets[b]
+			le := strconv.FormatFloat(float64(BucketBound(b))/1e9, 'g', -1, 64)
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			name, hs.Count,
+			name, strconv.FormatFloat(float64(hs.SumNS)/1e9, 'g', -1, 64),
+			name, hs.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

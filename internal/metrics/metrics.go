@@ -1,0 +1,290 @@
+// Package metrics is omp4go's always-on runtime metrics layer. Unlike
+// the tracing subsystem (internal/ompt), which records a bounded event
+// stream while a tool is attached and exports it after the fact, this
+// package maintains monotonic counters and log-bucketed histograms for
+// the whole lifetime of a Runtime, cheap enough to leave enabled in
+// production: hot paths perform one striped atomic add per update, and
+// aggregation work happens only when a snapshot is taken (the
+// /metrics endpoint, omp4go-top, or a test).
+//
+// Contention is kept off the update path by striping: the registry
+// holds a fixed power-of-two array of cache-padded stripes, and each
+// update lands on the stripe selected by the updating worker's global
+// thread id. Pool workers have stable gtids, so in steady state each
+// worker increments its own stripe and the cache line never bounces.
+// Updates use atomic adds, so a collision between two gtids mapping to
+// the same stripe costs a little contention but never a lost count —
+// snapshots are exact, which the trace-agreement tests rely on.
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"unsafe"
+)
+
+// CounterID names one monotonic counter.
+type CounterID int
+
+// The counter set. Names returned by Name follow the Prometheus
+// convention (omp4go_<what>_total).
+const (
+	// RegionsForked counts parallel regions entered (including
+	// serialized size-1 regions); RegionsJoined counts regions whose
+	// implicit join completed.
+	RegionsForked CounterID = iota
+	RegionsJoined
+	// Barriers counts per-thread barrier passages (one per team member
+	// per completed barrier, implicit and explicit — accounted in one
+	// add by the arrival that completes the epoch, so a barrier
+	// abandoned by a broken team counts zero); BarrierWaitNS
+	// accumulates the time threads spent waiting in barriers,
+	// excluding time spent productively executing stolen tasks while
+	// waiting. BarrierWaitNS, CriticalWaitNS and CriticalHoldNS mirror
+	// their histogram's sum (see nsMirror): hot paths feed only the
+	// histogram, and the counter is materialized on read.
+	Barriers
+	BarrierWaitNS
+	// Task lifecycle: created (deferred and undeferred), run to
+	// completion, claimed from another member's deque, spilled to the
+	// scheduler's shared overflow list.
+	TasksCreated
+	TasksRun
+	TasksStolen
+	TasksOverflowed
+	// Worksharing loops: chunks claimed and iterations covered.
+	LoopChunks
+	LoopIterations
+	// Critical sections: contention wait and hold time.
+	CriticalWaitNS
+	CriticalHoldNS
+	// Persistent pool worker lifecycle: parks (worker blocked waiting
+	// for a region), unparks (woken with work after a park), and
+	// retirements (idle worker goroutine exited).
+	PoolParks
+	PoolUnparks
+	PoolRetirements
+
+	NumCounters
+)
+
+var counterNames = [NumCounters]string{
+	RegionsForked:   "omp4go_regions_forked_total",
+	RegionsJoined:   "omp4go_regions_joined_total",
+	Barriers:        "omp4go_barrier_passages_total",
+	BarrierWaitNS:   "omp4go_barrier_wait_ns_total",
+	TasksCreated:    "omp4go_tasks_created_total",
+	TasksRun:        "omp4go_tasks_run_total",
+	TasksStolen:     "omp4go_tasks_stolen_total",
+	TasksOverflowed: "omp4go_tasks_overflowed_total",
+	LoopChunks:      "omp4go_loop_chunks_total",
+	LoopIterations:  "omp4go_loop_iterations_total",
+	CriticalWaitNS:  "omp4go_critical_wait_ns_total",
+	CriticalHoldNS:  "omp4go_critical_hold_ns_total",
+	PoolParks:       "omp4go_pool_parks_total",
+	PoolUnparks:     "omp4go_pool_unparks_total",
+	PoolRetirements: "omp4go_pool_retirements_total",
+}
+
+// Name returns the Prometheus metric name of the counter.
+func (c CounterID) Name() string { return counterNames[c] }
+
+// HistID names one log-bucketed duration histogram.
+type HistID int
+
+// The histogram set. Every histogram observes nanoseconds.
+const (
+	HistBarrierWait HistID = iota
+	HistCriticalWait
+	HistCriticalHold
+
+	NumHists
+)
+
+var histNames = [NumHists]string{
+	HistBarrierWait:  "omp4go_barrier_wait_seconds",
+	HistCriticalWait: "omp4go_critical_wait_seconds",
+	HistCriticalHold: "omp4go_critical_hold_seconds",
+}
+
+// Name returns the Prometheus metric name of the histogram.
+func (h HistID) Name() string { return histNames[h] }
+
+// NumBuckets is the finite bucket count of each histogram. Bucket i
+// counts observations with ns <= 1<<(bucketShift+i); observations
+// beyond the last boundary land in the implicit +Inf bucket
+// (Count - sum of finite buckets).
+const (
+	NumBuckets = 16
+	// bucketShift puts the first boundary at 2^10 ns ≈ 1 µs; the last
+	// finite boundary is then 2^25 ns ≈ 33 ms. Anything slower is
+	// +Inf — at that point the magnitude, not the shape, is the story.
+	bucketShift = 10
+)
+
+// BucketBound returns the inclusive upper bound, in nanoseconds, of
+// finite bucket i.
+func BucketBound(i int) int64 { return 1 << (bucketShift + i) }
+
+// bucketOf returns the finite bucket index for an observation, or
+// NumBuckets for the +Inf bucket. Constant-time: the bucket is the
+// bit length of (ns-1) above the first boundary's shift, so that the
+// inclusive bounds 1<<(bucketShift+i) land in bucket i.
+func bucketOf(ns int64) int {
+	if ns <= 1<<bucketShift {
+		return 0
+	}
+	b := bits.Len64(uint64(ns-1)) - bucketShift
+	if b > NumBuckets {
+		return NumBuckets
+	}
+	return b
+}
+
+// histogram is one stripe's share of a log-bucketed histogram. The
+// extra bucket slot is the +Inf bucket, so an observation costs two
+// atomic adds (bucket, sum); the total count is derived at snapshot
+// time as the sum of every bucket.
+type histogram struct {
+	buckets [NumBuckets + 1]atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// numStripes is the stripe count; power of two so stripe selection is
+// a mask. 32 stripes cover the persistent-pool worker cap on typical
+// hardware while keeping a registry around 25 KB.
+const numStripes = 32
+
+// stripeData is the payload of one stripe: the counter block and the
+// histogram block, updated by (mostly) one worker.
+type stripeData struct {
+	c [NumCounters]atomic.Int64
+	h [NumHists]histogram
+}
+
+const cacheLine = 64
+
+// stripe pads stripeData to a cache-line multiple so neighbouring
+// stripes never share a line (no false sharing between workers).
+type stripe struct {
+	stripeData
+	_ [(cacheLine - unsafe.Sizeof(stripeData{})%cacheLine) % cacheLine]byte
+}
+
+// Registry is one runtime's metric store.
+type Registry struct {
+	stripes [numStripes]stripe
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{} }
+
+// stripeFor selects the stripe for a global thread id.
+func (r *Registry) stripeFor(gtid int32) *stripeData {
+	return &r.stripes[uint32(gtid)&(numStripes-1)].stripeData
+}
+
+// Add adds delta to a counter on the worker's stripe.
+func (r *Registry) Add(gtid int32, id CounterID, delta int64) {
+	r.stripeFor(gtid).c[id].Add(delta)
+}
+
+// Inc increments a counter on the worker's stripe.
+func (r *Registry) Inc(gtid int32, id CounterID) {
+	r.stripeFor(gtid).c[id].Add(1)
+}
+
+// Observe records a duration observation into a histogram on the
+// worker's stripe: one bucket add and one sum add.
+func (r *Registry) Observe(gtid int32, id HistID, ns int64) {
+	h := &r.stripeFor(gtid).h[id]
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.sum.Add(ns)
+}
+
+// nsMirror maps the *_ns_total counters to the histogram whose sum
+// they mirror. The hot paths feed only the histogram (two atomic adds
+// instead of three); the counter value is materialized on read.
+var nsMirror = map[CounterID]HistID{
+	BarrierWaitNS:  HistBarrierWait,
+	CriticalWaitNS: HistCriticalWait,
+	CriticalHoldNS: HistCriticalHold,
+}
+
+// Counter returns the merged value of one counter.
+func (r *Registry) Counter(id CounterID) int64 {
+	if h, ok := nsMirror[id]; ok {
+		var v int64
+		for i := range r.stripes {
+			v += r.stripes[i].h[h].sum.Load()
+		}
+		return v
+	}
+	var v int64
+	for i := range r.stripes {
+		v += r.stripes[i].c[id].Load()
+	}
+	return v
+}
+
+// HistSnapshot is the merged view of one histogram.
+type HistSnapshot struct {
+	// Buckets[i] counts observations ≤ BucketBound(i); observations
+	// past the last finite bound appear only in Count.
+	Buckets [NumBuckets]int64
+	Count   int64
+	SumNS   int64
+}
+
+// Snapshot is a merged point-in-time copy of every metric. Snapshots
+// taken while workers are updating are internally consistent per
+// counter (each counter is a sum of atomic loads) but not across
+// counters; for exact cross-counter agreement, quiesce first.
+type Snapshot struct {
+	Counters [NumCounters]int64
+	Hists    [NumHists]HistSnapshot
+}
+
+// Snapshot merges every stripe.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	for i := range r.stripes {
+		st := &r.stripes[i].stripeData
+		for c := CounterID(0); c < NumCounters; c++ {
+			s.Counters[c] += st.c[c].Load()
+		}
+		for h := HistID(0); h < NumHists; h++ {
+			hs := &s.Hists[h]
+			for b := 0; b < NumBuckets; b++ {
+				hs.Buckets[b] += st.h[h].buckets[b].Load()
+			}
+			// Count spans every bucket including +Inf.
+			for b := 0; b <= NumBuckets; b++ {
+				hs.Count += st.h[h].buckets[b].Load()
+			}
+			hs.SumNS += st.h[h].sum.Load()
+		}
+	}
+	// The *_ns_total counters mirror their histogram sums (the hot
+	// paths feed only the histogram).
+	for c, h := range nsMirror {
+		s.Counters[c] = s.Hists[h].SumNS
+	}
+	return s
+}
+
+// Counter returns one counter from the snapshot.
+func (s *Snapshot) Counter(id CounterID) int64 { return s.Counters[id] }
+
+// CounterMap renders the counters as a name → value map (the
+// /debug/omp JSON form).
+func (s *Snapshot) CounterMap() map[string]int64 {
+	m := make(map[string]int64, NumCounters)
+	for c := CounterID(0); c < NumCounters; c++ {
+		m[c.Name()] = s.Counters[c]
+	}
+	return m
+}

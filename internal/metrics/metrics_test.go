@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestStripePadding(t *testing.T) {
+	if sz := unsafe.Sizeof(stripe{}); sz%cacheLine != 0 {
+		t.Fatalf("stripe size %d is not a multiple of the cache line", sz)
+	}
+}
+
+func TestCountersMergeAcrossStripes(t *testing.T) {
+	r := New()
+	// Spread updates over more gtids than stripes so the merge path
+	// and the collision path are both exercised.
+	for gtid := int32(0); gtid < 3*numStripes; gtid++ {
+		r.Inc(gtid, RegionsForked)
+		r.Add(gtid, LoopIterations, 10)
+	}
+	if got := r.Counter(RegionsForked); got != 3*numStripes {
+		t.Errorf("RegionsForked = %d, want %d", got, 3*numStripes)
+	}
+	s := r.Snapshot()
+	if got := s.Counter(LoopIterations); got != 30*numStripes {
+		t.Errorf("LoopIterations = %d, want %d", got, 30*numStripes)
+	}
+	if s.Counter(TasksCreated) != 0 {
+		t.Errorf("untouched counter non-zero")
+	}
+}
+
+func TestConcurrentUpdatesAreExact(t *testing.T) {
+	r := New()
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(gtid int32) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Inc(gtid, Barriers)
+				// Same stripe from every worker: collisions must not
+				// lose counts.
+				r.Inc(0, TasksRun)
+			}
+		}(int32(w))
+	}
+	wg.Wait()
+	if got := r.Counter(Barriers); got != workers*per {
+		t.Errorf("Barriers = %d, want %d", got, workers*per)
+	}
+	if got := r.Counter(TasksRun); got != workers*per {
+		t.Errorf("TasksRun = %d, want %d", got, workers*per)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	r.Observe(1, HistBarrierWait, 0)              // bucket 0
+	r.Observe(1, HistBarrierWait, BucketBound(0)) // inclusive bound: bucket 0
+	r.Observe(2, HistBarrierWait, BucketBound(3)) // bucket 3
+	r.Observe(2, HistBarrierWait, 1<<40)          // +Inf only
+	r.Observe(2, HistBarrierWait, -5)             // clamped to 0
+	s := r.Snapshot()
+	h := s.Hists[HistBarrierWait]
+	if h.Count != 5 {
+		t.Fatalf("count = %d, want 5", h.Count)
+	}
+	if h.Buckets[0] != 3 || h.Buckets[3] != 1 {
+		t.Errorf("buckets = %v", h.Buckets)
+	}
+	var finite int64
+	for _, b := range h.Buckets {
+		finite += b
+	}
+	if inf := h.Count - finite; inf != 1 {
+		t.Errorf("+Inf observations = %d, want 1", inf)
+	}
+	if want := int64(BucketBound(0) + BucketBound(3) + 1<<40); h.SumNS != want {
+		t.Errorf("sum = %d, want %d", h.SumNS, want)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Inc(0, RegionsForked)
+	r.Add(0, BarrierWaitNS, 1500)
+	r.Observe(0, HistBarrierWait, 1500)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE omp4go_regions_forked_total counter",
+		"omp4go_regions_forked_total 1",
+		"omp4go_barrier_wait_ns_total 1500",
+		"# TYPE omp4go_barrier_wait_seconds histogram",
+		`omp4go_barrier_wait_seconds_bucket{le="+Inf"} 1`,
+		"omp4go_barrier_wait_seconds_count 1",
+		"omp4go_pool_parks_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets: the 1500 ns observation must appear in
+	// every bucket from its own upward.
+	if !strings.Contains(out, `omp4go_barrier_wait_seconds_bucket{le="2.048e-06"} 1`) {
+		t.Errorf("bucket cumulation wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,101 @@
+package ompt
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestChromeTraceDroppedEnterFallback overflows a small ring so that
+// barrier exit records survive whose matching enter records were
+// overwritten, and asserts the exporter still produces valid
+// trace_event JSON: the orphan exits fall back to their own timestamp
+// (zero-duration span) and the drop count is reported.
+func TestChromeTraceDroppedEnterFallback(t *testing.T) {
+	tr := NewTracer(4) // ring capacity 4 records
+	// Push 4 enters, then 4 exits: the exits overwrite every enter, so
+	// at export time all four exits are orphans.
+	for i := int64(0); i < 4; i++ {
+		tr.Emit(Record{Time: 100 + i, Kind: EvBarrierEnter, GTID: 1, A: BarrierImplicit, B: i})
+	}
+	for i := int64(0); i < 4; i++ {
+		tr.Emit(Record{Time: 200 + i, Kind: EvBarrierExit, GTID: 1, A: BarrierImplicit, B: i, Dur: 5})
+	}
+	if d := tr.Dropped(); d != 4 {
+		t.Fatalf("dropped = %d, want 4", d)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if d, ok := out.OtherData["dropped_events"]; !ok || d.(float64) != 4 {
+		t.Fatalf("otherData.dropped_events = %v, want 4", out.OtherData)
+	}
+	barriers := 0
+	for _, ev := range out.TraceEvents {
+		if !strings.HasPrefix(ev.Name, "barrier") {
+			continue
+		}
+		barriers++
+		// Orphan exits use the exit's own timestamp and no duration.
+		if ev.Ts < 0.200 || ev.Dur != 0 {
+			t.Errorf("orphan barrier event = %+v; want exit-time fallback with zero duration", ev)
+		}
+	}
+	if barriers != 4 {
+		t.Errorf("barrier events = %d, want 4", barriers)
+	}
+}
+
+// TestChromeTracePairedEnterStillSpans pins the non-degenerate case
+// alongside the fallback: with both records retained the exporter
+// emits a real span from the enter timestamp.
+func TestChromeTracePairedEnterStillSpans(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Emit(Record{Time: 1000, Kind: EvBarrierEnter, GTID: 2, A: BarrierExplicit, B: 1})
+	tr.Emit(Record{Time: 4000, Kind: EvBarrierExit, GTID: 2, A: BarrierExplicit, B: 1, Dur: 3000})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.OtherData != nil {
+		t.Errorf("unexpected drop report: %v", out.OtherData)
+	}
+	found := false
+	for _, ev := range out.TraceEvents {
+		if strings.HasPrefix(ev.Name, "barrier") {
+			found = true
+			if ev.Ts != 1.0 || ev.Dur != 3.0 {
+				t.Errorf("paired barrier span = ts %v dur %v, want 1.0/3.0", ev.Ts, ev.Dur)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no barrier span exported")
+	}
+}

@@ -1,0 +1,44 @@
+package ompt
+
+// multiTool fans one event stream out to several tools in order.
+type multiTool struct {
+	tools []Tool
+}
+
+// Multi combines tools into a single Tool that forwards every event
+// to each of them in argument order: the runtime supports one
+// attached tool, so coexisting consumers — a Tracer exporting Chrome
+// traces next to a live metrics bridge, or two tracers with different
+// ring sizes — attach through Multi. Nil entries are dropped; with
+// one remaining tool it is returned unwrapped (no forwarding cost),
+// and with none Multi returns nil (which detaches when passed to
+// SetTool). The combined tool is as concurrency-safe as its parts:
+// Emit fans out on the emitting thread.
+func Multi(tools ...Tool) Tool {
+	kept := make([]Tool, 0, len(tools))
+	for _, t := range tools {
+		if t == nil {
+			continue
+		}
+		// Flatten nested Multis so deep compositions stay one hop.
+		if m, ok := t.(*multiTool); ok {
+			kept = append(kept, m.tools...)
+			continue
+		}
+		kept = append(kept, t)
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return &multiTool{tools: kept}
+}
+
+// Emit forwards the record to every combined tool.
+func (m *multiTool) Emit(rec Record) {
+	for _, t := range m.tools {
+		t.Emit(rec)
+	}
+}

@@ -1,0 +1,57 @@
+package ompt
+
+import (
+	"sync"
+	"testing"
+)
+
+// recordingTool counts events; safe for concurrent Emit.
+type recordingTool struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+func (r *recordingTool) Emit(rec Record) {
+	r.mu.Lock()
+	r.recs = append(r.recs, rec)
+	r.mu.Unlock()
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := &recordingTool{}, &recordingTool{}
+	m := Multi(a, nil, b)
+	for i := 0; i < 3; i++ {
+		m.Emit(Record{Kind: EvParallelBegin, A: int64(i)})
+	}
+	if len(a.recs) != 3 || len(b.recs) != 3 {
+		t.Fatalf("fan-out counts = %d, %d; want 3, 3", len(a.recs), len(b.recs))
+	}
+	if a.recs[2].A != 2 || b.recs[2].A != 2 {
+		t.Fatalf("records not forwarded in order")
+	}
+}
+
+func TestMultiDegenerateForms(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Errorf("empty Multi should be nil (detach)")
+	}
+	a := &recordingTool{}
+	if got := Multi(a); got != Tool(a) {
+		t.Errorf("single-tool Multi should return the tool unwrapped")
+	}
+	// Nested Multis flatten to one hop.
+	b, c := &recordingTool{}, &recordingTool{}
+	m := Multi(Multi(a, b), c).(*multiTool)
+	if len(m.tools) != 3 {
+		t.Errorf("nested Multi not flattened: %d tools", len(m.tools))
+	}
+}
+
+func TestMultiWithTracers(t *testing.T) {
+	t1, t2 := NewTracer(0), NewTracer(0)
+	m := Multi(t1, t2)
+	m.Emit(Record{Kind: EvParallelBegin, GTID: 1, A: 7})
+	if len(t1.Records()) != 1 || len(t2.Records()) != 1 {
+		t.Fatalf("tracers did not both record")
+	}
+}

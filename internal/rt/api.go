@@ -18,6 +18,7 @@ func (r *Runtime) SetNumThreads(n int) {
 	r.icv.mu.Lock()
 	r.icv.numThreads = n
 	r.icv.mu.Unlock()
+	r.refreshForkICV()
 }
 
 // GetMaxThreads returns the team size an encountering thread would
@@ -50,6 +51,7 @@ func (r *Runtime) SetNested(v bool) {
 	r.icv.mu.Lock()
 	r.icv.nested = v
 	r.icv.mu.Unlock()
+	r.refreshForkICV()
 }
 
 // GetNested returns the nest-var ICV (omp_get_nested).
@@ -95,6 +97,7 @@ func (r *Runtime) SetMaxActiveLevels(n int) {
 	r.icv.mu.Lock()
 	r.icv.maxActiveLevels = n
 	r.icv.mu.Unlock()
+	r.refreshForkICV()
 }
 
 // GetMaxActiveLevels returns max-active-levels-var

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/omp4go/omp4go/internal/directive"
 )
@@ -23,19 +24,21 @@ type Schedule struct {
 // The set is guarded by a mutex: ICV reads are off the hot paths.
 type icvSet struct {
 	mu              sync.Mutex
-	numThreads      int      // nthreads-var
-	dynamic         bool     // dyn-var
-	nested          bool     // nest-var
-	runSched        Schedule // run-sched-var, used by schedule(runtime)
-	defSched        Schedule // def-sched-var, used by schedule(auto)
-	maxActiveLevels int      // max-active-levels-var
-	threadLimit     int      // thread-limit-var
-	stackTrace      bool     // diagnostic: dump worker panics
-	waitPolicy      string   // wait-policy-var: "active" or "passive"
-	displayEnv      string   // OMP_DISPLAY_ENV: "", "true" or "verbose"
-	traceFile       string   // OMP4GO_TRACE output file (tool activation)
-	taskSched       string   // OMP4GO_TASK_SCHED: "", "steal" or "list"
-	poolMode        string   // OMP4GO_POOL: "", "on" or "off"
+	numThreads      int           // nthreads-var
+	dynamic         bool          // dyn-var
+	nested          bool          // nest-var
+	runSched        Schedule      // run-sched-var, used by schedule(runtime)
+	defSched        Schedule      // def-sched-var, used by schedule(auto)
+	maxActiveLevels int           // max-active-levels-var
+	threadLimit     int           // thread-limit-var
+	stackTrace      bool          // diagnostic: dump worker panics
+	waitPolicy      string        // wait-policy-var: "active" or "passive"
+	displayEnv      string        // OMP_DISPLAY_ENV: "", "true" or "verbose"
+	traceFile       string        // OMP4GO_TRACE output file (tool activation)
+	taskSched       string        // OMP4GO_TASK_SCHED: "", "steal" or "list"
+	poolMode        string        // OMP4GO_POOL: "", "on" or "off"
+	metricsAddr     string        // OMP4GO_METRICS listen address ("" = off)
+	watchdog        time.Duration // OMP4GO_WATCHDOG stall threshold (0 = off)
 }
 
 func defaultICVs() icvSet {
@@ -120,6 +123,22 @@ func (s *icvSet) loadEnv(getenv func(string) string) {
 			s.poolMode = "off"
 		}
 	}
+	if v := getenv("OMP4GO_METRICS"); v != "" {
+		// Listen address for the live metrics/introspection endpoint
+		// (serve.go), e.g. ":9090" or "127.0.0.1:0".
+		s.metricsAddr = strings.TrimSpace(v)
+	}
+	if v := getenv("OMP4GO_WATCHDOG"); v != "" {
+		// Stall threshold for the watchdog (watchdog.go), e.g. "5s".
+		// A bare number is taken as seconds; unparsable or
+		// non-positive values leave the watchdog off.
+		t := strings.TrimSpace(v)
+		if d, err := time.ParseDuration(t); err == nil && d > 0 {
+			s.watchdog = d
+		} else if secs, err := strconv.Atoi(t); err == nil && secs > 0 {
+			s.watchdog = time.Duration(secs) * time.Second
+		}
+	}
 	if v := getenv("OMP4GO_TASK_SCHED"); v != "" {
 		// Scheduler selection: "steal" (default, per-thread
 		// work-stealing deques) or "list" (the paper's shared
@@ -162,6 +181,12 @@ func (s *icvSet) display(w io.Writer) {
 			pool = "off"
 		}
 		fmt.Fprintf(w, "  OMP4GO_POOL = '%s'\n", pool)
+		fmt.Fprintf(w, "  OMP4GO_METRICS = '%s'\n", s.metricsAddr)
+		wd := ""
+		if s.watchdog > 0 {
+			wd = s.watchdog.String()
+		}
+		fmt.Fprintf(w, "  OMP4GO_WATCHDOG = '%s'\n", wd)
 	}
 	fmt.Fprintln(w, "OPENMP DISPLAY ENVIRONMENT END")
 }

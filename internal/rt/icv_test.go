@@ -130,6 +130,78 @@ func TestDisplayEnv(t *testing.T) {
 	}
 }
 
+// TestDisplayEnvObservability covers the observability variables in
+// the OMP_DISPLAY_ENV report: verbose mode lists OMP4GO_METRICS and
+// OMP4GO_WATCHDOG with the parsed values, plain mode omits them.
+func TestDisplayEnvObservability(t *testing.T) {
+	cases := []struct {
+		name    string
+		env     map[string]string
+		want    []string
+		notWant []string
+	}{
+		{
+			name: "verbose defaults",
+			env:  map[string]string{"OMP_DISPLAY_ENV": "verbose"},
+			want: []string{"OMP4GO_METRICS = ''", "OMP4GO_WATCHDOG = ''"},
+		},
+		{
+			name: "verbose with metrics addr",
+			env: map[string]string{
+				"OMP_DISPLAY_ENV": "verbose",
+				// An address that cannot bind still displays: display
+				// reports the ICV, not the listener.
+				"OMP4GO_METRICS": "127.0.0.1:0",
+			},
+			want: []string{"OMP4GO_METRICS = '127.0.0.1:0'"},
+		},
+		{
+			name: "verbose with watchdog threshold",
+			env: map[string]string{
+				"OMP_DISPLAY_ENV": "verbose",
+				"OMP4GO_WATCHDOG": "750ms",
+			},
+			want: []string{"OMP4GO_WATCHDOG = '750ms'"},
+		},
+		{
+			name: "verbose with invalid watchdog keeps it off",
+			env: map[string]string{
+				"OMP_DISPLAY_ENV": "verbose",
+				"OMP4GO_WATCHDOG": "soon",
+			},
+			want: []string{"OMP4GO_WATCHDOG = ''"},
+		},
+		{
+			name:    "plain display omits omp4go extensions",
+			env:     map[string]string{"OMP_DISPLAY_ENV": "true", "OMP4GO_WATCHDOG": "1s"},
+			want:    []string{"OPENMP DISPLAY ENVIRONMENT BEGIN"},
+			notWant: []string{"OMP4GO_METRICS", "OMP4GO_WATCHDOG"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			prev := displayEnvOut
+			displayEnvOut = &buf
+			defer func() { displayEnvOut = prev }()
+			r := NewWithEnv(LayerAtomic, fakeEnv(c.env))
+			defer r.Shutdown()
+			r.StopWatchdog() // disarm anything OMP4GO_WATCHDOG armed
+			out := buf.String()
+			for _, want := range c.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("display output missing %q:\n%s", want, out)
+				}
+			}
+			for _, notWant := range c.notWant {
+				if strings.Contains(out, notWant) {
+					t.Errorf("display output should not contain %q:\n%s", notWant, out)
+				}
+			}
+		})
+	}
+}
+
 // TestEnvTraceActivation covers the OMP4GO_TRACE path end to end: the
 // variable attaches the built-in tracer at init and FlushTrace writes
 // the Chrome trace file.

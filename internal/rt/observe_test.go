@@ -1,0 +1,452 @@
+package rt
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/omp4go/omp4go/internal/directive"
+	"github.com/omp4go/omp4go/internal/metrics"
+	"github.com/omp4go/omp4go/internal/ompt"
+)
+
+// TestSetToolDuringRegionRace swaps the attached tool while regions
+// are in flight. The attachment is an atomic pointer; under -race
+// (make race) this test proves hook sites never read a torn tool and
+// a mid-region swap is safe.
+func TestSetToolDuringRegionRace(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	defer r.Shutdown()
+	ctx := r.NewContext()
+
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		tr := ompt.NewTracer(1 << 10)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				r.SetTool(tr)
+			} else {
+				r.SetTool(nil)
+			}
+		}
+	}()
+
+	for round := 0; round < 50; round++ {
+		err := r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+			c.CriticalEnter("swap")
+			c.CriticalExit("swap")
+			if c.num == 0 {
+				for i := 0; i < 4; i++ {
+					if err := c.SubmitTask(TaskOpts{}, func(*Context) error { return nil }); err != nil {
+						return err
+					}
+				}
+			}
+			return c.Barrier()
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	close(stop)
+	swapper.Wait()
+	r.SetTool(nil)
+}
+
+// TestMetricsAgreeWithTraceSummary locks the acceptance criterion
+// that the always-on metrics and the OMPT trace aggregates describe
+// the same execution: with a tracer attached from runtime creation,
+// the /metrics counters for regions, barriers, loop chunks and tasks
+// must equal the corresponding sums from ompt.ComputeStats.
+func TestMetricsAgreeWithTraceSummary(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	defer r.Shutdown()
+	tr := ompt.NewTracer(1 << 16)
+	r.SetTool(tr)
+	ctx := r.NewContext()
+
+	// Region 1: a dynamic loop (chunks + iterations) plus an explicit
+	// barrier and contended criticals.
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+		b := ForBounds(Triplet{Start: 0, End: 100, Step: 1})
+		if err := c.ForInit(b, ForOpts{Sched: Schedule{Kind: directive.ScheduleDynamic, Chunk: 1}, SchedSet: true}); err != nil {
+			return err
+		}
+		for b.ForNext() {
+			c.CriticalEnter("sum")
+			c.CriticalExit("sum")
+		}
+		if err := c.ForEnd(b); err != nil {
+			return err
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatalf("region 1: %v", err)
+	}
+
+	// Region 2: an explicit-task burst from one thread, large enough
+	// to overflow its deque (dequeCap=256) while the other members
+	// steal from the barrier.
+	err = r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+		if c.num == 0 {
+			for i := 0; i < 400; i++ {
+				if err := c.SubmitTask(TaskOpts{}, func(*Context) error { return nil }); err != nil {
+					return err
+				}
+			}
+			// One undeferred task: created and run inline.
+			if err := c.SubmitTask(TaskOpts{If: false, IfSet: true}, func(*Context) error { return nil }); err != nil {
+				return err
+			}
+			return c.TaskWait()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("region 2: %v", err)
+	}
+
+	// Region 3: serialized (num_threads 1) — still one fork in both
+	// views.
+	if err := r.Parallel(ctx, ParallelOpts{NumThreads: 1}, func(*Context) error { return nil }); err != nil {
+		t.Fatalf("region 3: %v", err)
+	}
+
+	if d := tr.Dropped(); d != 0 {
+		t.Fatalf("trace dropped %d records; agreement comparison needs a complete trace", d)
+	}
+	snap := r.MetricsSnapshot()
+	stats := ompt.ComputeStats(tr.Records(), 0)
+
+	var barriers, chunks, tasksRun, stolen int64
+	var iters int64
+	for _, th := range stats.Threads {
+		barriers += int64(th.Barriers)
+		chunks += int64(th.Chunks)
+		iters += th.Iterations
+		tasksRun += int64(th.TasksRun)
+		stolen += int64(th.TasksStolen)
+	}
+
+	cases := []struct {
+		name   string
+		metric int64
+		trace  int64
+	}{
+		{"regions_forked", snap.Counter(metrics.RegionsForked), int64(stats.Regions)},
+		{"barrier_passages", snap.Counter(metrics.Barriers), barriers},
+		{"loop_chunks", snap.Counter(metrics.LoopChunks), chunks},
+		{"loop_iterations", snap.Counter(metrics.LoopIterations), iters},
+		{"tasks_created", snap.Counter(metrics.TasksCreated), int64(stats.TasksCreated)},
+		{"tasks_run", snap.Counter(metrics.TasksRun), tasksRun},
+		{"tasks_stolen", snap.Counter(metrics.TasksStolen), stolen},
+		{"tasks_overflowed", snap.Counter(metrics.TasksOverflowed), int64(stats.TaskOverflows)},
+	}
+	for _, c := range cases {
+		if c.metric != c.trace {
+			t.Errorf("%s: metrics=%d trace=%d", c.name, c.metric, c.trace)
+		}
+	}
+	// Sanity: the workload actually produced work in every compared
+	// dimension that is deterministic (steals/overflows depend on
+	// scheduling and are only compared, not required).
+	if snap.Counter(metrics.RegionsForked) != 3 {
+		t.Errorf("regions_forked = %d, want 3", snap.Counter(metrics.RegionsForked))
+	}
+	if snap.Counter(metrics.LoopIterations) != 100 {
+		t.Errorf("loop_iterations = %d, want 100", snap.Counter(metrics.LoopIterations))
+	}
+	if snap.Counter(metrics.TasksCreated) != 401 {
+		t.Errorf("tasks_created = %d, want 401", snap.Counter(metrics.TasksCreated))
+	}
+	if snap.Counter(metrics.RegionsJoined) != 3 {
+		t.Errorf("regions_joined = %d, want 3", snap.Counter(metrics.RegionsJoined))
+	}
+}
+
+// syncBuffer is a race-safe bytes.Buffer for capturing watchdog
+// output written from the sampler goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestWatchdogStuckBarrier deliberately wedges a two-thread region —
+// one member parks on a channel and never reaches the implicit
+// barrier — and asserts the watchdog reports the stall within the
+// threshold, naming the member that is missing from the barrier.
+func TestWatchdogStuckBarrier(t *testing.T) {
+	out := &syncBuffer{}
+	prev := watchdogOut
+	watchdogOut = out
+	defer func() { watchdogOut = prev }()
+
+	r := newTestRuntime(LayerAtomic)
+	defer r.Shutdown()
+	r.StartWatchdog(40 * time.Millisecond)
+
+	release := make(chan struct{})
+	var stuckGTID, waitingGTID int32
+	var gtidMu sync.Mutex
+	done := make(chan error, 1)
+	ctx := r.NewContext()
+	go func() {
+		done <- r.Parallel(ctx, ParallelOpts{NumThreads: 2}, func(c *Context) error {
+			if c.num == 1 {
+				gtidMu.Lock()
+				stuckGTID = c.gtid
+				gtidMu.Unlock()
+				<-release // wedged: never arrives at the implicit barrier
+				return nil
+			}
+			gtidMu.Lock()
+			waitingGTID = c.gtid
+			gtidMu.Unlock()
+			return nil // thread 0 proceeds into the implicit barrier
+		})
+	}()
+
+	var reps []StallReport
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if reps = r.StallReports(); len(reps) > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("region failed after release: %v", err)
+	}
+	if len(reps) == 0 {
+		t.Fatal("watchdog produced no stall report for a wedged barrier")
+	}
+
+	gtidMu.Lock()
+	stuck, waiting := stuckGTID, waitingGTID
+	gtidMu.Unlock()
+	rep := reps[len(reps)-1] // oldest = first report
+	if rep.Kind != "barrier" {
+		t.Errorf("stall kind = %q, want barrier", rep.Kind)
+	}
+	if rep.RegionID <= 0 {
+		t.Errorf("stall report lacks a region id: %+v", rep)
+	}
+	foundMissing := false
+	for _, g := range rep.Missing {
+		if g == stuck {
+			foundMissing = true
+		}
+	}
+	if !foundMissing {
+		t.Errorf("missing gtids %v do not name the wedged member (gtid %d)", rep.Missing, stuck)
+	}
+	foundWaiting := false
+	for _, m := range rep.Waiting {
+		if m.GTID == waiting && m.WaitNS >= (40*time.Millisecond).Nanoseconds() {
+			foundWaiting = true
+		}
+	}
+	if !foundWaiting {
+		t.Errorf("waiting members %+v do not show gtid %d past the threshold", rep.Waiting, waiting)
+	}
+	text := out.String()
+	if !strings.Contains(text, "missing gtids") || !strings.Contains(text, fmt.Sprintf("[%d]", stuck)) {
+		t.Errorf("stderr report does not name the missing gtid %d:\n%s", stuck, text)
+	}
+	// The stall deduplicates: the same shape is reported once.
+	if n := len(reps); n > 2 {
+		t.Errorf("stall reported %d times before release; want deduplication", n)
+	}
+}
+
+// TestMetricsEndpointSmoke drives the OMP4GO_METRICS environment
+// activation end to end: run a region, scrape /metrics over HTTP, and
+// assert the region/barrier counters are non-zero; then check
+// /debug/omp returns well-formed JSON.
+func TestMetricsEndpointSmoke(t *testing.T) {
+	r := NewWithEnv(LayerAtomic, fakeEnv(map[string]string{
+		"OMP4GO_METRICS": "127.0.0.1:0",
+	}))
+	defer r.Shutdown()
+	if r.envServer == nil {
+		t.Fatal("OMP4GO_METRICS did not start the endpoint")
+	}
+
+	ctx := r.NewContext()
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 4}, func(c *Context) error {
+		b := ForBounds(Triplet{Start: 0, End: 64, Step: 1})
+		if err := c.ForInit(b, ForOpts{}); err != nil {
+			return err
+		}
+		for b.ForNext() {
+		}
+		return c.ForEnd(b)
+	})
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+
+	body := httpGet(t, "http://"+r.envServer.Addr()+"/metrics")
+	for _, want := range []string{
+		"omp4go_regions_forked_total 1",
+		"omp4go_regions_joined_total 1",
+		"omp4go_pool_workers_live",
+		"omp4go_inflight_regions 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// Barrier passages: 4 from the implicit region barrier + 4 from
+	// the loop-end barrier.
+	if !strings.Contains(body, "omp4go_barrier_passages_total 8") {
+		t.Errorf("/metrics barrier count wrong:\n%s", body)
+	}
+
+	dbg := httpGet(t, "http://"+r.envServer.Addr()+"/debug/omp")
+	var snap DebugSnapshot
+	if err := json.Unmarshal([]byte(dbg), &snap); err != nil {
+		t.Fatalf("/debug/omp is not valid JSON: %v\n%s", err, dbg)
+	}
+	if snap.ICVs["wait_policy"] != "passive" {
+		t.Errorf("/debug/omp icvs = %v, want wait_policy passive", snap.ICVs)
+	}
+	if snap.Pool == nil || snap.Pool.Max <= 0 {
+		t.Errorf("/debug/omp pool = %+v, want live pool info", snap.Pool)
+	}
+	if got := snap.Counters["omp4go_regions_forked_total"]; got != 1 {
+		t.Errorf("/debug/omp counters regions_forked = %d, want 1", got)
+	}
+}
+
+// TestDebugSnapshotInflight asserts an executing region is visible in
+// the introspection snapshot with its members' wait states.
+func TestDebugSnapshotInflight(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	defer r.Shutdown()
+	r.ensureObs() // introspection on, no endpoint needed
+
+	inBody := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	ctx := r.NewContext()
+	go func() {
+		var once sync.Once
+		done <- r.Parallel(ctx, ParallelOpts{NumThreads: 2}, func(c *Context) error {
+			if c.num == 1 {
+				once.Do(func() { close(inBody) })
+				<-release
+			}
+			return nil
+		})
+	}()
+	<-inBody
+	// Wait until thread 0 shows up at the implicit barrier.
+	var regions []RegionInfo
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		regions = r.InflightRegions()
+		if len(regions) == 1 && memberWaiting(regions[0], "barrier") {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if len(regions) != 1 {
+		t.Fatalf("inflight regions = %d, want 1", len(regions))
+	}
+	reg := regions[0]
+	if reg.Size != 2 || len(reg.Members) != 2 {
+		t.Fatalf("region view = %+v, want 2 members", reg)
+	}
+	if !memberWaiting(reg, "barrier") {
+		t.Errorf("no member shows a barrier wait: %+v", reg.Members)
+	}
+	// After the join the registry is empty again.
+	deadline = time.Now().Add(time.Second)
+	for time.Now().Before(deadline) && len(r.InflightRegions()) > 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if left := r.InflightRegions(); len(left) != 0 {
+		t.Errorf("regions still registered after join: %+v", left)
+	}
+}
+
+func memberWaiting(reg RegionInfo, kind string) bool {
+	for _, m := range reg.Members {
+		if m.Wait == kind && m.WaitNS > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TestWatchdogEnvParsing pins the OMP4GO_WATCHDOG value forms.
+func TestWatchdogEnvParsing(t *testing.T) {
+	cases := []struct {
+		val  string
+		want time.Duration
+	}{
+		{"5s", 5 * time.Second},
+		{"250ms", 250 * time.Millisecond},
+		{"3", 3 * time.Second}, // bare number = seconds
+		{"bogus", 0},
+		{"-1s", 0},
+		{"", 0},
+	}
+	for _, c := range cases {
+		var s icvSet
+		s.loadEnv(fakeEnv(map[string]string{"OMP4GO_WATCHDOG": c.val}))
+		if s.watchdog != c.want {
+			t.Errorf("OMP4GO_WATCHDOG=%q parsed as %v, want %v", c.val, s.watchdog, c.want)
+		}
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return string(data)
+}

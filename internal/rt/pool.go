@@ -1,9 +1,13 @@
 package rt
 
 import (
+	stdctx "context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
+
+	"github.com/omp4go/omp4go/internal/metrics"
 )
 
 // This file implements the persistent worker pool behind Parallel.
@@ -45,13 +49,12 @@ const (
 )
 
 // dispatch is the by-value work handoff a park slot carries: the
-// region's member body, the member context, and the join group. A
-// plain struct instead of a closure keeps per-dispatch allocation at
-// zero.
+// member's team (which holds the region body and join group) and the
+// member context. A plain struct instead of a closure keeps
+// per-dispatch allocation at zero.
 type dispatch struct {
-	run func(*Context)
-	m   *Context
-	wg  *sync.WaitGroup
+	t *Team
+	m *Context
 }
 
 // poolWorker is one persistent pool slot: a parked goroutine with a
@@ -193,13 +196,19 @@ func (p *workerPool) counts() (idle, total int) {
 // loop is the worker goroutine: wait for a region body, run it,
 // repeat until closed or retired.
 func (w *poolWorker) loop() {
+	// The stable worker label makes parked pool goroutines
+	// identifiable in pprof goroutine profiles for the worker's whole
+	// lifetime; the per-region omp_region/omp_gtid labels are applied
+	// by Parallel (and only while introspection is on).
+	pprof.SetGoroutineLabels(pprof.WithLabels(stdctx.Background(),
+		pprof.Labels("omp_pool_worker", itoa(int(w.gtid)))))
 	for {
 		d, ok := w.await()
 		if !ok {
 			return
 		}
-		d.run(d.m)
-		d.wg.Done()
+		d.t.memberMain(d.m)
+		d.t.wg.Done()
 	}
 }
 
@@ -217,15 +226,23 @@ func (w *poolWorker) await() (dispatch, bool) {
 		}
 		runtime.Gosched()
 	}
+	m := w.pool.rt.metrics
 	for {
+		// Each full park (and the matching dispatch wake-up) is
+		// metered: a high park/unpark rate relative to regions forked
+		// means the spin grace window is missing the fork-join cadence.
+		m.Inc(w.gtid, metrics.PoolParks)
 		d, ok, closed := w.slot.get(workerIdleTimeout)
 		if ok {
+			m.Inc(w.gtid, metrics.PoolUnparks)
 			return d, true
 		}
 		if closed {
+			m.Inc(w.gtid, metrics.PoolRetirements)
 			return dispatch{}, false
 		}
 		if w.pool.tryRetire(w) {
+			m.Inc(w.gtid, metrics.PoolRetirements)
 			return dispatch{}, false
 		}
 		// Not on the free list: an acquirer holds this worker and will

@@ -1,10 +1,15 @@
 package rt
 
 import (
+	stdctx "context"
+	"fmt"
+	"os"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/omp4go/omp4go/internal/metrics"
 	"github.com/omp4go/omp4go/internal/ompt"
 )
 
@@ -30,12 +35,36 @@ type Runtime struct {
 	epoch time.Time
 
 	// tool is the attached OMPT-style observability tool; nil means
-	// tracing disabled (the fast path at every hook site is a single
-	// nil check). envTracer/traceFile are set when OMP4GO_TRACE
-	// activated tracing through the environment.
-	tool      ompt.Tool
+	// tracing disabled. The pointer is atomic so SetTool may run while
+	// regions are in flight (hook sites load it once per hook);
+	// envTracer/traceFile are set when OMP4GO_TRACE activated tracing
+	// through the environment.
+	tool      atomic.Pointer[toolBox]
 	envTracer *ompt.Tracer
 	traceFile string
+
+	// metrics is the always-on counter/histogram registry: updates are
+	// striped per thread id and merged only on snapshot, so hot paths
+	// pay one uncontended atomic add per event (internal/metrics).
+	metrics *metrics.Registry
+
+	// forkICV caches the ICVs Parallel needs to size a team, refreshed
+	// by the (rare) setters. Reading it is one atomic pointer load,
+	// keeping the icv mutex off the region fork path.
+	forkICV atomic.Pointer[forkICVs]
+
+	// obs is the live-introspection state: non-nil once a metrics
+	// endpoint or watchdog wants to see in-flight regions. Hot paths
+	// gate the extra bookkeeping (wait markers, pprof labels, region
+	// registry) on a single atomic load of this pointer.
+	obs atomic.Pointer[obsState]
+
+	// wd is the stall watchdog (watchdog.go); envServer the metrics
+	// endpoint activated by OMP4GO_METRICS. Both are rare-path state
+	// guarded by wdMu.
+	wdMu      sync.Mutex
+	wd        *watchdog
+	envServer *MetricsServer
 
 	// gtidSeq hands out per-context global trace thread ids;
 	// regionSeq numbers parallel regions; taskSeq numbers explicit
@@ -80,8 +109,10 @@ func NewWithEnv(layer Layer, getenv func(string) string) *Runtime {
 		criticals: make(map[string]*sync.Mutex),
 		declRed:   make(map[string]*DeclaredReduction),
 		epoch:     time.Now(),
+		metrics:   metrics.New(),
 	}
 	r.icv.loadEnv(getenv)
+	r.refreshForkICV()
 	r.taskSched = parseSchedMode(r.icv.taskSched)
 	if r.icv.poolMode != "off" {
 		r.pool = newWorkerPool(r)
@@ -96,7 +127,22 @@ func NewWithEnv(layer Layer, getenv func(string) string) *Runtime {
 		// FlushTrace writes the file when the program is done.
 		r.traceFile = r.icv.traceFile
 		r.envTracer = ompt.NewTracer(0)
-		r.tool = r.envTracer
+		r.SetTool(r.envTracer)
+	}
+	if r.icv.watchdog > 0 {
+		// OMP4GO_WATCHDOG=<duration> arms the stall watchdog at init.
+		r.StartWatchdog(r.icv.watchdog)
+	}
+	if addr := r.icv.metricsAddr; addr != "" {
+		// OMP4GO_METRICS=<addr> serves /metrics and /debug/omp for the
+		// runtime's lifetime. A bind failure is reported but does not
+		// fail construction: observability must never take the
+		// program down.
+		if srv, err := r.ServeMetrics(addr); err != nil {
+			fmt.Fprintf(os.Stderr, "omp4go: OMP4GO_METRICS: %v\n", err)
+		} else {
+			r.envServer = srv
+		}
 	}
 	return r
 }
@@ -108,12 +154,25 @@ func (r *Runtime) Layer() Layer { return r.layer }
 // worker pool (true unless OMP4GO_POOL=off).
 func (r *Runtime) PoolEnabled() bool { return r.pool != nil }
 
-// Shutdown retires the runtime's parked pool workers. It is optional
-// — idle workers retire on their own after workerIdleTimeout — but
-// gives deterministic teardown for tests and short-lived runtimes.
-// Parallel remains usable afterwards, falling back to spawning
-// goroutines per region.
+// MetricsSnapshot returns a merged point-in-time view of the runtime's
+// always-on metrics.
+func (r *Runtime) MetricsSnapshot() *metrics.Snapshot { return r.metrics.Snapshot() }
+
+// Shutdown retires the runtime's parked pool workers and stops the
+// environment-activated observability services (watchdog, metrics
+// endpoint). It is optional — idle workers retire on their own after
+// workerIdleTimeout — but gives deterministic teardown for tests and
+// short-lived runtimes. Parallel remains usable afterwards, falling
+// back to spawning goroutines per region.
 func (r *Runtime) Shutdown() {
+	r.StopWatchdog()
+	r.wdMu.Lock()
+	srv := r.envServer
+	r.envServer = nil
+	r.wdMu.Unlock()
+	if srv != nil {
+		_ = srv.Close()
+	}
 	if r.pool != nil {
 		r.pool.shutdownAll()
 	}
@@ -195,6 +254,14 @@ type Context struct {
 	// serve the observability subsystem only.
 	gtid   int32
 	critT0 []int64
+
+	// waitKind/waitSince mark what synchronization point this thread
+	// is blocked in (waitNone when running). Written by the owning
+	// thread only while introspection is enabled (r.obs non-nil), read
+	// by the watchdog sampler and the /debug/omp handler — atomics
+	// make the cross-goroutine reads race-free.
+	waitKind  atomic.Int32
+	waitSince atomic.Int64
 }
 
 // NewContext creates the context for an initial thread: a thread that
@@ -237,6 +304,14 @@ type Team struct {
 
 	arrivals Counter // monotonically increasing barrier arrival count
 
+	// release is the timestamp of the latest barrier-epoch completion
+	// (written by the one arrival that completes an epoch). Waiters
+	// use it as their wait-end time for the always-on wait metrics —
+	// one clock read per waiting thread instead of two. A waiter that
+	// races the store (sees the epoch complete before the stamp
+	// lands) falls back to reading the clock itself.
+	release atomic.Int64
+
 	regions *regionTable
 
 	// broken is set when a team thread dies from a panic; barriers
@@ -250,9 +325,90 @@ type Team struct {
 	// the team so joining a region costs no allocation.
 	errbuf []error
 
+	// Per-region fork state. Keeping it on the (recycled) team rather
+	// than in Parallel's locals makes forking a region allocation-free
+	// in pool mode: locals captured by a dispatch closure would each
+	// cost a heap cell per region.
+	body    func(*Context) error // region body for this fork
+	tool    ompt.Tool            // tool snapshot for this fork
+	labeled bool                 // members run under pprof labels (obs on)
+	wg      sync.WaitGroup       // join group; reused after each Wait
+	panicMu sync.Mutex
+	panics  map[int]any // allocated on first member panic only
+
 	// regionID numbers the parallel region this team executes
 	// (observability subsystem).
 	regionID int32
+}
+
+// memberMain is one team member's whole region: the body, error and
+// panic collection, and the closing implicit barrier. Dispatched as a
+// (Team, Context) pair — never as a closure — on the region hot path.
+func (t *Team) memberMain(member *Context) {
+	if t.labeled {
+		// Goroutine labels make pool workers and spawned members
+		// attributable in pprof profiles while introspection is on:
+		// omp_region is the region id, omp_gtid the member's stable
+		// thread id. pprof.Do restores the previous labels on return,
+		// so the master's caller keeps its own labels.
+		labels := pprof.Labels(
+			"omp_region", itoa(int(t.regionID)),
+			"omp_gtid", itoa(int(member.gtid)))
+		pprof.Do(stdctx.Background(), labels, func(stdctx.Context) { t.runMember(member) })
+		return
+	}
+	t.runMember(member)
+}
+
+func (t *Team) runMember(member *Context) {
+	tool := t.tool
+	if tool != nil {
+		member.emitTo(tool, ompt.EvImplicitTaskBegin, int64(t.regionID), int64(member.num), 0, "")
+		// The deferred end event also fires when the member dies
+		// from a panic, keeping every begin paired in the trace.
+		defer member.emitTo(tool, ompt.EvImplicitTaskEnd, int64(t.regionID), int64(member.num), 0, "")
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			t.panicMu.Lock()
+			if t.panics == nil {
+				t.panics = make(map[int]any)
+			}
+			t.panics[member.num] = p
+			t.panicMu.Unlock()
+			// Mark the team broken so surviving threads abandon
+			// barriers instead of waiting for the dead thread.
+			t.broken.Store(1)
+			t.wakeAll()
+		}
+	}()
+	err := t.body(member)
+	t.errbuf[member.num] = err
+	if err != nil {
+		// An error escaping the region body means this thread
+		// abandons its remaining synchronization points (the
+		// OpenMP rule is that exceptions must be handled inside
+		// the region); mark the team broken so peers blocked on
+		// this thread — barriers, copyprivate — abort instead of
+		// deadlocking.
+		t.broken.Store(1)
+		t.wakeAll()
+	}
+	// Implicit barrier at region end: drains outstanding tasks.
+	// Barrier aborts caused by another thread's failure are not
+	// recorded: the causing thread already carries the error.
+	if berr := t.Barrier(member); berr != nil && err == nil &&
+		t.broken.Load() == 0 {
+		t.errbuf[member.num] = berr
+	}
+}
+
+// spawnedMember runs a member on a freshly spawned goroutine (pool
+// exhausted or disabled); pool workers run memberMain from their
+// dispatch loop instead.
+func (t *Team) spawnedMember(member *Context) {
+	defer t.wg.Done()
+	t.memberMain(member)
 }
 
 func newTeam(r *Runtime, master *Context, size int) *Team {
@@ -324,59 +480,25 @@ func (r *Runtime) Parallel(ctx *Context, opts ParallelOpts, body func(*Context) 
 	n := r.resolveTeamSize(ctx, opts)
 	team := r.takeTeam(n)
 
+	r.metrics.Inc(ctx.gtid, metrics.RegionsForked)
+	// The tool is loaded once per region so a concurrent SetTool never
+	// splits the region's paired events across two tools.
+	tool := r.loadTool()
 	var regionT0 int64
-	if r.tool != nil {
+	if tool != nil {
 		regionT0 = ompt.Now()
-		ctx.emit(ompt.EvParallelBegin, int64(team.regionID), int64(n), 0, "")
+		ctx.emitTo(tool, ompt.EvParallelBegin, int64(team.regionID), int64(n), 0, "")
 	}
 
 	errs := team.errbuf[:n]
 	for i := range errs {
 		errs[i] = nil
 	}
-	var panics map[int]any // allocated on first panic only
-	var panicMu sync.Mutex
-
-	run := func(member *Context) {
-		if r.tool != nil {
-			member.emit(ompt.EvImplicitTaskBegin, int64(team.regionID), int64(member.num), 0, "")
-			// The deferred end event also fires when the member dies
-			// from a panic, keeping every begin paired in the trace.
-			defer member.emit(ompt.EvImplicitTaskEnd, int64(team.regionID), int64(member.num), 0, "")
-		}
-		defer func() {
-			if p := recover(); p != nil {
-				panicMu.Lock()
-				if panics == nil {
-					panics = make(map[int]any)
-				}
-				panics[member.num] = p
-				panicMu.Unlock()
-				// Mark the team broken so surviving threads abandon
-				// barriers instead of waiting for the dead thread.
-				team.broken.Store(1)
-				team.wakeAll()
-			}
-		}()
-		errs[member.num] = body(member)
-		if errs[member.num] != nil {
-			// An error escaping the region body means this thread
-			// abandons its remaining synchronization points (the
-			// OpenMP rule is that exceptions must be handled inside
-			// the region); mark the team broken so peers blocked on
-			// this thread — barriers, copyprivate — abort instead of
-			// deadlocking.
-			team.broken.Store(1)
-			team.wakeAll()
-		}
-		// Implicit barrier at region end: drains outstanding tasks.
-		// Barrier aborts caused by another thread's failure are not
-		// recorded: the causing thread already carries the error.
-		if err := team.Barrier(member); err != nil && errs[member.num] == nil &&
-			team.broken.Load() == 0 {
-			errs[member.num] = err
-		}
-	}
+	// Fork state rides on the (recycled) team — see memberMain. The
+	// writes happen before any dispatch, which provides the ordering.
+	team.body = body
+	team.tool = tool
+	team.panics = nil
 
 	// Workers come from the persistent pool when enabled; the pool may
 	// come up short (cap reached, nested demand, shutdown), in which
@@ -386,8 +508,13 @@ func (r *Runtime) Parallel(ctx *Context, opts ParallelOpts, body func(*Context) 
 	if r.pool != nil && n > 1 {
 		workers = r.pool.acquire(n - 1)
 	}
-	var wg sync.WaitGroup
-	wg.Add(n - 1) // every member but the master signals completion
+
+	// Setup pass: every member context is fully initialized before any
+	// of them is dispatched. The split from dispatch matters for
+	// introspection — registering the team between the passes means
+	// the watchdog and /debug/omp only ever observe members whose
+	// plain fields (num, gtid) are final, with the registry mutex
+	// providing the happens-before edge.
 	for i := 0; i < n; i++ {
 		// A recycled team still holds its previous members: reuse the
 		// Context and its implicit task in place of reallocating both
@@ -412,38 +539,58 @@ func (r *Runtime) Parallel(ctx *Context, opts ParallelOpts, body func(*Context) 
 		if n > 1 {
 			member.activeLevel++
 		}
-		if i == 0 {
+		switch {
+		case i == 0:
+			// Master runs on the encountering goroutine.
 			member.gtid = int32(r.gtidSeq.Add(1) - 1)
-			continue // master runs on the encountering goroutine
-		}
-		if i-1 < len(workers) {
+		case i-1 < len(workers):
 			// Pool dispatch: the member inherits the worker's stable
 			// gtid, so per-thread trace rings persist across regions.
-			w := workers[i-1]
-			member.gtid = w.gtid
-			w.slot.put(dispatch{run: run, m: member, wg: &wg})
+			member.gtid = workers[i-1].gtid
+		default:
+			member.gtid = int32(r.gtidSeq.Add(1) - 1)
+		}
+	}
+
+	obs := r.obs.Load()
+	team.labeled = obs != nil
+	if obs != nil {
+		obs.register(team)
+	}
+
+	// Dispatch pass.
+	team.wg.Add(n - 1) // every member but the master signals completion
+	for i := 1; i < n; i++ {
+		member := team.members[i]
+		if i-1 < len(workers) {
+			workers[i-1].slot.put(dispatch{t: team, m: member})
 			continue
 		}
-		member.gtid = int32(r.gtidSeq.Add(1) - 1)
-		go func(m *Context) {
-			defer wg.Done()
-			run(m)
-		}(member)
+		go team.spawnedMember(member)
 	}
-	run(team.members[0])
-	wg.Wait()
+	team.memberMain(team.members[0])
+	team.wg.Wait()
 	// Borrowed slots go back in one batch: cheaper than per-worker
 	// release locking, and still ordered before Parallel returns.
 	if r.pool != nil {
 		r.pool.releaseAll(workers)
 	}
-
-	if r.tool != nil {
-		ctx.emit(ompt.EvParallelEnd, int64(team.regionID), int64(n), ompt.Now()-regionT0, "")
+	if obs != nil {
+		obs.unregister(team)
 	}
 
-	if len(panics) > 0 {
-		return &TeamPanic{Panics: panics}
+	r.metrics.Inc(ctx.gtid, metrics.RegionsJoined)
+	if tool != nil {
+		ctx.emitTo(tool, ompt.EvParallelEnd, int64(team.regionID), int64(n), ompt.Now()-regionT0, "")
+	}
+
+	// Drop the region's references before the team is recycled (or
+	// collected): body and tool are user values the runtime must not
+	// retain past the join.
+	team.body, team.tool = nil, nil
+
+	if len(team.panics) > 0 {
+		return &TeamPanic{Panics: team.panics}
 	}
 	// joinErrors runs before the team is recycled: errs aliases the
 	// team's errbuf, which the next region borrowing this team will
@@ -516,13 +663,36 @@ func itoa(n int) string {
 	return string(buf[i:])
 }
 
-func (r *Runtime) resolveTeamSize(ctx *Context, opts ParallelOpts) int {
+// forkICVs is the immutable snapshot of the team-sizing ICVs behind
+// Runtime.forkICV. A fresh value is published on every change, so
+// resolveTeamSize reads a consistent set with one atomic load.
+type forkICVs struct {
+	numThreads      int
+	nested          bool
+	maxActiveLevels int
+	threadLimit     int
+}
+
+// refreshForkICV republishes the team-sizing ICV snapshot; every
+// setter that touches one of its fields must call it after unlocking.
+func (r *Runtime) refreshForkICV() {
 	r.icv.mu.Lock()
-	n := r.icv.numThreads
-	nested := r.icv.nested
-	maxActive := r.icv.maxActiveLevels
-	limit := r.icv.threadLimit
+	f := &forkICVs{
+		numThreads:      r.icv.numThreads,
+		nested:          r.icv.nested,
+		maxActiveLevels: r.icv.maxActiveLevels,
+		threadLimit:     r.icv.threadLimit,
+	}
 	r.icv.mu.Unlock()
+	r.forkICV.Store(f)
+}
+
+func (r *Runtime) resolveTeamSize(ctx *Context, opts ParallelOpts) int {
+	f := r.forkICV.Load()
+	n := f.numThreads
+	nested := f.nested
+	maxActive := f.maxActiveLevels
+	limit := f.threadLimit
 
 	if opts.NumThreads > 0 {
 		n = opts.NumThreads
@@ -563,28 +733,52 @@ func (t *Team) barrier(ctx *Context, kind int64) error {
 		return &MisuseError{Construct: "barrier",
 			Msg: "barrier may not appear inside a worksharing construct body"}
 	}
+	r := t.rt
 	ctx.barrierEpoch++
 	target := ctx.barrierEpoch * int64(t.size)
-	tool := t.rt.tool
+	tool := r.loadTool()
+	obs := r.obs.Load()
 	// Wait-time accounting: the barrier's wait is the time spent in
 	// the barrier minus the time spent productively executing stolen
 	// tasks while waiting.
 	var t0, taskNS int64
+	timed := tool != nil
 	if tool != nil {
 		t0 = ompt.Now()
-		ctx.emit(ompt.EvBarrierEnter, kind, ctx.barrierEpoch, 0, "")
+		ctx.emitTo(tool, ompt.EvBarrierEnter, kind, ctx.barrierEpoch, 0, "")
 	}
 	// Only the arrival that completes the epoch can flip another
 	// thread's wait predicate (the predicates are monotonic in
 	// arrivals), so earlier arrivals skip the broadcast — one wake per
-	// barrier instead of one per thread.
-	if t.arrivals.Add(1) >= target {
+	// barrier instead of one per thread. The completing arrival also
+	// accounts the passage for the whole team in one striped add
+	// (barrier passages are counted at epoch completion — a barrier
+	// abandoned by a broken team counts zero) and stamps the release
+	// time waiters use as their wait-end clock.
+	arrived := t.arrivals.Add(1)
+	if arrived >= target {
+		if arrived == target {
+			r.metrics.Add(int32(ctx.num), metrics.Barriers, int64(t.size))
+			if t.size > 1 {
+				t.release.Store(ompt.Now())
+			}
+		}
 		t.wakeAll()
+	} else if !timed {
+		// This thread will wait (or drain tasks): start the clock for
+		// the always-on wait metrics. The fast path — last arrival,
+		// nothing left to do — reads no clock at all.
+		timed = true
+		t0 = ompt.Now()
+	}
+	if obs != nil {
+		ctx.waitSince.Store(ompt.Now())
+		ctx.waitKind.Store(waitBarrier)
 	}
 	err := func() error {
 		for {
 			if tk := t.claimTask(ctx); tk != nil {
-				if tool != nil {
+				if timed {
 					s := ompt.Now()
 					t.runTask(ctx, tk)
 					taskNS += ompt.Now() - s
@@ -605,12 +799,38 @@ func (t *Team) barrier(ctx *Context, kind int64) error {
 			})
 		}
 	}()
-	if tool != nil {
-		wait := ompt.Now() - t0 - taskNS
+	if obs != nil {
+		ctx.waitKind.Store(waitNone)
+	}
+	if timed {
+		// With a tool attached the exit event wants precise timing;
+		// the metrics-only path ends the wait at the completer's
+		// release stamp instead of reading the clock again. A stale
+		// stamp (the epoch completed but the store has not landed
+		// yet, or the team aborted) falls back to the clock.
+		var end int64
+		if tool != nil {
+			end = ompt.Now()
+		} else if end = t.release.Load(); end < t0 {
+			end = ompt.Now()
+		}
+		wait := end - t0 - taskNS
 		if wait < 0 {
 			wait = 0
 		}
-		ctx.emit(ompt.EvBarrierExit, kind, ctx.barrierEpoch, wait, "")
+		if wait > 0 {
+			// Striped by thread number, not gtid: the master's gtid is
+			// fresh every region, which would walk cold stripe lines
+			// in fork-join loops, while thread numbers are dense and
+			// stable across recycled regions. Any stripe key is
+			// correct — the adds stay atomic — this one keeps the
+			// line warm. The histogram also carries the wait-time sum
+			// (the omp4go_barrier_wait_ns_total counter mirrors it).
+			r.metrics.Observe(int32(ctx.num), metrics.HistBarrierWait, wait)
+		}
+		if tool != nil {
+			ctx.emitTo(tool, ompt.EvBarrierExit, kind, ctx.barrierEpoch, wait, "")
+		}
 	}
 	return err
 }

@@ -66,6 +66,11 @@ type taskScheduler interface {
 	// task completed), so the deques are already empty; reset clears
 	// the bookkeeping that outlives the drained tasks.
 	reset()
+	// depths reports the current per-member deque depths — an
+	// introspection probe (watchdog, /debug/omp) that may be called
+	// from outside the team while it runs. Schedulers without
+	// per-member queues return nil.
+	depths() []int
 }
 
 func newTaskScheduler(l Layer, size int, mode schedMode) taskScheduler {
@@ -95,6 +100,9 @@ type deque interface {
 	pop() *task
 	steal() *task
 	retained() int
+	// size is a race-safe point-in-time depth estimate for
+	// introspection; it may be momentarily stale but never tears.
+	size() int
 }
 
 func newDeque(l Layer) deque {
@@ -176,6 +184,14 @@ func (d *atomicDeque) steal() *task {
 	}
 }
 
+func (d *atomicDeque) size() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
 func (d *atomicDeque) retained() int {
 	n := 0
 	for i := range d.buf {
@@ -233,6 +249,13 @@ func (d *mutexDeque) steal() *task {
 	}
 	d.mu.Unlock()
 	return t
+}
+
+func (d *mutexDeque) size() int {
+	d.mu.Lock()
+	n := len(d.buf)
+	d.mu.Unlock()
+	return n
 }
 
 func (d *mutexDeque) retained() int {
@@ -332,6 +355,14 @@ func (s *stealScheduler) take(self int) (*task, int) {
 
 func (s *stealScheduler) hasRunnable() bool {
 	return s.queued.Load() > 0
+}
+
+func (s *stealScheduler) depths() []int {
+	out := make([]int, len(s.deques))
+	for i, d := range s.deques {
+		out[i] = d.size()
+	}
+	return out
 }
 
 func (s *stealScheduler) reset() {

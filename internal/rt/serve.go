@@ -1,0 +1,129 @@
+package rt
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// This file implements the live metrics/introspection endpoint:
+// /metrics serves the always-on counters in Prometheus text format,
+// /debug/omp a JSON snapshot of ICVs, pool state and in-flight
+// regions, and /debug/pprof the standard Go profiles (goroutine
+// profiles carry the omp_region/omp_gtid labels Parallel applies
+// while introspection is on). Activated by OMP4GO_METRICS=<addr> or
+// Runtime.ServeMetrics.
+
+// MetricsServer is a running introspection endpoint.
+type MetricsServer struct {
+	rt  *Runtime
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeMetrics starts serving the runtime's metrics and debug
+// endpoints on addr (e.g. ":9090" or "127.0.0.1:0"), enabling live
+// introspection as a side effect. The returned server reports its
+// bound address via Addr and is shut down with Close.
+func (r *Runtime) ServeMetrics(addr string) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	r.ensureObs()
+	s := &MetricsServer{rt: r, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/omp", s.handleDebug)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the server's bound address (useful with ":0").
+func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *MetricsServer) Close() error { return s.srv.Close() }
+
+func (s *MetricsServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap := s.rt.MetricsSnapshot()
+	if err := snap.WritePrometheus(w); err != nil {
+		return
+	}
+	// Gauges live outside the striped registry: they describe current
+	// state, not accumulated events.
+	idle, total := 0, 0
+	if s.rt.pool != nil {
+		idle, total = s.rt.pool.counts()
+	}
+	fmt.Fprintf(w, "# HELP omp4go_pool_workers_idle Parked pool workers available for dispatch.\n")
+	fmt.Fprintf(w, "# TYPE omp4go_pool_workers_idle gauge\n")
+	fmt.Fprintf(w, "omp4go_pool_workers_idle %d\n", idle)
+	fmt.Fprintf(w, "# HELP omp4go_pool_workers_live Live persistent pool worker goroutines.\n")
+	fmt.Fprintf(w, "# TYPE omp4go_pool_workers_live gauge\n")
+	fmt.Fprintf(w, "omp4go_pool_workers_live %d\n", total)
+	fmt.Fprintf(w, "# HELP omp4go_inflight_regions Parallel regions currently executing.\n")
+	fmt.Fprintf(w, "# TYPE omp4go_inflight_regions gauge\n")
+	fmt.Fprintf(w, "omp4go_inflight_regions %d\n", len(s.rt.InflightRegions()))
+}
+
+// DebugSnapshot is the /debug/omp JSON document.
+type DebugSnapshot struct {
+	ICVs     map[string]any   `json:"icvs"`
+	Pool     *PoolDebug       `json:"pool,omitempty"`
+	Regions  []RegionInfo     `json:"inflight_regions"`
+	Stalls   []StallReport    `json:"stalls,omitempty"`
+	Counters map[string]int64 `json:"counters"`
+}
+
+// PoolDebug is the /debug/omp view of the persistent worker pool.
+type PoolDebug struct {
+	Idle int `json:"idle"`
+	Live int `json:"live"`
+	Max  int `json:"max"`
+}
+
+// DebugSnapshot captures the runtime state served at /debug/omp.
+func (r *Runtime) DebugSnapshot() DebugSnapshot {
+	d := DebugSnapshot{
+		ICVs: map[string]any{
+			"num_threads":       r.GetMaxThreads(),
+			"dynamic":           r.GetDynamic(),
+			"nested":            r.GetNested(),
+			"max_active_levels": r.GetMaxActiveLevels(),
+			"thread_limit":      r.GetThreadLimit(),
+			"wait_policy":       r.GetWaitPolicy(),
+			"schedule":          scheduleEnvString(r.GetSchedule()),
+			"task_sched":        r.taskSched.String(),
+			"pool":              r.PoolEnabled(),
+		},
+		Regions:  r.InflightRegions(),
+		Stalls:   r.StallReports(),
+		Counters: r.MetricsSnapshot().CounterMap(),
+	}
+	if r.pool != nil {
+		idle, total := r.pool.counts()
+		d.Pool = &PoolDebug{Idle: idle, Live: total, Max: r.pool.max}
+	}
+	if d.Regions == nil {
+		d.Regions = []RegionInfo{}
+	}
+	return d
+}
+
+func (s *MetricsServer) handleDebug(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.rt.DebugSnapshot())
+}

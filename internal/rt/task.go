@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/omp4go/omp4go/internal/metrics"
 	"github.com/omp4go/omp4go/internal/ompt"
 )
 
@@ -144,6 +145,9 @@ func (q *mutexTaskQueue) reset() {
 	q.mu.Unlock()
 }
 
+// depths: the shared list has no per-member queues to introspect.
+func (q *mutexTaskQueue) depths() []int { return nil }
+
 // atomicTaskQueue is the cruntime flavour: enqueue installs the
 // next-reference with compare_exchange, and consumers advance the
 // head hint past completed nodes without locking.
@@ -210,6 +214,9 @@ func (q *atomicTaskQueue) reset() {
 	q.tail.Store(sentinel)
 }
 
+// depths: the shared list has no per-member queues to introspect.
+func (q *atomicTaskQueue) depths() []int { return nil }
+
 // TaskOpts carries the task directive clauses the runtime consumes.
 type TaskOpts struct {
 	// If false (with IfSet), the task is undeferred: the encountering
@@ -234,9 +241,10 @@ func (c *Context) SubmitTask(opts TaskOpts, fn func(*Context) error) error {
 	if opts.FinalSet && opts.Final {
 		tk.final = true
 	}
-	if c.rt.tool != nil {
+	if c.rt.loadTool() != nil {
 		tk.id = c.rt.taskSeq.Add(1)
 	}
+	c.rt.metrics.Inc(c.gtid, metrics.TasksCreated)
 	if undeferred {
 		tk.state.Store(taskInProgress)
 		c.curTask.children.Add(1)
@@ -249,6 +257,9 @@ func (c *Context) SubmitTask(opts TaskOpts, fn func(*Context) error) error {
 	c.curTask.children.Add(1)
 	depth := t.outstanding.Add(1)
 	overflowed := t.sched.submit(c.num, tk)
+	if overflowed {
+		c.rt.metrics.Inc(c.gtid, metrics.TasksOverflowed)
+	}
 	if tk.id != 0 {
 		c.emit(ompt.EvTaskCreate, tk.id, depth, 0, "")
 		if overflowed {
@@ -267,8 +278,11 @@ func (c *Context) SubmitTask(opts TaskOpts, fn func(*Context) error) error {
 // subsystem.
 func (t *Team) claimTask(ctx *Context) *task {
 	tk, victim := t.sched.take(ctx.num)
-	if tk != nil && tk.id != 0 && t.rt.tool != nil && victim >= 0 && victim != ctx.num {
-		ctx.emit(ompt.EvTaskSteal, tk.id, int64(victim), 0, "")
+	if tk != nil && victim >= 0 && victim != ctx.num {
+		t.rt.metrics.Inc(ctx.gtid, metrics.TasksStolen)
+		if tk.id != 0 {
+			ctx.emit(ompt.EvTaskSteal, tk.id, int64(victim), 0, "")
+		}
 	}
 	return tk
 }
@@ -292,7 +306,8 @@ func (t *Team) runTask(ctx *Context, tk *task) {
 // runClaimed runs a task already marked in-progress, pushing it onto
 // the thread's context stack for the duration.
 func (t *Team) runClaimed(ctx *Context, tk *task) {
-	if tk.id != 0 && t.rt.tool != nil {
+	t.rt.metrics.Inc(ctx.gtid, metrics.TasksRun)
+	if tk.id != 0 && t.rt.loadTool() != nil {
 		tk.startNS = ompt.Now()
 		ctx.emit(ompt.EvTaskBegin, tk.id, 0, 0, "")
 	}
@@ -310,7 +325,7 @@ func (t *Team) runClaimed(ctx *Context, tk *task) {
 		ctx.curTask = prevTask
 		ctx.wsDepth = prevWS
 		ctx.curLoop = prevLoop
-		if tk.id != 0 && t.rt.tool != nil {
+		if tk.id != 0 && tk.startNS != 0 {
 			ctx.emit(ompt.EvTaskEnd, tk.id, 0, ompt.Now()-tk.startNS, "")
 		}
 		tk.state.Store(taskDone)
@@ -334,6 +349,17 @@ func (t *Team) runClaimed(ctx *Context, tk *task) {
 func (c *Context) TaskWait() error {
 	t := c.team
 	cur := c.curTask
+	if cur.children.Load() == 0 {
+		return nil
+	}
+	// The wait marker (introspection only) lets the watchdog and
+	// /debug/omp distinguish a thread draining a taskwait from one
+	// still executing its body.
+	if obs := c.rt.obs.Load(); obs != nil {
+		c.waitSince.Store(ompt.Now())
+		c.waitKind.Store(waitTaskwait)
+		defer c.waitKind.Store(waitNone)
+	}
 	for cur.children.Load() > 0 {
 		if tk := t.claimTask(c); tk != nil {
 			t.runTask(c, tk)

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"github.com/omp4go/omp4go/internal/directive"
+	"github.com/omp4go/omp4go/internal/metrics"
 	"github.com/omp4go/omp4go/internal/ompt"
 )
 
@@ -253,7 +254,7 @@ func (c *Context) ForInit(b *LoopBounds, opts ForOpts) error {
 	b.inited = true
 	c.wsDepth++
 	c.curLoop = b
-	if c.rt.tool != nil {
+	if c.rt.loadTool() != nil {
 		c.emit(ompt.EvLoopBegin, b.Total, b.sched.Chunk, 0, b.sched.Kind.String())
 	}
 	return nil
@@ -264,8 +265,15 @@ func (c *Context) ForInit(b *LoopBounds, opts ForOpts) error {
 // iteration space is exhausted (the for_next call of Fig. 3).
 func (b *LoopBounds) ForNext() bool {
 	claimed := b.claimNext()
-	if b.ctx != nil && b.ctx.rt.tool != nil {
-		b.traceChunk(claimed)
+	if b.ctx != nil {
+		if claimed {
+			m := b.ctx.rt.metrics
+			m.Inc(b.ctx.gtid, metrics.LoopChunks)
+			m.Add(b.ctx.gtid, metrics.LoopIterations, b.Hi-b.Lo)
+		}
+		if b.ctx.rt.loadTool() != nil {
+			b.traceChunk(claimed)
+		}
 	}
 	return claimed
 }
@@ -377,7 +385,7 @@ func (c *Context) ForEnd(b *LoopBounds) error {
 	if !b.inited {
 		return &MisuseError{Construct: "for", Msg: "ForEnd without ForInit"}
 	}
-	if c.rt.tool != nil {
+	if c.rt.loadTool() != nil {
 		// An early break can leave the final chunk's completion event
 		// unemitted; close it before the loop-end event.
 		b.traceChunk(false)

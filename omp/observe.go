@@ -1,0 +1,82 @@
+package omp
+
+import (
+	"time"
+
+	"github.com/omp4go/omp4go/internal/ompt"
+	"github.com/omp4go/omp4go/internal/rt"
+)
+
+// This file exposes the always-on metrics, the live introspection
+// endpoint, and the stall watchdog on the public API. Unlike the
+// Tool/Tracer event stream (trace.go), the metrics are collected
+// unconditionally — striped per-thread counters merged on demand — so
+// they can be scraped in production without attaching anything.
+
+// MetricsServer is a running metrics/introspection endpoint; see
+// rt.MetricsServer. It serves:
+//
+//	/metrics      Prometheus text exposition of the runtime counters
+//	/debug/omp    JSON snapshot: ICVs, pool state, in-flight regions
+//	/debug/pprof  standard Go profiles (goroutines carry omp_region /
+//	              omp_gtid labels while the endpoint is running)
+type MetricsServer = rt.MetricsServer
+
+// StallReport is one watchdog finding; see rt.StallReport.
+type StallReport = rt.StallReport
+
+// ServeMetrics starts the metrics/introspection endpoint for the
+// default runtime on addr (e.g. ":9090"; use ":0" to pick a free
+// port, then read it back with Addr). The same endpoint is activated
+// by the OMP4GO_METRICS environment variable without code changes.
+func ServeMetrics(addr string) (*MetricsServer, error) {
+	return defaultRuntime().ServeMetrics(addr)
+}
+
+// MetricsCounters returns a merged snapshot of the default runtime's
+// always-on counters, keyed by Prometheus metric name (e.g.
+// "omp4go_regions_forked_total").
+func MetricsCounters() map[string]int64 {
+	return defaultRuntime().MetricsSnapshot().CounterMap()
+}
+
+// StartWatchdog arms the stall watchdog on the default runtime: a
+// sampler flags barriers and taskwaits that fail to complete within
+// threshold, reporting which threads arrived and which are missing to
+// stderr and to StallReports / the /debug/omp endpoint. The same
+// watchdog is armed by OMP4GO_WATCHDOG (e.g. "5s").
+func StartWatchdog(threshold time.Duration) { defaultRuntime().StartWatchdog(threshold) }
+
+// StopWatchdog disarms the default runtime's stall watchdog.
+func StopWatchdog() { defaultRuntime().StopWatchdog() }
+
+// StallReports returns the default runtime's recent watchdog
+// findings, most recent first.
+func StallReports() []StallReport { return defaultRuntime().StallReports() }
+
+// MultiTool combines tools into one (each event fans out to all, in
+// order), so a Chrome-trace Tracer and a custom consumer can observe
+// the same run; see ompt.Multi. Nil entries are dropped; combining
+// zero tools returns nil, which detaches when passed to SetTool.
+func MultiTool(tools ...Tool) Tool { return ompt.Multi(tools...) }
+
+// ServeMetrics starts the metrics/introspection endpoint for this
+// isolated runtime.
+func (r *Instance) ServeMetrics(addr string) (*MetricsServer, error) {
+	return r.rt.ServeMetrics(addr)
+}
+
+// MetricsCounters returns this runtime's merged counter snapshot,
+// keyed by Prometheus metric name.
+func (r *Instance) MetricsCounters() map[string]int64 {
+	return r.rt.MetricsSnapshot().CounterMap()
+}
+
+// StartWatchdog arms the stall watchdog on this runtime.
+func (r *Instance) StartWatchdog(threshold time.Duration) { r.rt.StartWatchdog(threshold) }
+
+// StopWatchdog disarms this runtime's stall watchdog.
+func (r *Instance) StopWatchdog() { r.rt.StopWatchdog() }
+
+// StallReports returns this runtime's recent watchdog findings.
+func (r *Instance) StallReports() []StallReport { return r.rt.StallReports() }

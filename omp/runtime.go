@@ -2,6 +2,7 @@ package omp
 
 import (
 	"os"
+	"time"
 
 	"github.com/omp4go/omp4go/internal/rt"
 )
@@ -26,6 +27,7 @@ type runtimeConfig struct {
 	poolSet    bool
 	poolOn     bool
 	numThreads int
+	watchdog   time.Duration
 }
 
 // WithWaitPolicy sets the wait-policy ICV ("active" or "passive") for
@@ -46,6 +48,14 @@ func WithPool(enabled bool) RuntimeOption {
 // SetNumThreads does after construction.
 func WithDefaultNumThreads(n int) RuntimeOption {
 	return func(c *runtimeConfig) { c.numThreads = n }
+}
+
+// WithWatchdog arms the stall watchdog on the new runtime with the
+// given threshold, as StartWatchdog does after construction and as
+// OMP4GO_WATCHDOG does through the environment. Non-positive
+// thresholds are ignored.
+func WithWatchdog(threshold time.Duration) RuntimeOption {
+	return func(c *runtimeConfig) { c.watchdog = threshold }
 }
 
 // NewRuntime creates an isolated runtime (atomic layer, the paper's
@@ -77,6 +87,9 @@ func NewRuntime(opts ...RuntimeOption) *Instance {
 	}
 	if cfg.numThreads > 0 {
 		inner.SetNumThreads(cfg.numThreads)
+	}
+	if cfg.watchdog > 0 {
+		inner.StartWatchdog(cfg.watchdog)
 	}
 	return &Instance{rt: inner, root: &TC{ctx: inner.NewContext()}}
 }
