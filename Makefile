@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify metrics-smoke bench bench-compare trace clean
+.PHONY: build test race vet verify metrics-smoke serve-smoke bench bench-compare bench-report bench-gate trace clean
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,7 @@ test:
 # deadlock watchdog: a scheduler bug that wedges a barrier fails the
 # run in 120s instead of hanging CI.
 race:
-	$(GO) test -race -timeout 120s ./internal/rt/... ./internal/ompt/... ./omp/...
+	$(GO) test -race -timeout 120s ./internal/rt/... ./internal/ompt/... ./internal/serve/... ./omp/...
 
 vet:
 	$(GO) vet ./...
@@ -26,14 +26,22 @@ vet:
 metrics-smoke:
 	$(GO) test -run='TestMetricsEndpointSmoke|TestMetricsAgreeWithTraceSummary' -count=1 -timeout 60s ./internal/rt/
 
+# serve-smoke exercises the execution service over real HTTP: every
+# directive mode runs a parallel program end to end, an oversized body
+# is rejected with 413, and an over-quota program is killed with the
+# typed quota error. -count=1 defeats the test cache so the smoke
+# actually runs on every invocation.
+serve-smoke:
+	$(GO) test -run='TestModes|TestBodyTooLarge|TestQuotaKill' -count=1 -timeout 120s ./internal/serve/
+
 # verify is the CI gate: static checks plus the race-detector pass
 # over the runtime and observability layers, plus a single-iteration
 # smoke of the pool-vs-spawn overhead benchmark so a dispatch
 # regression that only bites under the pool path fails loudly, plus
-# the metrics endpoint smoke.
-verify: vet metrics-smoke
+# the metrics endpoint and execution-service smokes.
+verify: vet metrics-smoke serve-smoke
 	$(GO) test ./...
-	$(GO) test -race -timeout 120s ./internal/rt/... ./internal/ompt/... ./omp/...
+	$(GO) test -race -timeout 120s ./internal/rt/... ./internal/ompt/... ./internal/serve/... ./omp/...
 	$(GO) test -run=NONE -bench=BenchmarkRegionOverhead -benchtime=1x -timeout 120s ./internal/rt/
 
 bench:
@@ -59,11 +67,27 @@ bench-compare:
 	$(GO) test -run=NONE -bench='BenchmarkFig5/qsort' -benchtime=1x -timeout 300s .
 	OMP4GO_POOL=off $(GO) test -run=NONE -bench='BenchmarkFig5/qsort' -benchtime=1x -timeout 300s .
 
+# bench-report regenerates the committed timing snapshot
+# (BENCH_report.json): the Fig. 5/6 matrix at laptop scale, three
+# repetitions. Run it on the reference machine after deliberate
+# performance changes and commit the result.
+bench-report:
+	$(GO) run ./cmd/omp4go-report -maxthreads 4 -reps 3 -json BENCH_report.json fig5 fig6
+
+# bench-gate re-measures the same matrix and fails when the overall
+# geometric mean regresses more than 5% against the committed
+# snapshot (per-series deltas are reported but do not gate; see the
+# gate function in cmd/omp4go-report).
+bench-gate:
+	$(GO) run ./cmd/omp4go-report -maxthreads 4 -reps 3 -json "" -gate BENCH_report.json fig5 fig6
+
 # trace produces the demo Chrome trace (load in chrome://tracing or
 # ui.perfetto.dev).
 trace:
 	$(GO) run ./cmd/omp4go-trace pi 4
 
+# BENCH_report.json is a committed snapshot (the bench-gate baseline),
+# not a build product — clean leaves it alone.
 clean:
 	$(GO) clean ./...
-	rm -f *-trace.json BENCH_report.json
+	rm -f *-trace.json

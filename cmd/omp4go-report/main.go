@@ -28,13 +28,17 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "problem-size multiplier over the defaults")
 	jsonPath := flag.String("json", "BENCH_report.json",
 		"write figure datasets as JSON to this file (empty disables)")
+	gatePath := flag.String("gate", "",
+		"compare fresh timings against this BENCH_report.json snapshot and exit 1 on regression")
+	gateTol := flag.Float64("gate-tolerance", 0.05,
+		"allowed slowdown of the overall geometric mean before -gate fails")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: omp4go-report [flags] table1|fig5|fig6|fig7|fig8|summary|all")
+		fmt.Fprintln(os.Stderr, "usage: omp4go-report [flags] table1|fig5|fig6|fig7|fig8|summary|all ...")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		flag.Usage()
 	}
 
@@ -46,33 +50,38 @@ func main() {
 	}
 	r := &reporter{threads: threads, reps: *reps, scale: *scale}
 
-	switch flag.Arg(0) {
-	case "table1":
-		r.table1()
-	case "fig5":
-		r.fig5()
-	case "fig6":
-		r.fig6()
-	case "fig7":
-		r.fig7()
-	case "fig8":
-		r.fig8()
-	case "summary":
-		r.summary()
-	case "all":
-		r.table1()
-		r.fig5()
-		r.fig6()
-		r.fig7()
-		r.fig8()
-		r.summary()
-	default:
-		flag.Usage()
+	for _, cmd := range flag.Args() {
+		switch cmd {
+		case "table1":
+			r.table1()
+		case "fig5":
+			r.fig5()
+		case "fig6":
+			r.fig6()
+		case "fig7":
+			r.fig7()
+		case "fig8":
+			r.fig8()
+		case "summary":
+			r.summary()
+		case "all":
+			r.table1()
+			r.fig5()
+			r.fig6()
+			r.fig7()
+			r.fig8()
+			r.summary()
+		default:
+			flag.Usage()
+		}
 	}
 
 	if *jsonPath != "" && len(r.figures) > 0 {
 		check(r.writeJSON(*jsonPath))
 		fmt.Printf("wrote %d figure datasets to %s\n", len(r.figures), *jsonPath)
+	}
+	if *gatePath != "" {
+		check(r.gate(*gatePath, *gateTol))
 	}
 }
 
@@ -100,16 +109,19 @@ func (r *reporter) record(figure, benchmark string, f *bench.Figure) {
 	})
 }
 
+// reportJSON is the -json report document (and what -gate reads back).
+type reportJSON struct {
+	SchemaVersion int          `json:"schema_version"`
+	GoVersion     string       `json:"go_version"`
+	GOMAXPROCS    int          `json:"gomaxprocs"`
+	MaxThreads    int          `json:"max_threads"`
+	Repetitions   int          `json:"repetitions"`
+	Scale         float64      `json:"scale"`
+	Figures       []figureJSON `json:"figures"`
+}
+
 func (r *reporter) writeJSON(path string) error {
-	report := struct {
-		SchemaVersion int          `json:"schema_version"`
-		GoVersion     string       `json:"go_version"`
-		GOMAXPROCS    int          `json:"gomaxprocs"`
-		MaxThreads    int          `json:"max_threads"`
-		Repetitions   int          `json:"repetitions"`
-		Scale         float64      `json:"scale"`
-		Figures       []figureJSON `json:"figures"`
-	}{
+	report := reportJSON{
 		SchemaVersion: reportSchemaVersion,
 		GoVersion:     runtime.Version(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
@@ -123,6 +135,81 @@ func (r *reporter) writeJSON(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// gate compares the freshly measured figure datasets against a
+// committed snapshot. Every (figure, benchmark, series, threads) point
+// present in both contributes a fresh/baseline time ratio; the gate
+// fails when the overall geometric mean regresses past tol. Individual
+// series are reported with slower/REGRESSED markers but do not gate on
+// their own: single-series ratios on a shared machine are too noisy to
+// block on, while the geometric mean over the full matrix is stable.
+// Matching is by key, so snapshots taken with different sweeps simply
+// compare the intersection.
+func (r *reporter) gate(path string, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("gate: %w", err)
+	}
+	var baseline reportJSON
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("gate: parse %s: %w", path, err)
+	}
+	if baseline.SchemaVersion != reportSchemaVersion {
+		return fmt.Errorf("gate: %s has schema %d, this binary writes %d — regenerate the snapshot",
+			path, baseline.SchemaVersion, reportSchemaVersion)
+	}
+	base := map[string]float64{}
+	for _, f := range baseline.Figures {
+		for _, s := range f.Series {
+			for _, p := range s.Points {
+				base[fmt.Sprintf("%s/%s/%s/%d", f.Figure, f.Benchmark, s.Label, p.X)] = p.Seconds
+			}
+		}
+	}
+
+	fmt.Printf("== bench gate vs %s (tolerance %.0f%%) ==\n", path, tol*100)
+	var logSum float64
+	var matched int
+	for _, f := range r.figures {
+		for _, s := range f.Series {
+			var seriesLog float64
+			var seriesN int
+			for _, p := range s.Points {
+				key := fmt.Sprintf("%s/%s/%s/%d", f.Figure, f.Benchmark, s.Label, p.X)
+				b, ok := base[key]
+				if !ok || b <= 0 || p.Seconds <= 0 {
+					continue
+				}
+				seriesLog += math.Log(p.Seconds / b)
+				seriesN++
+			}
+			if seriesN == 0 {
+				continue
+			}
+			matched += seriesN
+			logSum += seriesLog
+			ratio := math.Exp(seriesLog / float64(seriesN))
+			mark := "ok"
+			if ratio > 1+3*tol {
+				mark = "REGRESSED"
+			} else if ratio > 1+tol {
+				mark = "slower"
+			}
+			fmt.Printf("  %-6s %-10s %-12s %6.1f%%  %s\n",
+				f.Figure, f.Benchmark, s.Label, (ratio-1)*100, mark)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("gate: no overlapping datapoints between this run and %s", path)
+	}
+	overall := math.Exp(logSum / float64(matched))
+	fmt.Printf("  overall geo-mean vs snapshot: %+.1f%% over %d points\n", (overall-1)*100, matched)
+	if overall > 1+tol {
+		return fmt.Errorf("gate: overall geo-mean regressed %.1f%% (> %.0f%% tolerance)", (overall-1)*100, tol*100)
+	}
+	fmt.Println("  gate passed")
+	return nil
 }
 
 func (r *reporter) opts(name string) bench.FigureOptions {

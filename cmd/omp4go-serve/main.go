@@ -1,0 +1,56 @@
+// Command omp4go-serve runs the multi-tenant MiniPy execution service:
+// an HTTP/JSON API that accepts MiniPy programs with an OMP4Py
+// directive mode (pure, hybrid, compiled, compileddt) and executes
+// them on per-tenant isolated interpreter + OpenMP runtime instances,
+// with per-tenant quotas, admission control, and graceful drain on
+// SIGTERM/SIGINT.
+//
+// Configuration comes from the OMP4GO_SERVE_* environment (see
+// docs/serving.md); flags override it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/omp4go/omp4go/internal/serve"
+)
+
+func main() {
+	cfg := serve.FromEnv(os.Getenv)
+	addr := flag.String("addr", cfg.Addr, "listen address")
+	drain := flag.Duration("drain", 20*time.Second,
+		"grace period for in-flight runs on shutdown before their budgets are canceled")
+	workers := flag.Int("workers", cfg.MaxWorkers, "concurrent run slots")
+	queue := flag.Int("queue", cfg.QueueDepth, "queued runs beyond the slots before shedding 429")
+	flag.Parse()
+	cfg.Addr = *addr
+	cfg.MaxWorkers = *workers
+	cfg.QueueDepth = *queue
+
+	srv := serve.New(cfg)
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "omp4go-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "omp4go-serve: listening on %s (%d workers, queue %d)\n",
+		srv.Addr(), cfg.MaxWorkers, cfg.QueueDepth)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+	sig := <-stop
+	fmt.Fprintf(os.Stderr, "omp4go-serve: %s received, draining (up to %s)\n", sig, *drain)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "omp4go-serve: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "omp4go-serve: drained")
+}

@@ -1,0 +1,162 @@
+package interp
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/omp4go/omp4go/internal/rt"
+)
+
+func budgetInterp() *Interp {
+	return New(Options{Stdout: io.Discard, Layer: rt.LayerAtomic,
+		Getenv: func(string) string { return "" }})
+}
+
+// TestBudgetKillsInfiniteLoop is the regression the serving layer
+// depends on: an infinite while loop is terminated by the step budget
+// with a typed error carrying a source position, instead of hanging
+// the calling goroutine forever.
+func TestBudgetKillsInfiniteLoop(t *testing.T) {
+	in := budgetInterp()
+	in.SetBudget(Budget{MaxSteps: 200_000})
+	done := make(chan error, 1)
+	go func() { done <- in.RunSource("while True:\n    pass\n", "spin.py") }()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("step budget did not terminate the infinite loop")
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error = %v (%T), want *BudgetError", err, err)
+	}
+	if be.Kind != "steps" {
+		t.Errorf("Kind = %q, want \"steps\"", be.Kind)
+	}
+	if be.Pos.Line == 0 {
+		t.Errorf("budget error carries no source position: %v", be)
+	}
+	if got := in.BudgetSteps(); got < 200_000 {
+		t.Errorf("BudgetSteps() = %d, want >= the %d limit", got, 200_000)
+	}
+}
+
+// TestBudgetUncatchable: a tenant program cannot swallow its own kill
+// with a bare except and keep looping — BudgetError is not a PyError,
+// so except clauses never match it.
+func TestBudgetUncatchable(t *testing.T) {
+	in := budgetInterp()
+	in.SetBudget(Budget{MaxSteps: 100_000})
+	src := "while True:\n" +
+		"    try:\n" +
+		"        x = 1\n" +
+		"    except Exception:\n" +
+		"        pass\n"
+	done := make(chan error, 1)
+	go func() { done <- in.RunSource(src, "catcher.py") }()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("except Exception swallowed the budget kill")
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error = %v (%T), want *BudgetError", err, err)
+	}
+}
+
+func TestBudgetDeadline(t *testing.T) {
+	in := budgetInterp()
+	in.SetBudget(Budget{Deadline: time.Now().Add(50 * time.Millisecond)})
+	err := in.RunSource("i = 0\nwhile True:\n    i = i + 1\n", "spin.py")
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error = %v (%T), want *BudgetError", err, err)
+	}
+	if be.Kind != "deadline" {
+		t.Errorf("Kind = %q, want \"deadline\"", be.Kind)
+	}
+}
+
+func TestBudgetCancel(t *testing.T) {
+	in := budgetInterp()
+	cancel := make(chan struct{})
+	in.SetBudget(Budget{Done: cancel})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(cancel)
+	}()
+	err := in.RunSource("i = 0\nwhile True:\n    i = i + 1\n", "spin.py")
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error = %v (%T), want *BudgetError", err, err)
+	}
+	if be.Kind != "canceled" {
+		t.Errorf("Kind = %q, want \"canceled\"", be.Kind)
+	}
+}
+
+func TestBudgetAllocs(t *testing.T) {
+	in := budgetInterp()
+	in.SetBudget(Budget{MaxAllocs: 10_000})
+	err := in.RunSource("i = 0\nwhile True:\n    i = i + 1\n", "alloc.py")
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error = %v (%T), want *BudgetError", err, err)
+	}
+	if be.Kind != "allocs" {
+		t.Errorf("Kind = %q, want \"allocs\"", be.Kind)
+	}
+	if got := in.BudgetAllocs(); got <= 10_000 {
+		t.Errorf("BudgetAllocs() = %d, want > the %d limit", got, 10_000)
+	}
+}
+
+// TestBudgetClearAndRearm: a budget bounds one run; clearing it (or
+// arming a fresh one) lets the next run proceed from zero.
+func TestBudgetClearAndRearm(t *testing.T) {
+	in := budgetInterp()
+	in.SetBudget(Budget{MaxSteps: 1_000})
+	if err := in.RunSource("i = 0\nwhile i < 100000:\n    i = i + 1\n", "a.py"); err == nil {
+		t.Fatal("tight budget did not kill the loop")
+	}
+	// A sticky kill must not leak into the next run.
+	in.SetBudget(Budget{MaxSteps: 10_000_000})
+	if err := in.RunSource("i = 0\nwhile i < 1000:\n    i = i + 1\nprint(i)", "b.py"); err != nil {
+		t.Fatalf("fresh budget still killed: %v", err)
+	}
+	in.ClearBudget()
+	if err := in.RunSource("j = 0\nwhile j < 1000:\n    j = j + 1\n", "c.py"); err != nil {
+		t.Fatalf("cleared budget still killed: %v", err)
+	}
+}
+
+// TestBudgetKillsParallelRegion: the budget spans every thread of a
+// team — a parallel region burning steps on all members is killed and
+// the error propagates out of the region join.
+func TestBudgetKillsParallelRegion(t *testing.T) {
+	in := budgetInterp()
+	in.SetBudget(Budget{MaxSteps: 500_000})
+	src := "from omp4py import *\n" +
+		"def body():\n" +
+		"    i = 0\n" +
+		"    while True:\n" +
+		"        i = i + 1\n" +
+		"__omp.parallel_run(body, 2, False, False)\n"
+	done := make(chan error, 1)
+	go func() { done <- in.RunSource(src, "spin_par.py") }()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("budget did not terminate the parallel region")
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error = %v (%T), want *BudgetError", err, err)
+	}
+}

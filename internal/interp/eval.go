@@ -8,7 +8,9 @@ import (
 )
 
 func (th *Thread) evalExpr(fr *frame, e minipy.Expr) (Value, error) {
-	th.tick()
+	if err := th.tick(e.NodePos()); err != nil {
+		return nil, err
+	}
 	switch t := e.(type) {
 	case *minipy.Name:
 		return th.lookupName(fr, t)
@@ -263,7 +265,9 @@ func (th *Thread) Call(fn Value, args []Value, pos minipy.Position) (Value, erro
 
 // CallKw invokes a callable value with keyword arguments.
 func (th *Thread) CallKw(fn Value, args []Value, kwargs map[string]Value, pos minipy.Position) (Value, error) {
-	th.tick()
+	if err := th.tick(pos); err != nil {
+		return nil, err
+	}
 	switch f := fn.(type) {
 	case *Builtin:
 		if len(kwargs) > 0 {

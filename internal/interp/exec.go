@@ -30,7 +30,9 @@ func (th *Thread) execStmts(fr *frame, body []minipy.Stmt) error {
 }
 
 func (th *Thread) execStmt(fr *frame, s minipy.Stmt) error {
-	th.tick()
+	if err := th.tick(s.NodePos()); err != nil {
+		return err
+	}
 	switch t := s.(type) {
 	case *minipy.ExprStmt:
 		_, err := th.evalExpr(fr, t.X)

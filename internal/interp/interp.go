@@ -48,6 +48,11 @@ type Interp struct {
 	stdout  io.Writer
 	outMu   sync.Mutex
 
+	// budget is the armed execution budget (nil = unlimited); see
+	// budget.go. Atomic so the serving layer can arm it per run while
+	// worker threads are checking it.
+	budget atomic.Pointer[budgetState]
+
 	scopeMu sync.Mutex
 	scopes  map[*minipy.FuncDef]*minipy.ScopeInfo
 
@@ -95,9 +100,10 @@ func (in *Interp) AllocCount() int64 { return in.allocs.Load() }
 // of a CPython thread state. It carries the OpenMP context so
 // omp4py runtime builtins know their team.
 type Thread struct {
-	in  *Interp
-	ctx *rt.Context
-	ops int
+	in        *Interp
+	ctx       *rt.Context
+	ops       int
+	budgetOps int // steps since the last budget charge (see tick)
 
 	// Per-thread stacks of in-flight worksharing construct handles
 	// (the construct part of the paper's per-thread task stack).
@@ -133,20 +139,41 @@ func (in *Interp) spawn(ctx *rt.Context) *Thread {
 	return &Thread{in: in, ctx: ctx}
 }
 
-// tick advances the interpreter step counter, yielding the GIL at
-// the check interval.
-func (th *Thread) tick() {
+// tick advances the interpreter step counter, yielding the GIL at the
+// check interval and enforcing the execution budget when one is armed.
+// pos is the source position charged for a budget violation.
+func (th *Thread) tick(pos minipy.Position) error {
 	th.ops++
 	if th.in.gil != nil && th.ops%th.in.gil.interval == 0 {
 		th.in.gil.yield()
 	}
+	if b := th.in.budget.Load(); b != nil {
+		th.budgetOps++
+		// Steps accumulate thread-locally and flush to the shared
+		// counter every budgetStride steps; a sticky kill recorded by
+		// any thread short-circuits the stride so the whole team dies
+		// promptly.
+		if th.budgetOps >= budgetStride || b.killed.Load() != nil {
+			n := int64(th.budgetOps)
+			th.budgetOps = 0
+			return b.charge(n, pos)
+		}
+	}
+	return nil
 }
 
 // account records a boxed allocation on the shared counter when the
-// contention model is on.
+// contention model is on, and against the execution budget when one
+// bounds allocations.
 func (th *Thread) account() {
 	if th.in.opts.ContendedAlloc {
 		th.in.allocs.Add(1)
+	}
+	if b := th.in.budget.Load(); b != nil && b.maxAllocs > 0 {
+		// Overage is detected here but killed at the next tick: the
+		// alloc sites have no error path, and a step is at most a
+		// stride away.
+		b.allocs.Add(1)
 	}
 }
 

@@ -640,6 +640,13 @@ func runtimeErr(err error) error {
 	if err == nil {
 		return nil
 	}
+	// Budget kills crossing a region join stay budget kills: wrapping
+	// one in a PyError would make it catchable (and masked) by tenant
+	// except clauses.
+	var be *BudgetError
+	if errors.As(err, &be) {
+		return be
+	}
 	var pe *PyError
 	if errors.As(err, &pe) {
 		return pe

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Hist is a standalone log-bucketed histogram with the same bucket
+// geometry as the registry's striped histograms, for subsystems whose
+// metrics fall outside the fixed runtime counter set (the execution
+// service's per-tenant run latencies, for example). Unlike the
+// registry it is unstriped: observations are two atomic adds on shared
+// lines, which is fine at request rates but would bounce on the
+// runtime's per-event hot paths.
+type Hist struct {
+	h histogram
+}
+
+// Observe records one duration observation in nanoseconds.
+func (h *Hist) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.h.buckets[bucketOf(ns)].Add(1)
+	h.h.sum.Add(ns)
+}
+
+// Snapshot returns a merged point-in-time copy.
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for b := 0; b < NumBuckets; b++ {
+		s.Buckets[b] = h.h.buckets[b].Load()
+	}
+	for b := 0; b <= NumBuckets; b++ {
+		s.Count += h.h.buckets[b].Load()
+	}
+	s.SumNS = h.h.sum.Load()
+	return s
+}
+
+// WritePrometheus renders the snapshot as a Prometheus histogram named
+// name with an optional label set (e.g. `tenant="alice"`). The TYPE
+// and HELP headers are the caller's responsibility, since several
+// labeled series of one metric share a single header.
+func (s HistSnapshot) WritePrometheus(w io.Writer, name, labels string) error {
+	brace := func(extra string) string {
+		if labels == "" && extra == "" {
+			return ""
+		}
+		switch {
+		case labels == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + labels + "}"
+		}
+		return "{" + labels + "," + extra + "}"
+	}
+	cum := int64(0)
+	for b := 0; b < NumBuckets; b++ {
+		cum += s.Buckets[b]
+		le := strconv.FormatFloat(float64(BucketBound(b))/1e9, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, brace(`le=`+strconv.Quote(le)), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket%s %d\n%s_sum%s %s\n%s_count%s %d\n",
+		name, brace(`le="+Inf"`), s.Count,
+		name, brace(""), strconv.FormatFloat(float64(s.SumNS)/1e9, 'g', -1, 64),
+		name, brace(""), s.Count)
+	return err
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistObserveSnapshot(t *testing.T) {
+	var h Hist
+	h.Observe(500)             // first bucket (<= 1µs)
+	h.Observe(1 << 12)         // 4096 ns
+	h.Observe(1 << 30)         // past the last finite bound -> +Inf only
+	h.Observe(-5)              // clamped to 0
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Errorf("Count = %d, want 4", s.Count)
+	}
+	if s.Buckets[0] != 2 { // 500 and the clamped -5
+		t.Errorf("Buckets[0] = %d, want 2", s.Buckets[0])
+	}
+	wantSum := int64(500 + 1<<12 + 1<<30)
+	if s.SumNS != wantSum {
+		t.Errorf("SumNS = %d, want %d", s.SumNS, wantSum)
+	}
+	var finite int64
+	for _, b := range s.Buckets {
+		finite += b
+	}
+	if finite != 3 {
+		t.Errorf("finite bucket total = %d, want 3 (one observation is +Inf-only)", finite)
+	}
+}
+
+func TestHistConcurrentObserve(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != goroutines*per {
+		t.Errorf("Count = %d, want %d", s.Count, goroutines*per)
+	}
+}
+
+func TestHistWritePrometheus(t *testing.T) {
+	var h Hist
+	h.Observe(2000)
+	var b strings.Builder
+	if err := h.Snapshot().WritePrometheus(&b, "svc_run_seconds", `tenant="alice"`); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`svc_run_seconds_bucket{tenant="alice",le="+Inf"} 1`,
+		`svc_run_seconds_count{tenant="alice"} 1`,
+		`svc_run_seconds_sum{tenant="alice"} 2e-06`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Unlabeled series render without braces.
+	b.Reset()
+	if err := h.Snapshot().WritePrometheus(&b, "svc_run_seconds", ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "svc_run_seconds_count 1") {
+		t.Errorf("unlabeled exposition malformed:\n%s", b.String())
+	}
+}

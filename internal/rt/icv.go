@@ -39,6 +39,36 @@ type icvSet struct {
 	poolMode        string        // OMP4GO_POOL: "", "on" or "off"
 	metricsAddr     string        // OMP4GO_METRICS listen address ("" = off)
 	watchdog        time.Duration // OMP4GO_WATCHDOG stall threshold (0 = off)
+	// serveEnv holds the raw OMP4GO_SERVE_* values that were set
+	// (internal/serve owns their parsing; see serveEnvVars).
+	serveEnv map[string]string
+}
+
+// serveEnvVars are the execution-service environment variables
+// (internal/serve/config.go defines and parses them; serve sits above
+// rt so the names are mirrored here). OMP_DISPLAY_ENV=verbose lists
+// them so a deployment can see its full configuration in one report.
+var serveEnvVars = []string{
+	"OMP4GO_SERVE_ADDR",
+	"OMP4GO_SERVE_MAX_BODY_BYTES",
+	"OMP4GO_SERVE_MAX_STEPS",
+	"OMP4GO_SERVE_MAX_ALLOCS",
+	"OMP4GO_SERVE_MAX_WALL",
+	"OMP4GO_SERVE_MAX_THREADS",
+	"OMP4GO_SERVE_MAX_WORKERS",
+	"OMP4GO_SERVE_QUEUE_DEPTH",
+	"OMP4GO_SERVE_HISTORY",
+	"OMP4GO_SERVE_TOKENS",
+	"OMP4GO_SERVE_WATCHDOG",
+}
+
+// DisplayedServeEnvVars returns the OMP4GO_SERVE_* names the verbose
+// display lists, letting internal/serve's tests assert the mirror
+// stays in sync with its parser.
+func DisplayedServeEnvVars() []string {
+	out := make([]string, len(serveEnvVars))
+	copy(out, serveEnvVars)
+	return out
 }
 
 func defaultICVs() icvSet {
@@ -139,6 +169,18 @@ func (s *icvSet) loadEnv(getenv func(string) string) {
 			s.watchdog = time.Duration(secs) * time.Second
 		}
 	}
+	// Execution-service variables (parsed by internal/serve, which
+	// sits above rt and cannot be imported from here). They are
+	// captured raw so OMP_DISPLAY_ENV=verbose gives one complete
+	// picture of a deployment's environment.
+	for _, name := range serveEnvVars {
+		if v := strings.TrimSpace(getenv(name)); v != "" {
+			if s.serveEnv == nil {
+				s.serveEnv = map[string]string{}
+			}
+			s.serveEnv[name] = v
+		}
+	}
 	if v := getenv("OMP4GO_TASK_SCHED"); v != "" {
 		// Scheduler selection: "steal" (default, per-thread
 		// work-stealing deques) or "list" (the paper's shared
@@ -187,6 +229,15 @@ func (s *icvSet) display(w io.Writer) {
 			wd = s.watchdog.String()
 		}
 		fmt.Fprintf(w, "  OMP4GO_WATCHDOG = '%s'\n", wd)
+		for _, name := range serveEnvVars {
+			v := s.serveEnv[name]
+			if name == "OMP4GO_SERVE_TOKENS" && v != "" {
+				// Tokens are credentials: report how many were set,
+				// never their values.
+				v = fmt.Sprintf("(%d tokens)", 1+strings.Count(v, ","))
+			}
+			fmt.Fprintf(w, "  %s = '%s'\n", name, v)
+		}
 	}
 	fmt.Fprintln(w, "OPENMP DISPLAY ENVIRONMENT END")
 }

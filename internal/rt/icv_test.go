@@ -172,10 +172,44 @@ func TestDisplayEnvObservability(t *testing.T) {
 			want: []string{"OMP4GO_WATCHDOG = ''"},
 		},
 		{
+			name: "verbose lists serve variables unset",
+			env:  map[string]string{"OMP_DISPLAY_ENV": "verbose"},
+			want: []string{
+				"OMP4GO_SERVE_ADDR = ''",
+				"OMP4GO_SERVE_MAX_STEPS = ''",
+				"OMP4GO_SERVE_QUEUE_DEPTH = ''",
+			},
+		},
+		{
+			name: "verbose echoes serve configuration",
+			env: map[string]string{
+				"OMP_DISPLAY_ENV":             "verbose",
+				"OMP4GO_SERVE_ADDR":           "127.0.0.1:8500",
+				"OMP4GO_SERVE_MAX_STEPS":      "1000000",
+				"OMP4GO_SERVE_MAX_WALL":       "5s",
+				"OMP4GO_SERVE_MAX_BODY_BYTES": "65536",
+			},
+			want: []string{
+				"OMP4GO_SERVE_ADDR = '127.0.0.1:8500'",
+				"OMP4GO_SERVE_MAX_STEPS = '1000000'",
+				"OMP4GO_SERVE_MAX_WALL = '5s'",
+				"OMP4GO_SERVE_MAX_BODY_BYTES = '65536'",
+			},
+		},
+		{
+			name: "verbose redacts serve tokens",
+			env: map[string]string{
+				"OMP_DISPLAY_ENV":     "verbose",
+				"OMP4GO_SERVE_TOKENS": "alice,bob",
+			},
+			want:    []string{"OMP4GO_SERVE_TOKENS = '(2 tokens)'"},
+			notWant: []string{"alice", "bob"},
+		},
+		{
 			name:    "plain display omits omp4go extensions",
-			env:     map[string]string{"OMP_DISPLAY_ENV": "true", "OMP4GO_WATCHDOG": "1s"},
+			env:     map[string]string{"OMP_DISPLAY_ENV": "true", "OMP4GO_WATCHDOG": "1s", "OMP4GO_SERVE_ADDR": ":8500"},
 			want:    []string{"OPENMP DISPLAY ENVIRONMENT BEGIN"},
-			notWant: []string{"OMP4GO_METRICS", "OMP4GO_WATCHDOG"},
+			notWant: []string{"OMP4GO_METRICS", "OMP4GO_WATCHDOG", "OMP4GO_SERVE"},
 		},
 	}
 	for _, c := range cases {

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/omp4go/omp4go/internal/interp"
+	"github.com/omp4go/omp4go/internal/minipy"
+)
+
+// RunRequest is the POST /v1/run body.
+type RunRequest struct {
+	// Source is the MiniPy program.
+	Source string `json:"source"`
+	// Mode selects the directive mode: "pure", "hybrid" (default),
+	// "compiled" or "compileddt".
+	Mode string `json:"mode,omitempty"`
+	// NumThreads requests an OpenMP team size for the run (capped by
+	// the tenant's MaxThreads quota; 0 keeps the session's current
+	// setting).
+	NumThreads int `json:"num_threads,omitempty"`
+	// File names the program in error positions (default "main.py").
+	File string `json:"file,omitempty"`
+	// Stream switches the response to NDJSON: stdout chunks as they
+	// are produced, then the final RunResponse.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// RunResponse is the POST /v1/run result (also the final NDJSON
+// record of a streamed run).
+type RunResponse struct {
+	OK bool `json:"ok"`
+	// Tenant is the session owner; Seq numbers the run within the
+	// session's history.
+	Tenant string `json:"tenant"`
+	Seq    int64  `json:"seq"`
+	Mode   string `json:"mode"`
+	// Stdout is the captured print() output (empty for streamed runs,
+	// where it was already delivered as chunks).
+	Stdout          string  `json:"stdout,omitempty"`
+	StdoutTruncated bool    `json:"stdout_truncated,omitempty"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+	// Steps and Allocs are the budget charges of the run (allocs only
+	// when an allocation quota is armed).
+	Steps  int64     `json:"steps,omitempty"`
+	Allocs int64     `json:"allocs,omitempty"`
+	Error  *APIError `json:"error,omitempty"`
+}
+
+// Pos is a source position in API errors (1-based line, 1-based
+// column, matching what minipy.Position.String prints).
+type Pos struct {
+	File string `json:"file,omitempty"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// Error codes. Protocol failures (the run never started) arrive with
+// a matching HTTP status; program failures ride inside a 200
+// RunResponse so clients distinguish "your program failed" from "the
+// service failed you".
+const (
+	CodeBadRequest   = "bad_request"    // malformed JSON, unknown mode (400)
+	CodeUnauthorized = "unauthorized"   // missing or rejected token (401)
+	CodeBodyTooLarge = "body_too_large" // request body over MaxBodyBytes (413)
+	CodeOverloaded   = "overloaded"     // run queue full, load shed (429)
+	CodeDraining     = "draining"       // server shutting down (503)
+	CodeParseError   = "parse_error"    // MiniPy syntax or directive error
+	CodeCompileError = "compile_error"  // compiled-mode specialization error
+	CodeRuntimeError = "runtime_error"  // uncaught MiniPy exception
+	CodeQuotaKill    = "quota_exceeded" // execution budget violation
+)
+
+// APIError is the typed error schema: a stable code, a human message,
+// the MiniPy exception type for runtime errors, the violated quota
+// dimension for kills, and the source position when one is known.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// ExcType is the Python exception class for runtime_error (e.g.
+	// "ZeroDivisionError").
+	ExcType string `json:"exc_type,omitempty"`
+	// Quota is "steps", "allocs", "deadline" or "canceled" for
+	// quota_exceeded.
+	Quota string `json:"quota,omitempty"`
+	Pos   *Pos   `json:"pos,omitempty"`
+	// RetryAfterSeconds accompanies overloaded responses.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+func (e *APIError) Error() string {
+	if e.Pos != nil {
+		return fmt.Sprintf("%s: %s (%s line %d col %d)", e.Code, e.Message, e.Pos.File, e.Pos.Line, e.Pos.Col)
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// apiPos converts a minipy position (1-based line, 0-based column)
+// into the API's 1-based form; zero positions map to nil.
+func apiPos(file string, p minipy.Position) *Pos {
+	if p.Line == 0 {
+		return nil
+	}
+	return &Pos{File: file, Line: p.Line, Col: p.Col + 1}
+}
+
+// classifyRunError maps an execution error onto the API error schema.
+// frontend distinguishes parse/compile-stage failures from runtime
+// ones, since both surface minipy front-end errors.
+func classifyRunError(err error, file, stageCode string) *APIError {
+	var be *interp.BudgetError
+	if errors.As(err, &be) {
+		return &APIError{
+			Code:    CodeQuotaKill,
+			Message: be.Error(),
+			Quota:   be.Kind,
+			Pos:     apiPos(file, be.Pos),
+		}
+	}
+	var pe *interp.PyError
+	if errors.As(err, &pe) {
+		return &APIError{
+			Code:    CodeRuntimeError,
+			Message: pe.Error(),
+			ExcType: pe.Type,
+			Pos:     apiPos(file, pe.Pos),
+		}
+	}
+	var fe *minipy.Error
+	if errors.As(err, &fe) {
+		return &APIError{
+			Code:    stageCode,
+			Message: fe.Error(),
+			Pos:     apiPos(file, fe.Pos),
+		}
+	}
+	return &APIError{Code: stageCode, Message: err.Error()}
+}
+
+// writeAPIError writes a protocol-level error with its HTTP status.
+func writeAPIError(w http.ResponseWriter, status int, e *APIError) {
+	w.Header().Set("Content-Type", "application/json")
+	if e.RetryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", e.RetryAfterSeconds))
+	}
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Error *APIError `json:"error"`
+	}{e})
+}
+
+// HistoryEntry is one record of a session's execution history (the
+// GET /v1/history items). Source is elided; Hash identifies it.
+type HistoryEntry struct {
+	Seq        int64     `json:"seq"`
+	Mode       string    `json:"mode"`
+	OK         bool      `json:"ok"`
+	Error      *APIError `json:"error,omitempty"`
+	ElapsedMS  float64   `json:"elapsed_ms"`
+	Steps      int64     `json:"steps,omitempty"`
+	SourceLen  int       `json:"source_len"`
+	SourceHash string    `json:"source_hash"`
+	UnixMS     int64     `json:"unix_ms"`
+}

@@ -1,0 +1,31 @@
+package serve
+
+import (
+	"testing"
+
+	"github.com/omp4go/omp4go/internal/rt"
+)
+
+// TestEnvVarsListedInDisplayEnv keeps rt's OMP_DISPLAY_ENV=verbose
+// mirror of the OMP4GO_SERVE_* names in sync with this package's
+// parser: a variable added here without a display entry (or renamed on
+// one side) fails.
+func TestEnvVarsListedInDisplayEnv(t *testing.T) {
+	parsed := []string{
+		EnvAddr, EnvMaxBodyBytes, EnvMaxSteps, EnvMaxAllocs, EnvMaxWall,
+		EnvMaxThreads, EnvMaxWorkers, EnvQueueDepth, EnvHistory,
+		EnvTokens, EnvWatchdog,
+	}
+	displayed := map[string]bool{}
+	for _, n := range rt.DisplayedServeEnvVars() {
+		displayed[n] = true
+	}
+	for _, n := range parsed {
+		if !displayed[n] {
+			t.Errorf("%s is parsed by serve but not listed by OMP_DISPLAY_ENV=verbose (internal/rt/icv.go serveEnvVars)", n)
+		}
+	}
+	if len(displayed) != len(parsed) {
+		t.Errorf("display lists %d serve variables, serve parses %d — the mirrors drifted", len(displayed), len(parsed))
+	}
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/omp4go/omp4go/internal/metrics"
+)
+
+// tenantStats is one tenant's service-level counter block. Counters
+// here describe the API surface (runs, sheds, kills, latency); the
+// runtime-level counters (regions, barriers, tasks…) come from the
+// tenant runtimes' own registries and are merged in at scrape time.
+type tenantStats struct {
+	runs    atomic.Int64 // completed runs (ok or not)
+	errors  atomic.Int64 // runs that returned a typed error
+	killed  atomic.Int64 // subset of errors: quota kills
+	shed    atomic.Int64 // requests rejected 429 at admission
+	steps   atomic.Int64 // interpreter steps charged across runs
+	queueNS metrics.Hist // time from admission to a worker slot
+	runNS   metrics.Hist // execution time (parse through finish)
+}
+
+// observe folds one finished run into the counters.
+func (t *tenantStats) observe(resp RunResponse, elapsed time.Duration) {
+	t.runs.Add(1)
+	t.steps.Add(resp.Steps)
+	if resp.Error != nil {
+		t.errors.Add(1)
+		if resp.Error.Code == CodeQuotaKill {
+			t.killed.Add(1)
+		}
+	}
+	t.runNS.Observe(elapsed.Nanoseconds())
+}
+
+// serveCounterDef drives the exposition loop: one HELP/TYPE header per
+// metric, then a tenant-labeled series per session.
+type serveCounterDef struct {
+	name string
+	help string
+	load func(*tenantStats) int64
+}
+
+var serveCounters = []serveCounterDef{
+	{"omp4go_serve_runs_total", "Completed MiniPy runs (ok or errored).",
+		func(t *tenantStats) int64 { return t.runs.Load() }},
+	{"omp4go_serve_errors_total", "Runs that returned a typed error.",
+		func(t *tenantStats) int64 { return t.errors.Load() }},
+	{"omp4go_serve_quota_kills_total", "Runs killed by the execution budget.",
+		func(t *tenantStats) int64 { return t.killed.Load() }},
+	{"omp4go_serve_shed_total", "Requests rejected 429 at admission.",
+		func(t *tenantStats) int64 { return t.shed.Load() }},
+	{"omp4go_serve_steps_total", "Interpreter steps charged across runs.",
+		func(t *tenantStats) int64 { return t.steps.Load() }},
+}
+
+// writeMetrics renders the full /metrics document: service gauges,
+// per-tenant serve counters and histograms, then each tenant's runtime
+// counters relabeled with the tenant.
+func (s *Server) writeMetrics(w io.Writer) {
+	fmt.Fprintf(w, "# HELP omp4go_serve_inflight Runs currently holding a worker slot.\n")
+	fmt.Fprintf(w, "# TYPE omp4go_serve_inflight gauge\n")
+	fmt.Fprintf(w, "omp4go_serve_inflight %d\n", len(s.slots))
+	fmt.Fprintf(w, "# HELP omp4go_serve_queued Requests admitted and waiting or running.\n")
+	fmt.Fprintf(w, "# TYPE omp4go_serve_queued gauge\n")
+	fmt.Fprintf(w, "omp4go_serve_queued %d\n", s.queued.Load())
+	fmt.Fprintf(w, "# HELP omp4go_serve_sessions Live tenant sessions.\n")
+	fmt.Fprintf(w, "# TYPE omp4go_serve_sessions gauge\n")
+	fmt.Fprintf(w, "omp4go_serve_sessions %d\n", len(s.snapshotSessions()))
+	fmt.Fprintf(w, "# HELP omp4go_serve_draining 1 while the server refuses new work.\n")
+	fmt.Fprintf(w, "# TYPE omp4go_serve_draining gauge\n")
+	drain := 0
+	if s.draining.Load() {
+		drain = 1
+	}
+	fmt.Fprintf(w, "omp4go_serve_draining %d\n", drain)
+
+	sessions := s.snapshotSessions()
+	tenants := make([]string, 0, len(sessions))
+	for t := range sessions {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+
+	for _, def := range serveCounters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", def.name, def.help, def.name)
+		for _, t := range tenants {
+			fmt.Fprintf(w, "%s{tenant=%s} %d\n", def.name, strconv.Quote(t), def.load(sessions[t].stats))
+		}
+	}
+
+	for _, h := range []struct {
+		name, help string
+		pick       func(*tenantStats) *metrics.Hist
+	}{
+		{"omp4go_serve_run_seconds", "MiniPy run latency (parse through finish).",
+			func(t *tenantStats) *metrics.Hist { return &t.runNS }},
+		{"omp4go_serve_queue_seconds", "Wait from admission to a worker slot.",
+			func(t *tenantStats) *metrics.Hist { return &t.queueNS }},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+		for _, t := range tenants {
+			snap := h.pick(sessions[t].stats).Snapshot()
+			_ = snap.WritePrometheus(w, h.name, `tenant=`+strconv.Quote(t))
+		}
+	}
+
+	// Runtime counters, one labeled series per tenant per counter. The
+	// names already carry the omp4go_ prefix and _total suffix; HELP
+	// and TYPE are emitted once per name.
+	byName := map[string]map[string]int64{}
+	for _, t := range tenants {
+		for name, v := range sessions[t].runtimeCounters() {
+			if byName[name] == nil {
+				byName[name] = map[string]int64{}
+			}
+			byName[name][t] = v
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "# HELP %s Tenant runtime counter (summed across mode runtimes).\n# TYPE %s counter\n", name, name)
+		for _, t := range tenants {
+			if v, ok := byName[name][t]; ok {
+				fmt.Fprintf(w, "%s{tenant=%s} %d\n", name, strconv.Quote(t), v)
+			}
+		}
+	}
+}

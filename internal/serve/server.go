@@ -1,0 +1,402 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Server is the multi-tenant execution service. Construct with New,
+// start with Start (or drive the Handler directly in tests), stop with
+// Shutdown.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	// slots is the worker-slot semaphore: a run executes while holding
+	// one. queued counts requests past admission (waiting + running);
+	// when it exceeds MaxWorkers+QueueDepth new requests are shed with
+	// 429 instead of building an unbounded convoy.
+	slots  chan struct{}
+	queued atomic.Int64
+
+	draining atomic.Bool
+	// drainCh unblocks slot waiters on drain; killCh cancels in-flight
+	// run budgets when the drain deadline expires.
+	drainCh   chan struct{}
+	killCh    chan struct{}
+	drainOnce sync.Once
+	killOnce  sync.Once
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// New builds a Server from cfg (zero fields take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		slots:    make(chan struct{}, cfg.MaxWorkers),
+		drainCh:  make(chan struct{}),
+		killCh:   make(chan struct{}),
+		sessions: map[string]*Session{},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/history", s.handleHistory)
+	mux.HandleFunc("/v1/reset", s.handleReset)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/omp", s.handleDebug)
+	s.mux = mux
+	return s
+}
+
+// Handler exposes the route tree (tests drive it via httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on cfg.Addr and serves until Shutdown. It returns once
+// the listener is bound; Addr reports the bound address.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = s.httpSrv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains the server: new work is refused with 503, queued
+// waiters are released, and in-flight runs get until ctx's deadline to
+// finish before their budgets are canceled. Afterwards every tenant
+// runtime is shut down, retiring its pooled workers.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+
+	var err error
+	if s.httpSrv != nil {
+		done := make(chan struct{})
+		go func() {
+			// Waits for in-flight handlers (and so in-flight runs).
+			err = s.httpSrv.Shutdown(context.Background())
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			// Drain deadline: cancel run budgets so handlers finish,
+			// then wait for them.
+			s.killOnce.Do(func() { close(s.killCh) })
+			<-done
+		}
+	} else {
+		// Handler-only mode (tests): cancel stragglers on ctx expiry.
+		s.killOnce.Do(func() {
+			go func() {
+				<-ctx.Done()
+				close(s.killCh)
+			}()
+		})
+	}
+
+	s.mu.Lock()
+	sessions := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.Close()
+	}
+	return err
+}
+
+// tokenRe constrains auth tokens (the token doubles as the tenant
+// name, so it must be metrics-label and log safe).
+var tokenRe = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// authenticate resolves the request's tenant from its bearer token.
+func (s *Server) authenticate(r *http.Request) (string, *APIError) {
+	h := r.Header.Get("Authorization")
+	tok, ok := strings.CutPrefix(h, "Bearer ")
+	if !ok || !tokenRe.MatchString(tok) {
+		return "", &APIError{Code: CodeUnauthorized, Message: "missing or malformed bearer token"}
+	}
+	if len(s.cfg.Tokens) > 0 {
+		allowed := false
+		for _, t := range s.cfg.Tokens {
+			if t == tok {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			return "", &APIError{Code: CodeUnauthorized, Message: "unknown token"}
+		}
+	}
+	return tok, nil
+}
+
+// session returns (creating on first use) the tenant's session.
+func (s *Server) session(tenant string) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[tenant]
+	if !ok {
+		sess = newSession(tenant, &s.cfg)
+		s.sessions[tenant] = sess
+	}
+	return sess
+}
+
+// lookupSession returns the tenant's session without creating one.
+func (s *Server) lookupSession(tenant string) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[tenant]
+}
+
+// snapshotSessions copies the session map for iteration off-lock.
+func (s *Server) snapshotSessions() map[string]*Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]*Session, len(s.sessions))
+	for t, sess := range s.sessions {
+		out[t] = sess
+	}
+	return out
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeAPIError(w, http.StatusMethodNotAllowed, &APIError{Code: CodeBadRequest, Message: "POST required"})
+		return
+	}
+	tenant, aerr := s.authenticate(r)
+	if aerr != nil {
+		writeAPIError(w, http.StatusUnauthorized, aerr)
+		return
+	}
+	if s.draining.Load() {
+		writeAPIError(w, http.StatusServiceUnavailable, &APIError{Code: CodeDraining, Message: "server is draining"})
+		return
+	}
+
+	var req RunRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeAPIError(w, http.StatusRequestEntityTooLarge, &APIError{
+				Code:    CodeBodyTooLarge,
+				Message: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+			})
+			return
+		}
+		writeAPIError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest, Message: "invalid JSON: " + err.Error()})
+		return
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		writeAPIError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest, Message: "source is required"})
+		return
+	}
+	if _, err := parseMode(req.Mode); err != nil {
+		writeAPIError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+
+	sess := s.session(tenant)
+
+	// Admission. queued counts everyone past this point; when the
+	// backlog would exceed the queue depth the request is shed
+	// immediately — a 429 now beats a timeout later.
+	backlog := s.queued.Add(1)
+	defer s.queued.Add(-1)
+	if backlog > int64(s.cfg.MaxWorkers+s.cfg.QueueDepth) {
+		sess.stats.shed.Add(1)
+		retry := 1 + int(backlog-int64(s.cfg.MaxWorkers))/max(1, s.cfg.MaxWorkers)
+		writeAPIError(w, http.StatusTooManyRequests, &APIError{
+			Code:              CodeOverloaded,
+			Message:           fmt.Sprintf("run queue is full (%d waiting)", backlog-int64(s.cfg.MaxWorkers)),
+			RetryAfterSeconds: retry,
+		})
+		return
+	}
+	enqueued := time.Now()
+	select {
+	case s.slots <- struct{}{}:
+	case <-s.drainCh:
+		writeAPIError(w, http.StatusServiceUnavailable, &APIError{Code: CodeDraining, Message: "server is draining"})
+		return
+	case <-r.Context().Done():
+		return // client went away while queued
+	}
+	defer func() { <-s.slots }()
+	sess.stats.queueNS.Observe(time.Since(enqueued).Nanoseconds())
+
+	if req.Stream {
+		s.streamRun(w, sess, req)
+		return
+	}
+	resp := sess.Run(req, nil, s.killCh)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamRun delivers stdout as NDJSON chunk records while the program
+// runs, then the final RunResponse as the last record.
+func (s *Server) streamRun(w http.ResponseWriter, sess *Session, req RunRequest) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	out := &ndjsonChunks{w: w}
+	resp := sess.Run(req, out, s.killCh)
+	out.mu.Lock()
+	defer out.mu.Unlock()
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(resp)
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ndjsonChunks wraps stdout writes as {"stdout": "..."} records.
+type ndjsonChunks struct {
+	mu sync.Mutex
+	w  http.ResponseWriter
+}
+
+func (n *ndjsonChunks) Write(p []byte) (int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rec, err := json.Marshal(struct {
+		Stdout string `json:"stdout"`
+	}{string(p)})
+	if err != nil {
+		return len(p), nil
+	}
+	n.w.Write(append(rec, '\n'))
+	if f, ok := n.w.(http.Flusher); ok {
+		f.Flush()
+	}
+	return len(p), nil
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	tenant, aerr := s.authenticate(r)
+	if aerr != nil {
+		writeAPIError(w, http.StatusUnauthorized, aerr)
+		return
+	}
+	var entries []HistoryEntry
+	if sess := s.lookupSession(tenant); sess != nil {
+		entries = sess.History()
+	}
+	if entries == nil {
+		entries = []HistoryEntry{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Tenant  string         `json:"tenant"`
+		History []HistoryEntry `json:"history"`
+	}{tenant, entries})
+}
+
+func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeAPIError(w, http.StatusMethodNotAllowed, &APIError{Code: CodeBadRequest, Message: "POST required"})
+		return
+	}
+	tenant, aerr := s.authenticate(r)
+	if aerr != nil {
+		writeAPIError(w, http.StatusUnauthorized, aerr)
+		return
+	}
+	if sess := s.lookupSession(tenant); sess != nil {
+		sess.Reset()
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Tenant string `json:"tenant"`
+		Reset  bool   `json:"reset"`
+	}{tenant, true})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w)
+}
+
+// handleDebug serves per-tenant runtime introspection: each session's
+// per-mode rt.DebugSnapshot (ICVs, pool state, in-flight regions,
+// watchdog stall reports) plus the service's admission state.
+func (s *Server) handleDebug(w http.ResponseWriter, _ *http.Request) {
+	type tenantDebug struct {
+		Runs     int64                     `json:"runs"`
+		Runtimes map[string]map[string]any `json:"runtimes"`
+	}
+	doc := struct {
+		Draining bool                   `json:"draining"`
+		Queued   int64                  `json:"queued"`
+		Inflight int                    `json:"inflight"`
+		Workers  int                    `json:"workers"`
+		Tenants  map[string]tenantDebug `json:"tenants"`
+	}{
+		Draining: s.draining.Load(),
+		Queued:   s.queued.Load(),
+		Inflight: len(s.slots),
+		Workers:  s.cfg.MaxWorkers,
+		Tenants:  map[string]tenantDebug{},
+	}
+	for tenant, sess := range s.snapshotSessions() {
+		td := tenantDebug{Runs: sess.stats.runs.Load(), Runtimes: map[string]map[string]any{}}
+		for m, snap := range sess.debugSnapshots() {
+			td.Runtimes[m] = map[string]any{
+				"icvs":             snap.ICVs,
+				"pool":             snap.Pool,
+				"inflight_regions": snap.Regions,
+				"stalls":           snap.Stalls,
+			}
+		}
+		doc.Tenants[tenant] = td
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+var _ io.Writer = (*ndjsonChunks)(nil)

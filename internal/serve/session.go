@@ -1,0 +1,363 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/omp4go/omp4go/internal/compile"
+	"github.com/omp4go/omp4go/internal/interp"
+	"github.com/omp4go/omp4go/internal/minipy"
+	"github.com/omp4go/omp4go/internal/rt"
+	"github.com/omp4go/omp4go/internal/transform"
+)
+
+// mode is a directive mode of the service: the paper's four OMP4Py
+// execution modes (internal/bench numbers them the same way).
+type mode int
+
+const (
+	modePure mode = iota
+	modeHybrid
+	modeCompiled
+	modeCompiledDT
+	numModes
+)
+
+func (m mode) String() string {
+	switch m {
+	case modePure:
+		return "Pure"
+	case modeHybrid:
+		return "Hybrid"
+	case modeCompiled:
+		return "Compiled"
+	case modeCompiledDT:
+		return "CompiledDT"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// parseMode accepts the paper's mode names case-insensitively; empty
+// means Hybrid (the paper's headline interpreted configuration).
+func parseMode(s string) (mode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "hybrid":
+		return modeHybrid, nil
+	case "pure":
+		return modePure, nil
+	case "compiled":
+		return modeCompiled, nil
+	case "compileddt", "compiled_dt", "compiled-dt":
+		return modeCompiledDT, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want pure, hybrid, compiled or compileddt)", s)
+}
+
+// swapWriter is the stdout indirection of a session: each interpreter
+// is constructed once with the swapWriter as its Stdout, and every run
+// swaps in its own capture (or stream) target. Between runs output is
+// discarded, so a leaked goroutine from a previous run cannot write
+// into a later response.
+type swapWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *swapWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	w := s.w
+	s.mu.Unlock()
+	if w == nil {
+		return len(p), nil
+	}
+	return w.Write(p)
+}
+
+func (s *swapWriter) swap(w io.Writer) {
+	s.mu.Lock()
+	s.w = w
+	s.mu.Unlock()
+}
+
+// captureWriter buffers stdout up to max bytes and silently discards
+// the rest, marking the capture truncated. It never returns an error:
+// a chatty program keeps running (and keeps being charged steps)
+// rather than dying with a confusing write failure.
+type captureWriter struct {
+	mu        sync.Mutex
+	buf       strings.Builder
+	max       int
+	truncated bool
+}
+
+func (c *captureWriter) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if room := c.max - c.buf.Len(); room < len(p) {
+		c.truncated = true
+		if room > 0 {
+			c.buf.Write(p[:room])
+		}
+	} else {
+		c.buf.Write(p)
+	}
+	return len(p), nil
+}
+
+func (c *captureWriter) result() (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buf.String(), c.truncated
+}
+
+// Session is one tenant's persistent execution context: one
+// interpreter (and therefore one isolated OpenMP runtime) per
+// directive mode, created on first use, with module globals carried
+// across runs so tenants can build state incrementally. Runs within a
+// session are serialized; concurrency comes from distinct tenants.
+type Session struct {
+	tenant string
+	quota  Quota
+	cfg    *Config
+	stats  *tenantStats
+
+	// runMu serializes runs; it is held for a whole execution. mu
+	// guards the state below and is only held briefly, so /metrics and
+	// /v1/history stay responsive while a tenant program runs.
+	runMu sync.Mutex
+
+	mu      sync.Mutex
+	interps [numModes]*interp.Interp
+	outs    [numModes]*swapWriter
+	seq     int64
+	history []HistoryEntry // ring, newest last, len <= cfg.HistoryLimit
+	closed  bool
+}
+
+func newSession(tenant string, cfg *Config) *Session {
+	return &Session{
+		tenant: tenant,
+		quota:  cfg.quotaFor(tenant),
+		cfg:    cfg,
+		stats:  &tenantStats{},
+	}
+}
+
+// interpFor lazily builds the tenant's interpreter for a mode. Tenant
+// runtimes see an empty OMP_* environment: isolation means a host
+// variable cannot change tenant scheduling behind the API's back.
+// Called with s.mu held.
+func (s *Session) interpFor(m mode) *interp.Interp {
+	if in := s.interps[m]; in != nil {
+		return in
+	}
+	out := &swapWriter{}
+	layer := rt.LayerAtomic
+	if m == modePure {
+		layer = rt.LayerMutex
+	}
+	in := interp.New(interp.Options{
+		Layer:          layer,
+		ContendedAlloc: m == modePure || m == modeHybrid,
+		Stdout:         out,
+		Getenv:         func(string) string { return "" },
+	})
+	if in.Runtime().GetMaxThreads() > s.quota.MaxThreads {
+		in.Runtime().SetNumThreads(s.quota.MaxThreads)
+	}
+	if s.cfg.Watchdog > 0 {
+		in.Runtime().StartWatchdog(s.cfg.Watchdog)
+	}
+	s.interps[m] = in
+	s.outs[m] = out
+	return in
+}
+
+// Run executes one program under the session's quota. out receives
+// stdout as it is produced when non-nil (streaming); otherwise stdout
+// is captured into the response. kill cancels the run when it becomes
+// receivable (the server's drain-deadline channel).
+func (s *Session) Run(req RunRequest, out io.Writer, kill <-chan struct{}) RunResponse {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+
+	m, _ := parseMode(req.Mode) // validated by the handler
+	file := req.File
+	if file == "" {
+		file = "main.py"
+	}
+	s.mu.Lock()
+	s.seq++
+	resp := RunResponse{Tenant: s.tenant, Seq: s.seq, Mode: m.String()}
+	closed := s.closed
+	s.mu.Unlock()
+	start := time.Now()
+	finish := func(runErr error, stage string, steps, allocs int64) RunResponse {
+		resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
+		resp.Steps = steps
+		resp.Allocs = allocs
+		if runErr != nil {
+			resp.Error = classifyRunError(runErr, file, stage)
+		}
+		resp.OK = resp.Error == nil
+		s.mu.Lock()
+		s.record(req, resp)
+		s.mu.Unlock()
+		s.stats.observe(resp, time.Since(start))
+		return resp
+	}
+	if closed {
+		return finish(fmt.Errorf("session closed"), CodeDraining, 0, 0)
+	}
+
+	mod, err := minipy.Parse(req.Source, file)
+	if err != nil {
+		return finish(err, CodeParseError, 0, 0)
+	}
+	if _, err := transform.Module(mod); err != nil {
+		return finish(err, CodeParseError, 0, 0)
+	}
+	s.mu.Lock()
+	in := s.interpFor(m)
+	sw := s.outs[m]
+	s.mu.Unlock()
+	if m == modeCompiled || m == modeCompiledDT {
+		if err := compile.Install(in, mod, compile.Options{Typed: m == modeCompiledDT}); err != nil {
+			return finish(err, CodeCompileError, 0, 0)
+		}
+	}
+	if n := req.NumThreads; n > 0 {
+		if n > s.quota.MaxThreads {
+			n = s.quota.MaxThreads
+		}
+		in.Runtime().SetNumThreads(n)
+	}
+
+	var capture *captureWriter
+	if out == nil {
+		capture = &captureWriter{max: s.cfg.MaxStdoutBytes}
+		out = capture
+	}
+	sw.swap(out)
+	defer sw.swap(nil)
+
+	budget := interp.Budget{
+		MaxSteps:  s.quota.MaxSteps,
+		MaxAllocs: s.quota.MaxAllocs,
+		Done:      kill,
+	}
+	if s.quota.MaxWall > 0 {
+		budget.Deadline = time.Now().Add(s.quota.MaxWall)
+	}
+	in.SetBudget(budget)
+	runErr := in.RunModule(mod)
+	steps, allocs := in.BudgetSteps(), in.BudgetAllocs()
+	in.ClearBudget()
+
+	if capture != nil {
+		resp.Stdout, resp.StdoutTruncated = capture.result()
+	}
+	return finish(runErr, CodeRuntimeError, steps, allocs)
+}
+
+// record appends a history entry, evicting the oldest past the limit.
+func (s *Session) record(req RunRequest, resp RunResponse) {
+	sum := sha256.Sum256([]byte(req.Source))
+	e := HistoryEntry{
+		Seq:        resp.Seq,
+		Mode:       resp.Mode,
+		OK:         resp.OK,
+		Error:      resp.Error,
+		ElapsedMS:  resp.ElapsedMS,
+		Steps:      resp.Steps,
+		SourceLen:  len(req.Source),
+		SourceHash: hex.EncodeToString(sum[:8]),
+		UnixMS:     time.Now().UnixMilli(),
+	}
+	if len(s.history) >= s.cfg.HistoryLimit {
+		copy(s.history, s.history[1:])
+		s.history[len(s.history)-1] = e
+		return
+	}
+	s.history = append(s.history, e)
+}
+
+// History returns a copy of the session's run history, oldest first.
+func (s *Session) History() []HistoryEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]HistoryEntry, len(s.history))
+	copy(out, s.history)
+	return out
+}
+
+// Reset drops the tenant's interpreters (shutting their runtimes down)
+// and clears history. The session object itself stays valid; the next
+// run builds fresh interpreters. Waits for an in-flight run to finish.
+func (s *Session) Reset() {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shutdownLocked()
+	s.history = nil
+}
+
+// Close shuts the session's runtimes down for good; later runs are
+// rejected as draining. Waits for an in-flight run to finish, which is
+// what graceful drain wants.
+func (s *Session) Close() {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shutdownLocked()
+	s.closed = true
+}
+
+func (s *Session) shutdownLocked() {
+	for m := mode(0); m < numModes; m++ {
+		if in := s.interps[m]; in != nil {
+			if s.cfg.Watchdog > 0 {
+				in.Runtime().StopWatchdog()
+			}
+			in.Runtime().Shutdown()
+			s.interps[m] = nil
+			s.outs[m] = nil
+		}
+	}
+}
+
+// debugSnapshots returns per-mode runtime snapshots for /debug/omp.
+func (s *Session) debugSnapshots() map[string]rt.DebugSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[string]rt.DebugSnapshot{}
+	for m := mode(0); m < numModes; m++ {
+		if in := s.interps[m]; in != nil {
+			out[m.String()] = in.Runtime().DebugSnapshot()
+		}
+	}
+	return out
+}
+
+// runtimeCounters sums the tenant's runtime counters across its mode
+// runtimes (each is an isolated registry) for tenant-labeled export.
+func (s *Session) runtimeCounters() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := map[string]int64{}
+	for m := mode(0); m < numModes; m++ {
+		if in := s.interps[m]; in != nil {
+			for name, v := range in.Runtime().MetricsSnapshot().CounterMap() {
+				total[name] += v
+			}
+		}
+	}
+	return total
+}
