@@ -60,6 +60,8 @@ var serveEnvVars = []string{
 	"OMP4GO_SERVE_HISTORY",
 	"OMP4GO_SERVE_TOKENS",
 	"OMP4GO_SERVE_WATCHDOG",
+	"OMP4GO_SERVE_MAX_SESSIONS",
+	"OMP4GO_SERVE_SESSION_IDLE",
 }
 
 // DisplayedServeEnvVars returns the OMP4GO_SERVE_* names the verbose

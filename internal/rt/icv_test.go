@@ -178,6 +178,8 @@ func TestDisplayEnvObservability(t *testing.T) {
 				"OMP4GO_SERVE_ADDR = ''",
 				"OMP4GO_SERVE_MAX_STEPS = ''",
 				"OMP4GO_SERVE_QUEUE_DEPTH = ''",
+				"OMP4GO_SERVE_MAX_SESSIONS = ''",
+				"OMP4GO_SERVE_SESSION_IDLE = ''",
 			},
 		},
 		{

@@ -36,6 +36,8 @@ const (
 	EnvHistory      = "OMP4GO_SERVE_HISTORY"
 	EnvTokens       = "OMP4GO_SERVE_TOKENS"
 	EnvWatchdog     = "OMP4GO_SERVE_WATCHDOG"
+	EnvMaxSessions  = "OMP4GO_SERVE_MAX_SESSIONS"
+	EnvSessionIdle  = "OMP4GO_SERVE_SESSION_IDLE"
 )
 
 // Quota bounds one tenant run. Zero fields mean "unlimited" except
@@ -76,9 +78,23 @@ type Config struct {
 	DefaultQuota Quota
 	TenantQuotas map[string]Quota
 	// Tokens, when non-empty, restricts access to the listed auth
-	// tokens. Empty means any well-formed token is accepted and names
-	// its own tenant (the deployment fronts this with real auth).
+	// tokens. An entry is either a bare token or "tenant=token", which
+	// names the tenant the token authenticates as. Empty means any
+	// well-formed token is accepted (the deployment fronts this with
+	// real auth). Tokens are secrets and never appear in responses,
+	// metrics labels or /debug/omp: an unnamed token's tenant identity
+	// is a truncated hash of it.
 	Tokens []string
+	// MaxSessions caps the live session table; at the cap the
+	// least-recently-used idle session is evicted to make room, and if
+	// every session is mid-run the new request is shed with 429.
+	// Without a cap, cycling random tokens in open mode would grow
+	// interpreters and pooled workers without bound.
+	MaxSessions int
+	// SessionIdle evicts sessions with no authenticated request for
+	// this long (checked when sessions are created). Negative disables
+	// idle eviction; 0 takes the default.
+	SessionIdle time.Duration
 	// Watchdog arms the per-session runtime stall watchdog with this
 	// threshold, surfacing stuck runs in /debug/omp. 0 = off.
 	Watchdog time.Duration
@@ -94,6 +110,8 @@ const (
 	DefaultMaxWall      = 10 * time.Second
 	DefaultMaxThreads   = 8
 	DefaultHistory      = 64
+	DefaultMaxSessions  = 256
+	DefaultSessionIdle  = 15 * time.Minute
 )
 
 // withDefaults fills unset fields.
@@ -115,6 +133,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HistoryLimit <= 0 {
 		c.HistoryLimit = DefaultHistory
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = DefaultMaxSessions
+	}
+	if c.SessionIdle == 0 {
+		c.SessionIdle = DefaultSessionIdle
 	}
 	if c.DefaultQuota.MaxSteps == 0 {
 		c.DefaultQuota.MaxSteps = DefaultMaxSteps
@@ -171,6 +195,8 @@ func FromEnv(getenv func(string) string) Config {
 	c.QueueDepth = int(envInt64(getenv, EnvQueueDepth))
 	c.HistoryLimit = int(envInt64(getenv, EnvHistory))
 	c.Watchdog = envDuration(getenv, EnvWatchdog)
+	c.MaxSessions = int(envInt64(getenv, EnvMaxSessions))
+	c.SessionIdle = envDuration(getenv, EnvSessionIdle)
 	if v := strings.TrimSpace(getenv(EnvTokens)); v != "" {
 		for _, tok := range strings.Split(v, ",") {
 			if tok = strings.TrimSpace(tok); tok != "" {

@@ -14,7 +14,7 @@ func TestEnvVarsListedInDisplayEnv(t *testing.T) {
 	parsed := []string{
 		EnvAddr, EnvMaxBodyBytes, EnvMaxSteps, EnvMaxAllocs, EnvMaxWall,
 		EnvMaxThreads, EnvMaxWorkers, EnvQueueDepth, EnvHistory,
-		EnvTokens, EnvWatchdog,
+		EnvTokens, EnvWatchdog, EnvMaxSessions, EnvSessionIdle,
 	}
 	displayed := map[string]bool{}
 	for _, n := range rt.DisplayedServeEnvVars() {

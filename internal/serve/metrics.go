@@ -72,6 +72,12 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP omp4go_serve_sessions Live tenant sessions.\n")
 	fmt.Fprintf(w, "# TYPE omp4go_serve_sessions gauge\n")
 	fmt.Fprintf(w, "omp4go_serve_sessions %d\n", len(s.snapshotSessions()))
+	fmt.Fprintf(w, "# HELP omp4go_serve_sessions_evicted_total Sessions evicted for idleness or capacity.\n")
+	fmt.Fprintf(w, "# TYPE omp4go_serve_sessions_evicted_total counter\n")
+	fmt.Fprintf(w, "omp4go_serve_sessions_evicted_total %d\n", s.evicted.Load())
+	fmt.Fprintf(w, "# HELP omp4go_serve_session_table_full_total Requests shed because every session was busy at the cap.\n")
+	fmt.Fprintf(w, "# TYPE omp4go_serve_session_table_full_total counter\n")
+	fmt.Fprintf(w, "omp4go_serve_session_table_full_total %d\n", s.sessionFull.Load())
 	fmt.Fprintf(w, "# HELP omp4go_serve_draining 1 while the server refuses new work.\n")
 	fmt.Fprintf(w, "# TYPE omp4go_serve_draining gauge\n")
 	drain := 0

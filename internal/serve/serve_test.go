@@ -90,13 +90,14 @@ print(compute(1000))
 
 // TestTwoTenantsConcurrentIsolation is the acceptance e2e: two tenants
 // run concurrently with isolated interpreter state and show up as
-// separate series on /metrics.
+// separate series on /metrics — under their configured tenant names,
+// not their secret tokens.
 func TestTwoTenantsConcurrentIsolation(t *testing.T) {
-	s := startServer(t, Config{})
+	s := startServer(t, Config{Tokens: []string{"alice=alice-key", "bob=bob-key"}})
 	tenants := []struct {
 		token string
 		base  int
-	}{{"alice", 100}, {"bob", 200}}
+	}{{"alice-key", 100}, {"bob-key", 200}}
 
 	var wg sync.WaitGroup
 	for _, tc := range tenants {
@@ -153,7 +154,7 @@ func TestTwoTenantsConcurrentIsolation(t *testing.T) {
 	}
 
 	// Histories are per tenant.
-	st, raw = get(t, s, "/v1/history", "alice")
+	st, raw = get(t, s, "/v1/history", "alice-key")
 	if st != http.StatusOK {
 		t.Fatalf("/v1/history status %d", st)
 	}
@@ -197,12 +198,15 @@ func TestModes(t *testing.T) {
 
 // TestQuotaKill: an over-quota program is killed with a typed error
 // carrying its source position, and the kill is uncatchable.
+// TenantQuotas is keyed by tenant identity, so the token is mapped to
+// the "small" tenant name.
 func TestQuotaKill(t *testing.T) {
 	s := startServer(t, Config{
+		Tokens:       []string{"small=small-key"},
 		TenantQuotas: map[string]Quota{"small": {MaxSteps: 20_000}},
 	})
 	src := "x = 0\nwhile True:\n    x = x + 1\n"
-	st, rr, apiErr := postRun(t, s, "small", RunRequest{Source: src})
+	st, rr, apiErr := postRun(t, s, "small-key", RunRequest{Source: src})
 	if st != http.StatusOK {
 		t.Fatalf("status = %d, want 200 (program errors ride in the response)", st)
 	}
@@ -220,14 +224,14 @@ func TestQuotaKill(t *testing.T) {
 	}
 
 	// The same tenant's session still works after the kill.
-	st, rr2, _ := postRun(t, s, "small", RunRequest{Source: "print(x)"})
+	st, rr2, _ := postRun(t, s, "small-key", RunRequest{Source: "print(x)"})
 	if st != http.StatusOK || !rr2.OK {
 		t.Fatalf("post-kill run: status %d, resp %+v", st, rr2)
 	}
 
 	// A catch-all except cannot swallow the kill.
 	caught := "y = 0\ntry:\n    while True:\n        y = y + 1\nexcept Exception:\n    y = -1\nprint(y)\n"
-	_, rr3, apiErr3 := postRun(t, s, "small", RunRequest{Source: caught})
+	_, rr3, apiErr3 := postRun(t, s, "small-key", RunRequest{Source: caught})
 	if rr3.OK || apiErr3 == nil || apiErr3.Code != CodeQuotaKill {
 		t.Errorf("except-wrapped kill: resp %+v err %+v, want uncatchable %s", rr3, apiErr3, CodeQuotaKill)
 	}
@@ -358,10 +362,12 @@ func TestOverloadShedding(t *testing.T) {
 		}
 	}
 
-	// The shed shows up in the tenant's counters.
+	// The shed shows up in the tenant's counters, labeled with the
+	// derived tenant identity (open mode never exposes the token).
 	_, raw2 := get(t, s, "/metrics", "")
-	if !strings.Contains(string(raw2), `omp4go_serve_shed_total{tenant="shed"} 1`) {
-		t.Errorf("/metrics missing shed counter for tenant")
+	want := fmt.Sprintf("omp4go_serve_shed_total{tenant=%q} 1", s.tenantID("shed"))
+	if !strings.Contains(string(raw2), want) {
+		t.Errorf("/metrics missing shed counter %q", want)
 	}
 }
 
@@ -529,7 +535,7 @@ func TestHistoryRing(t *testing.T) {
 			t.Fatalf("run %d failed: %+v", i, rr)
 		}
 	}
-	sess := s.lookupSession("hist")
+	sess := s.lookupSession(s.tenantID("hist"))
 	h := sess.History()
 	if len(h) != 3 {
 		t.Fatalf("history len = %d, want 3", len(h))
@@ -550,8 +556,10 @@ func TestFromEnv(t *testing.T) {
 		EnvMaxWorkers:   "2",
 		EnvQueueDepth:   "7",
 		EnvHistory:      "9",
-		EnvTokens:       "alice, bob",
+		EnvTokens:       "alice, bob, carol=carol-key",
 		EnvWatchdog:     "5",
+		EnvMaxSessions:  "11",
+		EnvSessionIdle:  "90s",
 	}
 	cfg := FromEnv(func(k string) string { return env[k] })
 	if cfg.Addr != "127.0.0.1:9999" || cfg.MaxBodyBytes != 2048 {
@@ -563,15 +571,221 @@ func TestFromEnv(t *testing.T) {
 	if cfg.MaxWorkers != 2 || cfg.QueueDepth != 7 || cfg.HistoryLimit != 9 {
 		t.Errorf("workers/queue/history = %d/%d/%d", cfg.MaxWorkers, cfg.QueueDepth, cfg.HistoryLimit)
 	}
-	if len(cfg.Tokens) != 2 || cfg.Tokens[0] != "alice" || cfg.Tokens[1] != "bob" {
+	if len(cfg.Tokens) != 3 || cfg.Tokens[0] != "alice" || cfg.Tokens[1] != "bob" || cfg.Tokens[2] != "carol=carol-key" {
 		t.Errorf("tokens = %v", cfg.Tokens)
 	}
 	if cfg.Watchdog != 5*time.Second {
 		t.Errorf("watchdog = %v", cfg.Watchdog)
 	}
+	if cfg.MaxSessions != 11 || cfg.SessionIdle != 90*time.Second {
+		t.Errorf("sessions/idle = %d/%v", cfg.MaxSessions, cfg.SessionIdle)
+	}
+	// The "tenant=token" entry authenticates by token and names the
+	// tenant.
+	s := New(cfg)
+	if got := s.tenantID("carol-key"); got != "carol" {
+		t.Errorf("tenantID(carol-key) = %q, want carol", got)
+	}
 	// Unset environment falls back to defaults.
 	def := FromEnv(func(string) string { return "" })
 	if def.Addr != DefaultAddr || def.DefaultQuota.MaxSteps != DefaultMaxSteps {
 		t.Errorf("defaults = %s/%d", def.Addr, def.DefaultQuota.MaxSteps)
+	}
+	if def.MaxSessions != DefaultMaxSessions || def.SessionIdle != DefaultSessionIdle {
+		t.Errorf("default sessions/idle = %d/%v", def.MaxSessions, def.SessionIdle)
+	}
+}
+
+// TestTokensNotExposed: the bearer token must never appear on the
+// unauthenticated observability endpoints or in response bodies — the
+// tenant identity is either the allowlist-assigned name or a hash.
+func TestTokensNotExposed(t *testing.T) {
+	s := startServer(t, Config{Tokens: []string{"alice=super-secret-key", "bare-secret-token"}})
+	for _, token := range []string{"super-secret-key", "bare-secret-token"} {
+		st, rr, _ := postRun(t, s, token, RunRequest{Source: "x = 1"})
+		if st != http.StatusOK || !rr.OK {
+			t.Fatalf("%s run: status %d resp %+v", token, st, rr)
+		}
+		if strings.Contains(rr.Tenant, token) {
+			t.Errorf("response tenant %q leaks the token", rr.Tenant)
+		}
+	}
+	if got := s.tenantID("super-secret-key"); got != "alice" {
+		t.Errorf("named token tenant = %q, want alice", got)
+	}
+	for _, path := range []string{"/metrics", "/debug/omp"} {
+		_, raw := get(t, s, path, "")
+		body := string(raw)
+		for _, secret := range []string{"super-secret-key", "bare-secret-token"} {
+			if strings.Contains(body, secret) {
+				t.Errorf("%s leaks token %q", path, secret)
+			}
+		}
+		if path == "/metrics" && !strings.Contains(body, `tenant="alice"`) {
+			t.Errorf("/metrics missing the named tenant series")
+		}
+	}
+	// The bare token's hashed identity is stable and label-safe.
+	id := s.tenantID("bare-secret-token")
+	if !strings.HasPrefix(id, "t-") || !tokenRe.MatchString(id) {
+		t.Errorf("derived tenant id %q, want label-safe t-<hash>", id)
+	}
+	_, raw := get(t, s, "/metrics", "")
+	if !strings.Contains(string(raw), fmt.Sprintf("tenant=%q", id)) {
+		t.Errorf("/metrics missing hashed tenant series %q", id)
+	}
+}
+
+// TestTenantBacklogDoesNotHoldSlots: a tenant with a run in progress
+// queues its next request on the session run lock, NOT on a worker
+// slot — so one tenant's backlog cannot wedge the pool for others.
+func TestTenantBacklogDoesNotHoldSlots(t *testing.T) {
+	s := startServer(t, Config{MaxWorkers: 1, QueueDepth: 4})
+	// Materialize the hog's session, then hold its run lock as if a
+	// run were executing (without occupying the worker slot).
+	if _, rr, _ := postRun(t, s, "hog", RunRequest{Source: "x = 1"}); !rr.OK {
+		t.Fatalf("seed run failed: %+v", rr)
+	}
+	sess := s.lookupSession(s.tenantID("hog"))
+	sess.acquireRun()
+
+	done := make(chan RunResponse, 1)
+	go func() {
+		_, rr, _ := postRun(t, s, "hog", RunRequest{Source: "y = 2"})
+		done <- rr
+	}()
+	// Wait until the second hog request is admitted and parked.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queued.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	// It must be waiting on the run lock, leaving the only slot free.
+	if n := len(s.slots); n != 0 {
+		t.Errorf("parked tenant request holds %d worker slot(s), want 0", n)
+	}
+	// Another tenant gets through immediately.
+	st, rr, _ := postRun(t, s, "bystander", RunRequest{Source: "print(7)"})
+	if st != http.StatusOK || !rr.OK || rr.Stdout != "7\n" {
+		t.Errorf("bystander starved: status %d resp %+v", st, rr)
+	}
+	// Release the hog's lock; its queued request completes.
+	sess.releaseRun()
+	if rr := <-done; !rr.OK {
+		t.Errorf("queued hog request = %+v, want ok", rr)
+	}
+}
+
+// TestSessionCapEviction: the session table is bounded — at the cap
+// the LRU idle session is evicted (its state is gone afterwards), and
+// when every session is mid-run the request is shed with 429.
+func TestSessionCapEviction(t *testing.T) {
+	s := startServer(t, Config{MaxSessions: 2})
+	if _, rr, _ := postRun(t, s, "first", RunRequest{Source: "state = 1"}); !rr.OK {
+		t.Fatalf("first: %+v", rr)
+	}
+	time.Sleep(5 * time.Millisecond) // order lastUsed deterministically
+	if _, rr, _ := postRun(t, s, "second", RunRequest{Source: "state = 2"}); !rr.OK {
+		t.Fatalf("second: %+v", rr)
+	}
+	// Third tenant: evicts "first" (the LRU).
+	if _, rr, _ := postRun(t, s, "third", RunRequest{Source: "state = 3"}); !rr.OK {
+		t.Fatalf("third: %+v", rr)
+	}
+	if sess := s.lookupSession(s.tenantID("first")); sess != nil {
+		t.Errorf("first session survived past the cap")
+	}
+	if n := s.evicted.Load(); n != 1 {
+		t.Errorf("evicted = %d, want 1", n)
+	}
+	// The evicted tenant can come back — with fresh state. (Its return
+	// evicts the new LRU, "second", keeping the table at the cap.)
+	_, rr, apiErr := postRun(t, s, "first", RunRequest{Source: "print(state)"})
+	if rr.OK || apiErr == nil || apiErr.ExcType != "NameError" {
+		t.Errorf("revived first tenant = %+v err %+v, want NameError", rr, apiErr)
+	}
+
+	// With every session's run lock held, there is nothing to evict:
+	// a new tenant is shed with 429.
+	for _, tok := range []string{"third", "first"} {
+		sess := s.lookupSession(s.tenantID(tok))
+		if sess == nil {
+			t.Fatalf("session %s missing", tok)
+		}
+		sess.acquireRun()
+		defer sess.releaseRun()
+	}
+	st, _, apiErr := postRun(t, s, "fourth", RunRequest{Source: "x = 1"})
+	if st != http.StatusTooManyRequests || apiErr == nil || apiErr.Code != CodeOverloaded {
+		t.Errorf("full busy table: status %d err %+v, want 429 %s", st, apiErr, CodeOverloaded)
+	}
+}
+
+// TestIdleSessionEviction: sessions idle past SessionIdle are torn
+// down when new sessions are created.
+func TestIdleSessionEviction(t *testing.T) {
+	s := startServer(t, Config{SessionIdle: 50 * time.Millisecond})
+	if _, rr, _ := postRun(t, s, "sleepy", RunRequest{Source: "x = 1"}); !rr.OK {
+		t.Fatalf("seed: %+v", rr)
+	}
+	time.Sleep(80 * time.Millisecond)
+	// Creating another tenant's session grooms the table.
+	if _, rr, _ := postRun(t, s, "awake", RunRequest{Source: "y = 1"}); !rr.OK {
+		t.Fatalf("groomer: %+v", rr)
+	}
+	if sess := s.lookupSession(s.tenantID("sleepy")); sess != nil {
+		t.Errorf("idle session survived grooming")
+	}
+}
+
+// TestClientDisconnectCancelsRun: a non-streamed run whose client goes
+// away is canceled (typed quota_exceeded/canceled) instead of holding
+// its worker slot until the wall quota expires.
+func TestClientDisconnectCancelsRun(t *testing.T) {
+	s := startServer(t, Config{
+		// Effectively unlimited so only the disconnect can stop it.
+		DefaultQuota: Quota{MaxSteps: 1 << 60, MaxAllocs: 1 << 60, MaxWall: time.Hour},
+	})
+	body, _ := json.Marshal(RunRequest{Source: "x = 0\nwhile True:\n    x = x + 1\n"})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+s.Addr()+"/v1/run", bytes.NewReader(body))
+	req.Header.Set("Authorization", "Bearer goner")
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := http.DefaultClient.Do(req)
+		if err == nil {
+			res.Body.Close()
+		}
+		errCh <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.slots) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("run never acquired a slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-errCh
+	// The slot comes back promptly — the run did not sit on its
+	// hour-long wall quota.
+	deadline = time.Now().Add(5 * time.Second)
+	for len(s.slots) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned run still holds its worker slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The run was killed with the typed cancel, visible in history.
+	sess := s.lookupSession(s.tenantID("goner"))
+	if sess == nil {
+		t.Fatal("session missing")
+	}
+	h := sess.History()
+	if len(h) != 1 || h[0].Error == nil || h[0].Error.Code != CodeQuotaKill || h[0].Error.Quota != "canceled" {
+		t.Errorf("history = %+v, want a %s/canceled entry", h, CodeQuotaKill)
 	}
 }

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"regexp"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -37,8 +40,16 @@ type Server struct {
 	drainOnce sync.Once
 	killOnce  sync.Once
 
+	// allow maps each configured bearer token to its tenant name (""
+	// when the entry carried no name — the tenant identity is then
+	// derived by hashing). Empty map = open mode. Never exposed.
+	allow map[string]string
+
 	mu       sync.Mutex
-	sessions map[string]*Session
+	sessions map[string]*Session // keyed by tenant identity, not token
+
+	evicted     atomic.Int64 // sessions evicted (idle or capacity)
+	sessionFull atomic.Int64 // requests rejected: session table full
 
 	httpSrv *http.Server
 	ln      net.Listener
@@ -53,6 +64,20 @@ func New(cfg Config) *Server {
 		drainCh:  make(chan struct{}),
 		killCh:   make(chan struct{}),
 		sessions: map[string]*Session{},
+		allow:    map[string]string{},
+	}
+	for _, entry := range cfg.Tokens {
+		// "tenant=token" names the tenant; a bare token gets a derived
+		// identity. tokenRe forbids '=' so the split is unambiguous.
+		if name, tok, ok := strings.Cut(entry, "="); ok {
+			if tokenRe.MatchString(name) && tokenRe.MatchString(tok) {
+				s.allow[tok] = name
+			}
+			continue
+		}
+		if tokenRe.MatchString(entry) {
+			s.allow[entry] = ""
+		}
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
@@ -135,40 +160,94 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// tokenRe constrains auth tokens (the token doubles as the tenant
-// name, so it must be metrics-label and log safe).
+// tokenRe constrains auth tokens and tenant names (both appear in
+// URLs and config; tenant names additionally appear as metrics labels
+// and in logs, so they must be label-safe).
 var tokenRe = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
 
-// authenticate resolves the request's tenant from its bearer token.
+// tenantID maps a bearer token to the tenant identity used everywhere
+// a tenant is named — responses, history, /metrics labels, /debug/omp.
+// The identity is never the token itself: either the name the
+// allowlist assigned ("tenant=token") or a truncated hash, so the
+// unauthenticated observability endpoints cannot leak credentials.
+func (s *Server) tenantID(token string) string {
+	if name := s.allow[token]; name != "" {
+		return name
+	}
+	sum := sha256.Sum256([]byte(token))
+	return "t-" + hex.EncodeToString(sum[:6])
+}
+
+// authenticate resolves the request's tenant identity from its bearer
+// token.
 func (s *Server) authenticate(r *http.Request) (string, *APIError) {
 	h := r.Header.Get("Authorization")
 	tok, ok := strings.CutPrefix(h, "Bearer ")
 	if !ok || !tokenRe.MatchString(tok) {
 		return "", &APIError{Code: CodeUnauthorized, Message: "missing or malformed bearer token"}
 	}
-	if len(s.cfg.Tokens) > 0 {
-		allowed := false
-		for _, t := range s.cfg.Tokens {
-			if t == tok {
-				allowed = true
-				break
-			}
-		}
-		if !allowed {
+	if len(s.allow) > 0 {
+		if _, known := s.allow[tok]; !known {
 			return "", &APIError{Code: CodeUnauthorized, Message: "unknown token"}
 		}
 	}
-	return tok, nil
+	return s.tenantID(tok), nil
 }
 
-// session returns (creating on first use) the tenant's session.
+// session returns (creating on first use) the tenant's session. On
+// creation the session table is groomed: sessions idle past
+// cfg.SessionIdle are evicted, and at cfg.MaxSessions the
+// least-recently-used idle session makes room. Only sessions whose run
+// lock is free are evictable — an executing tenant is never torn down.
+// Returns nil when the table is full of busy sessions; the caller
+// sheds the request.
 func (s *Server) session(tenant string) *Session {
+	now := time.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess, ok := s.sessions[tenant]
-	if !ok {
+	if sess, ok := s.sessions[tenant]; ok {
+		sess.touch(now)
+		s.mu.Unlock()
+		return sess
+	}
+
+	var evict []*Session
+	if idle := s.cfg.SessionIdle; idle > 0 {
+		cutoff := now.Add(-idle).UnixNano()
+		for t, old := range s.sessions {
+			if old.idleSince() < cutoff && old.tryAcquireRun() {
+				delete(s.sessions, t)
+				evict = append(evict, old)
+			}
+		}
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		// LRU capacity eviction: oldest idle session first.
+		byAge := make([]*Session, 0, len(s.sessions))
+		for _, old := range s.sessions {
+			byAge = append(byAge, old)
+		}
+		sort.Slice(byAge, func(i, j int) bool { return byAge[i].idleSince() < byAge[j].idleSince() })
+		for _, old := range byAge {
+			if len(s.sessions) < s.cfg.MaxSessions {
+				break
+			}
+			if old.tryAcquireRun() {
+				delete(s.sessions, old.tenant)
+				evict = append(evict, old)
+			}
+		}
+	}
+	var sess *Session
+	if len(s.sessions) < s.cfg.MaxSessions {
 		sess = newSession(tenant, &s.cfg)
 		s.sessions[tenant] = sess
+	}
+	s.mu.Unlock()
+
+	// Runtime shutdown can take real time; do it off the map lock.
+	for _, old := range evict {
+		old.closeEvicted()
+		s.evicted.Add(1)
 	}
 	return sess
 }
@@ -177,7 +256,11 @@ func (s *Server) session(tenant string) *Session {
 func (s *Server) lookupSession(tenant string) *Session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.sessions[tenant]
+	if sess := s.sessions[tenant]; sess != nil {
+		sess.touch(time.Now())
+		return sess
+	}
+	return nil
 }
 
 // snapshotSessions copies the session map for iteration off-lock.
@@ -230,6 +313,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	sess := s.session(tenant)
+	if sess == nil {
+		s.sessionFull.Add(1)
+		writeAPIError(w, http.StatusTooManyRequests, &APIError{
+			Code:              CodeOverloaded,
+			Message:           fmt.Sprintf("session table is full (%d active tenants)", s.cfg.MaxSessions),
+			RetryAfterSeconds: 5,
+		})
+		return
+	}
 
 	// Admission. queued counts everyone past this point; when the
 	// backlog would exceed the queue depth the request is shed
@@ -247,6 +339,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	enqueued := time.Now()
+	// The tenant run lock comes BEFORE the worker slot: runs within a
+	// session are serialized, so a tenant's extra concurrent requests
+	// wait here holding only queue backlog, never a slot another
+	// tenant could be using. (They still count against the global
+	// admission budget above, which bounds the convoy.)
+	select {
+	case sess.runCh <- struct{}{}:
+	case <-s.drainCh:
+		writeAPIError(w, http.StatusServiceUnavailable, &APIError{Code: CodeDraining, Message: "server is draining"})
+		return
+	case <-r.Context().Done():
+		return // client went away while queued
+	}
+	defer sess.releaseRun()
 	select {
 	case s.slots <- struct{}{}:
 	case <-s.drainCh:
@@ -259,20 +365,24 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	sess.stats.queueNS.Observe(time.Since(enqueued).Nanoseconds())
 
 	if req.Stream {
-		s.streamRun(w, sess, req)
+		s.streamRun(w, r, sess, req)
 		return
 	}
-	resp := sess.Run(req, nil, s.killCh)
+	resp := sess.Run(r.Context(), req, nil, s.killCh)
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // streamRun delivers stdout as NDJSON chunk records while the program
-// runs, then the final RunResponse as the last record.
-func (s *Server) streamRun(w http.ResponseWriter, sess *Session, req RunRequest) {
+// runs, then the final RunResponse as the last record. A failed write
+// (client gone) cancels the run's context so it stops consuming its
+// worker slot instead of executing to the budget deadline.
+func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, sess *Session, req RunRequest) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	out := &ndjsonChunks{w: w}
-	resp := sess.Run(req, out, s.killCh)
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	out := &ndjsonChunks{w: w, cancel: cancel}
+	resp := sess.Run(ctx, req, out, s.killCh)
 	out.mu.Lock()
 	defer out.mu.Unlock()
 	enc := json.NewEncoder(w)
@@ -282,22 +392,36 @@ func (s *Server) streamRun(w http.ResponseWriter, sess *Session, req RunRequest)
 	}
 }
 
-// ndjsonChunks wraps stdout writes as {"stdout": "..."} records.
+// ndjsonChunks wraps stdout writes as {"stdout": "..."} records. Write
+// never returns an error into the program (a print must not die with a
+// confusing I/O failure) — instead a failed client write cancels the
+// run, which surfaces as the typed quota_exceeded/canceled kill.
 type ndjsonChunks struct {
-	mu sync.Mutex
-	w  http.ResponseWriter
+	mu     sync.Mutex
+	w      http.ResponseWriter
+	cancel context.CancelFunc
+	failed bool
 }
 
 func (n *ndjsonChunks) Write(p []byte) (int, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.failed {
+		return len(p), nil
+	}
 	rec, err := json.Marshal(struct {
 		Stdout string `json:"stdout"`
 	}{string(p)})
 	if err != nil {
 		return len(p), nil
 	}
-	n.w.Write(append(rec, '\n'))
+	if _, err := n.w.Write(append(rec, '\n')); err != nil {
+		n.failed = true
+		if n.cancel != nil {
+			n.cancel()
+		}
+		return len(p), nil
+	}
 	if f, ok := n.w.(http.Flusher); ok {
 		f.Flush()
 	}

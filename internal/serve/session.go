@@ -1,12 +1,14 @@
 package serve
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/omp4go/omp4go/internal/compile"
@@ -121,15 +123,23 @@ func (c *captureWriter) result() (string, bool) {
 // across runs so tenants can build state incrementally. Runs within a
 // session are serialized; concurrency comes from distinct tenants.
 type Session struct {
-	tenant string
+	tenant string // non-secret tenant identity, never the bearer token
 	quota  Quota
 	cfg    *Config
 	stats  *tenantStats
 
-	// runMu serializes runs; it is held for a whole execution. mu
-	// guards the state below and is only held briefly, so /metrics and
+	// runCh is the run lock: holding its single token is the right to
+	// execute. It is a channel (not a mutex) so waiters can bail on
+	// drain or client disconnect, and so the handler can acquire it
+	// BEFORE a worker slot — same-tenant concurrency queues here
+	// without occupying slots other tenants could use. mu guards the
+	// state below and is only held briefly, so /metrics and
 	// /v1/history stay responsive while a tenant program runs.
-	runMu sync.Mutex
+	runCh chan struct{}
+
+	// lastUsed is the unix-nano time of the last authenticated request
+	// that touched the session; idle eviction reads it.
+	lastUsed atomic.Int64
 
 	mu      sync.Mutex
 	interps [numModes]*interp.Interp
@@ -140,13 +150,36 @@ type Session struct {
 }
 
 func newSession(tenant string, cfg *Config) *Session {
-	return &Session{
+	s := &Session{
 		tenant: tenant,
 		quota:  cfg.quotaFor(tenant),
 		cfg:    cfg,
 		stats:  &tenantStats{},
+		runCh:  make(chan struct{}, 1),
+	}
+	s.touch(time.Now())
+	return s
+}
+
+// touch records request activity for idle eviction.
+func (s *Session) touch(now time.Time) { s.lastUsed.Store(now.UnixNano()) }
+
+// idleSince returns the last activity instant.
+func (s *Session) idleSince() int64 { return s.lastUsed.Load() }
+
+// tryAcquireRun takes the run lock without blocking; false means a run
+// is executing (or another waiter already holds the token).
+func (s *Session) tryAcquireRun() bool {
+	select {
+	case s.runCh <- struct{}{}:
+		return true
+	default:
+		return false
 	}
 }
+
+func (s *Session) acquireRun() { s.runCh <- struct{}{} }
+func (s *Session) releaseRun() { <-s.runCh }
 
 // interpFor lazily builds the tenant's interpreter for a mode. Tenant
 // runtimes see an empty OMP_* environment: isolation means a host
@@ -178,14 +211,14 @@ func (s *Session) interpFor(m mode) *interp.Interp {
 	return in
 }
 
-// Run executes one program under the session's quota. out receives
-// stdout as it is produced when non-nil (streaming); otherwise stdout
-// is captured into the response. kill cancels the run when it becomes
-// receivable (the server's drain-deadline channel).
-func (s *Session) Run(req RunRequest, out io.Writer, kill <-chan struct{}) RunResponse {
-	s.runMu.Lock()
-	defer s.runMu.Unlock()
-
+// Run executes one program under the session's quota. The caller must
+// hold the run lock (acquireRun/tryAcquireRun). out receives stdout as
+// it is produced when non-nil (streaming); otherwise stdout is
+// captured into the response. The run is canceled — with a typed
+// quota_exceeded/canceled error — when ctx is done (the request
+// context: client disconnect or a failed stream write) or when kill
+// becomes receivable (the server's drain-deadline channel).
+func (s *Session) Run(ctx context.Context, req RunRequest, out io.Writer, kill <-chan struct{}) RunResponse {
 	m, _ := parseMode(req.Mode) // validated by the handler
 	file := req.File
 	if file == "" {
@@ -246,10 +279,31 @@ func (s *Session) Run(req RunRequest, out io.Writer, kill <-chan struct{}) RunRe
 	sw.swap(out)
 	defer sw.swap(nil)
 
+	// The budget takes one Done channel; merge the drain kill with the
+	// request context so an abandoned run (client timed out, stream
+	// write failed) releases its worker slot instead of burning its
+	// whole wall quota. The relay exits with the run.
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	cancelCh := make(chan struct{})
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-kill:
+		case <-ctxDone:
+		case <-stop:
+			return
+		}
+		close(cancelCh)
+	}()
+
 	budget := interp.Budget{
 		MaxSteps:  s.quota.MaxSteps,
 		MaxAllocs: s.quota.MaxAllocs,
-		Done:      kill,
+		Done:      cancelCh,
 	}
 	if s.quota.MaxWall > 0 {
 		budget.Deadline = time.Now().Add(s.quota.MaxWall)
@@ -300,8 +354,8 @@ func (s *Session) History() []HistoryEntry {
 // and clears history. The session object itself stays valid; the next
 // run builds fresh interpreters. Waits for an in-flight run to finish.
 func (s *Session) Reset() {
-	s.runMu.Lock()
-	defer s.runMu.Unlock()
+	s.acquireRun()
+	defer s.releaseRun()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.shutdownLocked()
@@ -312,12 +366,25 @@ func (s *Session) Reset() {
 // rejected as draining. Waits for an in-flight run to finish, which is
 // what graceful drain wants.
 func (s *Session) Close() {
-	s.runMu.Lock()
-	defer s.runMu.Unlock()
+	s.acquireRun()
+	defer s.releaseRun()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.shutdownLocked()
 	s.closed = true
+}
+
+// closeEvicted shuts an evicted session down. The caller already holds
+// the run token (its tryAcquireRun succeeded), so this cannot block on
+// a tenant program; the token is released at the end — a request that
+// raced the eviction and is still waiting on the lock then finds the
+// session closed and gets a typed error.
+func (s *Session) closeEvicted() {
+	s.mu.Lock()
+	s.shutdownLocked()
+	s.closed = true
+	s.mu.Unlock()
+	s.releaseRun()
 }
 
 func (s *Session) shutdownLocked() {
