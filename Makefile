@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify metrics-smoke serve-smoke bench bench-compare bench-report bench-gate trace clean
+.PHONY: build test race vet verify depend-race metrics-smoke serve-smoke bench bench-compare bench-report bench-gate trace clean
 
 build:
 	$(GO) build ./...
@@ -39,10 +39,23 @@ serve-smoke:
 # smoke of the pool-vs-spawn overhead benchmark so a dispatch
 # regression that only bites under the pool path fails loudly, plus
 # the metrics endpoint and execution-service smokes.
-verify: vet metrics-smoke serve-smoke
+verify: vet metrics-smoke serve-smoke depend-race
 	$(GO) test ./...
 	$(GO) test -race -timeout 120s ./internal/rt/... ./internal/ompt/... ./internal/serve/... ./omp/...
 	$(GO) test -run=NONE -bench=BenchmarkRegionOverhead -benchtime=1x -timeout 120s ./internal/rt/
+
+# depend-race is the task-dataflow differential gate: the dependence,
+# taskgroup, taskloop and task-error tests run under the race detector
+# with the test cache defeated. Each test iterates BOTH task
+# schedulers (list and stealing) internally, and the wavefront
+# differential asserts bit-identical float results between them — a
+# dependence edge missed by either scheduler shows up as a data race
+# or a differing checksum here.
+depend-race:
+	$(GO) test -race -count=1 -timeout 180s \
+	  -run='TestDepend|TestTaskgroup|TestTaskLoop|TestWavefront|TestUndeferred|TestTaskWait|TestNested|TestPanic|TestTaskError|TestRegionJoin' \
+	  ./internal/rt/
+	$(GO) test -race -count=1 -timeout 180s -run='TestTask|TestCancel' ./omp/
 
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkFig5 -benchtime=1x ./...

@@ -95,7 +95,8 @@ var Registry = map[string]*Benchmark{}
 
 // Names lists benchmarks in the paper's order: the seven numerical
 // programs of Fig. 5 and the two non-numerical ones of Fig. 6.
-var Names = []string{"fft", "jacobi", "lu", "md", "pi", "qsort", "bfs", "graphic", "wordcount"}
+// wavefront (task dependences) follows as a post-paper addition.
+var Names = []string{"fft", "jacobi", "lu", "md", "pi", "qsort", "bfs", "graphic", "wordcount", "wavefront"}
 
 func register(b *Benchmark) { Registry[b.Name] = b }
 
@@ -193,6 +194,18 @@ func init() {
 		Tolerance: 1e-9,
 	})
 	register(&Benchmark{
+		Name: "wavefront", Source: wavefrontSource,
+		ArgNames:    []string{"n", "seed"},
+		DefaultArgs: []int64{24, 42},
+		PaperArgs:   []int64{96, 42}, // 9216 cell tasks
+		Reference: func(a []int64) float64 {
+			return sequentialWavefront(int(a[0]), a[1])
+		},
+		// The dependence graph fixes every operand, so the result is
+		// bit-identical to the sequential sweep under any scheduler.
+		Tolerance: 0,
+	})
+	register(&Benchmark{
 		Name: "wordcount", Source: wordcountSource,
 		ArgNames:    []string{"lines", "seed"},
 		DefaultArgs: []int64{3000, 42},
@@ -208,6 +221,30 @@ func init() {
 		},
 		Tolerance: 0,
 	})
+}
+
+// sequentialWavefront is the native reference for the wavefront
+// kernel: the same recurrence in row-major order.
+func sequentialWavefront(n int, seed int64) float64 {
+	a := make([]float64, n*n)
+	bias := float64(seed%7) * 0.001
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			up, left := 1.0, 1.0
+			if i > 0 {
+				up = a[(i-1)*n+j]
+			}
+			if j > 0 {
+				left = a[i*n+j-1]
+			}
+			a[i*n+j] = math.Sqrt(up*1.25+left/3.0) + up/7.0 + bias
+		}
+	}
+	s := 0.0
+	for _, v := range a {
+		s += v
+	}
+	return s
 }
 
 // RunConfig configures one measurement.

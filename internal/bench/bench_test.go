@@ -20,6 +20,7 @@ var smallArgs = map[string][]int64{
 	"bfs":       {31, 42},
 	"graphic":   {300, 8, 42},
 	"wordcount": {400, 42},
+	"wavefront": {12, 42},
 }
 
 func TestEveryBenchmarkEveryModeMatchesReference(t *testing.T) {

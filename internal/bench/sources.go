@@ -356,3 +356,40 @@ def bench_main(threads: int, lines: int, seed: int) -> float:
         total += counts[k2]
     return len(counts) * 1000000.0 + total
 `
+
+// wavefrontSource: task dataflow (task depend, taskwait) — every cell
+// of an n x n grid is one task reading its upper and left neighbours
+// and writing itself, so the dependence tracker alone sequences the
+// sweep. The recurrence fixes each cell's operands, which makes the
+// checksum bit-identical under any conforming schedule (Tolerance 0).
+const wavefrontSource = `
+from omp4py import *
+import math
+
+@omp
+def bench_main(threads: int, n: int, seed: int) -> float:
+    omp_set_num_threads(threads)
+    a = [0.0] * (n * n)
+    bias: float = (seed % 7) * 0.001
+    with omp("parallel"):
+        with omp("single"):
+            i: int = 0
+            while i < n:
+                j: int = 0
+                while j < n:
+                    with omp("task depend(in: a[i-1][j], a[i][j-1]) depend(out: a[i][j]) firstprivate(i, j)"):
+                        up: float = 1.0
+                        left: float = 1.0
+                        if i > 0:
+                            up = a[(i - 1) * n + j]
+                        if j > 0:
+                            left = a[i * n + j - 1]
+                        a[i * n + j] = math.sqrt(up * 1.25 + left / 3.0) + up / 7.0 + bias
+                    j += 1
+                i += 1
+            omp("taskwait")
+    s: float = 0.0
+    for k in range(n * n):
+        s += a[k]
+    return s
+`

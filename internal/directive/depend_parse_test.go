@@ -1,0 +1,105 @@
+package directive
+
+import "testing"
+
+func TestParseDependClauses(t *testing.T) {
+	d := mustParse(t, "task depend(in: a, b) depend(out: c) depend(inout: d)")
+	var in, out, inout *Clause
+	for i := range d.Clauses {
+		c := &d.Clauses[i]
+		if c.Kind != ClauseDepend {
+			continue
+		}
+		switch c.Op {
+		case "in":
+			in = c
+		case "out":
+			out = c
+		case "inout":
+			inout = c
+		}
+	}
+	if in == nil || len(in.Vars) != 2 || in.Vars[0] != "a" || in.Vars[1] != "b" {
+		t.Fatalf("depend(in) = %+v", in)
+	}
+	if out == nil || len(out.Vars) != 1 || out.Vars[0] != "c" {
+		t.Fatalf("depend(out) = %+v", out)
+	}
+	if inout == nil || len(inout.Vars) != 1 || inout.Vars[0] != "d" {
+		t.Fatalf("depend(inout) = %+v", inout)
+	}
+}
+
+func TestParseDependSubscripts(t *testing.T) {
+	d := mustParse(t, "task depend(in: A[i-1][j], A[i][j-1]) depend(out: A[i][j])")
+	var ins, outs []string
+	for _, c := range d.Clauses {
+		if c.Kind != ClauseDepend {
+			continue
+		}
+		switch c.Op {
+		case "in":
+			ins = append(ins, c.Vars...)
+		case "out":
+			outs = append(outs, c.Vars...)
+		}
+	}
+	if len(ins) != 2 || ins[0] != "A[i-1][j]" || ins[1] != "A[i][j-1]" {
+		t.Fatalf("depend(in) operands = %q", ins)
+	}
+	if len(outs) != 1 || outs[0] != "A[i][j]" {
+		t.Fatalf("depend(out) operands = %q", outs)
+	}
+}
+
+func TestParseDependErrors(t *testing.T) {
+	mustFail(t, "task depend(frob: a)", "dependence type")
+	mustFail(t, "task depend(in:)", "expected variable name")
+	mustFail(t, "task depend(in a)", "':'")
+	mustFail(t, "parallel depend(in: a)", "not valid on directive")
+}
+
+func TestParseTaskloop(t *testing.T) {
+	d := mustParse(t, "taskloop grainsize(64) private(x)")
+	if d.Name != NameTaskloop {
+		t.Fatalf("name = %q", d.Name)
+	}
+	if c := d.Find(ClauseGrainsize); c == nil || c.Expr != "64" {
+		t.Fatalf("grainsize = %+v", c)
+	}
+	d = mustParse(t, "taskloop num_tasks(n * 2) nogroup")
+	if c := d.Find(ClauseNumTasks); c == nil || c.Expr != "n * 2" {
+		t.Fatalf("num_tasks = %+v", c)
+	}
+	if !d.Has(ClauseNogroup) {
+		t.Fatal("nogroup missing")
+	}
+}
+
+func TestParseTaskgroup(t *testing.T) {
+	d := mustParse(t, "taskgroup")
+	if d.Name != NameTaskgroup {
+		t.Fatalf("name = %q", d.Name)
+	}
+	mustFail(t, "taskgroup if(x)", "not valid on directive")
+}
+
+func TestValidateTaskloopClauseExclusion(t *testing.T) {
+	mustFail(t, "taskloop grainsize(2) num_tasks(3)", "mutually exclusive")
+	mustFail(t, "taskloop grainsize(2) grainsize(3)", "at most once")
+	mustFail(t, "for depend(in: a)", "not valid on directive")
+}
+
+func TestFormatDependRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"task depend(in:a,b) depend(out:c)",
+		"taskloop grainsize(8)",
+		"taskloop num_tasks(4) nogroup",
+		"taskgroup",
+	} {
+		d := mustParse(t, src)
+		if _, err := Parse(d.String()); err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", d.String(), src, err)
+		}
+	}
+}

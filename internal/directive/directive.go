@@ -36,6 +36,8 @@ const (
 	NameThreadprivate    Name = "threadprivate"
 	NameTask             Name = "task"
 	NameTaskwait         Name = "taskwait"
+	NameTaskloop         Name = "taskloop"
+	NameTaskgroup        Name = "taskgroup"
 	NameDeclareReduction Name = "declare reduction"
 )
 
@@ -61,6 +63,10 @@ const (
 	ClauseUntied
 	ClauseFinal
 	ClauseMergeable
+	ClauseDepend       // depend(in|out|inout: list) — task dataflow (4.0)
+	ClauseGrainsize    // grainsize(expr) — taskloop chunk lower bound
+	ClauseNumTasks     // num_tasks(expr) — taskloop chunk count
+	ClauseNogroup      // nogroup — taskloop without its implicit taskgroup
 	ClauseCriticalName // synthetic: the (name) argument of critical
 	ClauseFlushList    // synthetic: the (list) argument of flush
 	ClauseAtomicOp     // read | write | update | capture
@@ -84,6 +90,10 @@ var clauseKindNames = map[ClauseKind]string{
 	ClauseUntied:       "untied",
 	ClauseFinal:        "final",
 	ClauseMergeable:    "mergeable",
+	ClauseDepend:       "depend",
+	ClauseGrainsize:    "grainsize",
+	ClauseNumTasks:     "num_tasks",
+	ClauseNogroup:      "nogroup",
 	ClauseCriticalName: "critical-name",
 	ClauseFlushList:    "flush-list",
 	ClauseAtomicOp:     "atomic-op",
@@ -274,8 +284,12 @@ func formatClause(c Clause) string {
 			return fmt.Sprintf("schedule(%s,%s)", c.Sched, c.Expr)
 		}
 		return fmt.Sprintf("schedule(%s)", c.Sched)
-	case ClauseOrdered, ClauseUntied, ClauseMergeable:
+	case ClauseOrdered, ClauseUntied, ClauseMergeable, ClauseNogroup:
 		return c.Kind.String()
+	case ClauseDepend:
+		return fmt.Sprintf("depend(%s:%s)", c.Op, strings.Join(c.Vars, ","))
+	case ClauseGrainsize, ClauseNumTasks:
+		return fmt.Sprintf("%s(%s)", c.Kind, c.Expr)
 	case ClauseNowait:
 		if c.Expr != "" {
 			return fmt.Sprintf("nowait(%s)", c.Expr)

@@ -52,6 +52,8 @@ var directiveNames = []Name{
 	NameParallel,
 	NameSections,
 	NameSection,
+	NameTaskgroup,
+	NameTaskloop,
 	NameTaskwait,
 	NameCritical,
 	NameBarrier,
@@ -245,6 +247,10 @@ var clauseKeywords = map[string]ClauseKind{
 	"untied":       ClauseUntied,
 	"final":        ClauseFinal,
 	"mergeable":    ClauseMergeable,
+	"depend":       ClauseDepend,
+	"grainsize":    ClauseGrainsize,
+	"num_tasks":    ClauseNumTasks,
+	"nogroup":      ClauseNogroup,
 }
 
 func (p *parser) parseClause() (*Clause, error) {
@@ -305,6 +311,20 @@ func (p *parser) parseClause() (*Clause, error) {
 		if err := p.parseReductionArgs(c); err != nil {
 			return nil, err
 		}
+	case ClauseDepend:
+		if err := p.parseDependArgs(c); err != nil {
+			return nil, err
+		}
+	case ClauseGrainsize, ClauseNumTasks:
+		expr, ni, err := scanBalancedExpr(p.raw, p.toks, p.i)
+		if err != nil {
+			return nil, err
+		}
+		p.i = ni
+		if strings.TrimSpace(expr) == "" {
+			return nil, p.errf("%s clause requires an expression", kind)
+		}
+		c.Expr = strings.TrimSpace(expr)
 	case ClauseSchedule:
 		if err := p.parseScheduleArgs(c); err != nil {
 			return nil, err
@@ -320,7 +340,7 @@ func (p *parser) parseClause() (*Clause, error) {
 			return nil, p.errf("collapse requires a positive integer constant, got %q", expr)
 		}
 		c.Expr = strconv.Itoa(n)
-	case ClauseOrdered, ClauseUntied, ClauseMergeable:
+	case ClauseOrdered, ClauseUntied, ClauseMergeable, ClauseNogroup:
 		// no arguments
 	case ClauseNowait:
 		// OMP4Py supports the optional argument from newer standards.
@@ -386,6 +406,74 @@ func (p *parser) parseReductionArgs(c *Clause) error {
 	}
 	p.next()
 	c.Op = op
+	c.Vars = vars
+	return nil
+}
+
+// parseDependArgs parses depend(in: a, b) — dependence type, colon,
+// variable list. The type lands in c.Op, the list in c.Vars.
+func (p *parser) parseDependArgs(c *Clause) error {
+	if p.cur().kind != tokLParen {
+		return p.errf("expected '(' after depend, found %s", p.cur())
+	}
+	p.next()
+	if p.cur().kind != tokIdent {
+		return p.errf("expected dependence type (in, out, inout), found %s", p.cur())
+	}
+	typ := strings.ToLower(p.next().text)
+	switch typ {
+	case "in", "out", "inout":
+	default:
+		return p.errf("invalid dependence type %q; want in, out or inout", typ)
+	}
+	if p.cur().kind != tokColon {
+		return p.errf("expected ':' after dependence type, found %s", p.cur())
+	}
+	p.next()
+	// Operands are names with optional subscripts: a, b[i], c[i][j].
+	// Subscript text is kept raw; the transformer parses it as a
+	// MiniPy expression evaluated at task-submission time.
+	var vars []string
+	for {
+		if p.cur().kind != tokIdent {
+			return p.errf("expected variable name in depend list, found %s", p.cur())
+		}
+		startTok := p.cur()
+		end := startTok.pos + len(startTok.text)
+		p.next()
+		for p.cur().kind == tokOther && p.cur().text == "[" {
+			depth := 0
+			for {
+				t := p.cur()
+				if t.kind == tokEOF {
+					return p.errf("unbalanced '[' in depend clause")
+				}
+				if t.kind == tokOther && t.text == "[" {
+					depth++
+				}
+				if t.kind == tokOther && t.text == "]" {
+					depth--
+					if depth == 0 {
+						end = t.pos + 1
+						p.next()
+						break
+					}
+				}
+				p.next()
+			}
+		}
+		vars = append(vars, strings.TrimSpace(p.raw[startTok.pos:end]))
+		if p.cur().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.cur().kind != tokRParen {
+		return p.errf("expected ')' closing depend clause, found %s", p.cur())
+	}
+	p.next()
+	c.Op = typ
 	c.Vars = vars
 	return nil
 }

@@ -28,8 +28,13 @@ var allowedClauses = map[Name][]ClauseKind{
 	NameOrdered:       {},
 	NameThreadprivate: {ClauseFlushList},
 	NameTask: {ClauseIf, ClauseFinal, ClauseUntied, ClauseDefault,
-		ClauseMergeable, ClausePrivate, ClauseFirstprivate, ClauseShared},
-	NameTaskwait:         {},
+		ClauseMergeable, ClausePrivate, ClauseFirstprivate, ClauseShared,
+		ClauseDepend},
+	NameTaskwait: {},
+	NameTaskloop: {ClauseIf, ClauseFinal, ClauseUntied, ClauseDefault,
+		ClauseMergeable, ClausePrivate, ClauseFirstprivate, ClauseShared,
+		ClauseGrainsize, ClauseNumTasks, ClauseNogroup},
+	NameTaskgroup:        {},
 	NameDeclareReduction: {},
 }
 
@@ -45,6 +50,9 @@ var uniqueClauses = map[ClauseKind]bool{
 	ClauseFinal:      true,
 	ClauseUntied:     true,
 	ClauseMergeable:  true,
+	ClauseGrainsize:  true,
+	ClauseNumTasks:   true,
+	ClauseNogroup:    true,
 }
 
 // dataSharingClauses place a variable into a sharing class; a variable
@@ -95,6 +103,9 @@ func validate(d *Directive, raw string) error {
 		}
 	}
 	// Cross-clause rules.
+	if d.Name == NameTaskloop && d.Has(ClauseGrainsize) && d.Has(ClauseNumTasks) {
+		return errf(raw, 0, "grainsize and num_tasks are mutually exclusive on taskloop")
+	}
 	if d.Name == NameFor || d.Name == NameParallelFor {
 		if cl := d.Find(ClauseCollapse); cl != nil {
 			if ord := d.Find(ClauseOrdered); ord != nil {

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 
+	"strings"
+
 	"github.com/omp4go/omp4go/internal/directive"
 	"github.com/omp4go/omp4go/internal/minipy"
 	"github.com/omp4go/omp4go/internal/rt"
@@ -491,9 +493,10 @@ func (in *Interp) installOmpModule() {
 	})
 
 	reg(gen, "task_submit", true, func(th *Thread, args []Value) (Value, error) {
-		// task_submit(fn, if_set, if_val, final_set, final_val)
-		if len(args) != 5 {
-			return nil, typeErrorf(minipy.Position{}, "task_submit expects 5 arguments")
+		// task_submit(fn, if_set, if_val, final_set, final_val
+		//             [, in_keys, out_keys, inout_keys])
+		if len(args) != 5 && len(args) != 8 {
+			return nil, typeErrorf(minipy.Position{}, "task_submit expects 5 or 8 arguments")
 		}
 		fn := args[0]
 		opts := rt.TaskOpts{}
@@ -502,6 +505,18 @@ func (in *Interp) installOmpModule() {
 		}
 		if Truthy(args[3]) {
 			opts.FinalSet, opts.Final = true, Truthy(args[4])
+		}
+		if len(args) == 8 {
+			var err error
+			if opts.Depends, err = appendDepKeys(opts.Depends, args[5], rt.DepIn); err != nil {
+				return nil, err
+			}
+			if opts.Depends, err = appendDepKeys(opts.Depends, args[6], rt.DepOut); err != nil {
+				return nil, err
+			}
+			if opts.Depends, err = appendDepKeys(opts.Depends, args[7], rt.DepInOut); err != nil {
+				return nil, err
+			}
 		}
 		in := th.in
 		err := th.ctx.SubmitTask(opts, func(c *rt.Context) error {
@@ -521,6 +536,63 @@ func (in *Interp) installOmpModule() {
 
 	reg(gen, "task_wait", true, func(th *Thread, args []Value) (Value, error) {
 		if err := th.ctx.TaskWait(); err != nil {
+			return nil, runtimeErr(err)
+		}
+		return nil, nil
+	})
+
+	reg(gen, "taskloop", true, func(th *Thread, args []Value) (Value, error) {
+		// taskloop(fn, start, stop, step, grainsize, num_tasks,
+		//          nogroup, if_set, if_val, final_set, final_val)
+		if len(args) != 11 {
+			return nil, typeErrorf(minipy.Position{}, "taskloop expects 11 arguments")
+		}
+		fn := args[0]
+		s, ok1 := asInt(args[1])
+		e, ok2 := asInt(args[2])
+		st, ok3 := asInt(args[3])
+		if !ok1 || !ok2 || !ok3 {
+			return nil, typeErrorf(minipy.Position{}, "taskloop bounds must be integers")
+		}
+		if st == 0 {
+			return nil, valueErrorf(minipy.Position{}, "range() arg 3 must not be zero")
+		}
+		gs, ok4 := asInt(args[4])
+		nt, ok5 := asInt(args[5])
+		if !ok4 || !ok5 {
+			return nil, typeErrorf(minipy.Position{}, "taskloop grainsize/num_tasks must be integers")
+		}
+		opts := rt.TaskLoopOpts{Grainsize: gs, NumTasks: nt, NoGroup: Truthy(args[6])}
+		if Truthy(args[7]) {
+			opts.IfSet, opts.If = true, Truthy(args[8])
+		}
+		if Truthy(args[9]) {
+			opts.FinalSet, opts.Final = true, Truthy(args[10])
+		}
+		in := th.in
+		b := rt.ForBounds(rt.Triplet{Start: s, End: e, Step: st})
+		err := th.ctx.TaskLoop(b, opts, func(c *rt.Context, lo, hi int64) error {
+			tth := in.spawn(c)
+			if in.gil != nil {
+				in.gil.acquire()
+				defer in.gil.release()
+			}
+			_, err := tth.Call(fn, []Value{lo, hi}, minipy.Position{})
+			return err
+		})
+		if err != nil {
+			return nil, runtimeErr(err)
+		}
+		return nil, nil
+	})
+
+	reg(gen, "taskgroup_begin", false, func(th *Thread, args []Value) (Value, error) {
+		th.ctx.TaskgroupBegin()
+		return nil, nil
+	})
+
+	reg(gen, "taskgroup_end", true, func(th *Thread, args []Value) (Value, error) {
+		if err := th.ctx.TaskgroupEnd(); err != nil {
 			return nil, runtimeErr(err)
 		}
 		return nil, nil
@@ -660,4 +732,45 @@ func runtimeErr(err error) error {
 		return &PyError{Type: "RuntimeError", Msg: tp.Error()}
 	}
 	return &PyError{Type: "RuntimeError", Msg: fmt.Sprintf("%v", err)}
+}
+
+// appendDepKeys converts one tuple of depend-operand keys from
+// generated code into runtime dependence records. A plain string is a
+// variable name used directly as the storage key; a subscripted
+// operand arrives as a ("name", idx...) tuple and is flattened into a
+// canonical "name[i,j]" string so element keys compare by value
+// (tuples are reference values and would never match).
+func appendDepKeys(deps []rt.Dep, v Value, kind rt.DepKind) ([]rt.Dep, error) {
+	t, ok := v.(*Tuple)
+	if !ok {
+		return nil, typeErrorf(minipy.Position{}, "depend keys must be a tuple")
+	}
+	for _, e := range t.Elts {
+		switch k := e.(type) {
+		case string:
+			deps = append(deps, rt.Dep{Key: k, Kind: kind})
+		case *Tuple:
+			if len(k.Elts) < 2 {
+				return nil, typeErrorf(minipy.Position{}, "subscripted depend key needs a name and indices")
+			}
+			name, ok := k.Elts[0].(string)
+			if !ok {
+				return nil, typeErrorf(minipy.Position{}, "depend key root must be a name")
+			}
+			var b strings.Builder
+			b.WriteString(name)
+			b.WriteByte('[')
+			for i, el := range k.Elts[1:] {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%v", el)
+			}
+			b.WriteByte(']')
+			deps = append(deps, rt.Dep{Key: b.String(), Kind: kind})
+		default:
+			return nil, typeErrorf(minipy.Position{}, "depend key must be a name or subscripted name")
+		}
+	}
+	return deps, nil
 }

@@ -8,10 +8,10 @@ import (
 
 func TestHistObserveSnapshot(t *testing.T) {
 	var h Hist
-	h.Observe(500)             // first bucket (<= 1µs)
-	h.Observe(1 << 12)         // 4096 ns
-	h.Observe(1 << 30)         // past the last finite bound -> +Inf only
-	h.Observe(-5)              // clamped to 0
+	h.Observe(500)     // first bucket (<= 1µs)
+	h.Observe(1 << 12) // 4096 ns
+	h.Observe(1 << 30) // past the last finite bound -> +Inf only
+	h.Observe(-5)      // clamped to 0
 	s := h.Snapshot()
 	if s.Count != 4 {
 		t.Errorf("Count = %d, want 4", s.Count)

@@ -52,6 +52,15 @@ const (
 	TasksRun
 	TasksStolen
 	TasksOverflowed
+	// Task dataflow: tasks created with at least one unresolved
+	// depend-clause predecessor (stalled off the ready deques), tasks
+	// later released to the scheduler when their last predecessor
+	// completed, tasks skipped because an enclosing taskgroup was
+	// cancelled, and taskgroup regions entered.
+	TasksDependStalled
+	TasksDependReleased
+	TasksCancelled
+	Taskgroups
 	// Worksharing loops: chunks claimed and iterations covered.
 	LoopChunks
 	LoopIterations
@@ -69,21 +78,25 @@ const (
 )
 
 var counterNames = [NumCounters]string{
-	RegionsForked:   "omp4go_regions_forked_total",
-	RegionsJoined:   "omp4go_regions_joined_total",
-	Barriers:        "omp4go_barrier_passages_total",
-	BarrierWaitNS:   "omp4go_barrier_wait_ns_total",
-	TasksCreated:    "omp4go_tasks_created_total",
-	TasksRun:        "omp4go_tasks_run_total",
-	TasksStolen:     "omp4go_tasks_stolen_total",
-	TasksOverflowed: "omp4go_tasks_overflowed_total",
-	LoopChunks:      "omp4go_loop_chunks_total",
-	LoopIterations:  "omp4go_loop_iterations_total",
-	CriticalWaitNS:  "omp4go_critical_wait_ns_total",
-	CriticalHoldNS:  "omp4go_critical_hold_ns_total",
-	PoolParks:       "omp4go_pool_parks_total",
-	PoolUnparks:     "omp4go_pool_unparks_total",
-	PoolRetirements: "omp4go_pool_retirements_total",
+	RegionsForked:       "omp4go_regions_forked_total",
+	RegionsJoined:       "omp4go_regions_joined_total",
+	Barriers:            "omp4go_barrier_passages_total",
+	BarrierWaitNS:       "omp4go_barrier_wait_ns_total",
+	TasksCreated:        "omp4go_tasks_created_total",
+	TasksRun:            "omp4go_tasks_run_total",
+	TasksStolen:         "omp4go_tasks_stolen_total",
+	TasksOverflowed:     "omp4go_tasks_overflowed_total",
+	TasksDependStalled:  "omp4go_tasks_depend_stalled_total",
+	TasksDependReleased: "omp4go_tasks_depend_released_total",
+	TasksCancelled:      "omp4go_tasks_cancelled_total",
+	Taskgroups:          "omp4go_taskgroups_total",
+	LoopChunks:          "omp4go_loop_chunks_total",
+	LoopIterations:      "omp4go_loop_iterations_total",
+	CriticalWaitNS:      "omp4go_critical_wait_ns_total",
+	CriticalHoldNS:      "omp4go_critical_hold_ns_total",
+	PoolParks:           "omp4go_pool_parks_total",
+	PoolUnparks:         "omp4go_pool_unparks_total",
+	PoolRetirements:     "omp4go_pool_retirements_total",
 }
 
 // Name returns the Prometheus metric name of the counter.

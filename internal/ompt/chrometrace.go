@@ -155,6 +155,28 @@ func WriteChromeTrace(w io.Writer, recs []Record, dropped uint64) error {
 				Name: "reduce merge (" + r.Label + ")", Cat: "reduction", Ph: "i",
 				Ts: us(r.Time), Pid: tracePid, Tid: r.GTID, S: "t",
 			})
+		case EvTaskDependResolved:
+			events = append(events, traceEvent{
+				Name: fmt.Sprintf("task #%d depend resolved", r.A), Cat: "task", Ph: "i",
+				Ts: us(r.Time), Pid: tracePid, Tid: r.GTID, S: "t",
+				Args: map[string]any{"task": r.A, "by": r.B},
+			})
+		case EvTaskgroupBegin:
+			events = append(events, traceEvent{
+				Name: fmt.Sprintf("taskgroup #%d", r.A), Cat: "taskgroup", Ph: "B",
+				Ts: us(r.Time), Pid: tracePid, Tid: r.GTID,
+				Args: map[string]any{"taskgroup": r.A},
+			})
+		case EvTaskgroupEnd:
+			args := map[string]any{"taskgroup": r.A}
+			if r.Label != "" {
+				args["state"] = r.Label
+			}
+			events = append(events, traceEvent{
+				Name: fmt.Sprintf("taskgroup #%d", r.A), Cat: "taskgroup", Ph: "E",
+				Ts: us(r.Time), Pid: tracePid, Tid: r.GTID,
+				Args: args,
+			})
 		}
 	}
 

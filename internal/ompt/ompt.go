@@ -77,6 +77,18 @@ const (
 	// EvReduceMerge: one thread's reduction partial was merged into
 	// the shared result. Label = reduction identifier.
 	EvReduceMerge
+	// EvTaskDependResolved: a dependence-gated task's last depend
+	// predecessor completed and the task entered the scheduler.
+	// A = released task id, B = completing predecessor's task id.
+	// Emitted on the thread that resolved the final dependence.
+	EvTaskDependResolved
+	// EvTaskgroupBegin: the thread opened a taskgroup region.
+	// A = taskgroup id.
+	EvTaskgroupBegin
+	// EvTaskgroupEnd: the taskgroup's scoped wait completed.
+	// A = taskgroup id, Dur = begin-to-end wall time,
+	// Label = "cancelled" when the group was cancelled.
+	EvTaskgroupEnd
 )
 
 // String returns the event kind name.
@@ -116,6 +128,12 @@ func (k EventKind) String() string {
 		return "critical-release"
 	case EvReduceMerge:
 		return "reduce-merge"
+	case EvTaskDependResolved:
+		return "task-depend-resolved"
+	case EvTaskgroupBegin:
+		return "taskgroup-begin"
+	case EvTaskgroupEnd:
+		return "taskgroup-end"
 	}
 	return "event(?)"
 }

@@ -40,6 +40,10 @@ type Stats struct {
 	// counts submissions that spilled to the shared overflow list.
 	TasksStolen   int
 	TaskOverflows int
+	// TaskDependsResolved counts dependence-gated tasks released to
+	// the scheduler; Taskgroups counts taskgroup regions opened.
+	TaskDependsResolved int
+	Taskgroups          int
 
 	TotalBarrierWaitNS  int64
 	TotalCriticalWaitNS int64
@@ -105,6 +109,10 @@ func ComputeStats(recs []Record, dropped uint64) *Stats {
 			s.TasksStolen++
 		case EvTaskOverflow:
 			s.TaskOverflows++
+		case EvTaskDependResolved:
+			s.TaskDependsResolved++
+		case EvTaskgroupBegin:
+			s.Taskgroups++
 		case EvCriticalAcquire:
 			t.CriticalWaitNS += r.Dur
 			s.TotalCriticalWaitNS += r.Dur

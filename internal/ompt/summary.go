@@ -29,6 +29,10 @@ func (s *Stats) Write(w io.Writer) error {
 		fmt.Fprintf(w, "tasks stolen %d, deque overflows %d\n",
 			s.TasksStolen, s.TaskOverflows)
 	}
+	if s.TaskDependsResolved > 0 || s.Taskgroups > 0 {
+		fmt.Fprintf(w, "task dependences resolved %d, taskgroups %d\n",
+			s.TaskDependsResolved, s.Taskgroups)
+	}
 	fmt.Fprintf(w, "total barrier wait %s, total critical wait %s\n",
 		ns(s.TotalBarrierWaitNS), ns(s.TotalCriticalWaitNS))
 	if s.LoadImbalance > 0 {

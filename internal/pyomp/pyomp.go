@@ -29,6 +29,7 @@ var Unsupported = map[string]string{
 	"bfs":       "Numba compilation error at execution time",
 	"graphic":   "Numba cannot compile the graph object and related functions",
 	"wordcount": "Numba lacks support for compiling Python dictionaries",
+	"wavefront": "task depend clauses are not supported by the PyOMP baseline",
 }
 
 // Run executes a PyOMP kernel. args are benchmark-specific sizes; it

@@ -1,0 +1,589 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"github.com/omp4go/omp4go/internal/metrics"
+	"github.com/omp4go/omp4go/internal/ompt"
+)
+
+// bothScheds names the two task schedulers every dependence test runs
+// under: results must not depend on which one executes the DAG.
+var bothScheds = []schedMode{schedSteal, schedList}
+
+// inSingle runs body on the single winning thread of a 4-thread team.
+func inSingle(t *testing.T, r *Runtime, body func(c *Context) error) error {
+	t.Helper()
+	return r.Parallel(r.NewContext(), ParallelOpts{NumThreads: 4}, func(c *Context) error {
+		s, err := c.SingleBegin(false, false)
+		if err != nil {
+			return err
+		}
+		var berr error
+		if s.Executes() {
+			berr = body(c)
+		}
+		if _, err := s.End(); err != nil {
+			return err
+		}
+		return berr
+	})
+}
+
+// TestDependChainSerializes submits an inout chain on one key and
+// appends to an unsynchronized slice: only strict serialization in
+// submission order makes the result (and the race detector) happy.
+func TestDependChainSerializes(t *testing.T) {
+	for _, l := range bothLayers {
+		for _, sched := range bothScheds {
+			r := newSchedRuntime(l, sched)
+			const n = 32
+			var order []int // no lock: the dep chain is the serialization
+			err := inSingle(t, r, func(c *Context) error {
+				for i := 0; i < n; i++ {
+					i := i
+					if err := c.SubmitTask(TaskOpts{Depends: InOut("x")}, func(*Context) error {
+						order = append(order, i)
+						return nil
+					}); err != nil {
+						return err
+					}
+				}
+				return c.TaskWait()
+			})
+			if err != nil {
+				t.Fatalf("%v/%s: %v", l, sched, err)
+			}
+			if len(order) != n {
+				t.Fatalf("%v/%s: %d tasks ran, want %d", l, sched, len(order), n)
+			}
+			for i, v := range order {
+				if v != i {
+					t.Fatalf("%v/%s: order[%d] = %d, dependence chain not serialized: %v",
+						l, sched, i, v, order)
+				}
+			}
+		}
+	}
+}
+
+// TestDependOutInOut checks all three edge rules on one key:
+// out→in (readers wait for the writer), readers run concurrently,
+// in→out (the next writer waits for every reader), out→out implied
+// transitively.
+func TestDependOutInOut(t *testing.T) {
+	for _, l := range bothLayers {
+		for _, sched := range bothScheds {
+			r := newSchedRuntime(l, sched)
+			const readers = 8
+			var wrote atomic.Bool
+			var readsDone atomic.Int32
+			var orderOK atomic.Bool
+			orderOK.Store(true)
+			err := inSingle(t, r, func(c *Context) error {
+				if err := c.SubmitTask(TaskOpts{Depends: Out("a")}, func(*Context) error {
+					wrote.Store(true)
+					return nil
+				}); err != nil {
+					return err
+				}
+				for i := 0; i < readers; i++ {
+					if err := c.SubmitTask(TaskOpts{Depends: In("a")}, func(*Context) error {
+						if !wrote.Load() {
+							orderOK.Store(false) // out→in violated
+						}
+						readsDone.Add(1)
+						return nil
+					}); err != nil {
+						return err
+					}
+				}
+				if err := c.SubmitTask(TaskOpts{Depends: Out("a")}, func(*Context) error {
+					if readsDone.Load() != readers {
+						orderOK.Store(false) // in→out violated
+					}
+					return nil
+				}); err != nil {
+					return err
+				}
+				return c.TaskWait()
+			})
+			if err != nil {
+				t.Fatalf("%v/%s: %v", l, sched, err)
+			}
+			if !orderOK.Load() {
+				t.Fatalf("%v/%s: dependence ordering violated", l, sched)
+			}
+			if readsDone.Load() != readers {
+				t.Fatalf("%v/%s: %d readers ran, want %d", l, sched, readsDone.Load(), readers)
+			}
+		}
+	}
+}
+
+// TestDependUndeferredWaits: an if(false) task with an in dependence
+// must not run before the deferred writer it depends on.
+func TestDependUndeferredWaits(t *testing.T) {
+	for _, sched := range bothScheds {
+		r := newSchedRuntime(LayerAtomic, sched)
+		var wrote atomic.Bool
+		sawWrite := false
+		err := inSingle(t, r, func(c *Context) error {
+			if err := c.SubmitTask(TaskOpts{Depends: Out("k")}, func(*Context) error {
+				wrote.Store(true)
+				return nil
+			}); err != nil {
+				return err
+			}
+			if err := c.SubmitTask(TaskOpts{IfSet: true, If: false, Depends: In("k")},
+				func(*Context) error {
+					sawWrite = wrote.Load()
+					return nil
+				}); err != nil {
+				return err
+			}
+			return c.TaskWait()
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", sched, err)
+		}
+		if !sawWrite {
+			t.Fatalf("%s: undeferred dependent task ran before its predecessor", sched)
+		}
+	}
+}
+
+// TestDependStallCountersAndEvents: tasks held behind a blocked
+// predecessor bump the stall counter, and their release emits both
+// the released counter and the EvTaskDependResolved event.
+func TestDependStallCountersAndEvents(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	rec := &recordingTool{}
+	r.SetTool(rec)
+	gate := make(chan struct{})
+	err := inSingle(t, r, func(c *Context) error {
+		if err := c.SubmitTask(TaskOpts{Depends: Out("g")}, func(*Context) error {
+			<-gate
+			return nil
+		}); err != nil {
+			return err
+		}
+		// Submitted while the writer is (or will be) pending: each is
+		// gated behind it.
+		for i := 0; i < 4; i++ {
+			if err := c.SubmitTask(TaskOpts{Depends: In("g")}, func(*Context) error {
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		close(gate)
+		return c.TaskWait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := r.MetricsSnapshot().CounterMap()
+	if cm["omp4go_tasks_depend_stalled_total"] == 0 {
+		t.Error("no dependence stalls counted")
+	}
+	if cm["omp4go_tasks_depend_released_total"] == 0 {
+		t.Error("no dependence releases counted")
+	}
+	resolved := 0
+	rec.mu.Lock()
+	for _, rr := range rec.recs {
+		if rr.Kind == ompt.EvTaskDependResolved {
+			resolved++
+		}
+	}
+	rec.mu.Unlock()
+	if resolved == 0 {
+		t.Error("no EvTaskDependResolved events emitted")
+	}
+}
+
+// TestTaskgroupWaitsForDescendants: taskgroup-end waits for the whole
+// subtree, unlike taskwait's direct-children-only scope.
+func TestTaskgroupWaitsForDescendants(t *testing.T) {
+	for _, l := range bothLayers {
+		for _, sched := range bothScheds {
+			r := newSchedRuntime(l, sched)
+			var done atomic.Int32
+			const kids = 6
+			err := inSingle(t, r, func(c *Context) error {
+				c.TaskgroupBegin()
+				if err := c.SubmitTask(TaskOpts{}, func(cc *Context) error {
+					for i := 0; i < kids; i++ {
+						if err := cc.SubmitTask(TaskOpts{}, func(*Context) error {
+							done.Add(1) // grandchild of the group's creator
+							return nil
+						}); err != nil {
+							return err
+						}
+					}
+					return nil // no taskwait: children outlive this task
+				}); err != nil {
+					return err
+				}
+				if err := c.TaskgroupEnd(); err != nil {
+					return err
+				}
+				if got := done.Load(); got != kids {
+					t.Errorf("%v/%s: taskgroup end returned with %d/%d descendants done",
+						l, sched, got, kids)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("%v/%s: %v", l, sched, err)
+			}
+		}
+	}
+}
+
+// TestTaskgroupCancelSkipsPending: cancelling a group prevents its
+// not-yet-started tasks from running their bodies. The pending tasks
+// are parked behind a blocked dependence chain, so cancellation
+// observably beats them to the scheduler.
+func TestTaskgroupCancelSkipsPending(t *testing.T) {
+	for _, sched := range bothScheds {
+		r := newSchedRuntime(LayerAtomic, sched)
+		const gated = 20
+		var ran atomic.Int32
+		gate := make(chan struct{})
+		started := make(chan struct{})
+		err := inSingle(t, r, func(c *Context) error {
+			c.TaskgroupBegin()
+			if err := c.SubmitTask(TaskOpts{Depends: Out("c")}, func(*Context) error {
+				ran.Add(1)
+				close(started)
+				<-gate
+				return nil
+			}); err != nil {
+				return err
+			}
+			for i := 0; i < gated; i++ {
+				if err := c.SubmitTask(TaskOpts{Depends: InOut("c")}, func(*Context) error {
+					ran.Add(1)
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+			// A teammate draining tasks at the single-end barrier picks
+			// up the writer; wait until its body is running so exactly
+			// one task observably precedes the cancellation.
+			<-started
+			if !c.TaskgroupCancel() {
+				t.Error("TaskgroupCancel reported no active group")
+			}
+			close(gate)
+			return c.TaskgroupEnd()
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", sched, err)
+		}
+		if got := ran.Load(); got != 1 {
+			t.Fatalf("%s: %d task bodies ran after cancellation, want 1 (the already-started task)",
+				sched, got)
+		}
+		if got := r.MetricsSnapshot().CounterMap()["omp4go_tasks_cancelled_total"]; got != gated {
+			t.Fatalf("%s: cancelled counter %d, want %d", sched, got, gated)
+		}
+	}
+}
+
+// TestTaskgroupEndReturnsErrors: failures inside the group surface at
+// the group's end, not at the region join.
+func TestTaskgroupEndReturnsErrors(t *testing.T) {
+	sentinel := errors.New("task boom")
+	for _, l := range bothLayers {
+		r := newTestRuntime(l)
+		var groupErr error
+		err := inSingle(t, r, func(c *Context) error {
+			c.TaskgroupBegin()
+			if err := c.SubmitTask(TaskOpts{}, func(*Context) error {
+				return sentinel
+			}); err != nil {
+				return err
+			}
+			groupErr = c.TaskgroupEnd()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: region error %v, want nil (error consumed at taskgroup end)", l, err)
+		}
+		if !errors.Is(groupErr, sentinel) {
+			t.Fatalf("%v: taskgroup end returned %v, want %v", l, groupErr, sentinel)
+		}
+	}
+}
+
+// TestTaskgroupEndWithoutBegin is a misuse, not a hang.
+func TestTaskgroupEndWithoutBegin(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	err := inSingle(t, r, func(c *Context) error {
+		return c.TaskgroupEnd()
+	})
+	var me *MisuseError
+	if !errors.As(err, &me) {
+		t.Fatalf("taskgroup end without begin returned %v, want MisuseError", err)
+	}
+}
+
+// TestTaskgroupEventsEmitted: begin/end appear in the trace stream.
+func TestTaskgroupEventsEmitted(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	rec := &recordingTool{}
+	r.SetTool(rec)
+	err := inSingle(t, r, func(c *Context) error {
+		c.TaskgroupBegin()
+		if err := c.SubmitTask(TaskOpts{}, func(*Context) error { return nil }); err != nil {
+			return err
+		}
+		return c.TaskgroupEnd()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var begin, end int
+	rec.mu.Lock()
+	for _, rr := range rec.recs {
+		switch rr.Kind {
+		case ompt.EvTaskgroupBegin:
+			begin++
+		case ompt.EvTaskgroupEnd:
+			end++
+		}
+	}
+	rec.mu.Unlock()
+	if begin != 1 || end != 1 {
+		t.Fatalf("taskgroup events begin=%d end=%d, want 1/1", begin, end)
+	}
+	if got := r.MetricsSnapshot().Counter(metrics.Taskgroups); got != 1 {
+		t.Fatalf("taskgroup counter %d, want 1", got)
+	}
+}
+
+// TestTaskLoopCoverage: every chunking mode visits each iteration
+// exactly once.
+func TestTaskLoopCoverage(t *testing.T) {
+	cases := []struct {
+		name string
+		opts TaskLoopOpts
+	}{
+		{"default", TaskLoopOpts{}},
+		{"grainsize", TaskLoopOpts{Grainsize: 10}},
+		{"num_tasks", TaskLoopOpts{NumTasks: 7}},
+	}
+	for _, l := range bothLayers {
+		for _, sched := range bothScheds {
+			for _, tc := range cases {
+				r := newSchedRuntime(l, sched)
+				const total = 101
+				var visits [total]atomic.Int32
+				b := ForBounds(Triplet{Start: 0, End: total, Step: 1})
+				err := inSingle(t, r, func(c *Context) error {
+					return c.TaskLoop(b, tc.opts, func(_ *Context, lo, hi int64) error {
+						for i := lo; i < hi; i++ {
+							visits[i].Add(1)
+						}
+						return nil
+					})
+				})
+				if err != nil {
+					t.Fatalf("%v/%s/%s: %v", l, sched, tc.name, err)
+				}
+				for i := range visits {
+					if n := visits[i].Load(); n != 1 {
+						t.Fatalf("%v/%s/%s: iteration %d visited %d times", l, sched, tc.name, i, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTaskLoopNumTasksChunkCount: num_tasks produces exactly that
+// many chunk tasks.
+func TestTaskLoopNumTasksChunkCount(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	var chunks atomic.Int32
+	b := ForBounds(Triplet{Start: 0, End: 100, Step: 1})
+	err := inSingle(t, r, func(c *Context) error {
+		return c.TaskLoop(b, TaskLoopOpts{NumTasks: 7}, func(_ *Context, lo, hi int64) error {
+			chunks.Add(1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := chunks.Load(); got != 7 {
+		t.Fatalf("num_tasks(7) produced %d chunks", got)
+	}
+}
+
+// TestTaskLoopGrainsizeNumTasksExclusive: the runtime rejects the
+// clause combination the spec forbids.
+func TestTaskLoopGrainsizeNumTasksExclusive(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	b := ForBounds(Triplet{Start: 0, End: 10, Step: 1})
+	err := inSingle(t, r, func(c *Context) error {
+		return c.TaskLoop(b, TaskLoopOpts{Grainsize: 2, NumTasks: 2},
+			func(_ *Context, lo, hi int64) error { return nil })
+	})
+	var me *MisuseError
+	if !errors.As(err, &me) {
+		t.Fatalf("grainsize+num_tasks returned %v, want MisuseError", err)
+	}
+}
+
+// TestTaskLoopNoGroup: without the implicit taskgroup, completion is
+// observed by the next taskwait (chunks are children of the
+// generating task).
+func TestTaskLoopNoGroup(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	const total = 64
+	var visited atomic.Int32
+	b := ForBounds(Triplet{Start: 0, End: total, Step: 1})
+	err := inSingle(t, r, func(c *Context) error {
+		if err := c.TaskLoop(b, TaskLoopOpts{NoGroup: true, Grainsize: 8},
+			func(_ *Context, lo, hi int64) error {
+				visited.Add(int32(hi - lo))
+				return nil
+			}); err != nil {
+			return err
+		}
+		if err := c.TaskWait(); err != nil {
+			return err
+		}
+		if got := visited.Load(); got != total {
+			t.Errorf("after taskwait %d/%d iterations done", got, total)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTaskLoopErrorSurfaces: a failing chunk surfaces through the
+// construct's implicit taskgroup.
+func TestTaskLoopErrorSurfaces(t *testing.T) {
+	sentinel := errors.New("chunk boom")
+	r := newTestRuntime(LayerAtomic)
+	b := ForBounds(Triplet{Start: 0, End: 40, Step: 1})
+	var loopErr error
+	err := inSingle(t, r, func(c *Context) error {
+		loopErr = c.TaskLoop(b, TaskLoopOpts{NumTasks: 4}, func(_ *Context, lo, hi int64) error {
+			if lo == 0 {
+				return sentinel
+			}
+			return nil
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("region error %v, want nil", err)
+	}
+	if !errors.Is(loopErr, sentinel) {
+		t.Fatalf("taskloop returned %v, want %v", loopErr, sentinel)
+	}
+}
+
+// wavefront runs the blocked wavefront recurrence under one scheduler
+// and returns the result grid. Cell (i,j) depends on (i-1,j) and
+// (i,j-1); the dependence graph fixes every operand, so any correct
+// schedule produces bit-identical floats.
+func wavefront(t *testing.T, sched schedMode, n int) []float64 {
+	t.Helper()
+	r := newSchedRuntime(LayerAtomic, sched)
+	grid := make([]float64, n*n)
+	err := inSingle(t, r, func(c *Context) error {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				i, j := i, j
+				deps := Out([2]int{i, j})
+				if i > 0 {
+					deps = append(deps, In([2]int{i - 1, j})...)
+				}
+				if j > 0 {
+					deps = append(deps, In([2]int{i, j - 1})...)
+				}
+				if err := c.SubmitTask(TaskOpts{Depends: deps}, func(*Context) error {
+					up, left := 1.0, 1.0
+					if i > 0 {
+						up = grid[(i-1)*n+j]
+					}
+					if j > 0 {
+						left = grid[i*n+j-1]
+					}
+					// Non-associative float work: any mis-ordered or
+					// racing execution perturbs the bits.
+					grid[i*n+j] = math.Sqrt(up*1.25+left/3.0) + up/7.0
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		return c.TaskWait()
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", sched, err)
+	}
+	return grid
+}
+
+// TestWavefrontDifferential: the wavefront result is bit-identical
+// between the list and stealing schedulers (ISSUE acceptance).
+func TestWavefrontDifferential(t *testing.T) {
+	const n = 12
+	steal := wavefront(t, schedSteal, n)
+	list := wavefront(t, schedList, n)
+	for k := range steal {
+		if math.Float64bits(steal[k]) != math.Float64bits(list[k]) {
+			t.Fatalf("cell %d differs: steal %v (%#x) list %v (%#x)", k,
+				steal[k], math.Float64bits(steal[k]),
+				list[k], math.Float64bits(list[k]))
+		}
+	}
+	if steal[0] == 0 {
+		t.Fatal("wavefront produced zero grid")
+	}
+}
+
+// TestDependDisjointKeysNoEdges: tasks on disjoint keys never stall
+// on each other — the tracker adds no spurious dependence edges.
+func TestDependDisjointKeysNoEdges(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	var ran atomic.Int32
+	err := inSingle(t, r, func(c *Context) error {
+		for i := 0; i < 16; i++ {
+			key := fmt.Sprintf("k%d", i)
+			if err := c.SubmitTask(TaskOpts{Depends: InOut(key)}, func(*Context) error {
+				ran.Add(1)
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		return c.TaskWait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 16 {
+		t.Fatalf("%d tasks ran, want 16", ran.Load())
+	}
+	cm := r.MetricsSnapshot().CounterMap()
+	if got := cm["omp4go_tasks_depend_stalled_total"]; got != 0 {
+		t.Fatalf("disjoint keys produced %d dependence stalls, want 0", got)
+	}
+}

@@ -19,6 +19,7 @@ const (
 	waitNone int32 = iota
 	waitBarrier
 	waitTaskwait
+	waitTaskgroup
 )
 
 func waitKindString(k int32) string {
@@ -27,6 +28,8 @@ func waitKindString(k int32) string {
 		return "barrier"
 	case waitTaskwait:
 		return "taskwait"
+	case waitTaskgroup:
+		return "taskgroup"
 	}
 	return ""
 }
@@ -100,7 +103,7 @@ func (r *Runtime) StallReports() []StallReport {
 type MemberInfo struct {
 	GTID       int32  `json:"gtid"`
 	ThreadNum  int    `json:"thread_num"`
-	Wait       string `json:"wait,omitempty"` // "", "barrier", "taskwait"
+	Wait       string `json:"wait,omitempty"` // "", "barrier", "taskwait", "taskgroup"
 	WaitNS     int64  `json:"wait_ns,omitempty"`
 	DequeDepth int    `json:"deque_depth"`
 }

@@ -68,10 +68,12 @@ type Runtime struct {
 
 	// gtidSeq hands out per-context global trace thread ids;
 	// regionSeq numbers parallel regions; taskSeq numbers explicit
-	// tasks (assigned only while a tool is attached).
+	// tasks and tgSeq taskgroup regions (both assigned only while a
+	// tool is attached).
 	gtidSeq   atomic.Int64
 	regionSeq atomic.Int64
 	taskSeq   atomic.Int64
+	tgSeq     atomic.Int64
 
 	// taskSched selects the team task scheduler: work-stealing
 	// deques by default, the paper's shared list queue when
@@ -242,7 +244,8 @@ type Context struct {
 	level       int // nesting depth of parallel regions (incl. serialized)
 	activeLevel int // nesting depth counting only teams with size > 1
 
-	curTask *task // innermost task (implicit or explicit)
+	curTask *task      // innermost task (implicit or explicit)
+	curTG   *taskgroup // innermost taskgroup region (depend.go), nil outside any
 
 	wsIndex      int64 // worksharing constructs encountered in this region
 	wsDepth      int   // >0 while inside a worksharing construct body
@@ -401,6 +404,15 @@ func (t *Team) runMember(member *Context) {
 		t.broken.Load() == 0 {
 		t.errbuf[member.num] = berr
 	}
+	// The closing barrier drained every explicit task, so the errors
+	// that climbed to this member's implicit task — failures no
+	// taskwait/taskgroup-end consumed — are final; surface them once
+	// at the region join. (On a broken team stragglers may still
+	// deliver afterwards; their errors stay with the abandoned team,
+	// whose join already reports the causing failure.)
+	for _, e := range member.curTask.takeChildErrs() {
+		t.recordTaskError(e)
+	}
 }
 
 // spawnedMember runs a member on a freshly spawned goroutine (pool
@@ -531,6 +543,7 @@ func (r *Runtime) Parallel(ctx *Context, opts ParallelOpts, body func(*Context) 
 			member.curTask.resetImplicit()
 			member.wsIndex, member.wsDepth, member.barrierEpoch = 0, 0, 0
 			member.curLoop = nil
+			member.curTG = nil
 			member.critT0 = member.critT0[:0]
 		}
 		member.parent = ctx

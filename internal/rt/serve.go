@@ -72,9 +72,24 @@ func (s *MetricsServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# HELP omp4go_pool_workers_live Live persistent pool worker goroutines.\n")
 	fmt.Fprintf(w, "# TYPE omp4go_pool_workers_live gauge\n")
 	fmt.Fprintf(w, "omp4go_pool_workers_live %d\n", total)
+	regions := s.rt.InflightRegions()
 	fmt.Fprintf(w, "# HELP omp4go_inflight_regions Parallel regions currently executing.\n")
 	fmt.Fprintf(w, "# TYPE omp4go_inflight_regions gauge\n")
-	fmt.Fprintf(w, "omp4go_inflight_regions %d\n", len(s.rt.InflightRegions()))
+	fmt.Fprintf(w, "omp4go_inflight_regions %d\n", len(regions))
+	// Ready-queue depth: tasks sitting in the scheduler deques of
+	// in-flight regions, runnable but not yet claimed. Dependence-
+	// stalled tasks are not counted here (they are outstanding but
+	// off the deques — the omp4go_tasks_depend_stalled_total counter
+	// tracks how many ever stalled).
+	ready := 0
+	for _, ri := range regions {
+		for _, m := range ri.Members {
+			ready += m.DequeDepth
+		}
+	}
+	fmt.Fprintf(w, "# HELP omp4go_ready_queue_depth Tasks queued runnable in in-flight regions' scheduler deques.\n")
+	fmt.Fprintf(w, "# TYPE omp4go_ready_queue_depth gauge\n")
+	fmt.Fprintf(w, "omp4go_ready_queue_depth %d\n", ready)
 }
 
 // DebugSnapshot is the /debug/omp JSON document.

@@ -31,6 +31,38 @@ type task struct {
 	next     atomic.Pointer[task] // list scheduler only
 	err      error
 
+	// undeferred marks a task that ran inline on its encountering
+	// thread (if-clause false, or inside a final task): its error
+	// returns to the submitter from SubmitTask instead of being
+	// recorded for a later scheduling point.
+	undeferred bool
+
+	// Dependence bookkeeping (depend.go). depMu guards npred (the
+	// unresolved-predecessor count, +1 submission hold while depend
+	// clauses register), succs (tasks gated on this one) and
+	// depDrained (successor release done); hasDeps gates the
+	// completion-time release pass so dependence-free tasks never
+	// touch the mutex. deps is the tracker resolving this task's
+	// children's depend clauses against each other.
+	hasDeps    bool
+	depMu      sync.Mutex
+	npred      int
+	succs      []*task
+	depDrained bool
+	deps       *depTracker
+
+	// tg is the innermost taskgroup enclosing the task's creation
+	// (nil outside any taskgroup region).
+	tg *taskgroup
+
+	// childErrMu guards childErrs and errsClosed: failures of
+	// completed descendant tasks parked here until this task's next
+	// taskwait/taskgroup-end drains them, or until its own completion
+	// forwards them to the nearest still-collecting ancestor.
+	childErrMu sync.Mutex
+	childErrs  []error
+	errsClosed bool
+
 	// id and startNS serve the observability subsystem: id is
 	// non-zero only for tasks created while a tool was attached.
 	id      int64
@@ -63,6 +95,15 @@ func (t *task) resetImplicit() {
 	t.final = false
 	t.next.Store(nil)
 	t.err = nil
+	t.undeferred = false
+	t.hasDeps = false
+	t.npred = 0
+	t.succs = nil
+	t.depDrained = false
+	t.deps = nil
+	t.tg = nil
+	t.childErrs = nil
+	t.errsClosed = false
 	t.id, t.startNS = 0, 0
 }
 
@@ -226,6 +267,12 @@ type TaskOpts struct {
 	// Final makes every descendant task included (executed inline).
 	Final    bool
 	FinalSet bool
+	// Depends lists the task's depend clause items (depend.go): the
+	// task waits for the unfinished siblings it must serialize after
+	// and is recorded as reader/writer of each key for later
+	// siblings. An undeferred task still obeys its dependences — its
+	// encountering thread waits for them.
+	Depends []Dep
 }
 
 // SubmitTask implements the task directive: fn is packaged with its
@@ -246,16 +293,43 @@ func (c *Context) SubmitTask(opts TaskOpts, fn func(*Context) error) error {
 	}
 	c.rt.metrics.Inc(c.gtid, metrics.TasksCreated)
 	if undeferred {
+		tk.undeferred = true
 		tk.state.Store(taskInProgress)
 		c.curTask.children.Add(1)
+		registerTaskgroup(c, tk)
 		if tk.id != 0 {
 			c.emit(ompt.EvTaskCreate, tk.id, t.outstanding.Load(), 0, "undeferred")
+		}
+		if len(opts.Depends) > 0 {
+			tk.hasDeps = true
+			tk.npred = 1 // submission hold; see registerDeps
+			registerDeps(c.curTask, tk, opts.Depends)
+			if !tk.releaseHold() {
+				c.rt.metrics.Inc(c.gtid, metrics.TasksDependStalled)
+				t.waitDeps(c, tk)
+			}
 		}
 		t.runClaimed(c, tk)
 		return tk.err
 	}
 	c.curTask.children.Add(1)
+	registerTaskgroup(c, tk)
 	depth := t.outstanding.Add(1)
+	if len(opts.Depends) > 0 {
+		tk.hasDeps = true
+		tk.npred = 1 // submission hold; see registerDeps
+		registerDeps(c.curTask, tk, opts.Depends)
+		if !tk.releaseHold() {
+			// The task stays off the deques until its predecessors
+			// complete; outstanding already counts it, so barriers
+			// keep waiting for it.
+			c.rt.metrics.Inc(c.gtid, metrics.TasksDependStalled)
+			if tk.id != 0 {
+				c.emit(ompt.EvTaskCreate, tk.id, depth, 0, "stalled")
+			}
+			return nil
+		}
+	}
 	overflowed := t.sched.submit(c.num, tk)
 	if overflowed {
 		c.rt.metrics.Inc(c.gtid, metrics.TasksOverflowed)
@@ -296,15 +370,17 @@ func (c *Context) inFinal() bool {
 	return false
 }
 
-// runTask executes a queue-claimed task on this thread.
+// runTask executes a queue-claimed task on this thread. Completion
+// bookkeeping — the outstanding decrement and the single team wake —
+// lives in runClaimed's defer, so the deferred-task completion path
+// broadcasts exactly once (it used to wake here a second time).
 func (t *Team) runTask(ctx *Context, tk *task) {
 	t.runClaimed(ctx, tk)
-	t.outstanding.Add(-1)
-	t.wakeAll()
 }
 
 // runClaimed runs a task already marked in-progress, pushing it onto
-// the thread's context stack for the duration.
+// the thread's context stack for the duration. A task whose enclosing
+// taskgroup was cancelled is completed without running its body.
 func (t *Team) runClaimed(ctx *Context, tk *task) {
 	t.rt.metrics.Inc(ctx.gtid, metrics.TasksRun)
 	if tk.id != 0 && t.rt.loadTool() != nil {
@@ -314,51 +390,81 @@ func (t *Team) runClaimed(ctx *Context, tk *task) {
 	prevTask := ctx.curTask
 	prevWS := ctx.wsDepth
 	prevLoop := ctx.curLoop
+	prevTG := ctx.curTG
 	ctx.curTask = tk
 	ctx.wsDepth = 0
 	ctx.curLoop = nil
+	ctx.curTG = tk.tg
+	cancelled := false
 	defer func() {
 		if p := recover(); p != nil {
 			tk.err = fmt.Errorf("panic in task: %v", p)
-			t.recordTaskError(tk.err)
 		}
 		ctx.curTask = prevTask
 		ctx.wsDepth = prevWS
 		ctx.curLoop = prevLoop
+		ctx.curTG = prevTG
 		if tk.id != 0 && tk.startNS != 0 {
-			ctx.emit(ompt.EvTaskEnd, tk.id, 0, ompt.Now()-tk.startNS, "")
+			label := ""
+			if cancelled {
+				label = "cancelled"
+			}
+			ctx.emit(ompt.EvTaskEnd, tk.id, 0, ompt.Now()-tk.startNS, label)
 		}
 		tk.state.Store(taskDone)
 		tk.done.Set()
+		if tk.hasDeps {
+			t.releaseSuccessors(ctx, tk)
+		}
+		for g := tk.tg; g != nil; g = g.parent {
+			g.pending.Add(-1)
+		}
+		t.deliverTaskErrors(tk)
 		if tk.parent != nil {
 			tk.parent.children.Add(-1)
+		}
+		// Deferred tasks leave the outstanding count here, before the
+		// completion broadcast: barrier predicates read outstanding
+		// and taskwait predicates read children, and both must be
+		// current when the single wake lands.
+		if tk.explicit && !tk.undeferred {
+			t.outstanding.Add(-1)
 		}
 		t.wakeAll()
 	}()
 	if tk.fn != nil {
-		tk.err = tk.fn(ctx)
-		if tk.err != nil {
-			t.recordTaskError(tk.err)
+		if tk.cancelledByGroup() {
+			cancelled = true
+			t.rt.metrics.Inc(ctx.gtid, metrics.TasksCancelled)
+			return
 		}
+		tk.err = tk.fn(ctx)
 	}
 }
 
 // TaskWait implements the taskwait directive: the current task waits
 // for the completion of its direct children, executing queued tasks
-// while it waits instead of blocking idle.
+// while it waits instead of blocking idle. Errors recorded by
+// completed children surface here (they used to be swallowed and
+// deferred to the region join).
 func (c *Context) TaskWait() error {
 	t := c.team
 	cur := c.curTask
 	if cur.children.Load() == 0 {
-		return nil
+		return joinErrors(cur.takeChildErrs())
 	}
 	// The wait marker (introspection only) lets the watchdog and
 	// /debug/omp distinguish a thread draining a taskwait from one
-	// still executing its body.
+	// still executing its body. waitSince is cleared with the kind so
+	// a later sample never pairs a fresh wait with this stale
+	// timestamp.
 	if obs := c.rt.obs.Load(); obs != nil {
 		c.waitSince.Store(ompt.Now())
 		c.waitKind.Store(waitTaskwait)
-		defer c.waitKind.Store(waitNone)
+		defer func() {
+			c.waitKind.Store(waitNone)
+			c.waitSince.Store(0)
+		}()
 	}
 	for cur.children.Load() > 0 {
 		if tk := t.claimTask(c); tk != nil {
@@ -372,14 +478,70 @@ func (c *Context) TaskWait() error {
 			return cur.children.Load() == 0 || t.sched.hasRunnable() || t.broken.Load() != 0
 		})
 	}
-	return nil
+	return joinErrors(cur.takeChildErrs())
+}
+
+// maxTaskErrs caps every task-error buffer (a task's childErrs, the
+// team's region-join list): reporting keeps the first few failures
+// and drops the rest rather than growing without bound.
+const maxTaskErrs = 16
+
+// deliverTaskErrors flushes a completed task's unreported failures to
+// the nearest ancestor still collecting: the task's own error — for
+// deferred tasks; an undeferred task's error returned to its
+// submitter from SubmitTask — plus any descendant errors no taskwait
+// drained. Each task error is thereby delivered exactly once: to one
+// taskwait/taskgroup-end, or, once it climbs to an implicit task, to
+// the region join (runMember flushes implicit tasks after the closing
+// barrier).
+func (t *Team) deliverTaskErrors(tk *task) {
+	tk.childErrMu.Lock()
+	tk.errsClosed = true
+	up := tk.childErrs
+	tk.childErrs = nil
+	tk.childErrMu.Unlock()
+	if tk.err != nil && !tk.undeferred {
+		up = append([]error{tk.err}, up...)
+	}
+	if len(up) == 0 {
+		return
+	}
+	for a := tk.parent; a != nil; a = a.parent {
+		a.childErrMu.Lock()
+		if !a.errsClosed {
+			if room := maxTaskErrs - len(a.childErrs); room > 0 {
+				if room > len(up) {
+					room = len(up)
+				}
+				a.childErrs = append(a.childErrs, up[:room]...)
+			}
+			a.childErrMu.Unlock()
+			return
+		}
+		a.childErrMu.Unlock()
+	}
+	// No collecting ancestor remains (the whole chain completed
+	// before this flush) — fall back to the region-join list.
+	for _, e := range up {
+		t.recordTaskError(e)
+	}
+}
+
+// takeChildErrs drains the errors recorded by completed descendants
+// (the taskwait and taskgroup-end scheduling points).
+func (tk *task) takeChildErrs() []error {
+	tk.childErrMu.Lock()
+	errs := tk.childErrs
+	tk.childErrs = nil
+	tk.childErrMu.Unlock()
+	return errs
 }
 
 // recordTaskError keeps the first few task errors for reporting at
 // the region join.
 func (t *Team) recordTaskError(err error) {
 	t.taskErrMu.Lock()
-	if len(t.taskErrs) < 16 {
+	if len(t.taskErrs) < maxTaskErrs {
 		t.taskErrs = append(t.taskErrs, err)
 	}
 	t.taskErrMu.Unlock()

@@ -26,6 +26,10 @@ func (tr *transformer) construct(ctx *fnCtx, dir *directive.Directive, w *minipy
 		return tr.ordered(ctx, w)
 	case directive.NameTask:
 		return tr.task(ctx, dir, w)
+	case directive.NameTaskloop:
+		return tr.taskloop(ctx, dir, w)
+	case directive.NameTaskgroup:
+		return tr.taskgroup(ctx, w)
 	case directive.NameSection:
 		return nil, errAt(w.NodePos(), "section directive is only valid inside a sections construct")
 	}
@@ -788,8 +792,205 @@ func (tr *transformer) task(ctx *fnCtx, dir *directive.Directive, w *minipy.With
 		}
 	}
 
+	// depend clauses lower to key tuples evaluated at submission time
+	// in the submitting scope (index expressions read current values).
+	var depIn, depOut, depInout []minipy.Expr
+	for _, cl := range dir.FindAll(directive.ClauseDepend) {
+		for _, v := range cl.Vars {
+			key, err := dependKeyExpr(v, pos)
+			if err != nil {
+				return nil, err
+			}
+			switch cl.Op {
+			case "in":
+				depIn = append(depIn, key)
+			case "out":
+				depOut = append(depOut, key)
+			default:
+				depInout = append(depInout, key)
+			}
+		}
+	}
+
 	out := append([]minipy.Stmt{}, plan.preOuter...)
-	out = append(out, fd, exprStmt(ompCall("task_submit",
-		nameRef(fnName), ifSet, ifVal, finalSet, finalVal)))
+	callArgs := []minipy.Expr{nameRef(fnName), ifSet, ifVal, finalSet, finalVal}
+	if len(depIn)+len(depOut)+len(depInout) > 0 {
+		callArgs = append(callArgs,
+			&minipy.TupleLit{Elts: depIn},
+			&minipy.TupleLit{Elts: depOut},
+			&minipy.TupleLit{Elts: depInout})
+	}
+	out = append(out, fd, exprStmt(ompCall("task_submit", callArgs...)))
+	return out, nil
+}
+
+// dependKeyExpr lowers one depend operand to its storage-key
+// expression: a plain name becomes a string literal, a subscripted
+// name a ("name", idx...) tuple whose index expressions the generated
+// code evaluates at submission time.
+func dependKeyExpr(operand string, pos minipy.Position) (minipy.Expr, error) {
+	e, err := minipy.ParseExprString(operand)
+	if err != nil {
+		return nil, errAt(pos, "invalid depend operand %q: %v", operand, err)
+	}
+	var idx []minipy.Expr
+	for {
+		switch t := e.(type) {
+		case *minipy.Name:
+			if len(idx) == 0 {
+				return strLit(t.ID), nil
+			}
+			return &minipy.TupleLit{Elts: append([]minipy.Expr{strLit(t.ID)}, idx...)}, nil
+		case *minipy.Index:
+			idx = append([]minipy.Expr{t.I}, idx...)
+			e = t.X
+		default:
+			return nil, errAt(pos, "depend operand %q must be a variable or subscripted variable", operand)
+		}
+	}
+}
+
+// taskgroup transforms the taskgroup construct: deep completion wait
+// on the directly generated tasks and all their descendants, with the
+// end reached even when the body raises so the group stays balanced.
+func (tr *transformer) taskgroup(ctx *fnCtx, w *minipy.With) ([]minipy.Stmt, error) {
+	tBody, err := tr.block(ctx, w.Body)
+	if err != nil {
+		return nil, err
+	}
+	return []minipy.Stmt{
+		exprStmt(ompCall("taskgroup_begin")),
+		&minipy.Try{
+			Body:  tBody,
+			Final: []minipy.Stmt{exprStmt(ompCall("taskgroup_end"))},
+		},
+	}, nil
+}
+
+// taskloop transforms the taskloop construct: the runtime chunks the
+// loop's iteration space into child tasks, each invoking the
+// generated chunk function with a [lo, hi) range of linear indices.
+func (tr *transformer) taskloop(ctx *fnCtx, dir *directive.Directive, w *minipy.With) ([]minipy.Stmt, error) {
+	pos := w.NodePos()
+	outside := minipy.AnalyzeScopeExcluding(ctx.fd.Params, ctx.fd.Body, w)
+
+	if len(w.Body) != 1 {
+		return nil, errAt(pos, "taskloop requires a single for loop, found %d statements", len(w.Body))
+	}
+	loop, ok := w.Body[0].(*minipy.For)
+	if !ok {
+		return nil, errAt(pos, "taskloop requires a for loop as its body")
+	}
+	v, ok := loop.Target.(*minipy.Name)
+	if !ok {
+		return nil, errAt(loop.NodePos(), "taskloop loop variable must be a simple name")
+	}
+	call, ok := loop.Iter.(*minipy.Call)
+	if !ok {
+		return nil, errAt(loop.NodePos(), "taskloop must iterate over range(...)")
+	}
+	fnRef, ok := call.Fn.(*minipy.Name)
+	if !ok || fnRef.ID != "range" {
+		return nil, errAt(loop.NodePos(), "taskloop must iterate over range(...)")
+	}
+	var start, stop, step minipy.Expr
+	switch len(call.Args) {
+	case 1:
+		start, stop, step = intLit(0), call.Args[0], intLit(1)
+	case 2:
+		start, stop, step = call.Args[0], call.Args[1], intLit(1)
+	case 3:
+		start, stop, step = call.Args[0], call.Args[1], call.Args[2]
+	default:
+		return nil, errAt(loop.NodePos(), "range() takes 1 to 3 arguments")
+	}
+
+	tBody, err := tr.block(ctx, loop.Body)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := tr.buildDataPlan(ctx, dir, tBody, pos, true, outside)
+	if err != nil {
+		return nil, err
+	}
+
+	// The loop variable is private to each chunk task: keep it a local
+	// of the chunk function (unless a data clause already renamed it).
+	lv, renamed := plan.renames[v.ID]
+	if !renamed {
+		lv = tr.fresh(v.ID)
+		renameInStmts(tBody, map[string]string{v.ID: lv})
+	}
+
+	// Bounds are captured once, before the chunk function definition,
+	// so its defaults and the runtime call see the same values.
+	startVar := tr.fresh("tl_start")
+	stopVar := tr.fresh("tl_stop")
+	stepVar := tr.fresh("tl_step")
+	loVar, hiVar := tr.fresh("lo"), tr.fresh("hi")
+	startP, stepP := tr.fresh("startp"), tr.fresh("stepp")
+
+	// for <lv> in range(start + lo*step, start + hi*step, step): body
+	linVal := func(edge string) minipy.Expr {
+		return &minipy.BinOp{Op: "+", L: nameRef(startP),
+			R: &minipy.BinOp{Op: "*", L: nameRef(edge), R: nameRef(stepP)}}
+	}
+	chunkLoop := &minipy.For{
+		Target: nameRef(lv),
+		Iter: &minipy.Call{Fn: nameRef("range"), Args: []minipy.Expr{
+			linVal(loVar), linVal(hiVar), nameRef(stepP)}},
+		Body: tBody,
+	}
+
+	fnBody := append(append([]minipy.Stmt{}, plan.preInner...), chunkLoop)
+	fnBody = append(fnBody, plan.postInner...)
+	decls := shareDecls(ctx, outside, fnBody)
+	fnBody = append(decls, fnBody...)
+
+	params := []minipy.Param{
+		{Name: loVar}, {Name: hiVar},
+		{Name: startP, Default: nameRef(startVar)},
+		{Name: stepP, Default: nameRef(stepVar)},
+	}
+	params = append(params, plan.params...)
+	fnName := tr.fresh("taskloop")
+	fd := &minipy.FuncDef{Name: fnName, Params: params, Body: fnBody}
+
+	var gsExpr, ntExpr minipy.Expr = intLit(0), intLit(0)
+	if cl := dir.Find(directive.ClauseGrainsize); cl != nil {
+		if gsExpr, err = parseClauseExpr(cl, pos); err != nil {
+			return nil, err
+		}
+	}
+	if cl := dir.Find(directive.ClauseNumTasks); cl != nil {
+		if ntExpr, err = parseClauseExpr(cl, pos); err != nil {
+			return nil, err
+		}
+	}
+	var ifSet, ifVal minipy.Expr = boolLit(false), boolLit(false)
+	if cl := dir.Find(directive.ClauseIf); cl != nil {
+		ifSet = boolLit(true)
+		if ifVal, err = parseClauseExpr(cl, pos); err != nil {
+			return nil, err
+		}
+	}
+	var finalSet, finalVal minipy.Expr = boolLit(false), boolLit(false)
+	if cl := dir.Find(directive.ClauseFinal); cl != nil {
+		finalSet = boolLit(true)
+		if finalVal, err = parseClauseExpr(cl, pos); err != nil {
+			return nil, err
+		}
+	}
+
+	out := append([]minipy.Stmt{}, plan.preOuter...)
+	out = append(out,
+		assignStmt(startVar, start),
+		assignStmt(stopVar, stop),
+		assignStmt(stepVar, step),
+		fd,
+		exprStmt(ompCall("taskloop", nameRef(fnName),
+			nameRef(startVar), nameRef(stopVar), nameRef(stepVar),
+			gsExpr, ntExpr, boolLit(dir.Has(directive.ClauseNogroup)),
+			ifSet, ifVal, finalSet, finalVal)))
 	return out, nil
 }

@@ -1,0 +1,204 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/omp4go/omp4go/internal/minipy"
+)
+
+// TestTaskDependChainEndToEnd: an inout chain serializes tasks in
+// submission order with no critical section — the MiniPy surface of
+// the dependence tracker.
+func TestTaskDependChainEndToEnd(t *testing.T) {
+	expectOMP(t, `
+from omp4py import *
+
+@omp
+def f(n):
+    out = []
+    with omp("parallel num_threads(4)"):
+        with omp("single"):
+            i = 0
+            while i < n:
+                with omp("task depend(inout: q) firstprivate(i)"):
+                    out.append(i)
+                i += 1
+            omp("taskwait")
+    return out
+
+print(f(12))
+`, "[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]\n")
+}
+
+// TestTaskDependSubscriptsEndToEnd: subscripted dependence operands
+// build per-element chains — a 1-D wavefront computing prefix sums,
+// where each cell reads its left neighbour.
+func TestTaskDependSubscriptsEndToEnd(t *testing.T) {
+	expectOMP(t, `
+from omp4py import *
+
+@omp
+def f(n):
+    acc = [0] * n
+    with omp("parallel num_threads(4)"):
+        with omp("single"):
+            i = 1
+            while i < n:
+                with omp("task depend(in: acc[i-1]) depend(out: acc[i]) firstprivate(i)"):
+                    acc[i] = acc[i - 1] + i
+                i += 1
+            omp("taskwait")
+    return acc
+
+print(f(8))
+`, "[0, 1, 3, 6, 10, 15, 21, 28]\n")
+}
+
+// TestTaskloopEndToEnd: taskloop chunks the loop into tasks and its
+// implicit taskgroup completes them before the construct exits.
+func TestTaskloopEndToEnd(t *testing.T) {
+	expectOMP(t, `
+from omp4py import *
+
+@omp
+def f(n):
+    total = [0]
+    with omp("parallel num_threads(4)"):
+        with omp("single"):
+            with omp("taskloop grainsize(16)"):
+                for i in range(n):
+                    with omp("critical"):
+                        total[0] += i
+    return total[0]
+
+print(f(100))
+`, "4950\n")
+}
+
+// TestTaskloopNumTasksNogroup: nogroup skips the implicit taskgroup;
+// the explicit taskwait observes chunk completion instead.
+func TestTaskloopNumTasksNogroup(t *testing.T) {
+	expectOMP(t, `
+from omp4py import *
+
+@omp
+def f(n):
+    total = [0]
+    with omp("parallel num_threads(4)"):
+        with omp("single"):
+            with omp("taskloop num_tasks(4) nogroup"):
+                for i in range(n):
+                    with omp("critical"):
+                        total[0] += 1
+            omp("taskwait")
+    return total[0]
+
+print(f(64))
+`, "64\n")
+}
+
+// TestTaskloopStepAndBounds: a non-unit step survives the lowering's
+// linear-index chunking.
+func TestTaskloopStepAndBounds(t *testing.T) {
+	expectOMP(t, `
+from omp4py import *
+
+@omp
+def f():
+    out = []
+    with omp("parallel num_threads(2)"):
+        with omp("single"):
+            with omp("taskloop grainsize(2)"):
+                for i in range(10, 0, -2):
+                    with omp("critical"):
+                        out.append(i)
+    return sorted(out)
+
+print(f())
+`, "[2, 4, 6, 8, 10]\n")
+}
+
+// TestTaskgroupEndToEnd: taskgroup waits for descendants, so the
+// grandchild's write is visible right after the with block.
+func TestTaskgroupEndToEnd(t *testing.T) {
+	expectOMP(t, `
+from omp4py import *
+
+@omp
+def f():
+    box = [0]
+    with omp("parallel num_threads(4)"):
+        with omp("single"):
+            with omp("taskgroup"):
+                with omp("task"):
+                    with omp("task"):
+                        box[0] = 41
+            box[0] += 1
+    return box[0]
+
+print(f())
+`, "42\n")
+}
+
+// TestTaskloopLowering inspects the generated MiniPy: the construct
+// becomes a chunk function plus one __omp.taskloop runtime call, and
+// captured bounds are evaluated before the function definition.
+func TestTaskloopLowering(t *testing.T) {
+	mod, err := minipy.Parse(`
+@omp
+def f(n):
+    with omp("taskloop grainsize(4)"):
+        for i in range(n):
+            pass
+`, "test.py")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := Module(mod); err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	src := minipy.Unparse(mod)
+	if !strings.Contains(src, "__omp.taskloop(") {
+		t.Fatalf("no __omp.taskloop call in lowering:\n%s", src)
+	}
+	if strings.Contains(src, "__omp.taskgroup_begin") {
+		t.Fatalf("taskloop lowering should rely on the runtime's implicit group:\n%s", src)
+	}
+}
+
+// TestTaskgroupLowering: the construct becomes begin + try/finally
+// end so a raising body still closes the group.
+func TestTaskgroupLowering(t *testing.T) {
+	mod, err := minipy.Parse(`
+@omp
+def f():
+    with omp("taskgroup"):
+        pass
+`, "test.py")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := Module(mod); err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	src := minipy.Unparse(mod)
+	if !strings.Contains(src, "__omp.taskgroup_begin()") ||
+		!strings.Contains(src, "__omp.taskgroup_end()") {
+		t.Fatalf("taskgroup lowering missing begin/end:\n%s", src)
+	}
+	if !strings.Contains(src, "finally") {
+		t.Fatalf("taskgroup end not in a finally block:\n%s", src)
+	}
+}
+
+// TestTaskloopRequiresForLoop: the construct only accepts a single
+// range-for body.
+func TestTaskloopRequiresForLoop(t *testing.T) {
+	transformErr(t, `
+@omp
+def f():
+    with omp("taskloop"):
+        x = 1
+`, "taskloop")
+}

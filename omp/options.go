@@ -21,6 +21,10 @@ type options struct {
 	ordered    bool
 	finalSet   bool
 	finalVal   bool
+	depends    []rt.Dep
+	grainsize  int64
+	numTasks   int64
+	nogroup    bool
 }
 
 func buildOptions(opts []Option) options {
@@ -47,6 +51,35 @@ func WithIf(cond bool) Option {
 // are included — executed inline instead of deferred.
 func WithFinal(cond bool) Option {
 	return func(o *options) { o.finalSet, o.finalVal = true, cond }
+}
+
+// WithDepend is the depend clause (Task, TaskLoop): the task is held
+// back until every predecessor implied by its dependence records has
+// completed. Build the records with In, Out and InOut; keys are
+// compared by Go equality, so use values (strings, ints, small
+// structs) that identify the storage the task reads or writes.
+func WithDepend(deps ...Dep) Option {
+	return func(o *options) { o.depends = append(o.depends, deps...) }
+}
+
+// WithGrainsize is the taskloop grainsize clause: chunks carry at
+// least n iterations. Mutually exclusive with WithNumTasks.
+func WithGrainsize(n int) Option {
+	return func(o *options) { o.grainsize = int64(n) }
+}
+
+// WithNumTasks is the taskloop num_tasks clause: the iteration space
+// splits into exactly n chunk tasks. Mutually exclusive with
+// WithGrainsize.
+func WithNumTasks(n int) Option {
+	return func(o *options) { o.numTasks = int64(n) }
+}
+
+// WithNoGroup is the taskloop nogroup clause: the construct skips its
+// implicit taskgroup, so completion is observed by the next TaskWait
+// or barrier instead of by TaskLoop returning.
+func WithNoGroup() Option {
+	return func(o *options) { o.nogroup = true }
 }
 
 // WithSchedule is the schedule clause (For); chunk 0 selects the

@@ -1,0 +1,181 @@
+package omp
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestTaskDependChain: WithDepend(InOut(...)) serializes tasks in
+// submission order; the unsynchronized slice append only survives the
+// race detector because the chain is real.
+func TestTaskDependChain(t *testing.T) {
+	const n = 24
+	var order []int
+	err := Parallel(func(tc *TC) {
+		err := tc.Single(func() {
+			for i := 0; i < n; i++ {
+				i := i
+				if err := tc.Task(func(*TC) {
+					order = append(order, i)
+				}, WithDepend(InOut("chain")...)); err != nil {
+					t.Error(err)
+				}
+			}
+			if err := tc.TaskWait(); err != nil {
+				t.Error(err)
+			}
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}, WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d: chain not serialized %v", i, v, order)
+		}
+	}
+	if len(order) != n {
+		t.Fatalf("%d tasks ran, want %d", len(order), n)
+	}
+}
+
+// TestTaskGroupWaitsForSubtree: TaskGroup returns only after the
+// grandchild completed.
+func TestTaskGroupWaitsForSubtree(t *testing.T) {
+	var done atomic.Bool
+	err := Parallel(func(tc *TC) {
+		err := tc.Single(func() {
+			if err := tc.TaskGroup(func(g *TC) {
+				if err := g.Task(func(child *TC) {
+					if err := child.Task(func(*TC) {
+						done.Store(true)
+					}); err != nil {
+						t.Error(err)
+					}
+				}); err != nil {
+					t.Error(err)
+				}
+			}); err != nil {
+				t.Error(err)
+			}
+			if !done.Load() {
+				t.Error("TaskGroup returned before grandchild completed")
+			}
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}, WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTaskGroupSurfacesErrors: a panicking task inside the group
+// surfaces as an error from TaskGroup, not from Parallel.
+func TestTaskGroupSurfacesErrors(t *testing.T) {
+	var groupErr error
+	err := Parallel(func(tc *TC) {
+		serr := tc.Single(func() {
+			groupErr = tc.TaskGroup(func(g *TC) {
+				if err := g.Task(func(*TC) {
+					panic("group task boom")
+				}); err != nil {
+					t.Error(err)
+				}
+			})
+		})
+		if serr != nil {
+			t.Error(serr)
+		}
+	}, WithNumThreads(2))
+	if err != nil {
+		t.Fatalf("Parallel returned %v, want nil (error consumed by TaskGroup)", err)
+	}
+	if groupErr == nil || !strings.Contains(groupErr.Error(), "panic in task") {
+		t.Fatalf("TaskGroup returned %v, want panic-in-task error", groupErr)
+	}
+}
+
+// TestTaskLoopPartitions: TaskLoop covers [lo,hi) exactly once and
+// respects WithNumTasks chunk counts.
+func TestTaskLoopPartitions(t *testing.T) {
+	const total = 97
+	var visits [total]atomic.Int32
+	var chunks atomic.Int32
+	err := Parallel(func(tc *TC) {
+		err := tc.Single(func() {
+			if err := tc.TaskLoop(0, total, func(_ *TC, lo, hi int) {
+				chunks.Add(1)
+				for i := lo; i < hi; i++ {
+					visits[i].Add(1)
+				}
+			}, WithNumTasks(5)); err != nil {
+				t.Error(err)
+			}
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}, WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range visits {
+		if n := visits[i].Load(); n != 1 {
+			t.Fatalf("iteration %d visited %d times", i, n)
+		}
+	}
+	if got := chunks.Load(); got != 5 {
+		t.Fatalf("%d chunks, want 5", got)
+	}
+}
+
+// TestCancelTaskGroupStopsPending: tasks behind a dependence on the
+// running task never start after cancellation.
+func TestCancelTaskGroupStopsPending(t *testing.T) {
+	var ran atomic.Int32
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	err := Parallel(func(tc *TC) {
+		err := tc.Single(func() {
+			gerr := tc.TaskGroup(func(g *TC) {
+				if err := g.Task(func(*TC) {
+					ran.Add(1)
+					close(started)
+					<-gate
+				}, WithDepend(Out("w")...)); err != nil {
+					t.Error(err)
+				}
+				for i := 0; i < 8; i++ {
+					if err := g.Task(func(*TC) {
+						ran.Add(1)
+					}, WithDepend(InOut("w")...)); err != nil {
+						t.Error(err)
+					}
+				}
+				<-started
+				if !g.CancelTaskGroup() {
+					t.Error("CancelTaskGroup found no active group")
+				}
+				close(gate)
+			})
+			if gerr != nil {
+				t.Error(gerr)
+			}
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}, WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("%d task bodies ran after cancel, want 1", got)
+	}
+}

@@ -26,7 +26,7 @@ func TaskFinal(cond bool) Option { return WithFinal(cond) }
 // knob.
 func (tc *TC) Task(fn func(tc *TC), opts ...Option) error {
 	o := buildOptions(opts)
-	ro := rt.TaskOpts{}
+	ro := rt.TaskOpts{Depends: o.depends}
 	if o.ifSet {
 		ro.If, ro.IfSet = o.ifVal, true
 	}
@@ -41,5 +41,78 @@ func (tc *TC) Task(fn func(tc *TC), opts ...Option) error {
 
 // TaskWait suspends the current task until all its direct children
 // complete, draining the local deque and stealing from teammates
-// meanwhile (the taskwait directive).
+// meanwhile (the taskwait directive). Errors recorded by completed
+// children (panics in deferred tasks) surface here.
 func (tc *TC) TaskWait() error { return tc.ctx.TaskWait() }
+
+// Dep is one task dependence: a storage key plus its direction.
+type Dep = rt.Dep
+
+// In builds read dependences (depend(in: ...)): the task waits for
+// the last prior sibling that wrote any of the keys.
+func In(keys ...any) []Dep { return rt.In(keys...) }
+
+// Out builds write dependences (depend(out: ...)): the task waits for
+// the last writer of and all readers since each key.
+func Out(keys ...any) []Dep { return rt.Out(keys...) }
+
+// InOut builds read-write dependences (depend(inout: ...)); ordering
+// is identical to Out.
+func InOut(keys ...any) []Dep { return rt.InOut(keys...) }
+
+// TaskGroup runs body and waits until every task generated inside it
+// — and all their descendants — completed (the taskgroup construct,
+// unlike TaskWait's direct-children-only scope). Errors from tasks of
+// the group are returned. A panic in body still closes the group
+// before unwinding so the region's task accounting stays balanced.
+func (tc *TC) TaskGroup(body func(tc *TC)) error {
+	tc.ctx.TaskgroupBegin()
+	done := false
+	defer func() {
+		if !done {
+			_ = tc.ctx.TaskgroupEnd()
+		}
+	}()
+	body(tc)
+	done = true
+	return tc.ctx.TaskgroupEnd()
+}
+
+// CancelTaskGroup marks the innermost enclosing taskgroup cancelled:
+// its tasks (and their descendants) that have not yet started are
+// skipped; running tasks may poll TaskGroupCancelled to stop early.
+// Reports whether a taskgroup was active.
+func (tc *TC) CancelTaskGroup() bool { return tc.ctx.TaskgroupCancel() }
+
+// TaskGroupCancelled reports whether any taskgroup enclosing the
+// current task has been cancelled — the cancellation-point check for
+// long-running task bodies.
+func (tc *TC) TaskGroupCancelled() bool { return tc.ctx.TaskgroupCancelled() }
+
+// TaskLoop chunks the iterations of [lo, hi) into child tasks (the
+// taskloop construct). Chunk sizing comes from WithGrainsize or
+// WithNumTasks (default: one chunk per team member); body receives
+// each chunk's [lo, hi) subrange. Unless WithNoGroup is given, an
+// implicit taskgroup makes TaskLoop return only after every chunk
+// task and its descendants completed.
+func (tc *TC) TaskLoop(lo, hi int, body func(tc *TC, lo, hi int), opts ...Option) error {
+	o := buildOptions(opts)
+	b := rt.ForBounds(rt.Triplet{Start: int64(lo), End: int64(hi), Step: 1})
+	ro := rt.TaskLoopOpts{
+		Grainsize: o.grainsize,
+		NumTasks:  o.numTasks,
+		NoGroup:   o.nogroup,
+		Depends:   o.depends,
+	}
+	if o.ifSet {
+		ro.IfSet, ro.If = true, o.ifVal
+	}
+	if o.finalSet {
+		ro.FinalSet, ro.Final = true, o.finalVal
+	}
+	base := int64(lo)
+	return tc.ctx.TaskLoop(b, ro, func(c *rt.Context, clo, chi int64) error {
+		body(&TC{ctx: c}, int(base+clo), int(base+chi))
+		return nil
+	})
+}
