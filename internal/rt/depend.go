@@ -130,21 +130,44 @@ func registerDeps(parent, tk *task, deps []Dep) {
 // addDepEdge orders succ after pred. A completed predecessor (its
 // successor list already drained) imposes no wait; self-edges from a
 // task naming the same key twice are ignored.
+//
+// The edge is counted on succ BEFORE it is published into pred.succs:
+// the moment succ appears there, a pred completing on another thread
+// decrements succ.npred, and an uncounted edge would let that
+// decrement consume the caller's submission hold — releasing (and in
+// the single-dep case double-submitting) the task while its remaining
+// clauses are still registering. Counting first keeps npred ≥ hold +
+// published edges at all times, so the hold is unconsumable until
+// releaseHold. If pred turns out to be drained the count is undone;
+// the hold keeps npred ≥ 1 throughout, so the decrement can never
+// release the task itself.
 func addDepEdge(pred, succ *task) {
 	if pred == nil || pred == succ {
 		return
 	}
+	succ.depMu.Lock()
+	succ.npred++
+	succ.depMu.Unlock()
+	if h := depEdgePublishHook; h != nil {
+		h(pred, succ)
+	}
 	pred.depMu.Lock()
 	if pred.depDrained {
 		pred.depMu.Unlock()
+		succ.depMu.Lock()
+		succ.npred--
+		succ.depMu.Unlock()
 		return
 	}
 	pred.succs = append(pred.succs, succ)
 	pred.depMu.Unlock()
-	succ.depMu.Lock()
-	succ.npred++
-	succ.depMu.Unlock()
 }
+
+// depEdgePublishHook, when non-nil, runs in addDepEdge between
+// counting an edge on the successor and publishing it on the
+// predecessor — test injection for driving a predecessor completion
+// into exactly that window (TestDependEdgePublishWindow).
+var depEdgePublishHook func(pred, succ *task)
 
 // releaseHold removes the submission hold placed before dependence
 // registration and reports whether the task is ready for the

@@ -559,6 +559,227 @@ func TestWavefrontDifferential(t *testing.T) {
 	}
 }
 
+// TestDependEdgeRegistrationRace: a predecessor completing on a
+// teammate thread in the middle of its successor's dependence
+// registration must not release the successor early. The edge must be
+// counted on the successor before it is published into the
+// predecessor's successor list; with the orders swapped, a completion
+// landing in that window consumes the submission hold, runs the
+// dependent before its remaining predecessors finish, and
+// double-submits it (which corrupts the list schedulers' queue). Fast
+// writers and a two-key dependent, repeated, make the window hittable.
+func TestDependEdgeRegistrationRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive stress test")
+	}
+	const writers = 8
+	const rounds = 1500
+	for _, l := range bothLayers {
+		for _, sched := range bothScheds {
+			r := newSchedRuntime(l, sched)
+			err := inSingle(t, r, func(c *Context) error {
+				for i := 0; i < rounds; i++ {
+					var done [writers]atomic.Bool
+					var ordered atomic.Bool
+					ordered.Store(true)
+					// Trivial writers: teammates draining the single-end
+					// barrier complete them while the dependent's edge
+					// loop is still registering, one edge per writer.
+					deps := make([]Dep, 0, writers)
+					for w := 0; w < writers; w++ {
+						w := w
+						key := [3]int{i, w, 0}
+						deps = append(deps, In(key)...)
+						if err := c.SubmitTask(TaskOpts{Depends: Out(key)}, func(*Context) error {
+							done[w].Store(true)
+							return nil
+						}); err != nil {
+							return err
+						}
+					}
+					if err := c.SubmitTask(TaskOpts{Depends: deps}, func(*Context) error {
+						for w := range done {
+							if !done[w].Load() {
+								ordered.Store(false)
+							}
+						}
+						return nil
+					}); err != nil {
+						return err
+					}
+					if err := c.TaskWait(); err != nil {
+						return err
+					}
+					if !ordered.Load() {
+						return fmt.Errorf("round %d: dependent ran before all %d writers", i, writers)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("%v/%s: %v", l, sched, err)
+			}
+		}
+	}
+}
+
+// TestDependEdgePublishWindow drives the addDepEdge interleaving
+// deterministically via the test hook: the predecessor's successor
+// list is drained (as a completion on a teammate would) in the window
+// between the edge being counted on the successor and published on
+// the predecessor. The edge is counted first precisely so this window
+// is safe: the drain must not consume the submission hold, and the
+// dependent must reach the scheduler exactly once — with the orders
+// swapped, the drain decremented an unpublished-but-uncounted edge's
+// hold and the task was submitted twice.
+func TestDependEdgePublishWindow(t *testing.T) {
+	for _, sched := range bothScheds {
+		r := newSchedRuntime(LayerAtomic, sched)
+		err := r.Parallel(r.NewContext(), ParallelOpts{NumThreads: 1}, func(c *Context) error {
+			// One-thread team: the writer stays queued (nobody claims
+			// it), so it is still a live predecessor when the dependent
+			// registers its edge.
+			if err := c.SubmitTask(TaskOpts{Depends: Out("w")}, func(*Context) error {
+				return nil
+			}); err != nil {
+				return err
+			}
+			fired := 0
+			depEdgePublishHook = func(pred, _ *task) {
+				if fired++; fired > 1 {
+					return
+				}
+				c.team.releaseSuccessors(c, pred)
+			}
+			defer func() { depEdgePublishHook = nil }()
+			ran := 0
+			if err := c.SubmitTask(TaskOpts{Depends: In("w")}, func(*Context) error {
+				ran++
+				return nil
+			}); err != nil {
+				return err
+			}
+			if fired == 0 {
+				t.Errorf("%s: publish-window hook never fired", sched)
+			}
+			// Exactly two submissions: the writer and the dependent once
+			// each. A consumed hold double-submits the dependent (3).
+			if got := c.team.sched.runnable(); got != 2 {
+				t.Errorf("%s: %d tasks queued after the window, want 2", sched, got)
+			}
+			if err := c.TaskWait(); err != nil {
+				return err
+			}
+			if ran != 1 {
+				t.Errorf("%s: dependent ran %d times, want 1", sched, ran)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", sched, err)
+		}
+	}
+}
+
+// TestTaskgroupPendingDropsAfterErrorParked pins the ordering of
+// runClaimed's completion defer via the test hook: at the first
+// instant a failing task has left its taskgroups' pending counts —
+// when a TaskgroupEnd may observe the group drained and immediately
+// drain childErrs — its error must already be parked on the
+// collecting ancestor. With the orders swapped, TaskgroupEnd could
+// return nil for a group containing a failed task, deferring the
+// error to a later scheduling point.
+func TestTaskgroupPendingDropsAfterErrorParked(t *testing.T) {
+	sentinel := errors.New("group boom")
+	for _, l := range bothLayers {
+		r := newTestRuntime(l)
+		err := r.Parallel(r.NewContext(), ParallelOpts{NumThreads: 1}, func(c *Context) error {
+			c.TaskgroupBegin()
+			parent := c.curTask
+			fired, parked := false, false
+			taskPendingDropHook = func(tk *task) {
+				if tk.err == nil {
+					return
+				}
+				fired = true
+				parent.childErrMu.Lock()
+				parked = len(parent.childErrs) > 0
+				parent.childErrMu.Unlock()
+			}
+			defer func() { taskPendingDropHook = nil }()
+			if err := c.SubmitTask(TaskOpts{}, func(*Context) error {
+				return sentinel
+			}); err != nil {
+				return err
+			}
+			gerr := c.TaskgroupEnd()
+			if !fired {
+				t.Errorf("%v: completion hook never fired for the failing task", l)
+			}
+			if !parked {
+				t.Errorf("%v: taskgroup pending dropped before the error was parked", l)
+			}
+			if !errors.Is(gerr, sentinel) {
+				t.Errorf("%v: taskgroup end returned %v, want %v", l, gerr, sentinel)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: region returned %v, want nil (error consumed at taskgroup end)", l, err)
+		}
+	}
+}
+
+// TestTaskgroupEndErrorNeverDeferred exercises the same ordering
+// under real concurrency: failing tasks completing on teammates while
+// the group-ending thread spins through its claim loop must surface
+// their error at that group's end in every round, never deferred to
+// the region join.
+func TestTaskgroupEndErrorNeverDeferred(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive stress test")
+	}
+	sentinel := errors.New("group boom")
+	for _, l := range bothLayers {
+		for _, sched := range bothScheds {
+			r := newSchedRuntime(l, sched)
+			const rounds = 300
+			err := inSingle(t, r, func(c *Context) error {
+				for i := 0; i < rounds; i++ {
+					c.TaskgroupBegin()
+					// The failing task goes in first — the oldest entry
+					// is what teammates steal (or scan to) — and spins a
+					// little so it tends to finish last, while the
+					// ending thread churns through the noise tasks.
+					if err := c.SubmitTask(TaskOpts{}, func(*Context) error {
+						for spin := 0; spin < (i%16)*32; spin++ {
+							_ = atomic.LoadInt32(new(int32))
+						}
+						return sentinel
+					}); err != nil {
+						return err
+					}
+					for n := 0; n < 6; n++ {
+						if err := c.SubmitTask(TaskOpts{}, func(*Context) error {
+							return nil
+						}); err != nil {
+							return err
+						}
+					}
+					if gerr := c.TaskgroupEnd(); !errors.Is(gerr, sentinel) {
+						return fmt.Errorf("round %d: taskgroup end returned %v, want %v",
+							i, gerr, sentinel)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("%v/%s: %v", l, sched, err)
+			}
+		}
+	}
+}
+
 // TestDependDisjointKeysNoEdges: tasks on disjoint keys never stall
 // on each other — the tracker adds no spurious dependence edges.
 func TestDependDisjointKeysNoEdges(t *testing.T) {

@@ -114,6 +114,12 @@ type RegionInfo struct {
 	RegionID    int32        `json:"region_id"`
 	Size        int          `json:"size"`
 	Outstanding int64        `json:"outstanding_tasks"`
+	// QueuedTasks counts the unclaimed tasks the region's scheduler
+	// holds anywhere — per-member deques, the steal scheduler's
+	// overflow list, or the list schedulers' shared queue — so it is
+	// meaningful in every scheduler mode, unlike the per-member
+	// DequeDepth breakdown.
+	QueuedTasks int          `json:"queued_tasks"`
 	Members     []MemberInfo `json:"members"`
 }
 
@@ -131,6 +137,7 @@ func (o *obsState) snapshotRegions() []RegionInfo {
 			RegionID:    t.regionID,
 			Size:        t.size,
 			Outstanding: t.outstanding.Load(),
+			QueuedTasks: t.sched.runnable(),
 			Members:     make([]MemberInfo, 0, t.size),
 		}
 		depths := t.sched.depths()

@@ -71,6 +71,11 @@ type taskScheduler interface {
 	// from outside the team while it runs. Schedulers without
 	// per-member queues return nil.
 	depths() []int
+	// runnable counts the unclaimed tasks the scheduler currently
+	// holds, wherever they sit (deques, overflow list, shared list) —
+	// the introspection complement of hasRunnable, also callable from
+	// outside the team. A point-in-time estimate, like depths.
+	runnable() int
 }
 
 func newTaskScheduler(l Layer, size int, mode schedMode) taskScheduler {
@@ -355,6 +360,16 @@ func (s *stealScheduler) take(self int) (*task, int) {
 
 func (s *stealScheduler) hasRunnable() bool {
 	return s.queued.Load() > 0
+}
+
+// runnable: queued counts every visible unclaimed task — deques and
+// the overflow list — exactly (submit adds, take subtracts). Clamped
+// because the submit-side Add publishes before the push lands.
+func (s *stealScheduler) runnable() int {
+	if n := s.queued.Load(); n > 0 {
+		return int(n)
+	}
+	return 0
 }
 
 func (s *stealScheduler) depths() []int {

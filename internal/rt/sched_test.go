@@ -117,6 +117,54 @@ func TestStealSchedulerRetainsNothingAfterDrain(t *testing.T) {
 	}
 }
 
+// TestSchedulerRunnableCountsEverywhere: the runnable() introspection
+// probe (feeding RegionInfo.QueuedTasks and the
+// omp4go_ready_queue_depth gauge) counts unclaimed tasks wherever the
+// scheduler holds them — the steal scheduler's overflow list beyond
+// the deque capacity, and the list schedulers' shared queue, which
+// report depths() == nil and were invisible to a deque-only sum.
+func TestSchedulerRunnableCountsEverywhere(t *testing.T) {
+	for _, l := range bothLayers {
+		// Steal mode, one member: dequeCap tasks fill the deque, the
+		// rest spill to the overflow list; all must be counted.
+		s := newTaskScheduler(l, 1, schedSteal)
+		const spill = 5
+		for i := 0; i < dequeCap+spill; i++ {
+			s.submit(0, newTask(l, func(*Context) error { return nil }, nil, true))
+		}
+		if got := s.runnable(); got != dequeCap+spill {
+			t.Fatalf("%v/steal: runnable %d, want %d (overflow not counted)",
+				l, got, dequeCap+spill)
+		}
+		if tk, _ := s.take(0); tk == nil {
+			t.Fatalf("%v/steal: no task to claim", l)
+		}
+		if got := s.runnable(); got != dequeCap+spill-1 {
+			t.Fatalf("%v/steal: runnable %d after one claim, want %d",
+				l, got, dequeCap+spill-1)
+		}
+
+		// List mode: depths() is nil, runnable must count the shared
+		// queue's free nodes (and only those — claimed ones drop out).
+		q := newTaskScheduler(l, 1, schedList)
+		for i := 0; i < 3; i++ {
+			q.submit(0, newTask(l, func(*Context) error { return nil }, nil, true))
+		}
+		if d := q.depths(); d != nil {
+			t.Fatalf("%v/list: depths() = %v, want nil", l, d)
+		}
+		if got := q.runnable(); got != 3 {
+			t.Fatalf("%v/list: runnable %d, want 3", l, got)
+		}
+		if tk, _ := q.take(0); tk == nil {
+			t.Fatalf("%v/list: no task to claim", l)
+		}
+		if got := q.runnable(); got != 2 {
+			t.Fatalf("%v/list: runnable %d after one claim, want 2", l, got)
+		}
+	}
+}
+
 // TestStealEventEmitted asserts the observability contract of the
 // work-stealing scheduler: when a team member claims a task from
 // another member's deque while a tool is attached, an EvTaskSteal

@@ -76,18 +76,20 @@ func (s *MetricsServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# HELP omp4go_inflight_regions Parallel regions currently executing.\n")
 	fmt.Fprintf(w, "# TYPE omp4go_inflight_regions gauge\n")
 	fmt.Fprintf(w, "omp4go_inflight_regions %d\n", len(regions))
-	// Ready-queue depth: tasks sitting in the scheduler deques of
-	// in-flight regions, runnable but not yet claimed. Dependence-
-	// stalled tasks are not counted here (they are outstanding but
-	// off the deques — the omp4go_tasks_depend_stalled_total counter
-	// tracks how many ever stalled).
+	// Ready-queue depth: tasks sitting in the schedulers of in-flight
+	// regions, runnable but not yet claimed. RegionInfo.QueuedTasks
+	// covers every holding place — per-member deques, the steal
+	// scheduler's overflow list, the list schedulers' shared queue —
+	// where the per-member DequeDepth breakdown would miss the latter
+	// two. Dependence-stalled tasks are not counted here (they are
+	// outstanding but off the scheduler — the
+	// omp4go_tasks_depend_stalled_total counter tracks how many ever
+	// stalled).
 	ready := 0
 	for _, ri := range regions {
-		for _, m := range ri.Members {
-			ready += m.DequeDepth
-		}
+		ready += ri.QueuedTasks
 	}
-	fmt.Fprintf(w, "# HELP omp4go_ready_queue_depth Tasks queued runnable in in-flight regions' scheduler deques.\n")
+	fmt.Fprintf(w, "# HELP omp4go_ready_queue_depth Tasks queued runnable in in-flight regions' task schedulers (deques, overflow and shared lists).\n")
 	fmt.Fprintf(w, "# TYPE omp4go_ready_queue_depth gauge\n")
 	fmt.Fprintf(w, "omp4go_ready_queue_depth %d\n", ready)
 }

@@ -170,6 +170,18 @@ func (q *mutexTaskQueue) hasRunnable() bool {
 	return false
 }
 
+func (q *mutexTaskQueue) runnable() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for t := q.head; t != nil; t = t.next.Load() {
+		if t.state.Load() == taskFree {
+			n++
+		}
+	}
+	return n
+}
+
 func (q *mutexTaskQueue) retained() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -236,6 +248,16 @@ func (q *atomicTaskQueue) hasRunnable() bool {
 		}
 	}
 	return false
+}
+
+func (q *atomicTaskQueue) runnable() int {
+	n := 0
+	for t := q.head.Load().next.Load(); t != nil; t = t.next.Load() {
+		if t.state.Load() == taskFree {
+			n++
+		}
+	}
+	return n
 }
 
 func (q *atomicTaskQueue) retained() int {
@@ -416,10 +438,17 @@ func (t *Team) runClaimed(ctx *Context, tk *task) {
 		if tk.hasDeps {
 			t.releaseSuccessors(ctx, tk)
 		}
+		// Error delivery precedes both completion counters: a thread
+		// observing pending == 0 in TaskgroupEnd or children == 0 in
+		// TaskWait immediately drains childErrs, so the error must
+		// already be parked on the ancestor when either count drops.
+		t.deliverTaskErrors(tk)
 		for g := tk.tg; g != nil; g = g.parent {
 			g.pending.Add(-1)
 		}
-		t.deliverTaskErrors(tk)
+		if h := taskPendingDropHook; h != nil {
+			h(tk)
+		}
 		if tk.parent != nil {
 			tk.parent.children.Add(-1)
 		}
@@ -480,6 +509,14 @@ func (c *Context) TaskWait() error {
 	}
 	return joinErrors(cur.takeChildErrs())
 }
+
+// taskPendingDropHook, when non-nil, runs in runClaimed's completion
+// defer immediately after the task left its taskgroups' pending
+// counts — the first instant a TaskgroupEnd can observe the group
+// drained. Test injection for asserting the task's error is already
+// parked on a collecting ancestor by then
+// (TestTaskgroupPendingDropsAfterErrorParked).
+var taskPendingDropHook func(tk *task)
 
 // maxTaskErrs caps every task-error buffer (a task's childErrs, the
 // team's region-join list): reporting keeps the first few failures
