@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify depend-race metrics-smoke serve-smoke bench bench-compare bench-report bench-gate trace clean
+.PHONY: build test race vet verify depend-race kernels-race metrics-smoke serve-smoke bench bench-compare bench-report bench-gate trace clean
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,7 @@ serve-smoke:
 # smoke of the pool-vs-spawn overhead benchmark so a dispatch
 # regression that only bites under the pool path fails loudly, plus
 # the metrics endpoint and execution-service smokes.
-verify: vet metrics-smoke serve-smoke depend-race
+verify: vet metrics-smoke serve-smoke depend-race kernels-race
 	$(GO) test ./...
 	$(GO) test -race -timeout 120s ./internal/rt/... ./internal/ompt/... ./internal/serve/... ./omp/...
 	$(GO) test -run=NONE -bench=BenchmarkRegionOverhead -benchtime=1x -timeout 120s ./internal/rt/
@@ -56,6 +56,18 @@ depend-race:
 	  -run='TestDepend|TestTaskgroup|TestTaskLoop|TestWavefront|TestUndeferred|TestTaskWait|TestNested|TestPanic|TestTaskError|TestRegionJoin' \
 	  ./internal/rt/
 	$(GO) test -race -count=1 -timeout 180s -run='TestTask|TestCancel' ./omp/
+
+# kernels-race is the compiled-kernel differential gate: the static
+# partition differential, the schedule-selection and escape-hatch
+# matrix, the kernel flow-semantics tests and the benchmark-level
+# kernels-on/off/interp matrix run under the race detector with the
+# test cache defeated. A kernel that reads stale hoisted storage or
+# races the bridge on a mixed loop shows up here as a data race or a
+# diverging checksum.
+kernels-race:
+	$(GO) test -race -count=1 -timeout 180s -run='TestStaticBounds|TestReduceSlot' ./internal/rt/
+	$(GO) test -race -count=1 -timeout 180s -run='TestKernel' ./internal/compile/
+	$(GO) test -race -count=1 -timeout 300s -run='TestKernelDifferentialMatrix' ./internal/bench/
 
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkFig5 -benchtime=1x ./...

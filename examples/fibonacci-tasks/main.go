@@ -58,8 +58,8 @@ func main() {
 			return n
 		}
 		var f1, f2 int
-		check(tc.Task(func(tt *omp.TC) { f1 = fib(tt, n-1) }, omp.TaskIf(n > 12)))
-		check(tc.Task(func(tt *omp.TC) { f2 = fib(tt, n-2) }, omp.TaskIf(n > 12)))
+		check(tc.Task(func(tt *omp.TC) { f1 = fib(tt, n-1) }, omp.WithIf(n > 12)))
+		check(tc.Task(func(tt *omp.TC) { f2 = fib(tt, n-2) }, omp.WithIf(n > 12)))
 		check(tc.TaskWait())
 		return f1 + f2
 	}

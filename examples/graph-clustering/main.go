@@ -35,7 +35,7 @@ func main() {
 			return acc + c
 		},
 		omp.WithNumThreads(4),
-		omp.WithSchedule(omp.Dynamic, 64), // node degrees vary: dynamic balances
+		omp.WithSched(omp.Dynamic(64)), // node degrees vary: dynamic balances
 	)
 	if err != nil {
 		log.Fatal(err)

@@ -37,7 +37,7 @@ func main() {
 			return acc + 4.0/(1.0+x*x)
 		},
 		omp.WithNumThreads(4),
-		omp.WithSchedule(omp.Static, 0),
+		omp.WithSched(omp.Static(0)),
 	)
 	if err != nil {
 		log.Fatal(err)

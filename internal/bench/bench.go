@@ -271,6 +271,14 @@ type RunConfig struct {
 	// and fills Result.Metrics with aggregate wait-time and
 	// load-imbalance statistics.
 	CollectMetrics bool
+	// KernelsOff pins CompiledDT worksharing loops to the interp
+	// bridge (the OMP4GO_COMPILE_KERNELS=off escape hatch), the
+	// baseline of the kernel differential matrix and A/B report.
+	KernelsOff bool
+	// Getenv overrides the ICV environment seen by the program's
+	// runtime (nil = empty environment). The kernel matrix uses it
+	// to sweep OMP4GO_TASK_SCHED across both task schedulers.
+	Getenv func(string) string
 }
 
 // Result is one measurement.
@@ -338,7 +346,10 @@ func Run(mode Mode, name string, cfg RunConfig) (Result, error) {
 		GIL:            cfg.GIL && interpMode,
 		ContendedAlloc: interpMode && !cfg.ContendedAllocOff,
 		Stdout:         cfg.Stdout,
-		Getenv:         func(string) string { return "" },
+		Getenv:         cfg.Getenv,
+	}
+	if opts.Getenv == nil {
+		opts.Getenv = func(string) string { return "" }
 	}
 	if opts.Stdout == nil {
 		opts.Stdout = io.Discard
@@ -355,7 +366,11 @@ func Run(mode Mode, name string, cfg RunConfig) (Result, error) {
 		in.Runtime().SetTool(tool)
 	}
 	if mode == Compiled || mode == CompiledDT {
-		if err := compile.Install(in, mod, compile.Options{Typed: mode == CompiledDT}); err != nil {
+		copts := compile.Options{Typed: mode == CompiledDT}
+		if cfg.KernelsOff {
+			copts.Kernels = compile.KernelsOff
+		}
+		if err := compile.Install(in, mod, copts); err != nil {
 			return Result{}, fmt.Errorf("bench: compile %s: %w", name, err)
 		}
 	}

@@ -29,13 +29,46 @@ type Options struct {
 	// module-level function, as passing the whole module through
 	// Cython does.
 	Only map[string]bool
+	// Kernels selects whether transform-lowered worksharing loops
+	// with compile-time-known static schedules compile to
+	// runtime-aware kernels (rt.StaticBounds iteration, hoisted list
+	// storage) instead of the per-chunk interp bridge. The default
+	// KernelsAuto consults the runtime's OMP4GO_COMPILE_KERNELS ICV
+	// at Install time; kernels additionally require Typed.
+	Kernels KernelMode
 }
+
+// KernelMode is the three-way compiled-kernel switch.
+type KernelMode int
+
+const (
+	// KernelsAuto defers to rt.Runtime.CompiledKernelsEnabled (the
+	// OMP4GO_COMPILE_KERNELS ICV, default on).
+	KernelsAuto KernelMode = iota
+	// KernelsOn forces kernel compilation (still requires Typed).
+	KernelsOn
+	// KernelsOff forces every worksharing loop onto the interp
+	// bridge, the differential baseline for kernel validation.
+	KernelsOff
+)
 
 // Install compiles the module's top-level functions and hooks the
 // interpreter so their function objects execute compiled code. Call
 // it after transformation and before interp.RunModule.
 func Install(in *interp.Interp, mod *minipy.Module, opts Options) error {
 	c := &compiler{in: in, opts: opts, table: make(map[*minipy.FuncDef]*funcCode)}
+	// The kernel decision is made once, here: the escape hatch is an
+	// ICV (environment or rt.Runtime.SetCompiledKernels), read before
+	// any function compiles. Toggling the ICV after Install does not
+	// re-lower already-compiled loops.
+	switch opts.Kernels {
+	case KernelsOn:
+		c.kernels = opts.Typed
+	case KernelsOff:
+		c.kernels = false
+	default:
+		c.kernels = opts.Typed && in.Runtime().CompiledKernelsEnabled()
+	}
 	for _, s := range mod.Body {
 		fd, ok := s.(*minipy.FuncDef)
 		if !ok {
@@ -59,9 +92,10 @@ func Install(in *interp.Interp, mod *minipy.Module, opts Options) error {
 }
 
 type compiler struct {
-	in    *interp.Interp
-	opts  Options
-	table map[*minipy.FuncDef]*funcCode
+	in      *interp.Interp
+	opts    Options
+	kernels bool // resolved kernel switch (Typed && mode/ICV)
+	table   map[*minipy.FuncDef]*funcCode
 }
 
 // Frame is one activation of a compiled function.
@@ -73,6 +107,10 @@ type Frame struct {
 	f     []float64
 	i     []int64
 	ret   interp.Value
+	// kern is non-nil only while a compiled loop kernel in this frame
+	// executes; it holds the hoisted unboxed list storage the kernel's
+	// body closures index directly (kernel.go).
+	kern *kernelEnv
 }
 
 // flow is the statement outcome: sequential, break, continue, or

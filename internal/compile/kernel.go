@@ -1,0 +1,542 @@
+package compile
+
+import (
+	"github.com/omp4go/omp4go/internal/directive"
+	"github.com/omp4go/omp4go/internal/interp"
+	"github.com/omp4go/omp4go/internal/minipy"
+	"github.com/omp4go/omp4go/internal/rt"
+)
+
+// This file is the runtime-aware kernel back end for worksharing
+// loops. The transform lowers
+//
+//	with omp("for schedule(static, c)"): for i in range(a, b, s): body
+//
+// to the bridge protocol
+//
+//	__omp_bounds_N = __omp.for_bounds(a, b, s)
+//	__omp.for_init(__omp_bounds_N, "static", c, False, nowait)
+//	while __omp.for_next(__omp_bounds_N):
+//	    for i in range(__omp_bounds_N[0], __omp_bounds_N[1], __omp_bounds_N[2]):
+//	        body
+//	...reduction merges...
+//	__omp.for_end(__omp_bounds_N)
+//
+// which costs one boxed __omp call per claimed chunk plus boxed
+// bounds-tuple indexing per chunk. When the schedule is static and
+// compile-time known, every chunk a member will claim is a pure
+// function of (thread num, team size, triplet, chunk): the kernel
+// replaces the for_bounds/for_init/while prefix with one rt.ForInit
+// (region accounting, EvLoopBegin, misuse detection unchanged) and an
+// rt.StaticIter walked entirely in native Go. Reduction merges and
+// for_end still compile from the lowered form, so barrier ordering
+// and the merge critical section are untouched; the member's
+// LoopBounds value is stored into the bounds variable so for_end's
+// bridge call (one per loop) finds it.
+//
+// While the kernel body runs, the storage of lists that the body only
+// ever subscripts is hoisted once into a kernelEnv of raw
+// []float64/[]int64 slices, the analogue of Cython acquiring a
+// memoryview before a nogil loop: element access compiles to a single
+// bounds-checked slice index (texpr.go's hoisted paths). The same
+// assumption Cython makes — the buffer is not reallocated or
+// re-typed mid-loop — applies; names that appear in any non-subscript
+// position (append calls, rebinding, argument passing) are never
+// hoisted, and a storage-kind mismatch at entry simply leaves the
+// slot nil so every access falls back to the boxed protocol.
+
+// kernelEnv is the per-execution hoisted storage. Slot j holds the
+// unboxed backing of the j-th hoisted list in whichever slice matches
+// its storage kind (the other stays nil; generic-kind lists leave
+// both nil).
+type kernelEnv struct {
+	f [][]float64
+	i [][]int64
+}
+
+// hoistIndex reports the kernelEnv slot of x when x is a plain name
+// the active kernel hoists.
+func (sc *scopeCtx) hoistIndex(x minipy.Expr) (int, bool) {
+	if sc.hoist == nil {
+		return 0, false
+	}
+	n, ok := x.(*minipy.Name)
+	if !ok {
+		return 0, false
+	}
+	hi, ok := sc.hoist[n.ID]
+	return hi, ok
+}
+
+// ompCallTo matches e as a call to the generated-code runtime entry
+// point __omp.fn. The __omp binding must resolve to the module global
+// the interpreter predefines — a shadowed __omp is not the runtime.
+func ompCallTo(sc *scopeCtx, e minipy.Expr, fn string) (*minipy.Call, bool) {
+	call, ok := e.(*minipy.Call)
+	if !ok {
+		return nil, false
+	}
+	attr, ok := call.Fn.(*minipy.Attribute)
+	if !ok || attr.Name != fn {
+		return nil, false
+	}
+	base, ok := attr.X.(*minipy.Name)
+	if !ok || base.ID != "__omp" {
+		return nil, false
+	}
+	if sc.resolve("__omp").kind != refGlobal {
+		return nil, false
+	}
+	return call, true
+}
+
+// boundsIndex matches e as bVar[k].
+func boundsIndex(e minipy.Expr, bVar string, k int64) bool {
+	idx, ok := e.(*minipy.Index)
+	if !ok {
+		return false
+	}
+	n, ok := idx.X.(*minipy.Name)
+	if !ok || n.ID != bVar {
+		return false
+	}
+	lit, ok := idx.I.(*minipy.IntLit)
+	return ok && lit.V == k
+}
+
+// tryCompileKernel recognizes the lowered worksharing prefix starting
+// at body[k] and compiles it to a static kernel. It returns (nil, 0,
+// nil) when the shape does not match or is ineligible — dynamic,
+// guided or runtime schedules, non-literal chunks, ordered loops,
+// collapsed nests, lastprivate (which needs the bridge's IsLast
+// bookkeeping), or a loop variable without an unboxed int slot — in
+// which case the caller compiles the bridge lowering unchanged.
+func (c *compiler) tryCompileKernel(sc *scopeCtx, body []minipy.Stmt, k int) (stmtFn, int, error) {
+	if k+2 >= len(body) {
+		return nil, 0, nil
+	}
+
+	// body[k]: __omp_bounds_N = __omp.for_bounds(start, stop, step).
+	// Exactly one triplet — collapse(>1) emits 3*n args and iterates
+	// linearized indices through unravel, which stays on the bridge.
+	as, ok := body[k].(*minipy.Assign)
+	if !ok || len(as.Targets) != 1 {
+		return nil, 0, nil
+	}
+	bName, ok := as.Targets[0].(*minipy.Name)
+	if !ok {
+		return nil, 0, nil
+	}
+	boundsCall, ok := ompCallTo(sc, as.Value, "for_bounds")
+	if !ok || len(boundsCall.Args) != 3 {
+		return nil, 0, nil
+	}
+
+	// body[k+1]: __omp.for_init(b, "static", chunk, False, nowait)
+	// with the schedule fully known at compile time.
+	initStmt, ok := body[k+1].(*minipy.ExprStmt)
+	if !ok {
+		return nil, 0, nil
+	}
+	initCall, ok := ompCallTo(sc, initStmt.X, "for_init")
+	if !ok || len(initCall.Args) != 5 {
+		return nil, 0, nil
+	}
+	if n, ok := initCall.Args[0].(*minipy.Name); !ok || n.ID != bName.ID {
+		return nil, 0, nil
+	}
+	kind, ok := initCall.Args[1].(*minipy.StrLit)
+	if !ok || kind.V != "static" {
+		return nil, 0, nil
+	}
+	var chunk int64 // 0 = block partition (the schedule default)
+	switch ch := initCall.Args[2].(type) {
+	case *minipy.NoneLit:
+		chunk = 0
+	case *minipy.IntLit:
+		if ch.V < 1 {
+			return nil, 0, nil // let the bridge raise the ValueError
+		}
+		chunk = ch.V
+	default:
+		return nil, 0, nil // runtime-valued chunk
+	}
+	ordered, ok := initCall.Args[3].(*minipy.BoolLit)
+	if !ok || ordered.V {
+		return nil, 0, nil
+	}
+	nowaitLit, ok := initCall.Args[4].(*minipy.BoolLit)
+	if !ok {
+		return nil, 0, nil
+	}
+
+	// body[k+2]: while __omp.for_next(b): for lv in range(b[0], b[1], b[2]).
+	wh, ok := body[k+2].(*minipy.While)
+	if !ok || len(wh.Body) != 1 {
+		return nil, 0, nil
+	}
+	nextCall, ok := ompCallTo(sc, wh.Cond, "for_next")
+	if !ok || len(nextCall.Args) != 1 {
+		return nil, 0, nil
+	}
+	if n, ok := nextCall.Args[0].(*minipy.Name); !ok || n.ID != bName.ID {
+		return nil, 0, nil
+	}
+	loop, ok := wh.Body[0].(*minipy.For)
+	if !ok {
+		return nil, 0, nil
+	}
+	lv, ok := loop.Target.(*minipy.Name)
+	if !ok {
+		return nil, 0, nil
+	}
+	rangeCall, ok := loop.Iter.(*minipy.Call)
+	if !ok || !isRangeCall(loop.Iter) || len(rangeCall.Args) != 3 {
+		return nil, 0, nil
+	}
+	for j := int64(0); j < 3; j++ {
+		if !boundsIndex(rangeCall.Args[j], bName.ID, j) {
+			return nil, 0, nil
+		}
+	}
+	lvRef := sc.resolve(lv.ID)
+	if lvRef.kind != refISlot {
+		// A privatized (None-initialized) or captured loop variable is
+		// boxed; the unboxed kernel loop needs a native int slot.
+		return nil, 0, nil
+	}
+	lvIdx := lvRef.idx
+
+	// The remainder of the block may reference the bounds variable
+	// only as the for_end argument. A for_last reference (lastprivate)
+	// needs per-chunk IsLast bookkeeping the kernel does not maintain.
+	foundEnd := false
+	for _, s := range body[k+3:] {
+		if es, ok := s.(*minipy.ExprStmt); ok {
+			if endCall, ok := ompCallTo(sc, es.X, "for_end"); ok && len(endCall.Args) == 1 {
+				if n, ok := endCall.Args[0].(*minipy.Name); ok && n.ID == bName.ID {
+					foundEnd = true
+					continue
+				}
+			}
+		}
+		if collectNamesStmt(s)[bName.ID] {
+			return nil, 0, nil
+		}
+	}
+	if !foundEnd {
+		return nil, 0, nil
+	}
+
+	// Eligible: compile the pieces.
+	pos := as.NodePos()
+	startf, err := c.compileInt(sc, boundsCall.Args[0])
+	if err != nil {
+		return nil, 0, err
+	}
+	stopf, err := c.compileInt(sc, boundsCall.Args[1])
+	if err != nil {
+		return nil, 0, err
+	}
+	stepf, err := c.compileInt(sc, boundsCall.Args[2])
+	if err != nil {
+		return nil, 0, err
+	}
+	storeB := sc.store(bName.ID)
+
+	// Hoist analysis + body compilation under the hoist table. The
+	// loop body never sees the bounds variable (checked above), so the
+	// table is scoped to exactly this compilation.
+	hoistNames := kernelHoistCandidates(sc, loop.Body)
+	hoist := make(map[string]int, len(hoistNames))
+	loaders := make([]exprFn, len(hoistNames))
+	for j, name := range hoistNames {
+		hoist[name] = j
+		loaders[j] = sc.load(name, pos)
+	}
+	prevHoist := sc.hoist
+	sc.hoist = hoist
+	bodyf, err := c.compileStmts(sc, loop.Body)
+	sc.hoist = prevHoist
+	if err != nil {
+		return nil, 0, err
+	}
+
+	nowait := nowaitLit.V
+	nHoist := len(hoistNames)
+	kf := func(fr *Frame) (flow, error) {
+		start, err := startf(fr)
+		if err != nil {
+			return flowNext, err
+		}
+		stop, err := stopf(fr)
+		if err != nil {
+			return flowNext, err
+		}
+		step, err := stepf(fr)
+		if err != nil {
+			return flowNext, err
+		}
+		if step == 0 {
+			return flowNext, interp.NewPyError("ValueError",
+				"range() arg 3 must not be zero", pos)
+		}
+		b := rt.ForBounds(rt.Triplet{Start: start, End: stop, Step: step})
+		// The bounds value feeds the (still bridge-compiled) for_end.
+		if err := storeB(fr, &interp.BoundsVal{B: b}); err != nil {
+			return flowNext, err
+		}
+		ctx := fr.th.Ctx()
+		err = ctx.ForInit(b, rt.ForOpts{
+			SchedSet: true,
+			Sched:    rt.Schedule{Kind: directive.ScheduleStatic, Chunk: chunk},
+			NoWait:   nowait,
+		})
+		if err != nil {
+			return flowNext, interp.WrapRuntimeError(err)
+		}
+		it := rt.StaticBounds(ctx.GetThreadNum(), ctx.GetNumThreads(),
+			start, stop, step, chunk)
+		ctx.KernelEnter(it.Total(), chunk)
+
+		env := &kernelEnv{}
+		if nHoist > 0 {
+			env.f = make([][]float64, nHoist)
+			env.i = make([][]int64, nHoist)
+			for j, load := range loaders {
+				v, err := load(fr)
+				if err != nil {
+					continue // unbound: body access raises on the slow path
+				}
+				if l, ok := v.(*interp.List); ok {
+					if fs, ok := l.FloatData(); ok {
+						env.f[j] = fs
+					} else if is, ok := l.IntData(); ok {
+						env.i[j] = is
+					}
+				}
+			}
+		}
+		fr.kern = env
+		defer func() { fr.kern = nil }()
+
+		for it.Next() {
+		chunkLoop:
+			for lin := it.Lo; lin < it.Hi; lin++ {
+				fr.i[lvIdx] = start + lin*step
+				fl, err := bodyf(fr)
+				if err != nil {
+					return flowNext, err
+				}
+				switch fl {
+				case flowBreak:
+					// Bridge semantics: break leaves the chunk's range
+					// loop; the while claims the next chunk.
+					break chunkLoop
+				case flowReturn:
+					// Mirrors the bridge, where flowReturn skips the
+					// remaining lowered statements including for_end.
+					return flowReturn, nil
+				}
+			}
+		}
+		return flowNext, nil
+	}
+	return kf, 3, nil
+}
+
+// kernelHoistCandidates returns the names whose list storage the
+// kernel may hoist: plain names that appear in the loop body only as
+// the base of a subscript (never rebound, never passed, never a
+// method-call receiver — so never appended to or re-typed by this
+// body) and that do not already occupy an unboxed scalar slot.
+func kernelHoistCandidates(sc *scopeCtx, body []minipy.Stmt) []string {
+	indexed := map[string]bool{}
+	other := map[string]bool{}
+	var walkE func(e minipy.Expr)
+	markAll := func(names map[string]bool) {
+		for n := range names {
+			other[n] = true
+		}
+	}
+	walkE = func(e minipy.Expr) {
+		if e == nil {
+			return
+		}
+		if idx, ok := e.(*minipy.Index); ok {
+			if n, ok := idx.X.(*minipy.Name); ok {
+				indexed[n.ID] = true
+				walkE(idx.I)
+				return
+			}
+		}
+		if _, ok := e.(*minipy.Lambda); ok {
+			markAll(collectNamesExpr(e))
+			return
+		}
+		if n, ok := e.(*minipy.Name); ok {
+			other[n.ID] = true
+			return
+		}
+		// Recurse one level through the remaining expression kinds;
+		// collectNamesExpr would lose the index-base distinction, so
+		// reuse the AST walk shape from nestedReferences.
+		switch t := e.(type) {
+		case *minipy.BinOp:
+			walkE(t.L)
+			walkE(t.R)
+		case *minipy.BoolOp:
+			for _, v := range t.Values {
+				walkE(v)
+			}
+		case *minipy.UnaryOp:
+			walkE(t.X)
+		case *minipy.Compare:
+			walkE(t.L)
+			for _, r := range t.Rights {
+				walkE(r)
+			}
+		case *minipy.Call:
+			walkE(t.Fn)
+			for _, a := range t.Args {
+				walkE(a)
+			}
+			for i := range t.Keywords {
+				walkE(t.Keywords[i].Value)
+			}
+		case *minipy.Attribute:
+			walkE(t.X)
+		case *minipy.Index:
+			walkE(t.X)
+			walkE(t.I)
+		case *minipy.SliceExpr:
+			walkE(t.X)
+			walkE(t.Lo)
+			walkE(t.Hi)
+			walkE(t.Step)
+		case *minipy.ListLit:
+			for _, el := range t.Elts {
+				walkE(el)
+			}
+		case *minipy.TupleLit:
+			for _, el := range t.Elts {
+				walkE(el)
+			}
+		case *minipy.DictLit:
+			for i := range t.Keys {
+				walkE(t.Keys[i])
+				walkE(t.Vals[i])
+			}
+		case *minipy.SetLit:
+			for _, el := range t.Elts {
+				walkE(el)
+			}
+		case *minipy.IfExp:
+			walkE(t.Cond)
+			walkE(t.Then)
+			walkE(t.Else)
+		}
+	}
+	var walkS func(s minipy.Stmt)
+	walkS = func(s minipy.Stmt) {
+		switch t := s.(type) {
+		case *minipy.ExprStmt:
+			walkE(t.X)
+		case *minipy.Assign:
+			for _, tgt := range t.Targets {
+				walkE(tgt)
+			}
+			walkE(t.Value)
+		case *minipy.AugAssign:
+			walkE(t.Target)
+			walkE(t.Value)
+		case *minipy.AnnAssign:
+			walkE(t.Target)
+			walkE(t.Value)
+		case *minipy.Return:
+			walkE(t.Value)
+		case *minipy.If:
+			walkE(t.Cond)
+			for _, b := range t.Body {
+				walkS(b)
+			}
+			for _, b := range t.Else {
+				walkS(b)
+			}
+		case *minipy.While:
+			walkE(t.Cond)
+			for _, b := range t.Body {
+				walkS(b)
+			}
+		case *minipy.For:
+			walkE(t.Target)
+			walkE(t.Iter)
+			for _, b := range t.Body {
+				walkS(b)
+			}
+		case *minipy.With:
+			for _, it := range t.Items {
+				walkE(it.Context)
+				walkE(it.Vars)
+			}
+			for _, b := range t.Body {
+				walkS(b)
+			}
+		case *minipy.Try:
+			for _, b := range t.Body {
+				walkS(b)
+			}
+			for _, h := range t.Handlers {
+				if h.Name != "" {
+					other[h.Name] = true
+				}
+				for _, b := range h.Body {
+					walkS(b)
+				}
+			}
+			for _, b := range t.Final {
+				walkS(b)
+			}
+		case *minipy.Raise:
+			walkE(t.Exc)
+		case *minipy.Assert:
+			walkE(t.Test)
+			walkE(t.Msg)
+		case *minipy.Del:
+			// del a[i] mutates; del a rebinds. Either disqualifies.
+			markAll(collectNamesStmt(s))
+		case *minipy.FuncDef:
+			// A nested function may do anything with its captures.
+			markAll(collectNamesStmt(s))
+		case *minipy.Global:
+			for _, n := range t.Names {
+				other[n] = true
+			}
+		case *minipy.Nonlocal:
+			for _, n := range t.Names {
+				other[n] = true
+			}
+		}
+	}
+	for _, s := range body {
+		walkS(s)
+	}
+	var names []string
+	for n := range indexed {
+		if other[n] {
+			continue
+		}
+		switch sc.resolve(n).kind {
+		case refFSlot, refISlot:
+			continue // unboxed scalars are not lists
+		}
+		names = append(names, n)
+	}
+	// Deterministic slot order (map iteration is randomized).
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}

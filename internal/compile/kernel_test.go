@@ -1,0 +1,387 @@
+package compile
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/omp4go/omp4go/internal/interp"
+	"github.com/omp4go/omp4go/internal/metrics"
+	"github.com/omp4go/omp4go/internal/minipy"
+	"github.com/omp4go/omp4go/internal/rt"
+	"github.com/omp4go/omp4go/internal/transform"
+)
+
+// runKernelProbe runs src in the typed tier with the given kernel
+// mode and ICV environment, returning the program output and how
+// many worksharing-loop members executed as compiled kernels.
+func runKernelProbe(t *testing.T, src string, kernels KernelMode, env func(string) string) (string, int64) {
+	t.Helper()
+	mod, err := minipy.Parse(src, "test.py")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := transform.Module(mod); err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	if env == nil {
+		env = func(string) string { return "" }
+	}
+	var buf bytes.Buffer
+	in := interp.New(interp.Options{Stdout: &buf, Layer: rt.LayerAtomic, Getenv: env})
+	if err := Install(in, mod, Options{Typed: true, Kernels: kernels}); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := in.RunModule(mod); err != nil {
+		t.Fatalf("run: %v\nsource:\n%s", err, minipy.Unparse(mod))
+	}
+	return buf.String(), in.Runtime().MetricsSnapshot().Counter(metrics.CompiledKernelLoops)
+}
+
+// hitsProgram is the worksharing probe: every index must be claimed
+// exactly once whatever the schedule or lowering.
+func hitsProgram(clause string) string {
+	return `
+from omp4py import *
+
+@omp
+def f(n):
+    hits = [0] * n
+    with omp("parallel for num_threads(4)` + clause + `"):
+        for i in range(n):
+            hits[i] = hits[i] + 1
+    return (sum(hits), min(hits), max(hits))
+
+print(f(500))
+`
+}
+
+// TestKernelScheduleSelection pins which schedule clauses select the
+// compiled kernel (static, compile-time chunk) and which fall back to
+// the interp bridge (dynamic, guided, runtime, auto). Every variant
+// must still claim each index exactly once in all three tiers.
+func TestKernelScheduleSelection(t *testing.T) {
+	cases := []struct {
+		clause string
+		kernel bool
+	}{
+		{"", true}, // no clause: transform defaults to static
+		{" schedule(static)", true},
+		{" schedule(static, 16)", true},
+		{" schedule(dynamic, 7)", false},
+		{" schedule(guided, 4)", false},
+		{" schedule(runtime)", false},
+		{" schedule(auto)", false},
+	}
+	for _, tc := range cases {
+		name := tc.clause
+		if name == "" {
+			name = "default"
+		}
+		t.Run(name, func(t *testing.T) {
+			expectAllModes(t, hitsProgram(tc.clause), "(500, 1, 1)\n")
+			out, loops := runKernelProbe(t, hitsProgram(tc.clause), KernelsAuto, nil)
+			if out != "(500, 1, 1)\n" {
+				t.Fatalf("output = %q, want (500, 1, 1)", out)
+			}
+			if tc.kernel && loops == 0 {
+				t.Fatalf("schedule %q: expected compiled kernel, counter is 0", tc.clause)
+			}
+			if !tc.kernel && loops != 0 {
+				t.Fatalf("schedule %q: expected bridge fallback, kernel counter = %d", tc.clause, loops)
+			}
+		})
+	}
+}
+
+// TestKernelEscapeHatch covers the OMP4GO_COMPILE_KERNELS ICV and the
+// Options.Kernels override: off pins the bridge, on forces kernels
+// regardless of the environment, auto consults the ICV at Install.
+func TestKernelEscapeHatch(t *testing.T) {
+	src := hitsProgram("")
+	envOff := func(k string) string {
+		if k == "OMP4GO_COMPILE_KERNELS" {
+			return "off"
+		}
+		return ""
+	}
+	for _, tc := range []struct {
+		name    string
+		kernels KernelMode
+		env     func(string) string
+		want    bool
+	}{
+		{"auto-default-on", KernelsAuto, nil, true},
+		{"auto-env-off", KernelsAuto, envOff, false},
+		{"forced-off", KernelsOff, nil, false},
+		{"forced-on-beats-env", KernelsOn, envOff, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			out, loops := runKernelProbe(t, src, tc.kernels, tc.env)
+			if out != "(500, 1, 1)\n" {
+				t.Fatalf("output = %q", out)
+			}
+			if got := loops > 0; got != tc.want {
+				t.Fatalf("kernel loops = %d, want kernels=%v", loops, tc.want)
+			}
+		})
+	}
+}
+
+// TestKernelUntypedTierNeverKernels: the untyped compiled tier has no
+// iSlot loop variables, so even KernelsOn must stay on the bridge.
+func TestKernelUntypedTierNeverKernels(t *testing.T) {
+	mod, err := minipy.Parse(hitsProgram(""), "test.py")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := transform.Module(mod); err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	var buf bytes.Buffer
+	in := interp.New(interp.Options{Stdout: &buf, Layer: rt.LayerAtomic,
+		Getenv: func(string) string { return "" }})
+	if err := Install(in, mod, Options{Typed: false, Kernels: KernelsOn}); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := in.RunModule(mod); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if buf.String() != "(500, 1, 1)\n" {
+		t.Fatalf("output = %q", buf.String())
+	}
+	if n := in.Runtime().MetricsSnapshot().Counter(metrics.CompiledKernelLoops); n != 0 {
+		t.Fatalf("untyped tier ran %d kernel loops, want 0", n)
+	}
+}
+
+// TestKernelLastprivateFallsBack: lastprivate needs the bridge's
+// for_last bookkeeping, so the recognizer must bail — and the loop
+// must still produce the sequentially-last value.
+func TestKernelLastprivateFallsBack(t *testing.T) {
+	src := `
+from omp4py import *
+
+@omp
+def f(n):
+    last = 0
+    with omp("parallel for lastprivate(last) num_threads(4)"):
+        for i in range(n):
+            last = i * 2
+    return last
+
+print(f(100))
+`
+	expectAllModes(t, src, "198\n")
+	out, loops := runKernelProbe(t, src, KernelsAuto, nil)
+	if out != "198\n" {
+		t.Fatalf("output = %q", out)
+	}
+	if loops != 0 {
+		t.Fatalf("lastprivate loop ran as kernel (%d), must use bridge", loops)
+	}
+}
+
+// TestKernelReductionRunsAsKernel: the pi shape (static schedule,
+// float reduction) is the flagship kernel loop; the merge still goes
+// through the reduction critical section after the kernel body.
+func TestKernelReductionRunsAsKernel(t *testing.T) {
+	src := `
+from omp4py import *
+
+@omp
+def pi(n: int) -> float:
+    w: float = 1.0 / n
+    pi_value: float = 0.0
+    with omp("parallel for reduction(+:pi_value) num_threads(4)"):
+        for i in range(n):
+            local: float = (i + 0.5) * w
+            pi_value += 4.0 / (1.0 + local * local)
+    return pi_value * w
+
+v = pi(20000)
+print(v > 3.14159 and v < 3.14160)
+`
+	out, loops := runKernelProbe(t, src, KernelsAuto, nil)
+	if out != "True\n" {
+		t.Fatalf("output = %q", out)
+	}
+	if loops < 4 {
+		t.Fatalf("kernel loops = %d, want one per team member (4)", loops)
+	}
+}
+
+// TestKernelBreakContinueSemantics: break leaves only the current
+// chunk (the member then claims its next chunk), continue skips one
+// iteration — both must match the interpreter's bridge semantics
+// bit-for-bit under the deterministic static partition.
+func TestKernelBreakContinueSemantics(t *testing.T) {
+	// 4 members x block partition of 120 = one 30-wide chunk each;
+	// each breaks at base+7, counting 7 hits. Deterministic.
+	expectAllModes(t, `
+from omp4py import *
+
+@omp
+def f(n):
+    hits = [0] * n
+    with omp("parallel for num_threads(4)"):
+        for i in range(n):
+            if i % 10 == 7:
+                break
+            hits[i] = hits[i] + 1
+    return sum(hits)
+
+print(f(120))
+`, "28\n")
+	// With chunk=5 each member owns many chunks; break abandons one
+	// chunk, the round-robin successor is still claimed.
+	expectModesAgree(t, `
+from omp4py import *
+
+@omp
+def f(n):
+    hits = [0] * n
+    with omp("parallel for num_threads(4) schedule(static, 5)"):
+        for i in range(n):
+            if i % 7 == 3:
+                break
+            hits[i] = hits[i] + 1
+    return (sum(hits), max(hits))
+
+print(f(200))
+`)
+	expectAllModes(t, `
+from omp4py import *
+
+@omp
+def f(n):
+    hits = [0] * n
+    with omp("parallel for num_threads(4)"):
+        for i in range(n):
+            if i % 3 == 0:
+                continue
+            hits[i] = hits[i] + 1
+    return sum(hits)
+
+print(f(99))
+`, "66\n")
+}
+
+// TestKernelHoistedListAccess: float and int element loads/stores
+// inside a kernel use hoisted unboxed storage; results must agree
+// with the interpreter exactly. The sequential checksum loop uses a
+// different variable on purpose — reusing the worksharing loop
+// variable outside the region makes the transform share it via
+// nonlocal, which is the captured-loop-var fallback pinned below.
+func TestKernelHoistedListAccess(t *testing.T) {
+	src := `
+from omp4py import *
+
+@omp
+def f(n):
+    xs = [0.0] * n
+    ys = [0] * n
+    with omp("parallel for num_threads(4)"):
+        for i in range(n):
+            xs[i] = xs[i] + i * 0.5
+            ys[i] = ys[i] + i * 3
+    s = 0.0
+    for j in range(n):
+        s = s + xs[j] + ys[j]
+    return s
+
+print(f(400))
+`
+	expectModesAgree(t, src)
+	_, loops := runKernelProbe(t, src, KernelsAuto, nil)
+	if loops < 4 {
+		t.Fatalf("kernel loops = %d, want one per member", loops)
+	}
+}
+
+// TestKernelLoopVarReusedOutsideRegion: the worksharing loop variable
+// is implicitly private (the transform keeps it a plain local of the
+// region closure even when the enclosing function also binds it), so
+// this shape is kernel-eligible and race-free.
+func TestKernelLoopVarReusedOutsideRegion(t *testing.T) {
+	src := `
+from omp4py import *
+
+@omp
+def f(n):
+    xs = [0.0] * n
+    with omp("parallel for num_threads(4)"):
+        for i in range(n):
+            xs[i] = xs[i] + i * 0.5
+    s = 0.0
+    for i in range(n):
+        s = s + xs[i]
+    return s
+
+print(f(400))
+`
+	expectModesAgree(t, src)
+	_, loops := runKernelProbe(t, src, KernelsAuto, nil)
+	if loops < 4 {
+		t.Fatalf("kernel loops = %d, want one per member", loops)
+	}
+}
+
+// TestKernelCapturedLoopVarFallsBack: a loop variable captured by a
+// nested function lives in a cell, not an unboxed int slot, so the
+// loop must run on the bridge (and still agree with the interpreter).
+func TestKernelCapturedLoopVarFallsBack(t *testing.T) {
+	src := `
+from omp4py import *
+
+@omp
+def f(n):
+    xs = [0.0] * n
+    with omp("parallel for num_threads(4)"):
+        for i in range(n):
+            g = lambda: i * 0.5
+            xs[i] = xs[i] + g()
+    s = 0.0
+    for j in range(n):
+        s = s + xs[j]
+    return s
+
+print(f(400))
+`
+	expectModesAgree(t, src)
+	_, loops := runKernelProbe(t, src, KernelsAuto, nil)
+	if loops != 0 {
+		t.Fatalf("captured loop var ran as kernel (%d), must use bridge", loops)
+	}
+}
+
+// TestKernelMatchesBridgeAcrossThreadCounts is a narrow differential:
+// the same static-schedule program under kernels on vs off vs the
+// interpreter, across thread counts and chunk sizes, must print the
+// same thing (the partitions are arithmetically identical).
+func TestKernelMatchesBridgeAcrossThreadCounts(t *testing.T) {
+	for _, nt := range []int{1, 3, 4, 8} {
+		for _, clause := range []string{"", " schedule(static, 1)", " schedule(static, 13)"} {
+			src := fmt.Sprintf(`
+from omp4py import *
+
+@omp
+def f(n):
+    acc = 0
+    with omp("parallel for reduction(+:acc) num_threads(%d)%s"):
+        for i in range(n):
+            acc += i * i
+    return acc
+
+print(f(1000))
+`, nt, clause)
+			interp0 := runMode(t, src, 0)
+			on, _ := runKernelProbe(t, src, KernelsAuto, nil)
+			off, _ := runKernelProbe(t, src, KernelsOff, nil)
+			if on != interp0 || off != interp0 {
+				t.Fatalf("nt=%d clause=%q: interp=%q kernels-on=%q kernels-off=%q",
+					nt, clause, interp0, on, off)
+			}
+		}
+	}
+}

@@ -39,6 +39,12 @@ type scopeCtx struct {
 
 	nSlots int
 	types  map[string]valType
+
+	// hoist is non-nil only while a compiled-kernel loop body is being
+	// compiled: it maps list names whose storage the kernel hoists to
+	// their kernelEnv slot, letting texpr's Index paths emit direct
+	// []float64/[]int64 access (kernel.go).
+	hoist map[string]int
 }
 
 // newScope builds the compile-time scope for a function: decides

@@ -34,8 +34,24 @@ func (c *compiler) compileFunc(name string, params []minipy.Param, body []minipy
 
 func (c *compiler) compileStmts(sc *scopeCtx, body []minipy.Stmt) (stmtFn, error) {
 	fns := make([]stmtFn, 0, len(body))
-	for _, s := range body {
-		f, err := c.compileStmt(sc, s)
+	for k := 0; k < len(body); k++ {
+		// Transform-lowered worksharing loops with a compile-time
+		// static schedule compile to a runtime-aware kernel replacing
+		// the bounds/init/while prefix (kernel.go); anything that
+		// doesn't match falls through to statement-at-a-time
+		// compilation of the interp-bridge lowering.
+		if c.kernels {
+			kf, consumed, err := c.tryCompileKernel(sc, body, k)
+			if err != nil {
+				return nil, err
+			}
+			if kf != nil {
+				fns = append(fns, kf)
+				k += consumed - 1
+				continue
+			}
+		}
+		f, err := c.compileStmt(sc, body[k])
 		if err != nil {
 			return nil, err
 		}

@@ -342,6 +342,17 @@ func (th *Thread) callFunction(f *Function, args []Value, kwargs map[string]Valu
 			}
 		}
 	}
+	// Pre-bind every local so the env map is fully populated before
+	// the body runs. Assignments then only store into existing cells,
+	// never insert map keys — which makes the lock-free concurrent
+	// Lookups performed by escaped closures (tasks capturing this
+	// frame's env while the owner keeps executing) safe. Unset cells
+	// still surface as UnboundLocalError on read.
+	if f.Scope != nil {
+		for _, name := range f.Scope.Locals {
+			env.Define(name)
+		}
+	}
 	fr := &frame{env: env, globals: f.Globals, scope: f.Scope}
 	err := th.execStmts(fr, f.Body)
 	if err != nil {

@@ -461,8 +461,10 @@ func (th *Thread) execDel(fr *frame, target minipy.Expr) error {
 		}
 		return typeErrorf(tgt.NodePos(), "cannot delete item of %s", TypeName(cont))
 	case *minipy.Name:
-		// Deleting a binding: mark the cell unset.
-		if c, ok := fr.env.Resolve(tgt.ID); ok {
+		// Deleting a binding: mark the cell unset. Pre-bound but
+		// never-assigned locals (frame setup defines every local
+		// upfront) count as undefined here.
+		if c, ok := fr.env.Resolve(tgt.ID); ok && c.set {
 			c.set = false
 			c.v = nil
 			return nil

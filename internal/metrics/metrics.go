@@ -64,6 +64,10 @@ const (
 	// Worksharing loops: chunks claimed and iterations covered.
 	LoopChunks
 	LoopIterations
+	// Compiled loop kernels: worksharing-loop member shares executed
+	// by internal/compile's static-schedule fast path instead of the
+	// per-chunk interp bridge (one count per member per loop).
+	CompiledKernelLoops
 	// Critical sections: contention wait and hold time.
 	CriticalWaitNS
 	CriticalHoldNS
@@ -92,6 +96,7 @@ var counterNames = [NumCounters]string{
 	Taskgroups:          "omp4go_taskgroups_total",
 	LoopChunks:          "omp4go_loop_chunks_total",
 	LoopIterations:      "omp4go_loop_iterations_total",
+	CompiledKernelLoops: "omp4go_compiled_kernel_loops_total",
 	CriticalWaitNS:      "omp4go_critical_wait_ns_total",
 	CriticalHoldNS:      "omp4go_critical_hold_ns_total",
 	PoolParks:           "omp4go_pool_parks_total",

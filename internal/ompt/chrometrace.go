@@ -167,6 +167,12 @@ func WriteChromeTrace(w io.Writer, recs []Record, dropped uint64) error {
 				Ts: us(r.Time), Pid: tracePid, Tid: r.GTID,
 				Args: map[string]any{"taskgroup": r.A},
 			})
+		case EvKernelEnter:
+			events = append(events, traceEvent{
+				Name: "kernel (" + r.Label + ")", Cat: "kernel", Ph: "i",
+				Ts: us(r.Time), Pid: tracePid, Tid: r.GTID, S: "t",
+				Args: map[string]any{"iterations": r.A, "chunk": r.B, "schedule": r.Label},
+			})
 		case EvTaskgroupEnd:
 			args := map[string]any{"taskgroup": r.A}
 			if r.Label != "" {

@@ -89,6 +89,12 @@ const (
 	// A = taskgroup id, Dur = begin-to-end wall time,
 	// Label = "cancelled" when the group was cancelled.
 	EvTaskgroupEnd
+	// EvKernelEnter: a compiled loop kernel took over this member's
+	// share of a worksharing loop (internal/compile's static-schedule
+	// fast path; no EvLoopChunk events follow from this member).
+	// A = total (linear) iteration count, B = static chunk size
+	// (0 = block partition), Label = schedule kind.
+	EvKernelEnter
 )
 
 // String returns the event kind name.
@@ -134,6 +140,8 @@ func (k EventKind) String() string {
 		return "taskgroup-begin"
 	case EvTaskgroupEnd:
 		return "taskgroup-end"
+	case EvKernelEnter:
+		return "kernel-enter"
 	}
 	return "event(?)"
 }

@@ -44,6 +44,9 @@ type Stats struct {
 	// the scheduler; Taskgroups counts taskgroup regions opened.
 	TaskDependsResolved int
 	Taskgroups          int
+	// KernelLoops counts worksharing-loop member shares executed by
+	// compiled static-schedule kernels (no per-chunk events follow).
+	KernelLoops int
 
 	TotalBarrierWaitNS  int64
 	TotalCriticalWaitNS int64
@@ -113,6 +116,8 @@ func ComputeStats(recs []Record, dropped uint64) *Stats {
 			s.TaskDependsResolved++
 		case EvTaskgroupBegin:
 			s.Taskgroups++
+		case EvKernelEnter:
+			s.KernelLoops++
 		case EvCriticalAcquire:
 			t.CriticalWaitNS += r.Dur
 			s.TotalCriticalWaitNS += r.Dur

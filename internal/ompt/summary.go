@@ -33,6 +33,10 @@ func (s *Stats) Write(w io.Writer) error {
 		fmt.Fprintf(w, "task dependences resolved %d, taskgroups %d\n",
 			s.TaskDependsResolved, s.Taskgroups)
 	}
+	if s.KernelLoops > 0 {
+		fmt.Fprintf(w, "compiled kernel loops %d (member shares on the static fast path)\n",
+			s.KernelLoops)
+	}
 	fmt.Fprintf(w, "total barrier wait %s, total critical wait %s\n",
 		ns(s.TotalBarrierWaitNS), ns(s.TotalCriticalWaitNS))
 	if s.LoadImbalance > 0 {

@@ -37,6 +37,7 @@ type icvSet struct {
 	traceFile       string        // OMP4GO_TRACE output file (tool activation)
 	taskSched       string        // OMP4GO_TASK_SCHED: "", "steal" or "list"
 	poolMode        string        // OMP4GO_POOL: "", "on" or "off"
+	kernelMode      string        // OMP4GO_COMPILE_KERNELS: "", "on" or "off"
 	metricsAddr     string        // OMP4GO_METRICS listen address ("" = off)
 	watchdog        time.Duration // OMP4GO_WATCHDOG stall threshold (0 = off)
 	// serveEnv holds the raw OMP4GO_SERVE_* values that were set
@@ -155,6 +156,18 @@ func (s *icvSet) loadEnv(getenv func(string) string) {
 			s.poolMode = "off"
 		}
 	}
+	if v := getenv("OMP4GO_COMPILE_KERNELS"); v != "" {
+		// Compiled loop kernels: "on" (default; the compiled tier may
+		// replace static-schedule worksharing loops with runtime-aware
+		// kernels) or "off" (force the interp-bridge lowering, the
+		// differential baseline mirroring OMP4GO_POOL=off).
+		switch strings.ToLower(strings.TrimSpace(v)) {
+		case "1", "true", "yes", "on":
+			s.kernelMode = "on"
+		case "0", "false", "no", "off":
+			s.kernelMode = "off"
+		}
+	}
 	if v := getenv("OMP4GO_METRICS"); v != "" {
 		// Listen address for the live metrics/introspection endpoint
 		// (serve.go), e.g. ":9090" or "127.0.0.1:0".
@@ -225,6 +238,11 @@ func (s *icvSet) display(w io.Writer) {
 			pool = "off"
 		}
 		fmt.Fprintf(w, "  OMP4GO_POOL = '%s'\n", pool)
+		kern := "on"
+		if s.kernelMode == "off" {
+			kern = "off"
+		}
+		fmt.Fprintf(w, "  OMP4GO_COMPILE_KERNELS = '%s'\n", kern)
 		fmt.Fprintf(w, "  OMP4GO_METRICS = '%s'\n", s.metricsAddr)
 		wd := ""
 		if s.watchdog > 0 {

@@ -1,0 +1,201 @@
+package rt
+
+import (
+	"github.com/omp4go/omp4go/internal/metrics"
+	"github.com/omp4go/omp4go/internal/ompt"
+)
+
+// Compiled-kernel support: the O(1) static-schedule iterator and the
+// unboxed reduction accumulator used by internal/compile's loop
+// kernels. A compiled kernel still opens and closes the worksharing
+// region through ForInit/ForEnd — region accounting, misuse
+// detection, the loop begin/end events and the implicit barrier are
+// unchanged — but replaces the per-chunk ForNext protocol with pure
+// arithmetic over a StaticIter, which is valid exactly when the
+// schedule is static and known at compile time (libgomp performs the
+// same precomputation for GOMP_parallel_loop_static).
+
+// StaticIter walks the chunks a single team member owns under a
+// static schedule, without touching shared state. Lo and Hi are
+// linear iteration indices (0-based, end-exclusive), as in
+// LoopBounds.Lo/Hi; callers map them to loop-variable values via the
+// loop's start/step.
+type StaticIter struct {
+	Lo, Hi int64 // current chunk, linear space
+	next   int64
+	limit  int64
+	stride int64 // 0: single block; >0: round-robin chunk stride
+	chunk  int64
+	total  int64
+}
+
+// StaticBounds computes the full iteration set of team member gtid
+// (of nthreads) for the loop range(lo, hi, step) under
+// schedule(static, chunk) in O(1). chunk == 0 selects the block
+// partition (one contiguous chunk per member, the schedule-clause
+// default); chunk > 0 the round-robin chunked partition. The
+// partition arithmetic is identical to ForInit's static branch, so a
+// kernel loop and the bridge path visit bit-identical index sets.
+func StaticBounds(gtid, nthreads int, lo, hi, step, chunk int64) StaticIter {
+	t := Triplet{Start: lo, End: hi, Step: step}
+	total := t.count()
+	it := StaticIter{chunk: chunk, total: total}
+	if chunk == 0 {
+		base := total / int64(nthreads)
+		rem := total % int64(nthreads)
+		first := int64(gtid)*base + min64(int64(gtid), rem)
+		sz := base
+		if int64(gtid) < rem {
+			sz++
+		}
+		it.next = first
+		it.limit = first + sz
+		it.stride = 0
+	} else {
+		it.next = int64(gtid) * chunk
+		it.stride = int64(nthreads) * chunk
+		it.limit = total
+	}
+	return it
+}
+
+// Next claims the member's next chunk, updating Lo and Hi. It is the
+// arithmetic core of claimNext's static branch with no metrics,
+// tracing, or shared-state access.
+func (it *StaticIter) Next() bool {
+	if it.stride == 0 {
+		if it.next >= it.limit {
+			return false
+		}
+		it.Lo, it.Hi = it.next, it.limit
+		it.next = it.limit
+		return true
+	}
+	if it.next >= it.limit {
+		return false
+	}
+	it.Lo = it.next
+	it.Hi = min64(it.next+it.chunk, it.limit)
+	it.next += it.stride
+	return true
+}
+
+// Last reports whether the most recently claimed chunk contains the
+// sequentially last iteration (lastprivate support).
+func (it *StaticIter) Last() bool { return it.Hi == it.total }
+
+// Total returns the linear trip count of the partitioned loop.
+func (it *StaticIter) Total() int64 { return it.total }
+
+// ReduceNumber constrains ReduceSlot to the unboxed numeric kinds of
+// the compiled typed tier.
+type ReduceNumber interface {
+	~int64 | ~float64
+}
+
+// ReduceSlot is a per-member unboxed reduction accumulator: the
+// kernel folds its entire iteration share into Val with Combine (no
+// locking, no boxing), then merges the partial into the shared
+// variable exactly once at the join — under the same
+// "__omp_reduction" critical section the transform-lowered merge
+// uses, so kernel and bridge members can interleave on one loop.
+type ReduceSlot[T ReduceNumber] struct {
+	Val T
+	op  string
+}
+
+// NewReduceSlot validates op against the built-in reduction table
+// and returns a slot seeded with the operator's identity element.
+func NewReduceSlot[T ReduceNumber](op string) (ReduceSlot[T], error) {
+	var s ReduceSlot[T]
+	var id interface{}
+	var err error
+	switch any(s.Val).(type) {
+	case int64:
+		var v int64
+		v, err = IntIdentity(op)
+		id = v
+	case float64:
+		var v float64
+		v, err = FloatIdentity(op)
+		id = v
+	}
+	if err != nil {
+		return s, err
+	}
+	s.op = op
+	s.Val = id.(T)
+	return s, nil
+}
+
+// Combine folds v into the accumulator with the slot's operator. The
+// op was validated by NewReduceSlot, so no error path remains on the
+// per-iteration hot path.
+func (s *ReduceSlot[T]) Combine(v T) {
+	switch a := any(s.Val).(type) {
+	case int64:
+		r, _ := ReduceInt(s.op, a, any(v).(int64))
+		s.Val = any(r).(T)
+	case float64:
+		r, _ := ReduceFloat(s.op, a, any(v).(float64))
+		s.Val = any(r).(T)
+	}
+}
+
+// Merge performs the once-per-member join: it enters the shared
+// reduction critical section, calls apply with the member's partial
+// (which must fold Val into the shared variable), and records the
+// merge for tracing. This is the kernel analogue of the
+// mutex_lock/merge/mutex_unlock block the transform emits.
+func (s *ReduceSlot[T]) Merge(c *Context, apply func(partial T) error) error {
+	c.CriticalEnter(reductionCritical)
+	defer c.CriticalExit(reductionCritical)
+	err := apply(s.Val)
+	if err == nil {
+		c.ReductionMerge(reductionCritical)
+	}
+	return err
+}
+
+// reductionCritical is the critical-section name guarding
+// transform-lowered reduction merges (interp/ompmod.go's
+// mutex_lock); kernels merge under the same name so mixed
+// kernel/bridge teams on one loop stay mutually excluded.
+const reductionCritical = "__omp_reduction"
+
+// KernelEnter records that a compiled loop kernel took over one
+// member's share of a worksharing loop: it bumps the
+// omp4go_compiled_kernel_loops counter and, when a tool is attached,
+// emits an EvKernelEnter event (A = linear trip count, B = static
+// chunk size, label = schedule kind) so traces show which loops ran
+// on the fast path. Call it after ForInit on each kernel member.
+func (c *Context) KernelEnter(total, chunk int64) {
+	c.rt.metrics.Inc(c.gtid, metrics.CompiledKernelLoops)
+	if c.rt.loadTool() != nil {
+		c.emit(ompt.EvKernelEnter, total, chunk, 0, "static")
+	}
+}
+
+// CompiledKernelsEnabled reports the OMP4GO_COMPILE_KERNELS ICV:
+// whether the compiled tier may replace static-schedule worksharing
+// loops with runtime-aware kernels. Default on; "off" (or any false
+// spelling) restores the interp-bridge lowering so every kernel has
+// a differential baseline.
+func (r *Runtime) CompiledKernelsEnabled() bool {
+	r.icv.mu.Lock()
+	defer r.icv.mu.Unlock()
+	return r.icv.kernelMode != "off"
+}
+
+// SetCompiledKernels overrides the OMP4GO_COMPILE_KERNELS ICV
+// programmatically (the bench harness and tests run with an empty
+// environment).
+func (r *Runtime) SetCompiledKernels(on bool) {
+	r.icv.mu.Lock()
+	defer r.icv.mu.Unlock()
+	if on {
+		r.icv.kernelMode = "on"
+	} else {
+		r.icv.kernelMode = "off"
+	}
+}

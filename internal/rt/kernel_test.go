@@ -1,0 +1,169 @@
+package rt
+
+import (
+	"testing"
+
+	"github.com/omp4go/omp4go/internal/directive"
+)
+
+// TestStaticBoundsPartition checks that across every team member the
+// chunks produced by StaticBounds cover the loop's linear iteration
+// space exactly once — the property that makes a kernel loop visit
+// the same index set as the bridge's claim loop.
+func TestStaticBoundsPartition(t *testing.T) {
+	cases := []struct {
+		lo, hi, step, chunk int64
+		nthreads            int
+	}{
+		{0, 100, 1, 0, 4},
+		{0, 100, 1, 0, 1},
+		{0, 100, 1, 0, 7},  // rem != 0 block split
+		{0, 3, 1, 0, 8},    // more members than iterations
+		{0, 0, 1, 0, 4},    // empty loop
+		{5, 50, 3, 0, 4},   // offset + stride
+		{50, 5, -3, 0, 4},  // negative step
+		{0, 100, 1, 1, 4},  // cyclic
+		{0, 100, 1, 13, 4}, // round-robin, ragged tail
+		{0, 100, 1, 200, 3},
+		{7, 93, 2, 5, 5},
+		{10, -10, -1, 4, 2},
+	}
+	for _, tc := range cases {
+		total := Triplet{Start: tc.lo, End: tc.hi, Step: tc.step}.count()
+		seen := make([]int, total)
+		lastSeen := false
+		for g := 0; g < tc.nthreads; g++ {
+			it := StaticBounds(g, tc.nthreads, tc.lo, tc.hi, tc.step, tc.chunk)
+			if it.Total() != total {
+				t.Fatalf("%+v: member %d Total() = %d, want %d", tc, g, it.Total(), total)
+			}
+			for it.Next() {
+				if it.Lo < 0 || it.Hi > total || it.Lo >= it.Hi {
+					t.Fatalf("%+v: member %d claimed bad chunk [%d,%d)", tc, g, it.Lo, it.Hi)
+				}
+				for lin := it.Lo; lin < it.Hi; lin++ {
+					seen[lin]++
+				}
+				if it.Last() {
+					lastSeen = true
+				}
+			}
+		}
+		for lin, n := range seen {
+			if n != 1 {
+				t.Fatalf("%+v: linear iteration %d claimed %d times", tc, lin, n)
+			}
+		}
+		if total > 0 && !lastSeen {
+			t.Fatalf("%+v: no member observed Last()", tc)
+		}
+	}
+}
+
+// TestStaticBoundsMatchesLoopBounds runs the same partitions through
+// the bridge's claimNext protocol (a hand-initialized LoopBounds with
+// ForInit's static-branch cursor arithmetic, no team needed) and
+// through StaticBounds, asserting chunk-for-chunk equality — the
+// differential at the heart of the kernel design.
+func TestStaticBoundsMatchesLoopBounds(t *testing.T) {
+	cases := []struct {
+		lo, hi, step, chunk int64
+		nthreads            int
+	}{
+		{0, 1000, 1, 0, 4},
+		{0, 1000, 1, 16, 4},
+		{0, 999, 7, 0, 3},
+		{0, 999, 7, 5, 3},
+		{-50, 50, 1, 0, 8},
+		{-50, 50, 1, 3, 8},
+		{0, 5, 1, 0, 8},
+		{0, 64, 1, 64, 4},
+	}
+	for _, tc := range cases {
+		for g := 0; g < tc.nthreads; g++ {
+			b := ForBounds(Triplet{Start: tc.lo, End: tc.hi, Step: tc.step})
+			b.sched = Schedule{Kind: directive.ScheduleStatic, Chunk: tc.chunk}
+			b.tnum, b.tsize = g, tc.nthreads
+			// ForInit's static cursor setup, minus team/region state.
+			if tc.chunk == 0 {
+				base := b.Total / int64(b.tsize)
+				rem := b.Total % int64(b.tsize)
+				lo := int64(b.tnum)*base + min64(int64(b.tnum), rem)
+				sz := base
+				if int64(b.tnum) < rem {
+					sz++
+				}
+				b.next = lo
+				b.limit = lo + sz
+				b.stride = 0
+			} else {
+				b.next = int64(b.tnum) * tc.chunk
+				b.stride = int64(b.tsize) * tc.chunk
+				b.limit = b.Total
+			}
+			b.inited = true
+			it := StaticBounds(g, tc.nthreads, tc.lo, tc.hi, tc.step, tc.chunk)
+			for {
+				bridgeOK := b.claimNext()
+				kernOK := it.Next()
+				if bridgeOK != kernOK {
+					t.Fatalf("%+v member %d: bridge claimed=%v kernel claimed=%v", tc, g, bridgeOK, kernOK)
+				}
+				if !bridgeOK {
+					break
+				}
+				if b.Lo != it.Lo || b.Hi != it.Hi {
+					t.Fatalf("%+v member %d: bridge [%d,%d) kernel [%d,%d)",
+						tc, g, b.Lo, b.Hi, it.Lo, it.Hi)
+				}
+			}
+		}
+	}
+}
+
+// TestReduceSlot covers construction, identity seeding, combining and
+// operator validation of the unboxed reduction accumulator.
+func TestReduceSlot(t *testing.T) {
+	fs, err := NewReduceSlot[float64]("+")
+	if err != nil {
+		t.Fatalf("NewReduceSlot(+): %v", err)
+	}
+	if fs.Val != 0 {
+		t.Fatalf("sum identity = %v, want 0", fs.Val)
+	}
+	for i := 1; i <= 10; i++ {
+		fs.Combine(float64(i))
+	}
+	if fs.Val != 55 {
+		t.Fatalf("sum = %v, want 55", fs.Val)
+	}
+
+	is, err := NewReduceSlot[int64]("*")
+	if err != nil {
+		t.Fatalf("NewReduceSlot(*): %v", err)
+	}
+	if is.Val != 1 {
+		t.Fatalf("product identity = %v, want 1", is.Val)
+	}
+	for i := int64(1); i <= 5; i++ {
+		is.Combine(i)
+	}
+	if is.Val != 120 {
+		t.Fatalf("product = %v, want 120", is.Val)
+	}
+
+	mx, err := NewReduceSlot[int64]("max")
+	if err != nil {
+		t.Fatalf("NewReduceSlot(max): %v", err)
+	}
+	mx.Combine(-3)
+	mx.Combine(7)
+	mx.Combine(5)
+	if mx.Val != 7 {
+		t.Fatalf("max = %v, want 7", mx.Val)
+	}
+
+	if _, err := NewReduceSlot[float64]("nonsense"); err == nil {
+		t.Fatalf("NewReduceSlot(nonsense) should fail")
+	}
+}

@@ -264,12 +264,17 @@ func (tr *transformer) reductionPieces(op, shared, private string, pos minipy.Po
 // shareDecls builds the nonlocal/global declarations for shared
 // variables assigned inside a generated inner function (Fig. 2's
 // `nonlocal pi_value`). outside is the enclosing function's scope
-// with the construct excluded.
-func shareDecls(ctx *fnCtx, outside *minipy.ScopeInfo, innerBody []minipy.Stmt) []minipy.Stmt {
+// with the construct excluded. Names in exclude are implicitly
+// private (worksharing and taskloop iteration variables, OpenMP
+// §2.9.1) and stay plain locals of the inner function even when the
+// enclosing function also binds them — sharing them would make every
+// team member race on one cell.
+func shareDecls(ctx *fnCtx, outside *minipy.ScopeInfo, innerBody []minipy.Stmt,
+	exclude map[string]bool) []minipy.Stmt {
 	inner := minipy.AnalyzeScope(nil, innerBody)
 	var nonlocals, globals []string
 	for _, name := range inner.Locals {
-		if isGeneratedName(name) {
+		if isGeneratedName(name) || exclude[name] {
 			continue
 		}
 		switch {
@@ -289,6 +294,82 @@ func shareDecls(ctx *fnCtx, outside *minipy.ScopeInfo, innerBody []minipy.Stmt) 
 		out = append(out, &minipy.Nonlocal{Names: nonlocals})
 	}
 	return out
+}
+
+// wsLoopVarNames collects the iteration variables of the lowered
+// worksharing loops in stmts: the target of the chunk loop under each
+// `while __omp.for_next(b):`, and — for collapsed nests — the
+// per-level variables assigned from the generated unravel index.
+// These are implicitly private per OpenMP, so shareDecls must not
+// turn them into nonlocal declarations. Nested FuncDefs (inner
+// regions, tasks) are not entered: their loop variables are already
+// locals of their own function.
+func wsLoopVarNames(stmts []minipy.Stmt) map[string]bool {
+	vars := map[string]bool{}
+	var walk func(ss []minipy.Stmt)
+	markChunkLoop := func(f *minipy.For) {
+		if n, ok := f.Target.(*minipy.Name); ok && !isGeneratedName(n.ID) {
+			vars[n.ID] = true
+		}
+		// Collapsed form: an __omp_idx_N = __omp.unravel(...) prefix
+		// followed by lv_d = __omp_idx_N[d] per-level assignments.
+		for _, s := range f.Body {
+			as, ok := s.(*minipy.Assign)
+			if !ok || len(as.Targets) != 1 {
+				break
+			}
+			tgt, ok := as.Targets[0].(*minipy.Name)
+			if !ok {
+				break
+			}
+			if isGeneratedName(tgt.ID) {
+				continue // the unravel index itself
+			}
+			idx, ok := as.Value.(*minipy.Index)
+			if !ok {
+				break
+			}
+			base, ok := idx.X.(*minipy.Name)
+			if !ok || !isGeneratedName(base.ID) {
+				break
+			}
+			vars[tgt.ID] = true
+		}
+	}
+	walk = func(ss []minipy.Stmt) {
+		for _, s := range ss {
+			switch t := s.(type) {
+			case *minipy.While:
+				if call, ok := t.Cond.(*minipy.Call); ok {
+					if attr, ok := call.Fn.(*minipy.Attribute); ok && attr.Name == "for_next" {
+						if base, ok := attr.X.(*minipy.Name); ok && base.ID == "__omp" {
+							if len(t.Body) == 1 {
+								if f, ok := t.Body[0].(*minipy.For); ok {
+									markChunkLoop(f)
+								}
+							}
+						}
+					}
+				}
+				walk(t.Body)
+			case *minipy.For:
+				walk(t.Body)
+			case *minipy.If:
+				walk(t.Body)
+				walk(t.Else)
+			case *minipy.With:
+				walk(t.Body)
+			case *minipy.Try:
+				walk(t.Body)
+				for _, h := range t.Handlers {
+					walk(h.Body)
+				}
+				walk(t.Final)
+			}
+		}
+	}
+	walk(stmts)
+	return vars
 }
 
 // parallel transforms parallel, parallel for, and parallel sections.
@@ -330,7 +411,7 @@ func (tr *transformer) parallel(ctx *fnCtx, dir *directive.Directive, w *minipy.
 	}
 
 	fnBody := append(append(append([]minipy.Stmt{}, plan.preInner...), innerBody...), plan.postInner...)
-	decls := shareDecls(ctx, outside, fnBody)
+	decls := shareDecls(ctx, outside, fnBody, wsLoopVarNames(fnBody))
 	fnBody = append(decls, fnBody...)
 
 	fnName := tr.fresh("parallel")
@@ -455,8 +536,14 @@ func (tr *transformer) forConstruct(ctx *fnCtx, dir *directive.Directive,
 		return nil, err
 	}
 
-	// Schedule clause.
-	var kindExpr minipy.Expr = strLit("")
+	// Schedule clause. A loop without one gets the explicit "static"
+	// default rather than an empty kind: the lowered for_init call is
+	// the compiled tier's only schedule metadata, and a literal
+	// "static" + literal chunk is what lets it select the
+	// precomputed-bounds kernel instead of the per-chunk bridge
+	// (internal/compile/kernel.go). The runtime resolves "" and
+	// "static" identically, so interp-tier behavior is unchanged.
+	var kindExpr minipy.Expr = strLit("static")
 	var chunkExpr minipy.Expr = noneLit()
 	if cl := dir.Find(directive.ClauseSchedule); cl != nil {
 		kindExpr = strLit(cl.Sched.String())
@@ -769,7 +856,7 @@ func (tr *transformer) task(ctx *fnCtx, dir *directive.Directive, w *minipy.With
 
 	fnBody := append(append([]minipy.Stmt{}, plan.preInner...), tBody...)
 	fnBody = append(fnBody, plan.postInner...)
-	decls := shareDecls(ctx, outside, fnBody)
+	decls := shareDecls(ctx, outside, fnBody, nil)
 	fnBody = append(decls, fnBody...)
 
 	fnName := tr.fresh("task")
@@ -944,7 +1031,9 @@ func (tr *transformer) taskloop(ctx *fnCtx, dir *directive.Directive, w *minipy.
 
 	fnBody := append(append([]minipy.Stmt{}, plan.preInner...), chunkLoop)
 	fnBody = append(fnBody, plan.postInner...)
-	decls := shareDecls(ctx, outside, fnBody)
+	// The taskloop iteration variable is implicitly private to each
+	// chunk task (OpenMP §2.9.1), exactly like a worksharing loop var.
+	decls := shareDecls(ctx, outside, fnBody, map[string]bool{lv: true})
 	fnBody = append(decls, fnBody...)
 
 	params := []minipy.Param{

@@ -31,13 +31,16 @@ import (
 // ScheduleKind names a loop scheduling policy.
 type ScheduleKind = directive.ScheduleKind
 
-// Loop scheduling policies.
+// Loop scheduling policy kinds, consumed by SetSchedule and returned
+// by GetSchedule. Loop constructs take a full Schedule value instead:
+// build one with the Static, Dynamic, Guided or RuntimeSched
+// constructors (schedule.go) and pass it through WithSched.
 const (
-	Static  = directive.ScheduleStatic
-	Dynamic = directive.ScheduleDynamic
-	Guided  = directive.ScheduleGuided
-	Auto    = directive.ScheduleAuto
-	Runtime = directive.ScheduleRuntime
+	ScheduleStatic  = directive.ScheduleStatic
+	ScheduleDynamic = directive.ScheduleDynamic
+	ScheduleGuided  = directive.ScheduleGuided
+	ScheduleAuto    = directive.ScheduleAuto
+	ScheduleRuntime = directive.ScheduleRuntime
 )
 
 var (

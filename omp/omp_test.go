@@ -51,7 +51,7 @@ func TestParallelForCoversRange(t *testing.T) {
 	hits := make([]int32, n)
 	err := ParallelFor(0, n, func(tc *TC, i int) {
 		atomic.AddInt32(&hits[i], 1)
-	}, WithNumThreads(8), WithSchedule(Dynamic, 7))
+	}, WithNumThreads(8), WithSched(Dynamic(7)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestForCollapse(t *testing.T) {
 				t.Errorf("bad index %v", idx)
 			}
 			count.Add(1)
-		}, WithSchedule(Dynamic, 5))
+		}, WithSched(Dynamic(5)))
 		if err != nil {
 			t.Error(err)
 		}
@@ -179,10 +179,10 @@ func TestTasksFibonacci(t *testing.T) {
 			return
 		}
 		var f1, f2 int64
-		if err := tc.Task(func(tt *TC) { fibTask(tt, n-1, &f1) }, TaskIf(n > 10)); err != nil {
+		if err := tc.Task(func(tt *TC) { fibTask(tt, n-1, &f1) }, WithIf(n > 10)); err != nil {
 			t.Error(err)
 		}
-		if err := tc.Task(func(tt *TC) { fibTask(tt, n-2, &f2) }, TaskIf(n > 10)); err != nil {
+		if err := tc.Task(func(tt *TC) { fibTask(tt, n-2, &f2) }, WithIf(n > 10)); err != nil {
 			t.Error(err)
 		}
 		if err := tc.TaskWait(); err != nil {
@@ -246,7 +246,7 @@ func TestOrderedLoop(t *testing.T) {
 			}); err != nil {
 				t.Error(err)
 			}
-		}, WithOrdered(), WithSchedule(Dynamic, 2))
+		}, WithOrdered(), WithSched(Dynamic(2)))
 		if err != nil {
 			t.Error(err)
 		}
@@ -305,11 +305,11 @@ func TestGlobalAPIRoundTrip(t *testing.T) {
 	if GetMaxThreads() != 3 {
 		t.Fatalf("GetMaxThreads = %d", GetMaxThreads())
 	}
-	if err := SetSchedule(Guided, 9); err != nil {
+	if err := SetSchedule(ScheduleGuided, 9); err != nil {
 		t.Fatal(err)
 	}
 	kind, chunk := GetSchedule()
-	if kind != Guided || chunk != 9 {
+	if kind != ScheduleGuided || chunk != 9 {
 		t.Fatalf("schedule = %v,%d", kind, chunk)
 	}
 	SetDynamic(true)

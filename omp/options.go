@@ -82,13 +82,23 @@ func WithNoGroup() Option {
 	return func(o *options) { o.nogroup = true }
 }
 
-// WithSchedule is the schedule clause (For); chunk 0 selects the
-// policy default.
-func WithSchedule(kind ScheduleKind, chunk int) Option {
+// WithSched is the schedule clause (For): pass a Schedule built with
+// Static, Dynamic, Guided, RuntimeSched or AutoSched. Chunk 0 selects
+// the policy default.
+func WithSched(s Schedule) Option {
 	return func(o *options) {
 		o.schedSet = true
-		o.sched = rt.Schedule{Kind: kind, Chunk: int64(chunk)}
+		o.sched = rt.Schedule{Kind: s.Kind, Chunk: int64(s.Chunk)}
 	}
+}
+
+// WithSchedule is the schedule clause from separate kind and chunk
+// arguments.
+//
+// Deprecated: use WithSched with a Schedule constructor, e.g.
+// WithSched(Dynamic(64)).
+func WithSchedule(kind ScheduleKind, chunk int) Option {
+	return WithSched(Schedule{Kind: kind, Chunk: chunk})
 }
 
 // WithNoWait is the nowait clause: the worksharing construct skips

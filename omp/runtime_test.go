@@ -130,9 +130,9 @@ func TestNestedConcurrentParallelReduce(t *testing.T) {
 	}
 }
 
-// TestUnifiedTaskOptions: WithIf and WithFinal drive Task directly,
-// and the deprecated TaskIf/TaskFinal aliases keep compiling and
-// behaving identically.
+// TestUnifiedTaskOptions: WithIf and WithFinal drive Task directly
+// (the unified clause surface; the old TaskIf/TaskFinal aliases are
+// gone).
 func TestUnifiedTaskOptions(t *testing.T) {
 	run := func(opt Option) int32 {
 		var undeferredOn atomic.Int32
@@ -155,12 +155,9 @@ func TestUnifiedTaskOptions(t *testing.T) {
 		return undeferredOn.Load()
 	}
 	// An if(false) task is undeferred: it runs on the submitting
-	// thread (thread 0 → stored value 1), via both spellings.
+	// thread (thread 0 → stored value 1).
 	if got := run(WithIf(false)); got != 1 {
 		t.Errorf("WithIf(false) task ran on thread %d, want 0", got-1)
-	}
-	if got := run(TaskIf(false)); got != 1 {
-		t.Errorf("TaskIf(false) task ran on thread %d, want 0", got-1)
 	}
 
 	// final(true): descendants execute inline.

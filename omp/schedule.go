@@ -1,0 +1,33 @@
+package omp
+
+// Schedule is a loop scheduling policy value: the kind and its chunk
+// size travel together, the way a schedule clause names both at once.
+// Build one with the constructors below and hand it to WithSched (or
+// Instance-level SetSchedule via its Kind/Chunk). The zero value is
+// schedule(static) with the runtime's default chunking.
+type Schedule struct {
+	Kind  ScheduleKind
+	Chunk int
+}
+
+// Static is schedule(static, chunk): iterations are divided at loop
+// entry, round-robin in chunks, or in one contiguous block per thread
+// when chunk is 0. Static loops are eligible for the compiled tier's
+// runtime-aware kernels (docs/runtime.md, "Compiled kernels").
+func Static(chunk int) Schedule { return Schedule{Kind: ScheduleStatic, Chunk: chunk} }
+
+// Dynamic is schedule(dynamic, chunk): threads claim chunks from a
+// shared counter as they finish; chunk 0 means the policy default (1).
+func Dynamic(chunk int) Schedule { return Schedule{Kind: ScheduleDynamic, Chunk: chunk} }
+
+// Guided is schedule(guided, chunk): like Dynamic with decreasing
+// chunk sizes, never below chunk (0 means the policy default).
+func Guided(chunk int) Schedule { return Schedule{Kind: ScheduleGuided, Chunk: chunk} }
+
+// RuntimeSched is schedule(runtime): the policy is read from the
+// run-sched ICV (SetSchedule / OMP_SCHEDULE) at loop entry.
+func RuntimeSched() Schedule { return Schedule{Kind: ScheduleRuntime} }
+
+// AutoSched is schedule(auto): the runtime picks the policy (the
+// def-sched ICV, static unless configured otherwise).
+func AutoSched() Schedule { return Schedule{Kind: ScheduleAuto} }

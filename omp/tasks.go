@@ -2,22 +2,6 @@ package omp
 
 import "github.com/omp4go/omp4go/internal/rt"
 
-// TaskOption is the historical name of Option from when tasks had a
-// separate clause surface.
-//
-// Deprecated: use Option; WithIf and WithFinal apply to Task directly.
-type TaskOption = Option
-
-// TaskIf is the task if clause.
-//
-// Deprecated: use WithIf, which serves Parallel and Task uniformly.
-func TaskIf(cond bool) Option { return WithIf(cond) }
-
-// TaskFinal is the final clause.
-//
-// Deprecated: use WithFinal.
-func TaskFinal(cond bool) Option { return WithFinal(cond) }
-
 // Task packages fn into a task pushed onto the submitting thread's
 // work-stealing deque; idle team threads steal it if the owner is
 // busy (the task directive). WithIf(false) makes the task undeferred

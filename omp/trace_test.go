@@ -79,7 +79,14 @@ func TestWithToolAllModes(t *testing.T) {
 		if counts[ompt.EvParallelBegin] < 1 || counts[ompt.EvParallelEnd] < 1 {
 			t.Fatalf("%v: no parallel events: %v", mode, counts)
 		}
-		if counts[ompt.EvLoopChunk] < 1 {
+		// CompiledDT runs the static loop as a compiled kernel: one
+		// kernel-enter per member replaces the per-chunk events. Every
+		// other mode claims chunks through the bridge.
+		if mode == ModeCompiledDT {
+			if counts[ompt.EvKernelEnter] < 1 {
+				t.Fatalf("%v: no kernel events: %v", mode, counts)
+			}
+		} else if counts[ompt.EvLoopChunk] < 1 {
 			t.Fatalf("%v: no chunk events: %v", mode, counts)
 		}
 		if counts[ompt.EvCriticalAcquire] < 1 {
