@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify depend-race kernels-race metrics-smoke serve-smoke bench bench-compare bench-report bench-gate trace clean
+.PHONY: build test race vet verify depend-race kernels-race metrics-smoke serve-smoke profile-smoke bench bench-compare bench-report bench-gate trace clean
 
 build:
 	$(GO) build ./...
@@ -34,12 +34,23 @@ metrics-smoke:
 serve-smoke:
 	$(GO) test -run='TestModes|TestBodyTooLarge|TestQuotaKill' -count=1 -timeout 120s ./internal/serve/
 
+# profile-smoke exercises the time-attribution profiler and the flight
+# recorder end to end: the attribution breakdown must sum to the
+# region's wall time (n x wall for an n-thread team), a gated
+# dependence chain must report nonzero depend_stall, and a deliberately
+# stalled region must leave a loadable flight dump on disk. -count=1
+# defeats the test cache so the smoke actually runs on every
+# invocation.
+profile-smoke:
+	$(GO) test -run='TestProfile|TestFlight|TestIntrospect.*WaitFor|TestTraceDropped' -count=1 -timeout 120s ./internal/rt/
+	$(GO) test -run='TestQuotaKillWritesFlightDump|TestTenantTimeAttribution' -count=1 -timeout 60s ./internal/serve/
+
 # verify is the CI gate: static checks plus the race-detector pass
 # over the runtime and observability layers, plus a single-iteration
 # smoke of the pool-vs-spawn overhead benchmark so a dispatch
 # regression that only bites under the pool path fails loudly, plus
-# the metrics endpoint and execution-service smokes.
-verify: vet metrics-smoke serve-smoke depend-race kernels-race
+# the metrics endpoint, execution-service and profiler/flight smokes.
+verify: vet metrics-smoke serve-smoke profile-smoke depend-race kernels-race
 	$(GO) test ./...
 	$(GO) test -race -timeout 120s ./internal/rt/... ./internal/ompt/... ./internal/serve/... ./omp/...
 	$(GO) test -run=NONE -bench=BenchmarkRegionOverhead -benchtime=1x -timeout 120s ./internal/rt/

@@ -75,6 +75,7 @@ type debugSnapshot struct {
 			GTID       int32  `json:"gtid"`
 			ThreadNum  int    `json:"thread_num"`
 			Wait       string `json:"wait"`
+			WaitFor    string `json:"wait_for"`
 			WaitNS     int64  `json:"wait_ns"`
 			DequeDepth int    `json:"deque_depth"`
 		} `json:"members"`
@@ -91,6 +92,14 @@ type debugSnapshot struct {
 		Outstanding int64   `json:"outstanding_tasks"`
 	} `json:"stalls"`
 	Counters map[string]int64 `json:"counters"`
+	Profile  *struct {
+		Buckets []struct {
+			Label   string           `json:"label"`
+			NS      map[string]int64 `json:"ns"`
+			TotalNS int64            `json:"total_ns"`
+		} `json:"buckets"`
+		TotalNS int64 `json:"total_ns"`
+	} `json:"profile"`
 }
 
 func fetchDebug(client *http.Client, base string) (*debugSnapshot, error) {
@@ -153,6 +162,36 @@ func render(w io.Writer, base string, s *debugSnapshot, prev map[string]int64, e
 		fmt.Fprintf(w, "%-40s %15d %12s\n", name, v, rate)
 	}
 
+	if s.Profile != nil && s.Profile.TotalNS > 0 {
+		fmt.Fprintf(w, "\ntime attribution (total %s)\n",
+			time.Duration(s.Profile.TotalNS).Round(time.Microsecond))
+		for _, b := range s.Profile.Buckets {
+			label := b.Label
+			if label == "" {
+				label = "(unlabeled)"
+			}
+			// States sorted by time share, largest first, on one line.
+			type st struct {
+				name string
+				ns   int64
+			}
+			states := make([]st, 0, len(b.NS))
+			for name, ns := range b.NS {
+				if ns > 0 {
+					states = append(states, st{name, ns})
+				}
+			}
+			sort.Slice(states, func(i, j int) bool { return states[i].ns > states[j].ns })
+			parts := make([]string, 0, len(states))
+			for _, e := range states {
+				parts = append(parts, fmt.Sprintf("%s %.1f%%", e.name,
+					100*float64(e.ns)/float64(b.TotalNS)))
+			}
+			fmt.Fprintf(w, "  %-12s %s  %s\n", label,
+				time.Duration(b.TotalNS).Round(time.Microsecond), strings.Join(parts, "  "))
+		}
+	}
+
 	fmt.Fprintf(w, "\nin-flight regions: %d\n", len(s.Regions))
 	for _, r := range s.Regions {
 		fmt.Fprintf(w, "  region %d  size %d  outstanding tasks %d\n", r.RegionID, r.Size, r.Outstanding)
@@ -160,6 +199,9 @@ func render(w io.Writer, base string, s *debugSnapshot, prev map[string]int64, e
 			state := "running"
 			if m.Wait != "" {
 				state = fmt.Sprintf("waiting in %s %s", m.Wait, time.Duration(m.WaitNS).Round(time.Microsecond))
+				if m.WaitFor != "" {
+					state += " on " + m.WaitFor
+				}
 			}
 			fmt.Fprintf(w, "    thread %d (gtid %d): %s, deque depth %d\n", m.ThreadNum, m.GTID, state, m.DequeDepth)
 		}

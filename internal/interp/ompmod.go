@@ -238,9 +238,12 @@ func (in *Interp) installOmpModule() {
 	// ---- generated-code runtime entry points (__omp) ----
 
 	reg(gen, "parallel_run", true, func(th *Thread, args []Value) (Value, error) {
-		// parallel_run(fn, nthreads, if_set, if_val)
-		if len(args) != 4 {
-			return nil, typeErrorf(minipy.Position{}, "parallel_run expects 4 arguments")
+		// parallel_run(fn, nthreads, if_set, if_val[, label]) — the
+		// optional 5th argument is the directive's source label for
+		// the time-attribution profiler (older generated code omits
+		// it).
+		if len(args) != 4 && len(args) != 5 {
+			return nil, typeErrorf(minipy.Position{}, "parallel_run expects 4 or 5 arguments")
 		}
 		fn := args[0]
 		opts := rt.ParallelOpts{}
@@ -250,6 +253,11 @@ func (in *Interp) installOmpModule() {
 		if Truthy(args[2]) {
 			opts.IfSet = true
 			opts.If = Truthy(args[3])
+		}
+		if len(args) == 5 {
+			if s, ok := args[4].(string); ok {
+				opts.Label = s
+			}
 		}
 		in := th.in
 		err := in.rt.Parallel(th.ctx, opts, func(c *rt.Context) error {

@@ -23,6 +23,7 @@ var counterHelp = [NumCounters]string{
 	PoolParks:       "Times a persistent pool worker parked waiting for a region.",
 	PoolUnparks:     "Times a parked pool worker was woken with work.",
 	PoolRetirements: "Idle pool worker goroutines retired.",
+	FlightDumps:     "Flight-recorder dump files written (stall/kill/demand triggered).",
 }
 
 var histHelp = [NumHists]string{

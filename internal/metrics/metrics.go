@@ -77,6 +77,9 @@ const (
 	PoolParks
 	PoolUnparks
 	PoolRetirements
+	// FlightDumps counts flight-recorder dump files written (stall-,
+	// kill- or demand-triggered post-mortem captures).
+	FlightDumps
 
 	NumCounters
 )
@@ -102,6 +105,7 @@ var counterNames = [NumCounters]string{
 	PoolParks:           "omp4go_pool_parks_total",
 	PoolUnparks:         "omp4go_pool_unparks_total",
 	PoolRetirements:     "omp4go_pool_retirements_total",
+	FlightDumps:         "omp4go_flight_dumps_total",
 }
 
 // Name returns the Prometheus metric name of the counter.

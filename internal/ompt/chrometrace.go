@@ -10,14 +10,19 @@ import (
 // (chrome://tracing, Perfetto). Timestamps and durations are in
 // microseconds.
 type traceEvent struct {
-	Name string         `json:"name"`
-	Cat  string         `json:"cat,omitempty"`
-	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"`
-	Dur  float64        `json:"dur,omitempty"`
-	Pid  int            `json:"pid"`
-	Tid  int32          `json:"tid"`
-	S    string         `json:"s,omitempty"`
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"`
+	Pid  int     `json:"pid"`
+	Tid  int32   `json:"tid"`
+	S    string  `json:"s,omitempty"`
+	// ID ties flow-event pairs ("s"/"f") together; Bp: "e" binds the
+	// flow arrival to the enclosing slice (Perfetto draws the arrow
+	// into the slice instead of the next one).
+	ID   string         `json:"id,omitempty"`
+	Bp   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -43,6 +48,18 @@ func WriteChromeTrace(w io.Writer, recs []Record, dropped uint64) error {
 	// Barrier and critical sections are paired per thread: the enter
 	// (acquire) timestamp opens the span that the exit closes.
 	barrierEnter := map[int32][]Record{}
+	// Pre-pass for dependence flow arrows: the EvTaskEnd slice of each
+	// task id, so an EvTaskDependResolved edge (A = released task,
+	// B = completed predecessor) can be drawn from the predecessor's
+	// slice end to the successor's slice start — the resolved event
+	// precedes the successor's execution in the stream, so the slices
+	// are only known after a full pass.
+	taskEnd := map[int64]Record{}
+	for _, r := range recs {
+		if r.Kind == EvTaskEnd {
+			taskEnd[r.A] = r
+		}
+	}
 
 	for _, r := range recs {
 		if !seenTid[r.GTID] {
@@ -161,6 +178,22 @@ func WriteChromeTrace(w io.Writer, recs []Record, dropped uint64) error {
 				Ts: us(r.Time), Pid: tracePid, Tid: r.GTID, S: "t",
 				Args: map[string]any{"task": r.A, "by": r.B},
 			})
+			// Perfetto flow arrow from the predecessor's slice to the
+			// released task's slice, when both ran to completion.
+			pred, pok := taskEnd[r.B]
+			succ, sok := taskEnd[r.A]
+			if pok && sok {
+				id := fmt.Sprintf("dep-%d-%d", r.B, r.A)
+				events = append(events,
+					traceEvent{
+						Name: "depend", Cat: "flow", Ph: "s", ID: id,
+						Ts: us(pred.Time), Pid: tracePid, Tid: pred.GTID,
+					},
+					traceEvent{
+						Name: "depend", Cat: "flow", Ph: "f", Bp: "e", ID: id,
+						Ts: us(succ.Time - succ.Dur), Pid: tracePid, Tid: succ.GTID,
+					})
+			}
 		case EvTaskgroupBegin:
 			events = append(events, traceEvent{
 				Name: fmt.Sprintf("taskgroup #%d", r.A), Cat: "taskgroup", Ph: "B",

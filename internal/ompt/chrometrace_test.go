@@ -99,3 +99,93 @@ func TestChromeTracePairedEnterStillSpans(t *testing.T) {
 		t.Errorf("no barrier span exported")
 	}
 }
+
+// TestChromeTraceDependFlowArrows asserts an EvTaskDependResolved edge
+// with both endpoint tasks completed exports a Perfetto flow pair: a
+// flow start ("s") anchored at the end of the predecessor's slice and
+// a flow finish ("f", bp "e") anchored at the start of the released
+// task's slice, sharing one flow id.
+func TestChromeTraceDependFlowArrows(t *testing.T) {
+	tr := NewTracer(64)
+	// Predecessor task 1 completes on gtid 0 at t=1000ns; its release
+	// resolves task 2's last depend, and task 2 later runs on gtid 1
+	// from t=2200ns to t=3000ns.
+	tr.Emit(Record{Time: 1000, Dur: 500, Kind: EvTaskEnd, GTID: 0, A: 1})
+	tr.Emit(Record{Time: 1000, Kind: EvTaskDependResolved, GTID: 0, A: 2, B: 1})
+	tr.Emit(Record{Time: 3000, Dur: 800, Kind: EvTaskEnd, GTID: 1, A: 2})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			ID   string  `json:"id"`
+			Bp   string  `json:"bp"`
+			Ts   float64 `json:"ts"`
+			Tid  int32   `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	var haveStart, haveFinish bool
+	for _, ev := range out.TraceEvents {
+		if ev.Cat != "flow" {
+			continue
+		}
+		if ev.ID != "dep-1-2" {
+			t.Errorf("flow event id = %q, want dep-1-2", ev.ID)
+		}
+		switch ev.Ph {
+		case "s":
+			haveStart = true
+			// Anchored at the predecessor slice's end on its thread.
+			if ev.Ts != 1.0 || ev.Tid != 0 {
+				t.Errorf("flow start ts %v tid %d, want 1.0 on tid 0", ev.Ts, ev.Tid)
+			}
+			if ev.Bp != "" {
+				t.Errorf("flow start carries bp %q, want none", ev.Bp)
+			}
+		case "f":
+			haveFinish = true
+			// Anchored at the released slice's start on its thread;
+			// bp "e" binds to the enclosing slice.
+			if ev.Ts != 2.2 || ev.Tid != 1 {
+				t.Errorf("flow finish ts %v tid %d, want 2.2 on tid 1", ev.Ts, ev.Tid)
+			}
+			if ev.Bp != "e" {
+				t.Errorf("flow finish bp = %q, want e", ev.Bp)
+			}
+		default:
+			t.Errorf("unexpected flow phase %q", ev.Ph)
+		}
+	}
+	if !haveStart || !haveFinish {
+		t.Fatalf("flow pair incomplete: start=%v finish=%v\n%s", haveStart, haveFinish, buf.String())
+	}
+}
+
+// TestChromeTraceDependFlowNeedsBothEnds pins the guard: a resolved
+// edge whose released task never ran to completion (or whose
+// predecessor's end record was lost) exports the instant marker but no
+// dangling flow arrows.
+func TestChromeTraceDependFlowNeedsBothEnds(t *testing.T) {
+	tr := NewTracer(64)
+	tr.Emit(Record{Time: 1000, Dur: 500, Kind: EvTaskEnd, GTID: 0, A: 1})
+	tr.Emit(Record{Time: 1000, Kind: EvTaskDependResolved, GTID: 0, A: 2, B: 1})
+	// No EvTaskEnd for task 2.
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if strings.Contains(buf.String(), `"cat":"flow"`) {
+		t.Errorf("flow arrow emitted without the released task's slice:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "depend resolved") {
+		t.Errorf("instant marker for the resolved edge is missing:\n%s", buf.String())
+	}
+}

@@ -42,3 +42,16 @@ func (m *multiTool) Emit(rec Record) {
 		t.Emit(rec)
 	}
 }
+
+// Tools returns the tools a combined Tool forwards to: the children
+// of a Multi composition, or the tool itself. Consumers use it to
+// find a specific tool (e.g. a Tracer) inside a composition.
+func Tools(t Tool) []Tool {
+	if t == nil {
+		return nil
+	}
+	if m, ok := t.(*multiTool); ok {
+		return m.tools
+	}
+	return []Tool{t}
+}

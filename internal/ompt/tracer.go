@@ -43,8 +43,18 @@ func (t *Tracer) Records() []Record {
 }
 
 // Dropped returns the number of events lost to ring-buffer wrapping.
+// Unlike Records it is safe to call with live producers — it reads
+// only each ring's atomic cursor, never the buffers — so the /metrics
+// endpoint can export it while regions are in flight.
 func (t *Tracer) Dropped() uint64 {
-	_, dropped := t.collect()
+	var dropped uint64
+	t.rings.Range(func(_, v any) bool {
+		r := v.(*ring)
+		if h := r.head.Load(); h > uint64(len(r.buf)) {
+			dropped += h - uint64(len(r.buf))
+		}
+		return true
+	})
 	return dropped
 }
 

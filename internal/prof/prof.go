@@ -1,0 +1,239 @@
+// Package prof is the per-thread time-attribution profiler: it
+// classifies every nanosecond a team thread spends inside a parallel
+// region into a small closed set of states (compute vs. the
+// synchronization constructs) and accumulates the totals into striped
+// per-region buckets, mirroring the cache-padded stripe scheme of
+// internal/metrics.
+//
+// The runtime drives it from the hooks that already exist for tracing
+// and the always-on wait metrics: wait sites report their measured
+// wait directly, and compute is derived by subtraction (member wall
+// time minus everything attributed to a wait state), so the per-state
+// breakdown sums to the team's wall time by construction — the same
+// compute-vs-synchronization split the OMP4Py paper's scalability
+// analysis is built on.
+//
+// Buckets are keyed by region label. MiniPy programs carry the source
+// line of the `parallel` directive through the transform ("L12"), so
+// hot directives attribute to lines; native callers label regions with
+// omp.WithLabel. The empty label collects unlabeled regions.
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// State classifies where a team thread's time went.
+type State int32
+
+const (
+	// Compute is time spent running user code (region bodies, task
+	// bodies, loop chunks) — everything not attributed to a wait.
+	Compute State = iota
+	// BarrierWait is time blocked in implicit/explicit barriers.
+	BarrierWait
+	// Taskwait is time blocked in taskwait for child tasks.
+	Taskwait
+	// DependStall is time stalled on unresolved task dependences:
+	// blocked in an undeferred task's dependence wait, or idle in a
+	// wait loop while dependence-stalled tasks kept the queues empty.
+	DependStall
+	// TaskgroupWait is time blocked at a taskgroup end.
+	TaskgroupWait
+	// StealIdle is time idle in a wait loop while runnable tasks
+	// existed elsewhere but could not be claimed.
+	StealIdle
+	// Critical is time contending for critical sections.
+	Critical
+	// Kernel is time executing compiled loop kernels (the
+	// runtime-aware fast paths of internal/compile).
+	Kernel
+
+	// NumStates is the number of states.
+	NumStates
+)
+
+var stateNames = [NumStates]string{
+	Compute:       "compute",
+	BarrierWait:   "barrier_wait",
+	Taskwait:      "taskwait",
+	DependStall:   "depend_stall",
+	TaskgroupWait: "taskgroup_wait",
+	StealIdle:     "steal_idle",
+	Critical:      "critical",
+	Kernel:        "kernel",
+}
+
+// String returns the snake_case state name used in metrics labels and
+// JSON keys.
+func (s State) String() string {
+	if s < 0 || s >= NumStates {
+		return "unknown"
+	}
+	return stateNames[s]
+}
+
+// StateNames lists every state name in enum order.
+func StateNames() []string {
+	out := make([]string, NumStates)
+	copy(out, stateNames[:])
+	return out
+}
+
+// numStripes spreads concurrent adds from one team across cache
+// lines; keys are dense thread numbers, like the metrics registry.
+const numStripes = 16
+
+// stripe is one thread-group's share of a bucket. NumStates int64
+// pairs are 128 bytes — two full cache lines — so adjacent stripes
+// never share a line.
+type stripe struct {
+	ns [NumStates]atomic.Int64
+	n  [NumStates]atomic.Int64
+}
+
+// Bucket accumulates per-state time for one region label. Adds are a
+// single uncontended atomic pair in the steady state.
+type Bucket struct {
+	label   string
+	stripes [numStripes]stripe
+}
+
+// Label returns the region label this bucket aggregates.
+func (b *Bucket) Label() string { return b.label }
+
+// Add attributes ns nanoseconds to state s. key selects the stripe —
+// any value is correct, dense per-team thread numbers keep lines warm.
+func (b *Bucket) Add(key int32, s State, ns int64) {
+	if ns <= 0 || s < 0 || s >= NumStates {
+		return
+	}
+	st := &b.stripes[uint32(key)%numStripes]
+	st.ns[s].Add(ns)
+	st.n[s].Add(1)
+}
+
+// Profiler is the registry of per-label buckets for one runtime.
+type Profiler struct {
+	mu      sync.Mutex
+	buckets map[string]*Bucket
+	// last caches the most recently resolved bucket: fork-join loops
+	// re-enter the same region, so the common lookup is one atomic
+	// load plus a string compare instead of a mutex and a map probe.
+	last atomic.Pointer[Bucket]
+}
+
+// New returns an empty profiler.
+func New() *Profiler {
+	return &Profiler{buckets: make(map[string]*Bucket)}
+}
+
+// Bucket returns (creating on first use) the bucket for label.
+func (p *Profiler) Bucket(label string) *Bucket {
+	if b := p.last.Load(); b != nil && b.label == label {
+		return b
+	}
+	p.mu.Lock()
+	b, ok := p.buckets[label]
+	if !ok {
+		b = &Bucket{label: label}
+		p.buckets[label] = b
+	}
+	p.mu.Unlock()
+	p.last.Store(b)
+	return b
+}
+
+// BucketSnapshot is the merged point-in-time view of one bucket.
+type BucketSnapshot struct {
+	// Label is the region label ("" for unlabeled regions).
+	Label string `json:"label"`
+	// NS maps state name to attributed nanoseconds.
+	NS map[string]int64 `json:"ns"`
+	// Counts maps state name to the number of attributed intervals.
+	Counts map[string]int64 `json:"counts"`
+	// TotalNS is the sum over all states.
+	TotalNS int64 `json:"total_ns"`
+}
+
+// State returns the nanoseconds attributed to s.
+func (b *BucketSnapshot) State(s State) int64 { return b.NS[s.String()] }
+
+// Snapshot is the merged view of every bucket.
+type Snapshot struct {
+	Buckets []BucketSnapshot `json:"buckets"`
+	TotalNS int64            `json:"total_ns"`
+}
+
+// Snapshot merges the stripes of every bucket, sorted by label.
+func (p *Profiler) Snapshot() Snapshot {
+	p.mu.Lock()
+	buckets := make([]*Bucket, 0, len(p.buckets))
+	for _, b := range p.buckets {
+		buckets = append(buckets, b)
+	}
+	p.mu.Unlock()
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].label < buckets[j].label })
+
+	var snap Snapshot
+	snap.Buckets = make([]BucketSnapshot, 0, len(buckets))
+	for _, b := range buckets {
+		bs := BucketSnapshot{
+			Label:  b.label,
+			NS:     make(map[string]int64, NumStates),
+			Counts: make(map[string]int64, NumStates),
+		}
+		for s := State(0); s < NumStates; s++ {
+			var ns, n int64
+			for i := range b.stripes {
+				ns += b.stripes[i].ns[s].Load()
+				n += b.stripes[i].n[s].Load()
+			}
+			bs.NS[s.String()] = ns
+			bs.Counts[s.String()] = n
+			bs.TotalNS += ns
+		}
+		snap.TotalNS += bs.TotalNS
+		snap.Buckets = append(snap.Buckets, bs)
+	}
+	return snap
+}
+
+// ConstructLabel is the metric label value used for unlabeled regions.
+const ConstructLabel = "region"
+
+// WritePrometheus renders the snapshot as the
+// omp4go_time_seconds_total{state,construct} counter family, one
+// series per (state, region label) with nonzero time. The construct
+// label carries the region label; unlabeled regions render as
+// construct="region".
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	const name = "omp4go_time_seconds_total"
+	if _, err := fmt.Fprintf(w, "# HELP %s Team-thread time by attribution state and region label.\n# TYPE %s counter\n",
+		name, name); err != nil {
+		return err
+	}
+	for _, b := range s.Buckets {
+		construct := b.Label
+		if construct == "" {
+			construct = ConstructLabel
+		}
+		for st := State(0); st < NumStates; st++ {
+			ns := b.NS[st.String()]
+			if ns == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s{state=%q,construct=%q} %s\n",
+				name, st.String(), construct,
+				strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

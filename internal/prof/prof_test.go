@@ -1,0 +1,126 @@
+package prof
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStateNames(t *testing.T) {
+	want := []string{"compute", "barrier_wait", "taskwait", "depend_stall",
+		"taskgroup_wait", "steal_idle", "critical", "kernel"}
+	got := StateNames()
+	if len(got) != len(want) {
+		t.Fatalf("StateNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("state %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if State(-1).String() != "unknown" || NumStates.String() != "unknown" {
+		t.Errorf("out-of-range states must stringify as unknown")
+	}
+}
+
+func TestBucketAccumulates(t *testing.T) {
+	p := New()
+	b := p.Bucket("L4")
+	if p.Bucket("L4") != b {
+		t.Fatalf("Bucket must be stable per label")
+	}
+	b.Add(0, Compute, 100)
+	b.Add(1, Compute, 50)
+	b.Add(17, BarrierWait, 25) // stripe 17 wraps onto stripe 1
+	b.Add(0, Compute, -5)      // ignored
+	b.Add(0, State(99), 5)     // ignored
+
+	snap := p.Snapshot()
+	if len(snap.Buckets) != 1 {
+		t.Fatalf("got %d buckets, want 1", len(snap.Buckets))
+	}
+	bs := snap.Buckets[0]
+	if bs.Label != "L4" {
+		t.Errorf("label = %q", bs.Label)
+	}
+	if got := bs.State(Compute); got != 150 {
+		t.Errorf("compute = %d, want 150", got)
+	}
+	if got := bs.Counts["compute"]; got != 2 {
+		t.Errorf("compute count = %d, want 2", got)
+	}
+	if got := bs.State(BarrierWait); got != 25 {
+		t.Errorf("barrier_wait = %d, want 25", got)
+	}
+	if bs.TotalNS != 175 || snap.TotalNS != 175 {
+		t.Errorf("totals = %d/%d, want 175", bs.TotalNS, snap.TotalNS)
+	}
+}
+
+func TestSnapshotSortedByLabel(t *testing.T) {
+	p := New()
+	p.Bucket("b").Add(0, Compute, 1)
+	p.Bucket("a").Add(0, Compute, 1)
+	p.Bucket("").Add(0, Compute, 1)
+	snap := p.Snapshot()
+	if len(snap.Buckets) != 3 {
+		t.Fatalf("got %d buckets", len(snap.Buckets))
+	}
+	if snap.Buckets[0].Label != "" || snap.Buckets[1].Label != "a" || snap.Buckets[2].Label != "b" {
+		t.Errorf("buckets not sorted: %q %q %q",
+			snap.Buckets[0].Label, snap.Buckets[1].Label, snap.Buckets[2].Label)
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	p := New()
+	const (
+		workers = 8
+		adds    = 1000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(key int32) {
+			defer wg.Done()
+			b := p.Bucket("hot")
+			for i := 0; i < adds; i++ {
+				b.Add(key, Compute, 3)
+			}
+		}(int32(w))
+	}
+	wg.Wait()
+	bs := p.Snapshot().Buckets[0]
+	if got := bs.State(Compute); got != workers*adds*3 {
+		t.Errorf("compute = %d, want %d", got, workers*adds*3)
+	}
+	if got := bs.Counts["compute"]; got != workers*adds {
+		t.Errorf("count = %d, want %d", got, workers*adds)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	p := New()
+	p.Bucket("L7").Add(0, Compute, 2_000_000_000)
+	p.Bucket("L7").Add(0, DependStall, 500_000_000)
+	p.Bucket("").Add(0, BarrierWait, 1_000_000_000)
+
+	var sb strings.Builder
+	if err := p.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE omp4go_time_seconds_total counter",
+		`omp4go_time_seconds_total{state="compute",construct="L7"} 2`,
+		`omp4go_time_seconds_total{state="depend_stall",construct="L7"} 0.5`,
+		`omp4go_time_seconds_total{state="barrier_wait",construct="region"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `state="taskwait"`) {
+		t.Errorf("zero-valued states must be omitted:\n%s", out)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/omp4go/omp4go/internal/metrics"
 	"github.com/omp4go/omp4go/internal/ompt"
+	"github.com/omp4go/omp4go/internal/prof"
 )
 
 // This file implements OpenMP 4.x task dataflow on top of the task
@@ -209,6 +210,7 @@ func (t *Team) releaseSuccessors(ctx *Context, tk *task) {
 // Outstanding-task and taskgroup accounting happened at creation;
 // only queue entry was deferred.
 func (t *Team) enqueueReady(ctx *Context, tk *task, byID int64) {
+	t.depStalled.Add(-1) // pairs with SubmitTask's deferred-stall increment
 	t.rt.metrics.Inc(ctx.gtid, metrics.TasksDependReleased)
 	if tk.id != 0 {
 		ctx.emit(ompt.EvTaskDependResolved, tk.id, byID, 0, "")
@@ -234,12 +236,49 @@ func (t *Team) waitDeps(c *Context, tk *task) {
 		tk.depMu.Unlock()
 		return r
 	}
+	if ready() || t.broken.Load() != 0 {
+		return
+	}
+	if obs := c.rt.obs.Load(); obs != nil {
+		tk.depMu.Lock()
+		np := tk.npred
+		tk.depMu.Unlock()
+		c.waitSince.Store(ompt.Now())
+		c.waitKind.Store(waitDepend)
+		detail := itoa(int(np)) + " unresolved predecessor(s)"
+		c.waitDetail.Store(&detail)
+		defer func() {
+			c.waitDetail.Store(nil)
+			c.waitKind.Store(waitNone)
+			c.waitSince.Store(0)
+		}()
+	}
+	// The whole wait — minus time productively running other tasks —
+	// is dependence stall by definition: this thread is blocked on an
+	// undeferred task's unresolved predecessors.
+	pb := t.profBucket
+	var t0, taskNS int64
+	if pb != nil {
+		t0 = ompt.Now()
+		defer func() {
+			if wait := ompt.Now() - t0 - taskNS; wait > 0 {
+				pb.Add(int32(c.num), prof.DependStall, wait)
+				c.profWaitNS += wait
+			}
+		}()
+	}
 	for {
 		if ready() || t.broken.Load() != 0 {
 			return
 		}
 		if q := t.claimTask(c); q != nil {
-			t.runTask(c, q)
+			if pb != nil {
+				r0 := ompt.Now()
+				t.runTask(c, q)
+				taskNS += ompt.Now() - r0
+			} else {
+				t.runTask(c, q)
+			}
 			continue
 		}
 		t.waitFor(func() bool {
@@ -327,22 +366,62 @@ func (c *Context) TaskgroupEnd() error {
 	if obs := c.rt.obs.Load(); obs != nil {
 		c.waitSince.Store(ompt.Now())
 		c.waitKind.Store(waitTaskgroup)
+		detail := "taskgroup"
+		if tg.id != 0 {
+			detail = "taskgroup #" + itoa(int(tg.id))
+		}
+		c.waitDetail.Store(&detail)
 		defer func() {
+			c.waitDetail.Store(nil)
 			c.waitKind.Store(waitNone)
 			c.waitSince.Store(0)
 		}()
 	}
+	pb := t.profBucket
+	var pt0, taskNS, depNS int64
+	if pb != nil {
+		pt0 = ompt.Now()
+		defer func() {
+			wait := ompt.Now() - pt0 - taskNS
+			if wait <= 0 {
+				return
+			}
+			dep := depNS
+			if dep > wait {
+				dep = wait
+			}
+			if tgw := wait - dep; tgw > 0 {
+				pb.Add(int32(c.num), prof.TaskgroupWait, tgw)
+			}
+			pb.Add(int32(c.num), prof.DependStall, dep)
+			c.profWaitNS += wait
+		}()
+	}
 	for tg.pending.Load() > 0 {
 		if tk := t.claimTask(c); tk != nil {
-			t.runTask(c, tk)
+			if pb != nil {
+				r0 := ompt.Now()
+				t.runTask(c, tk)
+				taskNS += ompt.Now() - r0
+			} else {
+				t.runTask(c, tk)
+			}
 			continue
 		}
 		if t.broken.Load() != 0 {
 			return newBrokenAbort("taskgroup")
 		}
+		stalled := pb != nil && t.depStalled.Load() > 0
+		var s0 int64
+		if stalled {
+			s0 = ompt.Now()
+		}
 		t.waitFor(func() bool {
 			return tg.pending.Load() == 0 || t.sched.hasRunnable() || t.broken.Load() != 0
 		})
+		if stalled {
+			depNS += ompt.Now() - s0
+		}
 	}
 	return joinErrors(c.curTask.takeChildErrs())
 }

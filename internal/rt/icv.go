@@ -40,6 +40,8 @@ type icvSet struct {
 	kernelMode      string        // OMP4GO_COMPILE_KERNELS: "", "on" or "off"
 	metricsAddr     string        // OMP4GO_METRICS listen address ("" = off)
 	watchdog        time.Duration // OMP4GO_WATCHDOG stall threshold (0 = off)
+	profileMode     string        // OMP4GO_PROFILE: "", "on" or "off" (default on)
+	flightDir       string        // OMP4GO_FLIGHT dump directory ("" = off)
 	// serveEnv holds the raw OMP4GO_SERVE_* values that were set
 	// (internal/serve owns their parsing; see serveEnvVars).
 	serveEnv map[string]string
@@ -63,6 +65,7 @@ var serveEnvVars = []string{
 	"OMP4GO_SERVE_WATCHDOG",
 	"OMP4GO_SERVE_MAX_SESSIONS",
 	"OMP4GO_SERVE_SESSION_IDLE",
+	"OMP4GO_SERVE_FLIGHT",
 }
 
 // DisplayedServeEnvVars returns the OMP4GO_SERVE_* names the verbose
@@ -173,6 +176,31 @@ func (s *icvSet) loadEnv(getenv func(string) string) {
 		// (serve.go), e.g. ":9090" or "127.0.0.1:0".
 		s.metricsAddr = strings.TrimSpace(v)
 	}
+	if v := getenv("OMP4GO_PROFILE"); v != "" {
+		// Time-attribution profiler (internal/prof): "on" (the
+		// default — multi-thread regions attribute their time into
+		// the per-state breakdown) or "off".
+		switch strings.ToLower(strings.TrimSpace(v)) {
+		case "1", "true", "yes", "on":
+			s.profileMode = "on"
+		case "0", "false", "no", "off":
+			s.profileMode = "off"
+		}
+	}
+	if v := getenv("OMP4GO_FLIGHT"); v != "" {
+		// Flight recorder (flight.go): a directory to write
+		// stall/kill-triggered dumps into, or an on-spelling for a
+		// default directory under the OS temp dir. Off-spellings keep
+		// it disabled.
+		t := strings.TrimSpace(v)
+		switch strings.ToLower(t) {
+		case "0", "false", "no", "off":
+		case "1", "true", "yes", "on":
+			s.flightDir = defaultFlightDir()
+		default:
+			s.flightDir = t
+		}
+	}
 	if v := getenv("OMP4GO_WATCHDOG"); v != "" {
 		// Stall threshold for the watchdog (watchdog.go), e.g. "5s".
 		// A bare number is taken as seconds; unparsable or
@@ -249,6 +277,12 @@ func (s *icvSet) display(w io.Writer) {
 			wd = s.watchdog.String()
 		}
 		fmt.Fprintf(w, "  OMP4GO_WATCHDOG = '%s'\n", wd)
+		profile := "on"
+		if s.profileMode == "off" {
+			profile = "off"
+		}
+		fmt.Fprintf(w, "  OMP4GO_PROFILE = '%s'\n", profile)
+		fmt.Fprintf(w, "  OMP4GO_FLIGHT = '%s'\n", s.flightDir)
 		for _, name := range serveEnvVars {
 			v := s.serveEnv[name]
 			if name == "OMP4GO_SERVE_TOKENS" && v != "" {

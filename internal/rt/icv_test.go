@@ -143,7 +143,16 @@ func TestDisplayEnvObservability(t *testing.T) {
 		{
 			name: "verbose defaults",
 			env:  map[string]string{"OMP_DISPLAY_ENV": "verbose"},
-			want: []string{"OMP4GO_METRICS = ''", "OMP4GO_WATCHDOG = ''"},
+			want: []string{"OMP4GO_METRICS = ''", "OMP4GO_WATCHDOG = ''",
+				"OMP4GO_PROFILE = 'on'", "OMP4GO_FLIGHT = ''"},
+		},
+		{
+			name: "verbose with profiler off",
+			env: map[string]string{
+				"OMP_DISPLAY_ENV": "verbose",
+				"OMP4GO_PROFILE":  "off",
+			},
+			want: []string{"OMP4GO_PROFILE = 'off'"},
 		},
 		{
 			name: "verbose with metrics addr",
@@ -211,7 +220,7 @@ func TestDisplayEnvObservability(t *testing.T) {
 			name:    "plain display omits omp4go extensions",
 			env:     map[string]string{"OMP_DISPLAY_ENV": "true", "OMP4GO_WATCHDOG": "1s", "OMP4GO_SERVE_ADDR": ":8500"},
 			want:    []string{"OPENMP DISPLAY ENVIRONMENT BEGIN"},
-			notWant: []string{"OMP4GO_METRICS", "OMP4GO_WATCHDOG", "OMP4GO_SERVE"},
+			notWant: []string{"OMP4GO_METRICS", "OMP4GO_WATCHDOG", "OMP4GO_SERVE", "OMP4GO_PROFILE", "OMP4GO_FLIGHT"},
 		},
 	}
 	for _, c := range cases {

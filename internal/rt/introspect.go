@@ -20,6 +20,7 @@ const (
 	waitBarrier
 	waitTaskwait
 	waitTaskgroup
+	waitDepend
 )
 
 func waitKindString(k int32) string {
@@ -30,6 +31,8 @@ func waitKindString(k int32) string {
 		return "taskwait"
 	case waitTaskgroup:
 		return "taskgroup"
+	case waitDepend:
+		return "depend"
 	}
 	return ""
 }
@@ -101,9 +104,13 @@ func (r *Runtime) StallReports() []StallReport {
 
 // MemberInfo is the introspection view of one team member.
 type MemberInfo struct {
-	GTID       int32  `json:"gtid"`
-	ThreadNum  int    `json:"thread_num"`
-	Wait       string `json:"wait,omitempty"` // "", "barrier", "taskwait", "taskgroup"
+	GTID      int32  `json:"gtid"`
+	ThreadNum int    `json:"thread_num"`
+	Wait      string `json:"wait,omitempty"` // "", "barrier", "taskwait", "taskgroup", "depend"
+	// WaitFor names what the wait is on ("3 child task(s)",
+	// "taskgroup #7", "2 unresolved predecessor(s)") when the wait
+	// site published a detail string.
+	WaitFor    string `json:"wait_for,omitempty"`
 	WaitNS     int64  `json:"wait_ns,omitempty"`
 	DequeDepth int    `json:"deque_depth"`
 }
@@ -148,6 +155,9 @@ func (o *obsState) snapshotRegions() []RegionInfo {
 			mi := MemberInfo{GTID: m.gtid, ThreadNum: m.num}
 			if k := m.waitKind.Load(); k != waitNone {
 				mi.Wait = waitKindString(k)
+				if d := m.waitDetail.Load(); d != nil {
+					mi.WaitFor = *d
+				}
 				if since := m.waitSince.Load(); since > 0 && now > since {
 					mi.WaitNS = now - since
 				}

@@ -171,6 +171,11 @@ const reductionCritical = "__omp_reduction"
 // on the fast path. Call it after ForInit on each kernel member.
 func (c *Context) KernelEnter(total, chunk int64) {
 	c.rt.metrics.Inc(c.gtid, metrics.CompiledKernelLoops)
+	if c.team.profBucket != nil {
+		// Time from here to the loop's ForEnd attributes to the
+		// kernel state (closed in ForEnd before the join barrier).
+		c.kernelT0 = ompt.Now()
+	}
 	if c.rt.loadTool() != nil {
 		c.emit(ompt.EvKernelEnter, total, chunk, 0, "static")
 	}

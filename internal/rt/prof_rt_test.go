@@ -1,0 +1,337 @@
+package rt
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/omp4go/omp4go/internal/prof"
+)
+
+// profBucket returns the snapshot bucket for label, failing the test
+// when the profiler is off or the bucket does not exist.
+func profBucket(t *testing.T, r *Runtime, label string) prof.BucketSnapshot {
+	t.Helper()
+	snap := r.ProfileSnapshot()
+	if snap == nil {
+		t.Fatal("profiler disabled; ProfileSnapshot returned nil")
+	}
+	for _, b := range snap.Buckets {
+		if b.Label == label {
+			return b
+		}
+	}
+	t.Fatalf("no bucket for label %q in %+v", label, snap.Buckets)
+	return prof.BucketSnapshot{}
+}
+
+// spinFor busy-loops until the deadline so the thread accrues real
+// compute time (a sleep would park the goroutine and the OS would not
+// charge the region).
+func spinFor(d time.Duration) {
+	deadline := time.Now().Add(d)
+	x := 1.0
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1000; i++ {
+			x = x*1.000001 + 1e-9
+		}
+	}
+	_ = x
+}
+
+// TestProfileAttributionSumsToWall locks the core invariant of the
+// compute-by-subtraction scheme: for an n-thread region, the sum over
+// all states equals the sum of the member spans, each of which covers
+// the full region (fork to join barrier), so the bucket total is
+// approximately n x the region's wall time — and a pure-compute body
+// attributes its majority to compute.
+func TestProfileAttributionSumsToWall(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	defer r.Shutdown()
+	ctx := r.NewContext()
+
+	const n = 4
+	const work = 30 * time.Millisecond
+	start := time.Now()
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: n, Label: "pi"}, func(c *Context) error {
+		// Wall-clock deadline rather than per-thread work: all members
+		// finish together regardless of how many CPUs the host has, so
+		// the join barrier wait stays small.
+		spinFor(work)
+		return nil
+	})
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+
+	b := profBucket(t, r, "pi")
+	total := time.Duration(b.TotalNS)
+	// Member spans are nested inside the Parallel call, so the total
+	// can never exceed n x wall; the lower bound is loose because
+	// thread spawn and scheduling jitter eat into the spans.
+	if total > time.Duration(float64(n)*1.02*float64(wall)) {
+		t.Errorf("attributed %v exceeds %d x wall %v", total, n, wall)
+	}
+	if total < time.Duration(float64(n)*0.5*float64(wall)) {
+		t.Errorf("attributed %v is under half of %d x wall %v; spans are leaking time", total, n, wall)
+	}
+	if compute := b.State(prof.Compute); compute <= b.TotalNS/2 {
+		t.Errorf("compute = %v of %v; a pure-compute body must attribute its majority to compute: %+v",
+			time.Duration(compute), total, b.NS)
+	}
+	if ds := b.State(prof.DependStall); ds != 0 {
+		t.Errorf("depend_stall = %d for a dependence-free region, want 0", ds)
+	}
+	// Every member contributes at least one compute interval.
+	if cnt := b.Counts[prof.Compute.String()]; cnt < n {
+		t.Errorf("compute intervals = %d, want >= %d (one per member)", cnt, n)
+	}
+}
+
+// TestProfileDependStallAttribution builds a two-thread region where
+// one member holds an out-dependence open while the other blocks on an
+// in-dependence with nothing else runnable: the blocked member's wait
+// must land in depend_stall, not compute or barrier_wait.
+func TestProfileDependStallAttribution(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	defer r.Shutdown()
+	ctx := r.NewContext()
+
+	aStarted := make(chan struct{})
+	release := make(chan struct{})
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 2, Label: "wavefront"}, func(c *Context) error {
+		if c.num != 0 {
+			// Thread 1 heads straight into the join barrier, claims
+			// the writer task from thread 0's deque, and blocks in it.
+			return nil
+		}
+		if err := c.SubmitTask(TaskOpts{Depends: Out("x")}, func(*Context) error {
+			close(aStarted)
+			<-release
+			return nil
+		}); err != nil {
+			return err
+		}
+		<-aStarted // the writer is mid-flight on the other thread
+		go func() {
+			time.Sleep(30 * time.Millisecond)
+			close(release)
+		}()
+		// Undeferred reader: its predecessor is running elsewhere and
+		// the ready queue is empty, so the encountering thread parks
+		// in its dependence wait.
+		return c.SubmitTask(TaskOpts{IfSet: true, If: false, Depends: In("x")}, func(*Context) error { return nil })
+	})
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+
+	b := profBucket(t, r, "wavefront")
+	if ds := b.State(prof.DependStall); ds < (5 * time.Millisecond).Nanoseconds() {
+		t.Errorf("depend_stall = %v, want >= 5ms for a 30ms dependence stall: %+v",
+			time.Duration(ds), b.NS)
+	}
+}
+
+// TestProfileDependStallAtBarrier covers the other depend_stall route:
+// a member idling in the join barrier while the only outstanding task
+// is dependence-gated attributes that idle time to depend_stall (via
+// the team's stalled-task gauge), not steal_idle or barrier_wait.
+func TestProfileDependStallAtBarrier(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	defer r.Shutdown()
+	ctx := r.NewContext()
+
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 2, Label: "gate"}, func(c *Context) error {
+		if c.num != 0 {
+			return nil
+		}
+		// Writer sleeps while running; the reader stays gated off the
+		// queues the whole time, so the member that does not claim
+		// the writer parks with the stalled gauge raised.
+		if err := c.SubmitTask(TaskOpts{Depends: Out("y")}, func(*Context) error {
+			time.Sleep(30 * time.Millisecond)
+			return nil
+		}); err != nil {
+			return err
+		}
+		return c.SubmitTask(TaskOpts{Depends: In("y")}, func(*Context) error { return nil })
+	})
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+
+	b := profBucket(t, r, "gate")
+	if ds := b.State(prof.DependStall); ds < (5 * time.Millisecond).Nanoseconds() {
+		t.Errorf("depend_stall = %v, want >= 5ms while the reader was gated: %+v",
+			time.Duration(ds), b.NS)
+	}
+}
+
+// TestProfileCriticalContention pins attribution of contended critical
+// sections: the loser of a critical race attributes its blocked time
+// to the critical state.
+func TestProfileCriticalContention(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	defer r.Shutdown()
+	ctx := r.NewContext()
+
+	inside := make(chan struct{})
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 2, Label: "crit"}, func(c *Context) error {
+		if c.num == 0 {
+			c.CriticalEnter("lock")
+			close(inside)
+			time.Sleep(20 * time.Millisecond)
+			c.CriticalExit("lock")
+			return nil
+		}
+		<-inside // guarantee thread 0 holds the section first
+		c.CriticalEnter("lock")
+		c.CriticalExit("lock")
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	b := profBucket(t, r, "crit")
+	if cr := b.State(prof.Critical); cr < (5 * time.Millisecond).Nanoseconds() {
+		t.Errorf("critical = %v, want >= 5ms for a 20ms hold: %+v", time.Duration(cr), b.NS)
+	}
+}
+
+// TestProfileTaskwaitAndTaskgroup asserts the taskwait and
+// taskgroup_wait states receive the blocked time of their constructs.
+func TestProfileTaskwaitAndTaskgroup(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	defer r.Shutdown()
+	ctx := r.NewContext()
+
+	err := r.Parallel(ctx, ParallelOpts{NumThreads: 2, Label: "tw"}, func(c *Context) error {
+		if c.num != 0 {
+			return nil
+		}
+		// A child the submitter cannot run inline: thread 1 (or the
+		// taskwait loop) picks it up and sleeps, so the submitter's
+		// wait time is real.
+		if err := c.SubmitTask(TaskOpts{}, func(*Context) error {
+			time.Sleep(15 * time.Millisecond)
+			return nil
+		}); err != nil {
+			return err
+		}
+		return c.TaskWait()
+	})
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+
+	err = r.Parallel(ctx, ParallelOpts{NumThreads: 2, Label: "tg"}, func(c *Context) error {
+		if c.num != 0 {
+			return nil
+		}
+		c.TaskgroupBegin()
+		if err := c.SubmitTask(TaskOpts{}, func(*Context) error {
+			time.Sleep(15 * time.Millisecond)
+			return nil
+		}); err != nil {
+			return err
+		}
+		return c.TaskgroupEnd()
+	})
+	if err != nil {
+		t.Fatalf("taskgroup region: %v", err)
+	}
+
+	// The waits may resolve instantly when the submitter runs the
+	// child inline in its own wait loop — then the time lands in
+	// compute instead. Both buckets must exist and account for the
+	// sleep somewhere.
+	tw := profBucket(t, r, "tw")
+	if tw.TotalNS < (10 * time.Millisecond).Nanoseconds() {
+		t.Errorf("tw bucket total %v; the 15ms child is unaccounted: %+v", time.Duration(tw.TotalNS), tw.NS)
+	}
+	tg := profBucket(t, r, "tg")
+	if tg.TotalNS < (10 * time.Millisecond).Nanoseconds() {
+		t.Errorf("tg bucket total %v; the 15ms child is unaccounted: %+v", time.Duration(tg.TotalNS), tg.NS)
+	}
+}
+
+// TestProfileEnvOff pins the OMP4GO_PROFILE=off escape hatch and the
+// on-by-default behavior.
+func TestProfileEnvOff(t *testing.T) {
+	off := NewWithEnv(LayerAtomic, fakeEnv(map[string]string{"OMP4GO_PROFILE": "off"}))
+	defer off.Shutdown()
+	if snap := off.ProfileSnapshot(); snap != nil {
+		t.Errorf("OMP4GO_PROFILE=off still snapshots: %+v", snap)
+	}
+	ctx := off.NewContext()
+	if err := off.Parallel(ctx, ParallelOpts{NumThreads: 2, Label: "x"}, func(*Context) error { return nil }); err != nil {
+		t.Fatalf("parallel with profiler off: %v", err)
+	}
+	if snap := off.ProfileSnapshot(); snap != nil {
+		t.Errorf("profiler re-appeared after a region: %+v", snap)
+	}
+
+	on := NewWithEnv(LayerAtomic, fakeEnv(map[string]string{}))
+	defer on.Shutdown()
+	if on.ProfileSnapshot() == nil {
+		t.Error("profiler must be on by default")
+	}
+}
+
+// TestProfileSerialUnlabeledSkipsBucket pins the overhead contract: a
+// serialized, unlabeled region resolves no bucket, so the fork/join
+// fast path pays no clock reads for the common 1-thread case.
+func TestProfileSerialUnlabeledSkipsBucket(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	defer r.Shutdown()
+	ctx := r.NewContext()
+	if err := r.Parallel(ctx, ParallelOpts{NumThreads: 1}, func(*Context) error { return nil }); err != nil {
+		t.Fatalf("serial region: %v", err)
+	}
+	snap := r.ProfileSnapshot()
+	if snap == nil {
+		t.Fatal("profiler off by default")
+	}
+	if len(snap.Buckets) != 0 {
+		t.Errorf("serial unlabeled region produced buckets: %+v", snap.Buckets)
+	}
+	// A labeled serial region does attribute (labels opt in).
+	if err := r.Parallel(ctx, ParallelOpts{NumThreads: 1, Label: "serial"}, func(*Context) error { return nil }); err != nil {
+		t.Fatalf("labeled serial region: %v", err)
+	}
+	b := profBucket(t, r, "serial")
+	if b.TotalNS <= 0 {
+		t.Errorf("labeled serial region attributed nothing: %+v", b)
+	}
+}
+
+// TestProfilePrometheusExposition renders the snapshot and checks the
+// series shape: state + construct labels, unlabeled regions as
+// construct="region".
+func TestProfilePrometheusExposition(t *testing.T) {
+	r := newTestRuntime(LayerAtomic)
+	defer r.Shutdown()
+	ctx := r.NewContext()
+	if err := r.Parallel(ctx, ParallelOpts{NumThreads: 2, Label: "L7"}, func(*Context) error { return nil }); err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if err := r.Parallel(ctx, ParallelOpts{NumThreads: 2}, func(*Context) error { return nil }); err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	var sb strings.Builder
+	if err := r.ProfileSnapshot().WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE omp4go_time_seconds_total counter",
+		`omp4go_time_seconds_total{state="compute",construct="L7"}`,
+		`omp4go_time_seconds_total{state="compute",construct="region"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

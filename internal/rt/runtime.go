@@ -11,6 +11,7 @@ import (
 
 	"github.com/omp4go/omp4go/internal/metrics"
 	"github.com/omp4go/omp4go/internal/ompt"
+	"github.com/omp4go/omp4go/internal/prof"
 )
 
 // Runtime is one OpenMP runtime instance. OMP4Py instantiates the
@@ -58,6 +59,18 @@ type Runtime struct {
 	// gate the extra bookkeeping (wait markers, pprof labels, region
 	// registry) on a single atomic load of this pointer.
 	obs atomic.Pointer[obsState]
+
+	// prof is the time-attribution profiler (internal/prof), on by
+	// default (OMP4GO_PROFILE=off disables it). Like obs and tool it
+	// is an atomic gate: hot paths pay one pointer load when it is
+	// off, and unlabeled serialized (1-thread) regions skip the
+	// member clock stamps entirely so the fork fast path keeps its
+	// overhead bar.
+	prof atomic.Pointer[prof.Profiler]
+
+	// flight is the flight recorder (flight.go); nil unless enabled
+	// via OMP4GO_FLIGHT, EnableFlight, or the execution service.
+	flight atomic.Pointer[FlightRecorder]
 
 	// wd is the stall watchdog (watchdog.go); envServer the metrics
 	// endpoint activated by OMP4GO_METRICS. Both are rare-path state
@@ -116,6 +129,9 @@ func NewWithEnv(layer Layer, getenv func(string) string) *Runtime {
 	r.icv.loadEnv(getenv)
 	r.refreshForkICV()
 	r.taskSched = parseSchedMode(r.icv.taskSched)
+	if r.icv.profileMode != "off" {
+		r.prof.Store(prof.New())
+	}
 	if r.icv.poolMode != "off" {
 		r.pool = newWorkerPool(r)
 		r.teamCache = make(map[int][]*Team)
@@ -134,6 +150,14 @@ func NewWithEnv(layer Layer, getenv func(string) string) *Runtime {
 	if r.icv.watchdog > 0 {
 		// OMP4GO_WATCHDOG=<duration> arms the stall watchdog at init.
 		r.StartWatchdog(r.icv.watchdog)
+	}
+	if dir := r.icv.flightDir; dir != "" {
+		// OMP4GO_FLIGHT=<dir> arms the flight recorder at init. Like
+		// OMP4GO_METRICS, a failure (unwritable directory) is reported
+		// but never takes the program down.
+		if _, err := r.EnableFlight(dir); err != nil {
+			fmt.Fprintf(os.Stderr, "omp4go: OMP4GO_FLIGHT: %v\n", err)
+		}
 	}
 	if addr := r.icv.metricsAddr; addr != "" {
 		// OMP4GO_METRICS=<addr> serves /metrics and /debug/omp for the
@@ -168,6 +192,9 @@ func (r *Runtime) MetricsSnapshot() *metrics.Snapshot { return r.metrics.Snapsho
 // back to spawning goroutines per region.
 func (r *Runtime) Shutdown() {
 	r.StopWatchdog()
+	if fr := r.flight.Swap(nil); fr != nil {
+		fr.stopSampler()
+	}
 	r.wdMu.Lock()
 	srv := r.envServer
 	r.envServer = nil
@@ -223,6 +250,7 @@ func (t *Team) reset() {
 	t.arrivals.Store(0)
 	t.broken.Store(0)
 	t.outstanding.Store(0)
+	t.depStalled.Store(0)
 	// t.regions is kept: a cleanly-joined region leaves the table
 	// empty (every worksharing region is dropped when its last thread
 	// leaves — regionleak_test.go holds this invariant), so reusing
@@ -258,13 +286,24 @@ type Context struct {
 	gtid   int32
 	critT0 []int64
 
+	// Profiler bookkeeping, owner-thread only (plain fields): profT0
+	// is the member's region entry stamp, profWaitNS accumulates
+	// every nanosecond the wait sites attributed to a non-compute
+	// state, so compute = (now - profT0) - profWaitNS at region end.
+	// kernelT0 is the running compiled-kernel entry stamp (0 = none).
+	profT0     int64
+	profWaitNS int64
+	kernelT0   int64
+
 	// waitKind/waitSince mark what synchronization point this thread
 	// is blocked in (waitNone when running). Written by the owning
 	// thread only while introspection is enabled (r.obs non-nil), read
 	// by the watchdog sampler and the /debug/omp handler — atomics
-	// make the cross-goroutine reads race-free.
-	waitKind  atomic.Int32
-	waitSince atomic.Int64
+	// make the cross-goroutine reads race-free. waitDetail names what
+	// the thread waits for (a taskgroup, unresolved predecessors).
+	waitKind   atomic.Int32
+	waitSince  atomic.Int64
+	waitDetail atomic.Pointer[string]
 }
 
 // NewContext creates the context for an initial thread: a thread that
@@ -328,6 +367,12 @@ type Team struct {
 	// the team so joining a region costs no allocation.
 	errbuf []error
 
+	// depStalled gauges the team's dependence-stalled tasks (created
+	// but gated on unresolved predecessors). Wait loops consult it to
+	// classify their idle time: sleeping while it is nonzero is a
+	// dependence stall, not generic barrier/steal idling.
+	depStalled atomic.Int64
+
 	// Per-region fork state. Keeping it on the (recycled) team rather
 	// than in Parallel's locals makes forking a region allocation-free
 	// in pool mode: locals captured by a dispatch closure would each
@@ -335,6 +380,11 @@ type Team struct {
 	body    func(*Context) error // region body for this fork
 	tool    ompt.Tool            // tool snapshot for this fork
 	labeled bool                 // members run under pprof labels (obs on)
+	label   string               // region label (profiler bucket key)
+	// profBucket is the profiler bucket for this fork; nil disables
+	// member attribution (profiler off, or an unlabeled serialized
+	// region — not worth two clock stamps on the 1T fast path).
+	profBucket *prof.Bucket
 	wg      sync.WaitGroup       // join group; reused after each Wait
 	panicMu sync.Mutex
 	panics  map[int]any // allocated on first member panic only
@@ -364,6 +414,11 @@ func (t *Team) memberMain(member *Context) {
 }
 
 func (t *Team) runMember(member *Context) {
+	pb := t.profBucket
+	if pb != nil {
+		member.profWaitNS = 0
+		member.profT0 = ompt.Now()
+	}
 	tool := t.tool
 	if tool != nil {
 		member.emitTo(tool, ompt.EvImplicitTaskBegin, int64(t.regionID), int64(member.num), 0, "")
@@ -412,6 +467,15 @@ func (t *Team) runMember(member *Context) {
 	// whose join already reports the causing failure.)
 	for _, e := range member.curTask.takeChildErrs() {
 		t.recordTaskError(e)
+	}
+	if pb != nil {
+		// Compute by subtraction: the member's whole wall time minus
+		// everything the wait sites already attributed. The breakdown
+		// sums to team wall time by construction. (A panicking member
+		// unwinds past this — abnormal regions go unattributed.)
+		if compute := ompt.Now() - member.profT0 - member.profWaitNS; compute > 0 {
+			pb.Add(int32(member.num), prof.Compute, compute)
+		}
 	}
 }
 
@@ -470,6 +534,11 @@ type ParallelOpts struct {
 	// If is the value of the if clause; it only applies when IfSet.
 	If    bool
 	IfSet bool
+	// Label names the region for time attribution (internal/prof):
+	// MiniPy lowers the directive's source line ("L12"), native
+	// callers use omp.WithLabel. Empty regions pool into the
+	// unlabeled bucket.
+	Label string
 }
 
 // Parallel executes body on a new thread team, implementing the
@@ -511,6 +580,14 @@ func (r *Runtime) Parallel(ctx *Context, opts ParallelOpts, body func(*Context) 
 	team.body = body
 	team.tool = tool
 	team.panics = nil
+	team.label = opts.Label
+	team.profBucket = nil
+	if p := r.prof.Load(); p != nil && (n > 1 || opts.Label != "") {
+		// Unlabeled 1-thread regions stay unprofiled: they have no
+		// wait states to break down, and skipping them keeps the
+		// serialized fork path free of clock reads (the PR 4 bar).
+		team.profBucket = p.Bucket(opts.Label)
+	}
 
 	// Workers come from the persistent pool when enabled; the pool may
 	// come up short (cap reached, nested demand, shutdown), in which
@@ -788,6 +865,13 @@ func (t *Team) barrier(ctx *Context, kind int64) error {
 		ctx.waitSince.Store(ompt.Now())
 		ctx.waitKind.Store(waitBarrier)
 	}
+	// Sleep classification for the profiler: time parked in waitFor is
+	// a dependence stall when stalled tasks gate the queues, steal
+	// idling when runnable work exists elsewhere, and plain barrier
+	// waiting otherwise. Clock reads happen only around actual parks —
+	// the fast path is untouched.
+	pb := t.profBucket
+	var depNS, stealNS int64
 	err := func() error {
 		for {
 			if tk := t.claimTask(ctx); tk != nil {
@@ -806,10 +890,26 @@ func (t *Team) barrier(ctx *Context, kind int64) error {
 			if t.arrivals.Load() >= target && t.outstanding.Load() == 0 {
 				return nil
 			}
+			var sleepT0 int64
+			sleepState := prof.BarrierWait
+			if pb != nil {
+				sleepT0 = ompt.Now()
+				if t.depStalled.Load() > 0 {
+					sleepState = prof.DependStall
+				} else if t.outstanding.Load() > 0 {
+					sleepState = prof.StealIdle
+				}
+			}
 			t.waitFor(func() bool {
 				return t.sched.hasRunnable() || t.broken.Load() != 0 ||
 					(t.arrivals.Load() >= target && t.outstanding.Load() == 0)
 			})
+			switch sleepState {
+			case prof.DependStall:
+				depNS += ompt.Now() - sleepT0
+			case prof.StealIdle:
+				stealNS += ompt.Now() - sleepT0
+			}
 		}
 	}()
 	if obs != nil {
@@ -840,10 +940,37 @@ func (t *Team) barrier(ctx *Context, kind int64) error {
 			// line warm. The histogram also carries the wait-time sum
 			// (the omp4go_barrier_wait_ns_total counter mirrors it).
 			r.metrics.Observe(int32(ctx.num), metrics.HistBarrierWait, wait)
+			if pb != nil {
+				// The park classification above splits the wait; the
+				// unparked remainder (arrival skew, scan loops) is
+				// barrier waiting. Clamp to the measured wait so the
+				// breakdown never exceeds it.
+				dep, steal := depNS, stealNS
+				if dep > wait {
+					dep, steal = wait, 0
+				} else if dep+steal > wait {
+					steal = wait - dep
+				}
+				if bw := wait - dep - steal; bw > 0 {
+					pb.Add(int32(ctx.num), prof.BarrierWait, bw)
+				}
+				pb.Add(int32(ctx.num), prof.DependStall, dep)
+				pb.Add(int32(ctx.num), prof.StealIdle, steal)
+				ctx.profWaitNS += wait
+			}
 		}
 		if tool != nil {
 			ctx.emitTo(tool, ompt.EvBarrierExit, kind, ctx.barrierEpoch, wait, "")
 		}
+	} else if pb != nil && depNS+stealNS > 0 {
+		// The epoch-completing arrival skips wait timing (no t0), but
+		// with outstanding tasks it still drains the wait loop and can
+		// park. Those parks were measured directly around waitFor —
+		// attribute them so a gated dependence chain is never
+		// misread as compute.
+		pb.Add(int32(ctx.num), prof.DependStall, depNS)
+		pb.Add(int32(ctx.num), prof.StealIdle, stealNS)
+		ctx.profWaitNS += depNS + stealNS
 	}
 	return err
 }

@@ -7,6 +7,9 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"github.com/omp4go/omp4go/internal/ompt"
+	"github.com/omp4go/omp4go/internal/prof"
 )
 
 // This file implements the live metrics/introspection endpoint:
@@ -38,6 +41,7 @@ func (r *Runtime) ServeMetrics(addr string) (*MetricsServer, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/omp", s.handleDebug)
+	mux.HandleFunc("/debug/omp/profile", s.handleProfile)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -92,6 +96,62 @@ func (s *MetricsServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# HELP omp4go_ready_queue_depth Tasks queued runnable in in-flight regions' task schedulers (deques, overflow and shared lists).\n")
 	fmt.Fprintf(w, "# TYPE omp4go_ready_queue_depth gauge\n")
 	fmt.Fprintf(w, "omp4go_ready_queue_depth %d\n", ready)
+	fmt.Fprintf(w, "# HELP omp4go_trace_dropped_events_total Trace/flight-recorder events lost to ring-buffer wrapping.\n")
+	fmt.Fprintf(w, "# TYPE omp4go_trace_dropped_events_total counter\n")
+	fmt.Fprintf(w, "omp4go_trace_dropped_events_total %d\n", s.rt.TraceDropped())
+	// Per-state time attribution from the profiler, when enabled.
+	if p := s.rt.prof.Load(); p != nil {
+		fmt.Fprintf(w, "# HELP omp4go_time_seconds_total Team-thread time attributed per state and construct label.\n")
+		fmt.Fprintf(w, "# TYPE omp4go_time_seconds_total counter\n")
+		snap := p.Snapshot()
+		_ = snap.WritePrometheus(w)
+	}
+}
+
+// TraceDropped returns the total events lost to ring-buffer wrapping
+// across every trace consumer: the OMP4GO_TRACE tracer, any Tracer
+// attached as (or inside a Multi composition of) the event tool, and
+// the flight recorder's rings. Safe with live producers.
+func (r *Runtime) TraceDropped() uint64 {
+	var dropped uint64
+	counted := map[*ompt.Tracer]bool{}
+	if tr := r.envTracer; tr != nil {
+		counted[tr] = true
+		dropped += tr.Dropped()
+	}
+	for _, t := range ompt.Tools(r.loadTool()) {
+		if tr, ok := t.(*ompt.Tracer); ok && !counted[tr] {
+			counted[tr] = true
+			dropped += tr.Dropped()
+		}
+	}
+	if fr := r.flight.Load(); fr != nil {
+		dropped += fr.Dropped()
+	}
+	return dropped
+}
+
+// ProfileSnapshot returns the profiler's per-state time-attribution
+// snapshot, or nil when profiling is disabled (OMP4GO_PROFILE=off).
+func (r *Runtime) ProfileSnapshot() *prof.Snapshot {
+	p := r.prof.Load()
+	if p == nil {
+		return nil
+	}
+	s := p.Snapshot()
+	return &s
+}
+
+func (s *MetricsServer) handleProfile(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	snap := s.rt.ProfileSnapshot()
+	if snap == nil {
+		http.Error(w, `{"error":"profiler disabled (OMP4GO_PROFILE=off)"}`, http.StatusNotFound)
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(snap)
 }
 
 // DebugSnapshot is the /debug/omp JSON document.
@@ -101,6 +161,7 @@ type DebugSnapshot struct {
 	Regions  []RegionInfo     `json:"inflight_regions"`
 	Stalls   []StallReport    `json:"stalls,omitempty"`
 	Counters map[string]int64 `json:"counters"`
+	Profile  *prof.Snapshot   `json:"profile,omitempty"`
 }
 
 // PoolDebug is the /debug/omp view of the persistent worker pool.
@@ -127,6 +188,7 @@ func (r *Runtime) DebugSnapshot() DebugSnapshot {
 		Regions:  r.InflightRegions(),
 		Stalls:   r.StallReports(),
 		Counters: r.MetricsSnapshot().CounterMap(),
+		Profile:  r.ProfileSnapshot(),
 	}
 	if r.pool != nil {
 		idle, total := r.pool.counts()

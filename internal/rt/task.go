@@ -7,6 +7,7 @@ import (
 
 	"github.com/omp4go/omp4go/internal/metrics"
 	"github.com/omp4go/omp4go/internal/ompt"
+	"github.com/omp4go/omp4go/internal/prof"
 )
 
 // Task states, as in the paper: free, in-progress, completed.
@@ -344,8 +345,11 @@ func (c *Context) SubmitTask(opts TaskOpts, fn func(*Context) error) error {
 		if !tk.releaseHold() {
 			// The task stays off the deques until its predecessors
 			// complete; outstanding already counts it, so barriers
-			// keep waiting for it.
+			// keep waiting for it. The depStalled gauge lets wait
+			// loops classify their idle time as a dependence stall
+			// while tasks sit gated here (decremented on release).
 			c.rt.metrics.Inc(c.gtid, metrics.TasksDependStalled)
+			t.depStalled.Add(1)
 			if tk.id != 0 {
 				c.emit(ompt.EvTaskCreate, tk.id, depth, 0, "stalled")
 			}
@@ -490,22 +494,63 @@ func (c *Context) TaskWait() error {
 	if obs := c.rt.obs.Load(); obs != nil {
 		c.waitSince.Store(ompt.Now())
 		c.waitKind.Store(waitTaskwait)
+		detail := itoa(int(cur.children.Load())) + " child task(s)"
+		c.waitDetail.Store(&detail)
 		defer func() {
 			c.waitKind.Store(waitNone)
 			c.waitSince.Store(0)
+			c.waitDetail.Store(nil)
+		}()
+	}
+	// Profiler: the taskwait's wait is the time in this loop minus
+	// time productively running claimed tasks (whose own wait sites
+	// attribute themselves); parks while dependence-stalled tasks gate
+	// the queues classify as depend stalls.
+	pb := t.profBucket
+	var t0, taskNS, depNS int64
+	if pb != nil {
+		t0 = ompt.Now()
+		defer func() {
+			wait := ompt.Now() - t0 - taskNS
+			if wait <= 0 {
+				return
+			}
+			dep := depNS
+			if dep > wait {
+				dep = wait
+			}
+			if tw := wait - dep; tw > 0 {
+				pb.Add(int32(c.num), prof.Taskwait, tw)
+			}
+			pb.Add(int32(c.num), prof.DependStall, dep)
+			c.profWaitNS += wait
 		}()
 	}
 	for cur.children.Load() > 0 {
 		if tk := t.claimTask(c); tk != nil {
-			t.runTask(c, tk)
+			if pb != nil {
+				s := ompt.Now()
+				t.runTask(c, tk)
+				taskNS += ompt.Now() - s
+			} else {
+				t.runTask(c, tk)
+			}
 			continue
 		}
 		if t.broken.Load() != 0 {
 			return newBrokenAbort("taskwait")
 		}
+		var sleepT0 int64
+		stalled := pb != nil && t.depStalled.Load() > 0
+		if stalled {
+			sleepT0 = ompt.Now()
+		}
 		t.waitFor(func() bool {
 			return cur.children.Load() == 0 || t.sched.hasRunnable() || t.broken.Load() != 0
 		})
+		if stalled {
+			depNS += ompt.Now() - sleepT0
+		}
 	}
 	return joinErrors(cur.takeChildErrs())
 }

@@ -5,6 +5,7 @@ import (
 
 	"github.com/omp4go/omp4go/internal/metrics"
 	"github.com/omp4go/omp4go/internal/ompt"
+	"github.com/omp4go/omp4go/internal/prof"
 )
 
 // This file wires the OMPT-style observability subsystem
@@ -104,6 +105,10 @@ func (c *Context) CriticalEnter(name string) {
 		// The histogram carries the wait-time sum; the
 		// omp4go_critical_wait_ns_total counter mirrors it.
 		r.metrics.Observe(c.gtid, metrics.HistCriticalWait, wait)
+		if pb := c.team.profBucket; pb != nil {
+			pb.Add(int32(c.num), prof.Critical, wait)
+			c.profWaitNS += wait
+		}
 	}
 	// The entry timestamp stacks for the hold-time measurement on
 	// exit (critical sections of different names may nest).

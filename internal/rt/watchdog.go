@@ -29,7 +29,12 @@ var watchdogOut io.Writer = os.Stderr
 type StallMember struct {
 	GTID      int32 `json:"gtid"`
 	ThreadNum int   `json:"thread_num"`
-	WaitNS    int64 `json:"wait_ns"`
+	// Wait is the wait kind ("barrier", "taskwait", "taskgroup",
+	// "depend"); WaitFor names what the member waits on when the wait
+	// site published a detail string.
+	Wait    string `json:"wait,omitempty"`
+	WaitFor string `json:"wait_for,omitempty"`
+	WaitNS  int64  `json:"wait_ns"`
 }
 
 // StallReport is one watchdog finding: a synchronization point that
@@ -48,8 +53,15 @@ func (s StallReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "omp4go watchdog: region %d %s stalled > %v:", s.RegionID, s.Kind, s.Threshold)
 	for _, m := range s.Waiting {
-		fmt.Fprintf(&b, " gtid %d (thread %d) waiting %v;", m.GTID, m.ThreadNum,
+		fmt.Fprintf(&b, " gtid %d (thread %d) waiting %v", m.GTID, m.ThreadNum,
 			time.Duration(m.WaitNS).Round(time.Millisecond))
+		if m.Wait != "" {
+			fmt.Fprintf(&b, " at %s", m.Wait)
+		}
+		if m.WaitFor != "" {
+			fmt.Fprintf(&b, " on %s", m.WaitFor)
+		}
+		b.WriteString(";")
 	}
 	if len(s.Missing) > 0 {
 		fmt.Fprintf(&b, " missing gtids %v (still executing or blocked outside the runtime);", s.Missing)
@@ -169,6 +181,15 @@ func (w *watchdog) sample() {
 		w.reported[t.regionID] = sig
 		o.addStall(rep)
 		fmt.Fprintln(watchdogOut, rep.String())
+		// A stall is exactly what the flight recorder exists for:
+		// flush the recent-event ring and introspection history to a
+		// post-mortem dump (deduped with the report itself — only a
+		// changed stall shape triggers another dump).
+		if fr := w.rt.flight.Load(); fr != nil {
+			if path, err := fr.Dump("stall"); err == nil {
+				fmt.Fprintf(watchdogOut, "omp4go watchdog: flight dump written to %s\n", path)
+			}
+		}
 	}
 }
 
@@ -189,7 +210,12 @@ func (w *watchdog) diagnose(t *Team, now, thresholdNS int64) (StallReport, bool)
 			continue
 		}
 		waitNS := now - m.waitSince.Load()
-		waiting = append(waiting, StallMember{GTID: m.gtid, ThreadNum: m.num, WaitNS: waitNS})
+		sm := StallMember{GTID: m.gtid, ThreadNum: m.num,
+			Wait: waitKindString(k), WaitNS: waitNS}
+		if d := m.waitDetail.Load(); d != nil {
+			sm.WaitFor = *d
+		}
+		waiting = append(waiting, sm)
 		if waitNS >= thresholdNS {
 			stalled = true
 			if kind == "" {

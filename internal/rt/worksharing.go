@@ -6,6 +6,7 @@ import (
 	"github.com/omp4go/omp4go/internal/directive"
 	"github.com/omp4go/omp4go/internal/metrics"
 	"github.com/omp4go/omp4go/internal/ompt"
+	"github.com/omp4go/omp4go/internal/prof"
 )
 
 // regionState is the team-shared state of one worksharing construct
@@ -395,6 +396,17 @@ func (c *Context) ForEnd(b *LoopBounds) error {
 	c.curLoop = nil
 	c.leaveRegion(b.region, b.regIdx)
 	b.inited = false
+	if c.kernelT0 != 0 {
+		// Close the compiled-kernel span opened by KernelEnter: its
+		// time attributes to the kernel state instead of compute.
+		if pb := c.team.profBucket; pb != nil {
+			if ns := ompt.Now() - c.kernelT0; ns > 0 {
+				pb.Add(int32(c.num), prof.Kernel, ns)
+				c.profWaitNS += ns
+			}
+		}
+		c.kernelT0 = 0
+	}
 	if b.nowait {
 		return nil
 	}

@@ -38,6 +38,7 @@ const (
 	EnvWatchdog     = "OMP4GO_SERVE_WATCHDOG"
 	EnvMaxSessions  = "OMP4GO_SERVE_MAX_SESSIONS"
 	EnvSessionIdle  = "OMP4GO_SERVE_SESSION_IDLE"
+	EnvFlight       = "OMP4GO_SERVE_FLIGHT"
 )
 
 // Quota bounds one tenant run. Zero fields mean "unlimited" except
@@ -98,6 +99,10 @@ type Config struct {
 	// Watchdog arms the per-session runtime stall watchdog with this
 	// threshold, surfacing stuck runs in /debug/omp. 0 = off.
 	Watchdog time.Duration
+	// FlightDir enables the per-tenant flight recorder: each tenant
+	// runtime writes stall- and quota-kill-triggered post-mortem dumps
+	// under FlightDir/<tenant>/<mode>. Empty = off.
+	FlightDir string
 }
 
 // Defaults for the quota and service knobs.
@@ -197,6 +202,7 @@ func FromEnv(getenv func(string) string) Config {
 	c.Watchdog = envDuration(getenv, EnvWatchdog)
 	c.MaxSessions = int(envInt64(getenv, EnvMaxSessions))
 	c.SessionIdle = envDuration(getenv, EnvSessionIdle)
+	c.FlightDir = strings.TrimSpace(getenv(EnvFlight))
 	if v := strings.TrimSpace(getenv(EnvTokens)); v != "" {
 		for _, tok := range strings.Split(v, ",") {
 			if tok = strings.TrimSpace(tok); tok != "" {

@@ -14,7 +14,7 @@ func TestEnvVarsListedInDisplayEnv(t *testing.T) {
 	parsed := []string{
 		EnvAddr, EnvMaxBodyBytes, EnvMaxSteps, EnvMaxAllocs, EnvMaxWall,
 		EnvMaxThreads, EnvMaxWorkers, EnvQueueDepth, EnvHistory,
-		EnvTokens, EnvWatchdog, EnvMaxSessions, EnvSessionIdle,
+		EnvTokens, EnvWatchdog, EnvMaxSessions, EnvSessionIdle, EnvFlight,
 	}
 	displayed := map[string]bool{}
 	for _, n := range rt.DisplayedServeEnvVars() {

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestQuotaKillWritesFlightDump wires the serve-layer kill path to the
+// runtime flight recorder: with FlightDir set, a budget kill leaves a
+// loadable post-mortem dump under <dir>/<tenant>/<mode>.
+func TestQuotaKillWritesFlightDump(t *testing.T) {
+	dir := t.TempDir()
+	s := startServer(t, Config{
+		Tokens:       []string{"small=small-key"},
+		TenantQuotas: map[string]Quota{"small": {MaxSteps: 20_000}},
+		FlightDir:    dir,
+	})
+	src := "x = 0\nwhile True:\n    x = x + 1\n"
+	st, rr, apiErr := postRun(t, s, "small-key", RunRequest{Source: src})
+	if st != http.StatusOK || rr.OK || apiErr == nil || apiErr.Code != CodeQuotaKill {
+		t.Fatalf("run = status %d resp %+v err %+v, want a quota kill", st, rr, apiErr)
+	}
+
+	// The dump lands in the tenant/mode subdirectory, named after the
+	// kill kind; poll briefly since the write races the response.
+	pattern := filepath.Join(dir, "small", "Hybrid", "omp4go-flight-*-kill_steps.json")
+	var dumps []string
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		dumps, _ = filepath.Glob(pattern)
+		if len(dumps) > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(dumps) == 0 {
+		t.Fatalf("no flight dump matching %s after a quota kill", pattern)
+	}
+
+	var doc struct {
+		Reason  string          `json:"reason"`
+		Debug   json.RawMessage `json:"debug"`
+		Profile json.RawMessage `json:"profile"`
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		data, err := os.ReadFile(dumps[0])
+		if err == nil && json.Unmarshal(data, &doc) == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dump %s never became loadable: %v", dumps[0], err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if doc.Reason != "kill_steps" {
+		t.Errorf("dump reason = %q, want kill_steps", doc.Reason)
+	}
+	if len(doc.Debug) == 0 {
+		t.Error("dump carries no debug snapshot")
+	}
+}
+
+// TestTenantTimeAttribution runs a parallel program and asserts the
+// tenant's team-thread time breakdown shows up on /metrics and in the
+// per-tenant debug document.
+func TestTenantTimeAttribution(t *testing.T) {
+	s := startServer(t, Config{Tokens: []string{"acme=acme-key"}})
+	st, rr, apiErr := postRun(t, s, "acme-key", RunRequest{Source: parallelProgram})
+	if st != http.StatusOK || !rr.OK {
+		t.Fatalf("run = status %d resp %+v err %+v", st, rr, apiErr)
+	}
+
+	st, raw := get(t, s, "/metrics", "acme-key")
+	if st != http.StatusOK {
+		t.Fatalf("/metrics status %d", st)
+	}
+	body := string(raw)
+	if !strings.Contains(body, `omp4go_serve_time_seconds_total{tenant="acme",state="compute"}`) {
+		t.Errorf("/metrics lacks the tenant compute series:\n%s", body)
+	}
+
+	st, raw = get(t, s, "/debug/omp", "acme-key")
+	if st != http.StatusOK {
+		t.Fatalf("/debug/omp status %d", st)
+	}
+	var dbg struct {
+		Tenants map[string]struct {
+			Runtimes map[string]struct {
+				Profile *struct {
+					Buckets []struct {
+						Label   string           `json:"label"`
+						NS      map[string]int64 `json:"ns"`
+						TotalNS int64            `json:"total_ns"`
+					} `json:"buckets"`
+					TotalNS int64 `json:"total_ns"`
+				} `json:"profile"`
+			} `json:"runtimes"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(raw, &dbg); err != nil {
+		t.Fatalf("/debug/omp: %v\n%s", err, raw)
+	}
+	ten, ok := dbg.Tenants["acme"]
+	if !ok {
+		t.Fatalf("/debug/omp has no tenant acme: %s", raw)
+	}
+	var attributed int64
+	var labeled bool
+	for _, rtv := range ten.Runtimes {
+		if rtv.Profile == nil {
+			continue
+		}
+		attributed += rtv.Profile.TotalNS
+		for _, b := range rtv.Profile.Buckets {
+			// MiniPy regions auto-label with their source line.
+			if strings.HasPrefix(b.Label, "L") {
+				labeled = true
+			}
+		}
+	}
+	if attributed <= 0 {
+		t.Error("no runtime reported an attribution breakdown")
+	}
+	if !labeled {
+		t.Error("no bucket carries a MiniPy source-line label (L<line>)")
+	}
+}

@@ -141,4 +141,28 @@ func (s *Server) writeMetrics(w io.Writer) {
 			}
 		}
 	}
+
+	// Per-tenant time attribution: where each tenant's team threads
+	// spent their time, summed across mode runtimes and region labels.
+	const timeName = "omp4go_serve_time_seconds_total"
+	wroteHeader := false
+	for _, t := range tenants {
+		prof := sessions[t].profileNS()
+		if len(prof) == 0 {
+			continue
+		}
+		if !wroteHeader {
+			fmt.Fprintf(w, "# HELP %s Tenant team-thread time per attribution state (summed across mode runtimes).\n# TYPE %s counter\n", timeName, timeName)
+			wroteHeader = true
+		}
+		states := make([]string, 0, len(prof))
+		for st := range prof {
+			states = append(states, st)
+		}
+		sort.Strings(states)
+		for _, st := range states {
+			fmt.Fprintf(w, "%s{tenant=%s,state=%q} %s\n", timeName, strconv.Quote(t), st,
+				strconv.FormatFloat(float64(prof[st])/1e9, 'g', -1, 64))
+		}
+	}
 }

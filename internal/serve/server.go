@@ -508,6 +508,7 @@ func (s *Server) handleDebug(w http.ResponseWriter, _ *http.Request) {
 				"pool":             snap.Pool,
 				"inflight_regions": snap.Regions,
 				"stalls":           snap.Stalls,
+				"profile":          snap.Profile,
 			}
 		}
 		doc.Tenants[tenant] = td

@@ -4,8 +4,11 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -206,9 +209,40 @@ func (s *Session) interpFor(m mode) *interp.Interp {
 	if s.cfg.Watchdog > 0 {
 		in.Runtime().StartWatchdog(s.cfg.Watchdog)
 	}
+	if s.cfg.FlightDir != "" {
+		// Per-tenant, per-mode dump directory so one tenant's stall
+		// storm cannot crowd out another's post-mortems. The blank
+		// Getenv means OMP4GO_FLIGHT never reaches tenant runtimes;
+		// the service enables recording programmatically.
+		dir := filepath.Join(s.cfg.FlightDir, pathSafe(s.tenant), m.String())
+		if _, err := in.Runtime().EnableFlight(dir); err != nil {
+			fmt.Fprintf(os.Stderr, "omp4go-serve: flight recorder for %s/%s: %v\n", s.tenant, m, err)
+		}
+	}
 	s.interps[m] = in
 	s.outs[m] = out
 	return in
+}
+
+// pathSafe maps a tenant identity onto a filesystem-safe directory
+// name (tenant names derived from tokens are already hex, but
+// configured tenant=token names are free-form).
+func pathSafe(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "_"
+	}
+	return string(out)
 }
 
 // Run executes one program under the session's quota. The caller must
@@ -312,6 +346,18 @@ func (s *Session) Run(ctx context.Context, req RunRequest, out io.Writer, kill <
 	runErr := in.RunModule(mod)
 	steps, allocs := in.BudgetSteps(), in.BudgetAllocs()
 	in.ClearBudget()
+
+	// A budget kill is a post-mortem moment: the program was stopped
+	// mid-flight (step/alloc/wall quota, client disconnect, drain), so
+	// flush the flight recorder while the terminal state is fresh.
+	var be *interp.BudgetError
+	if errors.As(runErr, &be) {
+		if fr := in.Runtime().Flight(); fr != nil {
+			if _, err := fr.Dump("kill_" + be.Kind); err != nil {
+				fmt.Fprintf(os.Stderr, "omp4go-serve: flight dump for %s: %v\n", s.tenant, err)
+			}
+		}
+	}
 
 	if capture != nil {
 		resp.Stdout, resp.StdoutTruncated = capture.result()
@@ -423,6 +469,31 @@ func (s *Session) runtimeCounters() map[string]int64 {
 		if in := s.interps[m]; in != nil {
 			for name, v := range in.Runtime().MetricsSnapshot().CounterMap() {
 				total[name] += v
+			}
+		}
+	}
+	return total
+}
+
+// profileNS sums the tenant's per-state time attribution across its
+// mode runtimes and region labels: state name -> nanoseconds. Empty
+// when no mode runtime exists yet or profiling is off.
+func (s *Session) profileNS() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := map[string]int64{}
+	for m := mode(0); m < numModes; m++ {
+		in := s.interps[m]
+		if in == nil {
+			continue
+		}
+		snap := in.Runtime().ProfileSnapshot()
+		if snap == nil {
+			continue
+		}
+		for _, b := range snap.Buckets {
+			for state, ns := range b.NS {
+				total[state] += ns
 			}
 		}
 	}

@@ -1,6 +1,8 @@
 package transform
 
 import (
+	"strconv"
+
 	"github.com/omp4go/omp4go/internal/directive"
 	"github.com/omp4go/omp4go/internal/minipy"
 )
@@ -417,7 +419,9 @@ func (tr *transformer) parallel(ctx *fnCtx, dir *directive.Directive, w *minipy.
 	fnName := tr.fresh("parallel")
 	fd := &minipy.FuncDef{Name: fnName, Params: plan.params, Body: fnBody}
 
-	// parallel_run(fn, num_threads, if_set, if_val)
+	// parallel_run(fn, num_threads, if_set, if_val, label): the label
+	// carries the directive's source line into the runtime's per-region
+	// time-attribution profiler, so hot directives attribute to lines.
 	var numThreads minipy.Expr = intLit(0)
 	if cl := dir.Find(directive.ClauseNumThreads); cl != nil {
 		numThreads, err = parseClauseExpr(cl, pos)
@@ -437,7 +441,8 @@ func (tr *transformer) parallel(ctx *fnCtx, dir *directive.Directive, w *minipy.
 
 	out := append([]minipy.Stmt{}, plan.preOuter...)
 	out = append(out, fd,
-		exprStmt(ompCall("parallel_run", nameRef(fnName), numThreads, ifSet, ifVal)))
+		exprStmt(ompCall("parallel_run", nameRef(fnName), numThreads, ifSet, ifVal,
+			strLit("L"+strconv.Itoa(pos.Line)))))
 	return out, nil
 }
 

@@ -80,3 +80,81 @@ func (r *Instance) StopWatchdog() { r.rt.StopWatchdog() }
 
 // StallReports returns this runtime's recent watchdog findings.
 func (r *Instance) StallReports() []StallReport { return r.rt.StallReports() }
+
+// ProfileBucket is the per-state time breakdown of one labeled region
+// group: NS maps state name ("compute", "barrier_wait", "taskwait",
+// "depend_stall", "taskgroup_wait", "steal_idle", "critical",
+// "kernel") to accumulated nanoseconds, Counts to the number of
+// attribution samples.
+type ProfileBucket struct {
+	Label   string           `json:"label"`
+	NS      map[string]int64 `json:"ns"`
+	Counts  map[string]int64 `json:"counts"`
+	TotalNS int64            `json:"total_ns"`
+}
+
+// Profile is a snapshot of the time-attribution profiler: where team
+// threads spent their time, per state and region label. Unlabeled
+// multi-thread regions accumulate under the empty label.
+type Profile struct {
+	Buckets []ProfileBucket `json:"buckets"`
+	TotalNS int64           `json:"total_ns"`
+}
+
+func profileFrom(r *rt.Runtime) *Profile {
+	s := r.ProfileSnapshot()
+	if s == nil {
+		return nil
+	}
+	p := &Profile{TotalNS: s.TotalNS, Buckets: make([]ProfileBucket, 0, len(s.Buckets))}
+	for _, b := range s.Buckets {
+		p.Buckets = append(p.Buckets, ProfileBucket{
+			Label: b.Label, NS: b.NS, Counts: b.Counts, TotalNS: b.TotalNS,
+		})
+	}
+	return p
+}
+
+// ProfileBreakdown returns the default runtime's time-attribution
+// snapshot, or nil when profiling is disabled (OMP4GO_PROFILE=off).
+// The profiler is on by default: multi-thread parallel regions
+// classify every team-thread nanosecond into compute, barrier_wait,
+// taskwait, depend_stall, taskgroup_wait, steal_idle, critical and
+// kernel states.
+func ProfileBreakdown() *Profile { return profileFrom(defaultRuntime()) }
+
+// ProfileBreakdown returns this runtime's time-attribution snapshot.
+func (r *Instance) ProfileBreakdown() *Profile { return profileFrom(r.rt) }
+
+// EnableFlightRecorder activates the default runtime's flight
+// recorder, writing post-mortem dumps into dir ("" selects a default
+// under the OS temp directory). Dumps — a JSON document with the
+// debug snapshot, profile breakdown and recent introspection samples,
+// plus a Chrome trace of recent events — are written when the
+// watchdog flags a stall or FlightDump is called. Also activated by
+// OMP4GO_FLIGHT=on or OMP4GO_FLIGHT=<dir>. Returns the dump
+// directory.
+func EnableFlightRecorder(dir string) (string, error) {
+	fr, err := defaultRuntime().EnableFlight(dir)
+	if err != nil {
+		return "", err
+	}
+	return fr.Dir(), nil
+}
+
+// EnableFlightRecorder activates this runtime's flight recorder.
+func (r *Instance) EnableFlightRecorder(dir string) (string, error) {
+	fr, err := r.rt.EnableFlight(dir)
+	if err != nil {
+		return "", err
+	}
+	return fr.Dir(), nil
+}
+
+// FlightDump triggers an on-demand flight-recorder dump on the
+// default runtime, returning the dump file's path. The recorder must
+// be enabled first.
+func FlightDump(reason string) (string, error) { return defaultRuntime().FlightDump(reason) }
+
+// FlightDump triggers an on-demand dump on this runtime.
+func (r *Instance) FlightDump(reason string) (string, error) { return r.rt.FlightDump(reason) }

@@ -119,7 +119,7 @@ func Parallel(body func(tc *TC), opts ...Option) error {
 // directive; enable with SetNested).
 func (tc *TC) Parallel(body func(tc *TC), opts ...Option) error {
 	o := buildOptions(opts)
-	po := rt.ParallelOpts{NumThreads: o.numThreads}
+	po := rt.ParallelOpts{NumThreads: o.numThreads, Label: o.label}
 	if o.ifSet {
 		po.If, po.IfSet = o.ifVal, true
 	}

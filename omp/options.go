@@ -25,6 +25,7 @@ type options struct {
 	grainsize  int64
 	numTasks   int64
 	nogroup    bool
+	label      string
 }
 
 func buildOptions(opts []Option) options {
@@ -38,6 +39,15 @@ func buildOptions(opts []Option) options {
 // WithNumThreads is the num_threads clause (Parallel).
 func WithNumThreads(n int) Option {
 	return func(o *options) { o.numThreads = n }
+}
+
+// WithLabel names the parallel region for the time-attribution
+// profiler: the region's per-state time breakdown accumulates under
+// this label (ProfileBreakdown, the omp4go_time_seconds_total series)
+// instead of the shared default bucket. MiniPy-lowered regions are
+// labeled automatically with their directive's source line.
+func WithLabel(name string) Option {
+	return func(o *options) { o.label = name }
 }
 
 // WithIf is the if clause: on Parallel, a false cond serializes the

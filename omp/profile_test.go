@@ -1,0 +1,62 @@
+package omp
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestProfileBreakdownAndFlight covers the public observability
+// surface added with the time-attribution profiler: WithLabel buckets
+// a region under its name, ProfileBreakdown returns the merged view,
+// and the flight recorder writes a loadable on-demand dump.
+func TestProfileBreakdownAndFlight(t *testing.T) {
+	r := NewRuntime(WithDefaultNumThreads(2))
+	defer r.Close()
+
+	if err := r.Parallel(func(tc *TC) {
+		_ = tc.For(0, 1000, func(i int) {})
+	}, WithLabel("hotspot")); err != nil {
+		t.Fatal(err)
+	}
+
+	p := r.ProfileBreakdown()
+	if p == nil || p.TotalNS <= 0 {
+		t.Fatalf("ProfileBreakdown = %+v, want a populated breakdown", p)
+	}
+	var found bool
+	for _, b := range p.Buckets {
+		if b.Label == "hotspot" {
+			found = true
+			if b.TotalNS <= 0 || b.NS["compute"] <= 0 {
+				t.Errorf("hotspot bucket lacks compute time: %+v", b)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no bucket labeled hotspot: %+v", p.Buckets)
+	}
+
+	dir, err := r.EnableFlightRecorder(t.TempDir())
+	if err != nil {
+		t.Fatalf("EnableFlightRecorder: %v", err)
+	}
+	path, err := r.FlightDump("api test")
+	if err != nil {
+		t.Fatalf("FlightDump: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading dump from %s: %v", dir, err)
+	}
+	var doc struct {
+		Reason  string   `json:"reason"`
+		Profile *Profile `json:"profile"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("dump not loadable: %v", err)
+	}
+	if doc.Reason != "api test" || doc.Profile == nil {
+		t.Errorf("dump = reason %q profile %v, want the trigger reason and a breakdown", doc.Reason, doc.Profile)
+	}
+}
