@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify depend-race kernels-race metrics-smoke serve-smoke profile-smoke bench bench-compare bench-report bench-gate trace clean
+.PHONY: build test race vet verify depend-race kernels-race metrics-smoke serve-smoke profile-smoke mpi-smoke mpi-race bench bench-compare bench-report bench-gate trace clean
 
 build:
 	$(GO) build ./...
@@ -45,12 +45,36 @@ profile-smoke:
 	$(GO) test -run='TestProfile|TestFlight|TestIntrospect.*WaitFor|TestTraceDropped' -count=1 -timeout 120s ./internal/rt/
 	$(GO) test -run='TestQuotaKillWritesFlightDump|TestTenantTimeAttribution' -count=1 -timeout 60s ./internal/serve/
 
+# mpi-smoke exercises the distributed transport end to end: the real
+# launcher (cmd/omp4go-mpirun) spawns a 2-rank loopback world of the
+# hybrid-jacobi example over TCP sockets, the result is checked
+# bit-for-bit against the sequential sweep inside the example, and the
+# printed omp4go_mpi_coalesced_total counter must be nonzero — halo
+# chunks actually rode coalesced wire batches.
+mpi-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/hybrid-jacobi ./examples/hybrid-jacobi && \
+	$(GO) build -o $$tmp/omp4go-mpirun ./cmd/omp4go-mpirun && \
+	out=$$($$tmp/omp4go-mpirun -n 2 $$tmp/hybrid-jacobi -rows 48 -cols 32 -iters 4) && \
+	echo "$$out" | grep -q "halo jacobi ok" && \
+	echo "$$out" | grep "omp4go_mpi_coalesced_total" | grep -qv " 0$$" && \
+	echo "mpi-smoke: 2-rank TCP halo jacobi ok, coalescing active"
+
+# mpi-race runs the transport and halo-differential tests under the
+# race detector with the test cache defeated: matching, coalescing and
+# the single-puller receive path are the concurrency-dense code, and
+# the differential (which re-executes the race-built test binary as
+# real rank processes) pins bit-identical results across transports.
+mpi-race:
+	$(GO) test -race -count=1 -timeout 300s ./internal/mpi/
+	$(GO) test -race -count=1 -timeout 300s -run='TestHalo|TestHybrid' ./internal/bench/
+
 # verify is the CI gate: static checks plus the race-detector pass
 # over the runtime and observability layers, plus a single-iteration
 # smoke of the pool-vs-spawn overhead benchmark so a dispatch
 # regression that only bites under the pool path fails loudly, plus
 # the metrics endpoint, execution-service and profiler/flight smokes.
-verify: vet metrics-smoke serve-smoke profile-smoke depend-race kernels-race
+verify: vet metrics-smoke serve-smoke profile-smoke depend-race kernels-race mpi-smoke mpi-race
 	$(GO) test ./...
 	$(GO) test -race -timeout 120s ./internal/rt/... ./internal/ompt/... ./internal/serve/... ./omp/...
 	$(GO) test -run=NONE -bench=BenchmarkRegionOverhead -benchtime=1x -timeout 120s ./internal/rt/

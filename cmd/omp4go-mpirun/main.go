@@ -1,0 +1,183 @@
+// Command omp4go-mpirun launches a multi-process MPI world: it picks
+// a rendezvous address, spawns one copy of the given program per rank
+// with OMP4GO_MPI_ADDR/RANK/SIZE set, prefixes each rank's output,
+// and exits with the first rank failure (killing the survivors after
+// a grace period) — the role mpirun plays for mpi4py programs.
+//
+//	omp4go-mpirun -n 4 ./myprog -flag value
+//
+// With -print the commands are printed instead of executed, one per
+// rank, for pasting onto separate hosts; -addr then chooses the
+// address peers will dial (it must be reachable from every host).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/omp4go/omp4go/internal/mpi"
+)
+
+func main() {
+	n := flag.Int("n", 2, "number of ranks to launch")
+	addr := flag.String("addr", "", "rendezvous address (default: a free 127.0.0.1 port)")
+	printOnly := flag.Bool("print", false, "print per-rank commands instead of running them")
+	coalesce := flag.Int("coalesce", 0, "OMP4GO_MPI_COALESCE byte threshold for every rank (0 = default)")
+	grace := flag.Duration("grace", 3*time.Second, "how long surviving ranks get after the first failure")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: omp4go-mpirun [flags] program [args...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *n < 1 {
+		fmt.Fprintf(os.Stderr, "omp4go-mpirun: -n %d must be at least 1\n", *n)
+		os.Exit(2)
+	}
+	rendezvous := *addr
+	if rendezvous == "" {
+		var err error
+		if rendezvous, err = freePort(); err != nil {
+			fmt.Fprintln(os.Stderr, "omp4go-mpirun:", err)
+			os.Exit(1)
+		}
+	}
+	rankEnv := func(rank int) []string {
+		env := []string{
+			mpi.EnvMPIAddr + "=" + rendezvous,
+			mpi.EnvMPIRank + "=" + strconv.Itoa(rank),
+			mpi.EnvMPISize + "=" + strconv.Itoa(*n),
+		}
+		if *coalesce > 0 {
+			env = append(env, mpi.EnvMPICoalesce+"="+strconv.Itoa(*coalesce))
+		}
+		return env
+	}
+	if *printOnly {
+		for rank := 0; rank < *n; rank++ {
+			fmt.Printf("# rank %d\n", rank)
+			for _, kv := range rankEnv(rank) {
+				fmt.Printf("%s ", kv)
+			}
+			for _, a := range flag.Args() {
+				fmt.Printf("%s ", a)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	os.Exit(run(*n, rankEnv, flag.Args(), *grace))
+}
+
+// freePort reserves a loopback port and releases it for rank 0 to
+// bind. The window between release and bind is small and rank 0
+// retries the bind, so the race is acceptable for a local launcher.
+func freePort() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+func run(n int, rankEnv func(int) []string, argv []string, grace time.Duration) int {
+	cmds := make([]*exec.Cmd, n)
+	var outWG sync.WaitGroup
+	for rank := 0; rank < n; rank++ {
+		cmd := exec.Command(argv[0], argv[1:]...)
+		cmd.Env = append(os.Environ(), rankEnv(rank)...)
+		cmd.Stdin = nil
+		stdout, err := cmd.StdoutPipe()
+		if err == nil {
+			cmd.Stderr = cmd.Stdout // one prefixed stream per rank
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "omp4go-mpirun:", err)
+			return 1
+		}
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "omp4go-mpirun: rank %d: %v\n", rank, err)
+			killAll(cmds)
+			return 1
+		}
+		cmds[rank] = cmd
+		outWG.Add(1)
+		go func(rank int, r io.Reader) {
+			defer outWG.Done()
+			sc := bufio.NewScanner(r)
+			sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+			for sc.Scan() {
+				fmt.Printf("[rank %d] %s\n", rank, sc.Text())
+			}
+		}(rank, stdout)
+	}
+
+	// Forward interrupts to the whole world.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		for sig := range sigc {
+			for _, cmd := range cmds {
+				if cmd != nil && cmd.Process != nil {
+					_ = cmd.Process.Signal(sig)
+				}
+			}
+		}
+	}()
+	defer signal.Stop(sigc)
+
+	type exit struct {
+		rank int
+		err  error
+	}
+	exits := make(chan exit, n)
+	for rank, cmd := range cmds {
+		go func(rank int, cmd *exec.Cmd) { exits <- exit{rank, cmd.Wait()} }(rank, cmd)
+	}
+	code := 0
+	var killTimer *time.Timer
+	for done := 0; done < n; done++ {
+		e := <-exits
+		if e.err != nil {
+			fmt.Fprintf(os.Stderr, "omp4go-mpirun: rank %d: %v\n", e.rank, e.err)
+			if code == 0 {
+				if ee, ok := e.err.(*exec.ExitError); ok && ee.ExitCode() > 0 {
+					code = ee.ExitCode()
+				} else {
+					code = 1
+				}
+				// First failure: give survivors a grace period to
+				// notice their dead peer, then kill the stragglers.
+				killTimer = time.AfterFunc(grace, func() { killAll(cmds) })
+			}
+		}
+	}
+	if killTimer != nil {
+		killTimer.Stop()
+	}
+	outWG.Wait()
+	return code
+}
+
+func killAll(cmds []*exec.Cmd) {
+	for _, cmd := range cmds {
+		if cmd != nil && cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/omp4go/omp4go/internal/mpi"
+	"github.com/omp4go/omp4go/omp"
+)
+
+// Halo-exchange jacobi: the classic 2D 5-point stencil distributed by
+// row blocks, the workload the TCP transport's batching and overlap
+// machinery exists for. Each iteration a rank ships its first and
+// last owned rows to its neighbors as several chunked Isends (which
+// coalesce into one wire batch per neighbor), posts Irecvs for the
+// ghost rows, and — while those messages are in flight — updates its
+// interior rows on the OpenMP worker pool. Only the two boundary rows
+// wait for communication.
+//
+// Determinism: each cell update reads only neighboring cells and
+// performs a fixed arithmetic expression, so the grid after k sweeps
+// is bit-identical for every decomposition and every transport. The
+// residual is a serial per-rank sum combined by the deterministic
+// Allreduce tree, so it is bit-identical across transports at equal
+// world size (though not across different world sizes, where the
+// summation order differs). The differential tests pin both.
+
+// HaloConfig sizes one distributed stencil run.
+type HaloConfig struct {
+	// Rows, Cols is the interior grid (boundary cells surround it and
+	// stay fixed). Rows must be at least the world size.
+	Rows, Cols int
+	// Iters is the fixed sweep count (no early exit, for determinism).
+	Iters int
+	// Seed drives the deterministic initial grid.
+	Seed int64
+	// Threads is the OpenMP team size for interior updates.
+	Threads int
+	// Chunks splits each boundary row into this many messages — the
+	// coalescing fodder; one wire batch per neighbor carries all of
+	// them. Clamped to [1, Cols].
+	Chunks int
+}
+
+func (cfg *HaloConfig) norm() {
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.Chunks < 1 {
+		cfg.Chunks = 1
+	}
+	if cfg.Chunks > cfg.Cols {
+		cfg.Chunks = cfg.Cols
+	}
+}
+
+// HaloResult is one rank's view of the finished run — identical on
+// every rank (Allgather/Allreduce leave the same bits everywhere).
+type HaloResult struct {
+	// Residual is the global L1 update norm of the final sweep.
+	Residual float64
+	// Cells is the full interior grid, row-major, Rows*Cols values.
+	Cells []float64
+}
+
+// haloInit is the deterministic initial value of global grid cell
+// (gi, gj) — a splitmix64-style hash of the coordinates and seed, so
+// every rank materializes its slab without communication.
+func haloInit(gi, gj int, seed int64) float64 {
+	h := uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(gi)*0xBF58476D1CE4E5B9 ^ uint64(gj)*0x94D049BB133111EB
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return float64(h%1024) / 1024
+}
+
+// stencilRow updates one local row's interior columns in next from
+// cur: the 4-neighbor average, written to disjoint cells so rows can
+// update in parallel.
+func stencilRow(cur, next []float64, li, w, cols int) {
+	base := li * w
+	for j := 1; j <= cols; j++ {
+		next[base+j] = 0.25 * (cur[base-w+j] + cur[base+w+j] + cur[base+j-1] + cur[base+j+1])
+	}
+}
+
+// chunkRanges splits the interior column span [1, cols+1) into n
+// near-equal half-open ranges.
+func chunkRanges(cols, n int) [][2]int {
+	out := make([][2]int, n)
+	for k := 0; k < n; k++ {
+		out[k] = [2]int{1 + k*cols/n, 1 + (k+1)*cols/n}
+	}
+	return out
+}
+
+// RunHaloJacobi executes cfg.Iters sweeps of the distributed stencil
+// on communicator c and returns the assembled grid. It works — and
+// produces identical bits — on any transport.
+func RunHaloJacobi(c *mpi.Comm, cfg HaloConfig) (HaloResult, error) {
+	cfg.norm()
+	rank, size := c.Rank(), c.Size()
+	if cfg.Rows < size {
+		return HaloResult{}, fmt.Errorf("bench: %d grid rows cannot split over %d ranks", cfg.Rows, size)
+	}
+	// Rank owns global interior rows [lo, hi) — global grid rows
+	// lo+1..hi; local row li maps to global grid row lo+li, with local
+	// rows 0 and nloc+1 the ghost (or fixed global boundary) rows.
+	lo := rank * cfg.Rows / size
+	hi := (rank + 1) * cfg.Rows / size
+	nloc := hi - lo
+	w := cfg.Cols + 2
+	cur := make([]float64, (nloc+2)*w)
+	next := make([]float64, (nloc+2)*w)
+	for li := 0; li <= nloc+1; li++ {
+		for j := 0; j < w; j++ {
+			cur[li*w+j] = haloInit(lo+li, j, cfg.Seed)
+		}
+	}
+	copy(next, cur) // fixed boundary cells must be present in both planes
+
+	inst := omp.NewRuntime(omp.WithDefaultNumThreads(cfg.Threads))
+	defer inst.Close()
+
+	up, down := rank-1, rank+1 // neighbor ranks; -1 / size mean global boundary
+	chunks := chunkRanges(cfg.Cols, cfg.Chunks)
+	residual := 0.0
+	for it := 0; it < cfg.Iters; it++ {
+		// Tag parity separates adjacent iterations: the per-iteration
+		// Allreduce bounds rank skew to one sweep, so parity plus the
+		// chunk index matches every message unambiguously.
+		par := (it % 2) * cfg.Chunks
+
+		// Post ghost receives, then ship boundary rows as chunked
+		// Isends; FlushAll turns each neighbor's chunk set into one
+		// coalesced wire batch.
+		var upReqs, downReqs []*mpi.RecvRequest
+		if up >= 0 {
+			for k := range chunks {
+				upReqs = append(upReqs, c.Irecv(up, par+k))
+			}
+			row := cur[w : 2*w]
+			for k, cr := range chunks {
+				if _, err := c.Isend(up, par+k, row[cr[0]:cr[1]]); err != nil {
+					return HaloResult{}, err
+				}
+			}
+		}
+		if down < size {
+			for k := range chunks {
+				downReqs = append(downReqs, c.Irecv(down, par+k))
+			}
+			row := cur[nloc*w : (nloc+1)*w]
+			for k, cr := range chunks {
+				if _, err := c.Isend(down, par+k, row[cr[0]:cr[1]]); err != nil {
+					return HaloResult{}, err
+				}
+			}
+		}
+		if err := c.FlushAll(); err != nil {
+			return HaloResult{}, err
+		}
+
+		// Interior rows need no ghosts: update them on the worker pool
+		// while the halo messages fly.
+		if nloc > 2 {
+			if err := inst.Parallel(func(tc *omp.TC) {
+				_ = tc.For(2, nloc, func(li int) { stencilRow(cur, next, li, w, cfg.Cols) })
+			}); err != nil {
+				return HaloResult{}, err
+			}
+		}
+
+		// Ghosts in, then the two communication-dependent rows.
+		for k, r := range upReqs {
+			data, err := r.Wait()
+			if err != nil {
+				return HaloResult{}, err
+			}
+			copy(cur[chunks[k][0]:chunks[k][1]], data)
+		}
+		for k, r := range downReqs {
+			data, err := r.Wait()
+			if err != nil {
+				return HaloResult{}, err
+			}
+			copy(cur[(nloc+1)*w+chunks[k][0]:(nloc+1)*w+chunks[k][1]], data)
+		}
+		stencilRow(cur, next, 1, w, cfg.Cols)
+		if nloc > 1 {
+			stencilRow(cur, next, nloc, w, cfg.Cols)
+		}
+
+		// Serial per-rank residual in fixed order, combined by the
+		// deterministic reduction tree.
+		res := 0.0
+		for li := 1; li <= nloc; li++ {
+			for j := 1; j <= cfg.Cols; j++ {
+				res += math.Abs(next[li*w+j] - cur[li*w+j])
+			}
+		}
+		gres, err := c.Allreduce(res, mpi.OpSum)
+		if err != nil {
+			return HaloResult{}, err
+		}
+		residual = gres
+		cur, next = next, cur
+	}
+
+	// Assemble the full interior everywhere (rank order = row order).
+	local := make([]float64, 0, nloc*cfg.Cols)
+	for li := 1; li <= nloc; li++ {
+		local = append(local, cur[li*w+1:li*w+1+cfg.Cols]...)
+	}
+	cells, err := c.Allgather(local)
+	if err != nil {
+		return HaloResult{}, err
+	}
+	return HaloResult{Residual: residual, Cells: cells}, nil
+}
+
+// SequentialHaloJacobi is the single-process reference: the same
+// sweeps with no communication. Grid cells match any distributed run
+// bit for bit; the residual matches a 1-rank distributed run.
+func SequentialHaloJacobi(cfg HaloConfig) HaloResult {
+	cfg.norm()
+	w := cfg.Cols + 2
+	n := cfg.Rows
+	cur := make([]float64, (n+2)*w)
+	next := make([]float64, (n+2)*w)
+	for li := 0; li <= n+1; li++ {
+		for j := 0; j < w; j++ {
+			cur[li*w+j] = haloInit(li, j, cfg.Seed)
+		}
+	}
+	copy(next, cur)
+	residual := 0.0
+	for it := 0; it < cfg.Iters; it++ {
+		for li := 1; li <= n; li++ {
+			stencilRow(cur, next, li, w, cfg.Cols)
+		}
+		res := 0.0
+		for li := 1; li <= n; li++ {
+			for j := 1; j <= cfg.Cols; j++ {
+				res += math.Abs(next[li*w+j] - cur[li*w+j])
+			}
+		}
+		residual = res
+		cur, next = next, cur
+	}
+	cells := make([]float64, 0, n*cfg.Cols)
+	for li := 1; li <= n; li++ {
+		cells = append(cells, cur[li*w+1:li*w+1+cfg.Cols]...)
+	}
+	return HaloResult{Residual: residual, Cells: cells}
+}

@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/omp4go/omp4go/internal/metrics"
+	"github.com/omp4go/omp4go/internal/mpi"
+)
+
+// TestMain doubles as the rank entry point for the multi-process
+// differential tests: a child rank is this test binary re-executed
+// with OMP4GO_BENCH_TEST_HELPER=halo-rank and OMP4GO_MPI_* set.
+func TestMain(m *testing.M) {
+	if os.Getenv("OMP4GO_BENCH_TEST_HELPER") == "halo-rank" {
+		os.Exit(haloRankMain())
+	}
+	os.Exit(m.Run())
+}
+
+// haloWire is one rank's result, round-tripped through JSON as raw
+// float bits so the comparison is exact.
+type haloWire struct {
+	ResidualBits uint64
+	CellBits     []uint64
+	Msgs         int64
+	Coalesced    int64
+}
+
+func toWire(res HaloResult, snap *metrics.Snapshot) haloWire {
+	w := haloWire{
+		ResidualBits: math.Float64bits(res.Residual),
+		CellBits:     make([]uint64, len(res.Cells)),
+	}
+	for i, v := range res.Cells {
+		w.CellBits[i] = math.Float64bits(v)
+	}
+	if snap != nil {
+		w.Msgs = snap.Counters[metrics.MPIMsgs]
+		w.Coalesced = snap.Counters[metrics.MPICoalesced]
+	}
+	return w
+}
+
+// haloRankMain is the child-process body: join the TCP world, run the
+// distributed stencil, write the result as JSON for the parent test.
+func haloRankMain() int {
+	fail := func(code int, err error) int {
+		fmt.Fprintln(os.Stderr, "halo rank helper:", err)
+		return code
+	}
+	tcpCfg, ok, err := mpi.EnvTCPConfig(os.Getenv)
+	if !ok || err != nil {
+		return fail(2, fmt.Errorf("tcp config (ok=%v): %w", ok, err))
+	}
+	var hcfg HaloConfig
+	if err := json.Unmarshal([]byte(os.Getenv("OMP4GO_HALO_CFG")), &hcfg); err != nil {
+		return fail(2, err)
+	}
+	reg := metrics.New()
+	tcpCfg.Metrics = reg
+	c, err := mpi.ConnectTCP(tcpCfg)
+	if err != nil {
+		return fail(3, err)
+	}
+	defer c.Close()
+	res, err := RunHaloJacobi(c, hcfg)
+	if err != nil {
+		return fail(4, err)
+	}
+	blob, err := json.Marshal(toWire(res, reg.Snapshot()))
+	if err != nil {
+		return fail(5, err)
+	}
+	if err := os.WriteFile(os.Getenv("OMP4GO_HALO_OUT"), blob, 0o644); err != nil {
+		return fail(5, err)
+	}
+	return 0
+}
+
+var haloTestConfig = HaloConfig{Rows: 19, Cols: 11, Iters: 6, Seed: 42, Threads: 2, Chunks: 3}
+
+// runHaloLocal runs the stencil on the in-process transport and
+// returns rank 0's result (all ranks produce identical bits — the
+// collectives guarantee it, and the run asserts it).
+func runHaloLocal(t *testing.T, nranks int, cfg HaloConfig) haloWire {
+	t.Helper()
+	results := make([]haloWire, nranks)
+	err := mpi.Run(nranks, nil, func(c *mpi.Comm) error {
+		res, err := RunHaloJacobi(c, cfg)
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = toWire(res, nil)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < nranks; r++ {
+		if results[r].ResidualBits != results[0].ResidualBits {
+			t.Fatalf("rank %d residual bits differ from rank 0", r)
+		}
+	}
+	return results[0]
+}
+
+// TestHaloMatchesSequential pins decomposition independence: the grid
+// after k sweeps is bit-identical no matter how many ranks computed
+// it, and a 1-rank run reproduces the sequential residual exactly.
+func TestHaloMatchesSequential(t *testing.T) {
+	seq := toWire(SequentialHaloJacobi(haloTestConfig), nil)
+	for _, nranks := range []int{1, 2, 3} {
+		dist := runHaloLocal(t, nranks, haloTestConfig)
+		if len(dist.CellBits) != len(seq.CellBits) {
+			t.Fatalf("%d ranks: %d cells, sequential has %d", nranks, len(dist.CellBits), len(seq.CellBits))
+		}
+		for i := range seq.CellBits {
+			if dist.CellBits[i] != seq.CellBits[i] {
+				t.Fatalf("%d ranks: cell %d bits differ from sequential", nranks, i)
+			}
+		}
+		if nranks == 1 && dist.ResidualBits != seq.ResidualBits {
+			t.Fatal("1-rank residual differs from sequential")
+		}
+	}
+}
+
+// TestHaloCoalescesChunks pins that the chunked boundary sends
+// actually ride coalesced batches (the overlap demo's message-count
+// reduction, measured by omp4go_mpi_coalesced_total).
+func TestHaloCoalescesChunks(t *testing.T) {
+	reg := metrics.New()
+	err := mpi.Run(2, nil, func(c *mpi.Comm) error {
+		c.AttachMetrics(reg)
+		_, err := RunHaloJacobi(c, haloTestConfig)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[metrics.MPICoalesced] == 0 {
+		t.Fatalf("no coalesced messages (msgs=%d) with %d chunks per boundary row",
+			snap.Counters[metrics.MPIMsgs], haloTestConfig.Chunks)
+	}
+}
+
+// TestHaloDifferentialTCP is the acceptance differential: the same
+// stencil on 2 and 4 real rank processes over TCP produces the same
+// bits as the in-process transport, and the chunked halo messages
+// coalesce on the wire.
+func TestHaloDifferentialTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	cfgJSON, err := json.Marshal(haloTestConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nranks := range []int{2, 4} {
+		t.Run(fmt.Sprintf("%dranks", nranks), func(t *testing.T) {
+			local := runHaloLocal(t, nranks, haloTestConfig)
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			addr := ln.Addr().String()
+			ln.Close()
+			dir := t.TempDir()
+			type child struct {
+				cmd *exec.Cmd
+				out string
+				log *bytes.Buffer
+			}
+			children := make([]child, nranks)
+			for r := 0; r < nranks; r++ {
+				out := filepath.Join(dir, fmt.Sprintf("rank%d.json", r))
+				cmd := exec.Command(os.Args[0])
+				cmd.Env = append(os.Environ(),
+					"OMP4GO_BENCH_TEST_HELPER=halo-rank",
+					mpi.EnvMPIAddr+"="+addr,
+					fmt.Sprintf("%s=%d", mpi.EnvMPIRank, r),
+					fmt.Sprintf("%s=%d", mpi.EnvMPISize, nranks),
+					"OMP4GO_HALO_CFG="+string(cfgJSON),
+					"OMP4GO_HALO_OUT="+out,
+				)
+				log := &bytes.Buffer{}
+				cmd.Stdout, cmd.Stderr = log, log
+				if err := cmd.Start(); err != nil {
+					t.Fatal(err)
+				}
+				children[r] = child{cmd: cmd, out: out, log: log}
+			}
+			timer := time.AfterFunc(90*time.Second, func() {
+				for _, ch := range children {
+					_ = ch.cmd.Process.Kill()
+				}
+			})
+			defer timer.Stop()
+			for r, ch := range children {
+				if err := ch.cmd.Wait(); err != nil {
+					t.Fatalf("rank %d process: %v\n%s", r, err, ch.log.String())
+				}
+			}
+			for r, ch := range children {
+				blob, err := os.ReadFile(ch.out)
+				if err != nil {
+					t.Fatalf("rank %d result: %v", r, err)
+				}
+				var got haloWire
+				if err := json.Unmarshal(blob, &got); err != nil {
+					t.Fatalf("rank %d result: %v", r, err)
+				}
+				if got.ResidualBits != local.ResidualBits {
+					t.Errorf("rank %d: TCP residual bits %x != local %x", r, got.ResidualBits, local.ResidualBits)
+				}
+				if len(got.CellBits) != len(local.CellBits) {
+					t.Fatalf("rank %d: %d cells, local has %d", r, len(got.CellBits), len(local.CellBits))
+				}
+				for i := range local.CellBits {
+					if got.CellBits[i] != local.CellBits[i] {
+						t.Fatalf("rank %d: cell %d bits differ between TCP and local transports", r, i)
+					}
+				}
+				if got.Coalesced == 0 {
+					t.Errorf("rank %d: no coalesced messages over TCP (msgs=%d)", r, got.Msgs)
+				}
+			}
+		})
+	}
+}

@@ -139,6 +139,9 @@ func runHybridRank(cfg HybridConfig, c *mpi.Comm) (float64, error) {
 		Getenv:         func(string) string { return "" },
 	})
 	installInputModules(in)
+	// Land this rank's omp4go_mpi_* counters on the same registry the
+	// rank's /metrics endpoint (if enabled) serves.
+	c.AttachMetrics(in.Runtime().Metrics())
 	in.RegisterModule(mpiModule(c))
 	if cfg.Mode == Compiled || cfg.Mode == CompiledDT {
 		if err := compile.Install(in, mod, compile.Options{Typed: cfg.Mode == CompiledDT}); err != nil {
@@ -177,7 +180,9 @@ func mpiModule(c *mpi.Comm) *interp.Module {
 		return int64(c.Size()), nil
 	})
 	reg("barrier", true, func(th *interp.Thread, args []interp.Value) (interp.Value, error) {
-		c.Barrier()
+		if err := c.Barrier(); err != nil {
+			return nil, interp.NewPyError("RuntimeError", err.Error(), pos)
+		}
 		return nil, nil
 	})
 	reg("allreduce", true, func(th *interp.Thread, args []interp.Value) (interp.Value, error) {
@@ -188,7 +193,11 @@ func mpiModule(c *mpi.Comm) *interp.Module {
 		if !ok {
 			return nil, interp.NewPyError("TypeError", "allreduce value must be a number", pos)
 		}
-		return c.Allreduce(f, mpi.OpSum), nil
+		res, err := c.Allreduce(f, mpi.OpSum)
+		if err != nil {
+			return nil, interp.NewPyError("RuntimeError", err.Error(), pos)
+		}
+		return res, nil
 	})
 	reg("allgather", true, func(th *interp.Thread, args []interp.Value) (interp.Value, error) {
 		if len(args) != 1 {
@@ -211,7 +220,11 @@ func mpiModule(c *mpi.Comm) *interp.Module {
 				local[i] = f
 			}
 		}
-		return interp.AdoptFloats(c.Allgather(local)), nil
+		all, err := c.Allgather(local)
+		if err != nil {
+			return nil, interp.NewPyError("RuntimeError", err.Error(), pos)
+		}
+		return interp.AdoptFloats(all), nil
 	})
 	return m
 }

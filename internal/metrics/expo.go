@@ -24,12 +24,17 @@ var counterHelp = [NumCounters]string{
 	PoolUnparks:     "Times a parked pool worker was woken with work.",
 	PoolRetirements: "Idle pool worker goroutines retired.",
 	FlightDumps:     "Flight-recorder dump files written (stall/kill/demand triggered).",
+	MPIMsgs:         "MPI point-to-point messages handed to the transport.",
+	MPIBytes:        "MPI payload bytes moved (approximate for object payloads).",
+	MPICoalesced:    "MPI messages that rode a coalesced flush batch behind another message.",
 }
 
 var histHelp = [NumHists]string{
 	HistBarrierWait:  "Barrier wait time (task execution while waiting excluded).",
 	HistCriticalWait: "Critical-section contention wait time.",
 	HistCriticalHold: "Critical-section hold time.",
+	HistMPISendWait:  "MPI flush time blocked handing a batch to the transport.",
+	HistMPIRecvWait:  "MPI receive time blocked waiting for a matching message.",
 }
 
 // WritePrometheus renders the snapshot in the Prometheus text

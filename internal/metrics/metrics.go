@@ -80,6 +80,14 @@ const (
 	// FlightDumps counts flight-recorder dump files written (stall-,
 	// kill- or demand-triggered post-mortem captures).
 	FlightDumps
+	// MPI transport traffic (internal/mpi): point-to-point messages
+	// handed to the transport, payload bytes moved (approximate for
+	// object payloads), and messages that rode a coalesced flush
+	// batch behind another message instead of paying their own wire
+	// write (len(batch)-1 per multi-message flush).
+	MPIMsgs
+	MPIBytes
+	MPICoalesced
 
 	NumCounters
 )
@@ -106,6 +114,9 @@ var counterNames = [NumCounters]string{
 	PoolUnparks:         "omp4go_pool_unparks_total",
 	PoolRetirements:     "omp4go_pool_retirements_total",
 	FlightDumps:         "omp4go_flight_dumps_total",
+	MPIMsgs:             "omp4go_mpi_msgs_total",
+	MPIBytes:            "omp4go_mpi_bytes_total",
+	MPICoalesced:        "omp4go_mpi_coalesced_total",
 }
 
 // Name returns the Prometheus metric name of the counter.
@@ -119,6 +130,11 @@ const (
 	HistBarrierWait HistID = iota
 	HistCriticalWait
 	HistCriticalHold
+	// MPI transport wait time (internal/mpi): time a flush spent
+	// blocked handing a batch to the transport, and time a receive
+	// spent blocked waiting for a matching message.
+	HistMPISendWait
+	HistMPIRecvWait
 
 	NumHists
 )
@@ -127,6 +143,8 @@ var histNames = [NumHists]string{
 	HistBarrierWait:  "omp4go_barrier_wait_seconds",
 	HistCriticalWait: "omp4go_critical_wait_seconds",
 	HistCriticalHold: "omp4go_critical_hold_seconds",
+	HistMPISendWait:  "omp4go_mpi_send_wait_seconds",
+	HistMPIRecvWait:  "omp4go_mpi_recv_wait_seconds",
 }
 
 // Name returns the Prometheus metric name of the histogram.

@@ -1,0 +1,184 @@
+package mpi
+
+// Collectives as binomial-tree algorithms over point-to-point frames.
+// The same code runs on every transport, so collective results —
+// including floating-point reduction order — are bit-identical
+// whether ranks are goroutines in one process (local transport) or
+// separate OS processes (TCP transport).
+//
+// Matching: every rank calls collectives in the same order (the MPI
+// requirement), so a per-communicator sequence number identifies the
+// same collective phase on all ranks. The sequence is carried as the
+// tag of kindColl frames, which live in a separate matching namespace
+// from user Send/Recv traffic; a rank that runs ahead into the next
+// collective simply queues its frames at slower peers until they
+// catch up. No shared instance state exists — the old in-process
+// fabric kept a per-world map of collective instances that was never
+// cleaned up (the collSeq leak); here the last consumed frame of a
+// collective is the last trace of it.
+
+// nextSeq returns the next collective sequence number. Signed 32-bit
+// wraparound is harmless: ranks agree on the sequence exactly.
+func (c *Comm) nextSeq() int32 { return int32(c.collSeq.Add(1)) }
+
+// collSend ships one collective payload to dst, flushing immediately
+// (collective latency sits on the critical path of every rank).
+func (c *Comm) collSend(dst int, seq int32, data []float64) error {
+	cp := append([]float64(nil), data...)
+	return c.enqueue(dst, frame{kind: kindColl, tag: seq, data: cp}, true)
+}
+
+// collRecv blocks for the collective payload with the given sequence
+// from src.
+func (c *Comm) collRecv(src int, seq int32) ([]float64, error) {
+	f, err := c.recvMatch(src, func(f *frame) bool { return f.kind == kindColl && f.tag == seq })
+	if err != nil {
+		return nil, err
+	}
+	return f.data, nil
+}
+
+// gatherTree funnels every rank's blob to rank 0 up a binomial tree,
+// concatenating in rank order: at step k a rank whose k-th bit is set
+// sends its accumulated blob to the partner 2^k below and leaves;
+// otherwise it absorbs the partner 2^k above, whose subtree holds the
+// contiguous rank range just after its own. Rank 0 returns the full
+// concatenation; every other rank returns nil.
+func (c *Comm) gatherTree(seq int32, own []float64) ([]float64, error) {
+	blob := append([]float64(nil), own...)
+	for k := 0; 1<<k < c.size; k++ {
+		bit := 1 << k
+		if c.rank&bit != 0 {
+			return nil, c.collSend(c.rank-bit, seq, blob)
+		}
+		if c.rank+bit < c.size {
+			part, err := c.collRecv(c.rank+bit, seq)
+			if err != nil {
+				return nil, err
+			}
+			blob = append(blob, part...)
+		}
+	}
+	return blob, nil
+}
+
+// reduceTree combines one scalar per rank into rank 0 up the same
+// binomial tree. The combine order is a deterministic function of
+// (rank, size) only, so floating-point results are reproducible
+// across runs and transports.
+func (c *Comm) reduceTree(seq int32, v float64, op Op) (float64, error) {
+	acc := v
+	for k := 0; 1<<k < c.size; k++ {
+		bit := 1 << k
+		if c.rank&bit != 0 {
+			return 0, c.collSend(c.rank-bit, seq, []float64{acc})
+		}
+		if c.rank+bit < c.size {
+			part, err := c.collRecv(c.rank+bit, seq)
+			if err != nil {
+				return 0, err
+			}
+			acc = op.apply(acc, part[0])
+		}
+	}
+	return acc, nil
+}
+
+// bcastTree pushes root's vector down a binomial tree: each rank
+// receives from its parent, then forwards to its subtree children,
+// largest subtree first. Returns the received (or root's own) vector.
+func (c *Comm) bcastTree(seq int32, data []float64, root int) ([]float64, error) {
+	v := (c.rank - root + c.size) % c.size // rank relative to root
+	lowbit := v & -v
+	if v != 0 {
+		parent := (v - lowbit + root) % c.size
+		d, err := c.collRecv(parent, seq)
+		if err != nil {
+			return nil, err
+		}
+		data = d
+	} else {
+		lowbit = 1 << 30 // root forwards to every power-of-two child
+	}
+	top := 1
+	for top < c.size {
+		top <<= 1
+	}
+	for m := top; m >= 1; m >>= 1 {
+		if m < lowbit && v+m < c.size {
+			child := (v + m + root) % c.size
+			if err := c.collSend(child, seq, data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return data, nil
+}
+
+// Barrier synchronizes all ranks (MPI_Barrier): an empty gather to
+// rank 0 followed by an empty broadcast releasing everyone.
+func (c *Comm) Barrier() error {
+	if c.size == 1 {
+		return nil
+	}
+	up, down := c.nextSeq(), c.nextSeq()
+	if _, err := c.gatherTree(up, nil); err != nil {
+		return err
+	}
+	_, err := c.bcastTree(down, nil, 0)
+	return err
+}
+
+// Bcast distributes root's vector to every rank (MPI_Bcast) and
+// returns a fresh copy on all ranks, root included.
+func (c *Comm) Bcast(data []float64, root int) ([]float64, error) {
+	if err := c.checkRank("bcast from", root); err != nil {
+		return nil, err
+	}
+	if c.size == 1 {
+		return append([]float64(nil), data...), nil
+	}
+	out, err := c.bcastTree(c.nextSeq(), data, root)
+	if err != nil {
+		return nil, err
+	}
+	if c.rank == root {
+		out = append([]float64(nil), data...)
+	}
+	return out, nil
+}
+
+// Allreduce combines one scalar from every rank with op and returns
+// the result everywhere (MPI_Allreduce): a binomial reduce to rank 0
+// followed by a binomial broadcast of the result.
+func (c *Comm) Allreduce(v float64, op Op) (float64, error) {
+	if c.size == 1 {
+		return v, nil
+	}
+	up, down := c.nextSeq(), c.nextSeq()
+	acc, err := c.reduceTree(up, v, op)
+	if err != nil {
+		return 0, err
+	}
+	res, err := c.bcastTree(down, []float64{acc}, 0)
+	if err != nil {
+		return 0, err
+	}
+	return res[0], nil
+}
+
+// Allgather concatenates every rank's vector in rank order and
+// returns the result on all ranks (MPI_Allgatherv — per-rank lengths
+// may differ): a binomial gather to rank 0 followed by a binomial
+// broadcast of the concatenation.
+func (c *Comm) Allgather(local []float64) ([]float64, error) {
+	if c.size == 1 {
+		return append([]float64(nil), local...), nil
+	}
+	up, down := c.nextSeq(), c.nextSeq()
+	blob, err := c.gatherTree(up, local)
+	if err != nil {
+		return nil, err
+	}
+	return c.bcastTree(down, blob, 0)
+}

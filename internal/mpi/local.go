@@ -1,0 +1,192 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// The local transport: ranks run as goroutines inside one process and
+// exchange frame batches over channels, with a configurable network
+// model charging per-batch latency plus bandwidth-proportional
+// transfer time — distinct intra-node and inter-node parameters let
+// multi-node topologies be simulated on one machine (the original
+// Fig. 8 setup). It implements the same Transport interface as the
+// TCP transport, so everything above it — matching, batching,
+// collectives, metrics — is shared code.
+
+// NetworkModel charges communication costs. The zero value is a
+// free, instantaneous network (unit tests); Fig. 8 runs use a model
+// calibrated to a commodity cluster interconnect. Costs are charged
+// once per coalesced batch, so message coalescing pays off under the
+// simulated network exactly as it does on real sockets.
+type NetworkModel struct {
+	// RanksPerNode groups consecutive ranks onto simulated nodes;
+	// 0 means every rank shares one node.
+	RanksPerNode int
+	// IntraLatency/InterLatency is the per-message setup time within
+	// a node / across nodes.
+	IntraLatency time.Duration
+	InterLatency time.Duration
+	// IntraBandwidth/InterBandwidth in bytes per second (0 = infinite).
+	IntraBandwidth float64
+	InterBandwidth float64
+}
+
+// cost returns the simulated transfer time for nbytes between ranks.
+func (m *NetworkModel) cost(src, dst, nbytes int) time.Duration {
+	if m == nil {
+		return 0
+	}
+	sameNode := true
+	if m.RanksPerNode > 0 {
+		sameNode = src/m.RanksPerNode == dst/m.RanksPerNode
+	}
+	var lat time.Duration
+	var bw float64
+	if sameNode {
+		lat, bw = m.IntraLatency, m.IntraBandwidth
+	} else {
+		lat, bw = m.InterLatency, m.InterBandwidth
+	}
+	d := lat
+	if bw > 0 {
+		d += time.Duration(float64(nbytes) / bw * float64(time.Second))
+	}
+	return d
+}
+
+// localWorld is the shared fabric of one in-process run.
+type localWorld struct {
+	size  int
+	model *NetworkModel
+	// box[dst][src] is an ordered mailbox of frame batches.
+	box [][]chan []frame
+	// dead[r] closes when rank r's body returned: senders to r stop
+	// blocking and receivers from r drain what is left, then error
+	// instead of hanging on a rank that will never speak again.
+	dead []chan struct{}
+}
+
+func newLocalWorld(size int, model *NetworkModel) *localWorld {
+	w := &localWorld{size: size, model: model}
+	w.box = make([][]chan []frame, size)
+	w.dead = make([]chan struct{}, size)
+	for dst := 0; dst < size; dst++ {
+		w.box[dst] = make([]chan []frame, size)
+		for src := 0; src < size; src++ {
+			w.box[dst][src] = make(chan []frame, 256)
+		}
+		w.dead[dst] = make(chan struct{})
+	}
+	return w
+}
+
+// markDead declares rank r finished. Idempotence is the caller's
+// problem; Run calls it exactly once per rank.
+func (w *localWorld) markDead(r int) { close(w.dead[r]) }
+
+var errRankGone = errors.New("rank has exited")
+
+// localTransport is one rank's endpoint on a localWorld.
+type localTransport struct {
+	w    *localWorld
+	rank int
+	// rbuf[src] holds the unconsumed tail of the last batch taken
+	// from src's mailbox. Only the elected puller touches it (the
+	// Transport concurrency contract).
+	rbuf [][]frame
+}
+
+func (t *localTransport) Rank() int { return t.rank }
+func (t *localTransport) Size() int { return t.w.size }
+
+func (t *localTransport) SendBatch(dst int, frames []frame) error {
+	nbytes := 0
+	for i := range frames {
+		nbytes += frames[i].wireBytes()
+	}
+	// The simulated network charges the sender once per batch: one
+	// latency plus the bandwidth term over the whole payload.
+	if d := t.w.model.cost(t.rank, dst, nbytes); d > 0 {
+		time.Sleep(d)
+	}
+	select {
+	case t.w.box[dst][t.rank] <- frames:
+		return nil
+	case <-t.w.dead[dst]:
+		return fmt.Errorf("rank %d: %w", dst, errRankGone)
+	}
+}
+
+func (t *localTransport) Recv(src int) (frame, error) {
+	if buf := t.rbuf[src]; len(buf) > 0 {
+		f := buf[0]
+		t.rbuf[src] = buf[1:]
+		return f, nil
+	}
+	box := t.w.box[t.rank][src]
+	var batch []frame
+	select {
+	case batch = <-box:
+	default:
+		select {
+		case batch = <-box:
+		case <-t.w.dead[src]:
+			// The sender is gone; drain anything it left behind
+			// before reporting it.
+			select {
+			case batch = <-box:
+			default:
+				return frame{}, fmt.Errorf("rank %d: %w", src, errRankGone)
+			}
+		case <-t.w.dead[t.rank]:
+			return frame{}, fmt.Errorf("rank %d: transport closed", t.rank)
+		}
+	}
+	f := batch[0]
+	t.rbuf[src] = batch[1:]
+	return f, nil
+}
+
+// Close marks this rank dead, which unblocks peers waiting on it.
+func (t *localTransport) Close() error {
+	t.w.markDead(t.rank)
+	return nil
+}
+
+// Run executes body on size in-process ranks over the local transport
+// and waits for all of them. The model may be nil for an ideal
+// network. Errors from ranks are joined; a panicking rank aborts its
+// world with an error, and peers blocked on a finished rank receive
+// errors instead of hanging.
+func Run(size int, model *NetworkModel, body func(c *Comm) error) error {
+	return runLocal(size, model, commOptions{}, body)
+}
+
+func runLocal(size int, model *NetworkModel, opts commOptions, body func(c *Comm) error) error {
+	if size < 1 {
+		return errors.New("mpi: world size must be at least 1")
+	}
+	w := newLocalWorld(size, model)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			tr := &localTransport{w: w, rank: rank, rbuf: make([][]frame, size)}
+			c := newComm(tr, opts)
+			defer c.Close()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+				}
+			}()
+			errs[rank] = body(c)
+		}(r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

@@ -1,17 +1,34 @@
-// Package mpi is an in-process message-passing fabric standing in for
-// mpi4py/MPI in the hybrid MPI+OpenMP experiments (§IV-C, Fig. 8).
-// Ranks run as goroutines inside one process and exchange messages
-// over channels; a configurable network model charges per-message
-// latency plus bandwidth-proportional transfer time, with distinct
-// intra-node and inter-node parameters so multi-node topologies can
-// be simulated on one machine.
+// Package mpi is the message-passing fabric under the hybrid
+// MPI+OpenMP experiments (§IV-C, Fig. 8), standing in for mpi4py/MPI.
+// It is split into a core communicator and pluggable transports:
+//
+//   - The Comm layer (this file and coll.go) owns MPI semantics —
+//     MPI-style tag matching with requeue (a message whose tag does
+//     not match the posted receive stays queued per source until a
+//     matching receive arrives), nonblocking Isend/Irecv with
+//     per-peer message coalescing (small messages merged into one
+//     wire batch per flush window), tree-based collectives built on
+//     point-to-point, and per-rank transport metrics.
+//
+//   - A Transport (transport.go) provides ordered point-to-point
+//     frame delivery. local.go keeps the original in-process channel
+//     fabric with its simulated NetworkModel; tcp.go runs each rank
+//     as a separate OS process over real sockets with length-prefixed
+//     binary framing and rank rendezvous (see ConnectTCP).
+//
+// Because collectives are the same tree algorithms over point-to-point
+// on every transport, a program produces bit-identical floating-point
+// results whether its ranks are goroutines in one process or processes
+// on separate machines — the property the differential tests pin.
 package mpi
 
 import (
-	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"github.com/omp4go/omp4go/internal/metrics"
 )
 
 // Op is a reduction operator for Allreduce/Reduce.
@@ -45,319 +62,449 @@ func (o Op) apply(a, b float64) float64 {
 	return b
 }
 
-// NetworkModel charges communication costs. The zero value is a
-// free, instantaneous network (unit tests); Fig. 8 runs use a model
-// calibrated to a commodity cluster interconnect.
-type NetworkModel struct {
-	// RanksPerNode groups consecutive ranks onto simulated nodes;
-	// 0 means every rank shares one node.
-	RanksPerNode int
-	// IntraLatency/InterLatency is the per-message setup time within
-	// a node / across nodes.
-	IntraLatency time.Duration
-	InterLatency time.Duration
-	// IntraBandwidth/InterBandwidth in bytes per second (0 = infinite).
-	IntraBandwidth float64
-	InterBandwidth float64
+// Default batching parameters: a pending buffer is handed to the
+// transport when an explicit Flush (or any blocking operation)
+// happens, when it exceeds defaultCoalesceBytes, or when the
+// background flusher's window elapses — whichever comes first.
+const (
+	defaultFlushWindow   = time.Millisecond
+	defaultCoalesceBytes = 32 << 10
+)
+
+// commOptions configures a Comm independently of its transport.
+type commOptions struct {
+	metrics       *metrics.Registry
+	flushWindow   time.Duration
+	coalesceBytes int
 }
 
-// cost returns the simulated transfer time for nbytes between ranks.
-func (m *NetworkModel) cost(src, dst, nbytes int) time.Duration {
-	if m == nil {
-		return 0
+func (o *commOptions) fill() {
+	if o.metrics == nil {
+		o.metrics = metrics.New()
 	}
-	sameNode := true
-	if m.RanksPerNode > 0 {
-		sameNode = src/m.RanksPerNode == dst/m.RanksPerNode
+	if o.flushWindow <= 0 {
+		o.flushWindow = defaultFlushWindow
 	}
-	var lat time.Duration
-	var bw float64
-	if sameNode {
-		lat, bw = m.IntraLatency, m.IntraBandwidth
-	} else {
-		lat, bw = m.InterLatency, m.InterBandwidth
+	if o.coalesceBytes <= 0 {
+		o.coalesceBytes = defaultCoalesceBytes
 	}
-	d := lat
-	if bw > 0 {
-		d += time.Duration(float64(nbytes) / bw * float64(time.Second))
-	}
-	return d
-}
-
-// World is one MPI execution: Size ranks connected all-to-all.
-type World struct {
-	size  int
-	model *NetworkModel
-	// mailboxes[dst][src] is an unbounded-ish buffered channel.
-	mailboxes [][]chan message
-
-	barrier  *barrier
-	collMu   sync.Mutex
-	collSeq  map[string]*collective
-	collNext map[string]int
-}
-
-type message struct {
-	tag  int
-	data []float64
-	obj  any
-}
-
-// Run executes body on size ranks and waits for all of them. The
-// model may be nil for an ideal network. Errors from ranks are
-// joined; a panicking rank aborts the world with an error.
-func Run(size int, model *NetworkModel, body func(c *Comm) error) error {
-	if size < 1 {
-		return errors.New("mpi: world size must be at least 1")
-	}
-	w := &World{
-		size:     size,
-		model:    model,
-		barrier:  newBarrier(size),
-		collSeq:  make(map[string]*collective),
-		collNext: make(map[string]int),
-	}
-	w.mailboxes = make([][]chan message, size)
-	for dst := 0; dst < size; dst++ {
-		w.mailboxes[dst] = make([]chan message, size)
-		for src := 0; src < size; src++ {
-			w.mailboxes[dst][src] = make(chan message, 1024)
-		}
-	}
-	errs := make([]error, size)
-	var wg sync.WaitGroup
-	for r := 0; r < size; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
-				}
-			}()
-			errs[rank] = body(&Comm{world: w, rank: rank})
-		}(r)
-	}
-	wg.Wait()
-	return errors.Join(errs...)
 }
 
 // Comm is one rank's communicator handle.
 type Comm struct {
-	world *World
-	rank  int
+	tr   Transport
+	rank int
+	size int
+
+	// mreg is swappable so a host runtime can adopt the communicator
+	// into its own /metrics registry (AttachMetrics).
+	mreg atomic.Pointer[metrics.Registry]
+
+	peers []*peerState
+
+	// collSeq numbers collective calls. Every rank calls collectives
+	// in the same order (the MPI requirement), so equal sequence
+	// numbers identify the same collective instance across ranks; the
+	// sequence is the matching tag of kindColl frames. No shared
+	// instance state exists — when the last frame of a collective is
+	// consumed, nothing of that instance remains anywhere.
+	collSeq atomic.Int64
+
+	flushWindow   time.Duration
+	coalesceBytes int
+	stop          chan struct{}
+	closeOnce     sync.Once
+	closeErr      error
+}
+
+// peerState is this rank's view of one peer: the send-side coalescing
+// buffer and the receive-side match queue.
+type peerState struct {
+	// Send side. Isend appends to pending; a flush hands the whole
+	// batch to the transport under smu, so per-destination order is
+	// preserved no matter which goroutine flushes.
+	smu          sync.Mutex
+	pending      []frame
+	pendingBytes int
+	sendErr      error
+
+	// Recv side. Frames pulled from the transport that did not match
+	// the receive being waited for stay queued here until a matching
+	// receive posts (MPI-style matching, satellite of the tag
+	// mismatch fix). pulling elects a single puller so Transport.Recv
+	// sees one caller per source at a time.
+	rmu     sync.Mutex
+	rcond   *sync.Cond
+	queue   []frame
+	pulling bool
+	recvErr error
+}
+
+// newComm wraps a transport in the semantic layer and starts the
+// background flusher that bounds how long a coalescing buffer can sit
+// unsent (the flush window).
+func newComm(tr Transport, o commOptions) *Comm {
+	o.fill()
+	c := &Comm{
+		tr:            tr,
+		rank:          tr.Rank(),
+		size:          tr.Size(),
+		peers:         make([]*peerState, tr.Size()),
+		flushWindow:   o.flushWindow,
+		coalesceBytes: o.coalesceBytes,
+		stop:          make(chan struct{}),
+	}
+	c.mreg.Store(o.metrics)
+	for i := range c.peers {
+		p := &peerState{}
+		p.rcond = sync.NewCond(&p.rmu)
+		c.peers[i] = p
+	}
+	go c.flusherLoop()
+	return c
+}
+
+// flusherLoop is the flush-window backstop: anything a rank Isent but
+// never explicitly flushed reaches the wire within one window even if
+// the rank never performs another blocking MPI call.
+func (c *Comm) flusherLoop() {
+	t := time.NewTicker(c.flushWindow)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			for dst := range c.peers {
+				if dst != c.rank {
+					_ = c.Flush(dst)
+				}
+			}
+		}
+	}
 }
 
 // Rank returns this rank's id.
 func (c *Comm) Rank() int { return c.rank }
 
 // Size returns the world size.
-func (c *Comm) Size() int { return c.world.size }
+func (c *Comm) Size() int { return c.size }
 
-func (c *Comm) chargeSend(dst, nbytes int) {
-	if d := c.world.model.cost(c.rank, dst, nbytes); d > 0 {
-		time.Sleep(d)
+// AttachMetrics redirects the communicator's transport metrics into
+// reg — typically a Runtime's registry, so omp4go_mpi_* counters
+// appear on that runtime's /metrics endpoint next to the OpenMP ones.
+func (c *Comm) AttachMetrics(reg *metrics.Registry) {
+	if reg != nil {
+		c.mreg.Store(reg)
 	}
 }
 
-// Send delivers a float64 vector to dst (MPI_Send; buffered,
-// non-blocking up to the mailbox capacity).
-func (c *Comm) Send(dst, tag int, data []float64) error {
-	if dst < 0 || dst >= c.world.size {
-		return fmt.Errorf("mpi: send to invalid rank %d", dst)
-	}
-	cp := append([]float64(nil), data...)
-	c.chargeSend(dst, 8*len(cp))
-	c.world.mailboxes[dst][c.rank] <- message{tag: tag, data: cp}
-	return nil
-}
+// MetricsSnapshot returns the communicator's current metric registry
+// snapshot (the attached registry's, if AttachMetrics was called).
+func (c *Comm) MetricsSnapshot() *metrics.Snapshot { return c.mreg.Load().Snapshot() }
 
-// Recv blocks for a vector from src with the given tag.
-func (c *Comm) Recv(src, tag int) ([]float64, error) {
-	if src < 0 || src >= c.world.size {
-		return nil, fmt.Errorf("mpi: recv from invalid rank %d", src)
-	}
-	box := c.world.mailboxes[c.rank][src]
-	// Messages from one src arrive in order; tags must match in
-	// order too (non-matching tags are a protocol error here, unlike
-	// full MPI matching).
-	msg := <-box
-	if msg.tag != tag {
-		return nil, fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d",
-			c.rank, tag, src, msg.tag)
-	}
-	return msg.data, nil
-}
-
-// SendObj/RecvObj move arbitrary values (pickled objects in mpi4py).
-func (c *Comm) SendObj(dst, tag int, v any) error {
-	if dst < 0 || dst >= c.world.size {
-		return fmt.Errorf("mpi: send to invalid rank %d", dst)
-	}
-	c.chargeSend(dst, 64)
-	c.world.mailboxes[dst][c.rank] <- message{tag: tag, obj: v}
-	return nil
-}
-
-// RecvObj blocks for an object message.
-func (c *Comm) RecvObj(src, tag int) (any, error) {
-	if src < 0 || src >= c.world.size {
-		return nil, fmt.Errorf("mpi: recv from invalid rank %d", src)
-	}
-	msg := <-c.world.mailboxes[c.rank][src]
-	if msg.tag != tag {
-		return nil, fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d",
-			c.rank, tag, src, msg.tag)
-	}
-	return msg.obj, nil
-}
-
-// Barrier synchronizes all ranks (MPI_Barrier).
-func (c *Comm) Barrier() {
-	c.world.barrier.await()
-}
-
-// collective is the shared state of one collective operation
-// instance: a rendezvous slot per rank plus a completion latch.
-type collective struct {
-	mu      sync.Mutex
-	parts   [][]float64
-	scalars []float64
-	arrived int
-	done    chan struct{}
-	result  []float64
-	scalar  float64
-}
-
-// enterCollective matches the i-th collective call of the given kind
-// across ranks (ranks call collectives in the same order, the MPI
-// requirement).
-func (c *Comm) enterCollective(kind string) *collective {
-	w := c.world
-	w.collMu.Lock()
-	defer w.collMu.Unlock()
-	seq := w.collNext[kind+fmt.Sprint(c.rank)]
-	w.collNext[kind+fmt.Sprint(c.rank)] = seq + 1
-	instKey := fmt.Sprintf("%s#%d", kind, seq)
-	inst, ok := w.collSeq[instKey]
-	if !ok {
-		inst = &collective{
-			parts:   make([][]float64, w.size),
-			scalars: make([]float64, w.size),
-			done:    make(chan struct{}),
-		}
-		w.collSeq[instKey] = inst
-	}
-	return inst
-}
-
-// Allgather concatenates every rank's vector in rank order and
-// returns the result on all ranks (MPI_Allgather/Allgatherv).
-func (c *Comm) Allgather(local []float64) []float64 {
-	inst := c.enterCollective("allgather")
-	inst.mu.Lock()
-	inst.parts[c.rank] = append([]float64(nil), local...)
-	inst.arrived++
-	if inst.arrived == c.world.size {
-		var out []float64
-		for _, p := range inst.parts {
-			out = append(out, p...)
-		}
-		inst.result = out
-		close(inst.done)
-	}
-	inst.mu.Unlock()
-	<-inst.done
-	// Every rank receives size-1 remote contributions.
-	for src := 0; src < c.world.size; src++ {
-		if src != c.rank {
-			if d := c.world.model.cost(src, c.rank, 8*len(inst.parts[src])); d > 0 {
-				time.Sleep(d)
+// Close flushes pending sends best-effort and tears down the
+// transport; outstanding receives unblock with errors.
+func (c *Comm) Close() error {
+	c.closeOnce.Do(func() {
+		for dst := range c.peers {
+			if dst != c.rank {
+				_ = c.Flush(dst)
 			}
 		}
-	}
-	return append([]float64(nil), inst.result...)
-}
-
-// Allreduce combines one scalar from every rank and returns the
-// result everywhere (MPI_Allreduce).
-func (c *Comm) Allreduce(v float64, op Op) float64 {
-	inst := c.enterCollective("allreduce")
-	inst.mu.Lock()
-	inst.scalars[c.rank] = v
-	inst.arrived++
-	if inst.arrived == c.world.size {
-		acc := inst.scalars[0]
-		for _, s := range inst.scalars[1:] {
-			acc = op.apply(acc, s)
+		close(c.stop)
+		c.closeErr = c.tr.Close()
+		// Unblock any receiver parked on the self queue (transports
+		// only wake receivers of remote sources).
+		p := c.peers[c.rank]
+		p.rmu.Lock()
+		if p.recvErr == nil {
+			p.recvErr = fmt.Errorf("mpi: rank %d: communicator closed", c.rank)
 		}
-		inst.scalar = acc
-		close(inst.done)
+		p.rcond.Broadcast()
+		p.rmu.Unlock()
+	})
+	return c.closeErr
+}
+
+func (c *Comm) checkRank(kind string, r int) error {
+	if r < 0 || r >= c.size {
+		return fmt.Errorf("mpi: %s invalid rank %d (world size %d)", kind, r, c.size)
 	}
-	inst.mu.Unlock()
-	<-inst.done
-	// A tree allreduce costs ~2 log2(P) messages on the critical path.
-	if c.world.model != nil {
-		hops := 0
-		for p := 1; p < c.world.size; p <<= 1 {
-			hops += 2
+	return nil
+}
+
+// enqueue appends a frame to dst's coalescing buffer, flushing when
+// asked to or when the buffer crossed the coalescing threshold.
+// Self-sends bypass the transport and land directly in the local
+// match queue.
+func (c *Comm) enqueue(dst int, f frame, flushNow bool) error {
+	if dst == c.rank {
+		reg := c.mreg.Load()
+		reg.Inc(int32(c.rank), metrics.MPIMsgs)
+		reg.Add(int32(c.rank), metrics.MPIBytes, int64(f.wireBytes()))
+		p := c.peers[dst]
+		p.rmu.Lock()
+		p.queue = append(p.queue, f)
+		p.rcond.Broadcast()
+		p.rmu.Unlock()
+		return nil
+	}
+	p := c.peers[dst]
+	p.smu.Lock()
+	if p.sendErr != nil {
+		err := p.sendErr
+		p.smu.Unlock()
+		return err
+	}
+	p.pending = append(p.pending, f)
+	p.pendingBytes += f.wireBytes()
+	if flushNow || p.pendingBytes >= c.coalesceBytes {
+		return c.flushPeerLocked(dst, p)
+	}
+	p.smu.Unlock()
+	return nil
+}
+
+// flushPeerLocked hands dst's pending batch to the transport. Called
+// with p.smu held; releases it. Holding smu across SendBatch keeps
+// per-destination frame order total even with concurrent flushers.
+func (c *Comm) flushPeerLocked(dst int, p *peerState) error {
+	batch := p.pending
+	p.pending = nil
+	p.pendingBytes = 0
+	if len(batch) == 0 {
+		err := p.sendErr
+		p.smu.Unlock()
+		return err
+	}
+	reg := c.mreg.Load()
+	gtid := int32(c.rank)
+	nbytes := 0
+	for i := range batch {
+		nbytes += batch[i].wireBytes()
+	}
+	reg.Add(gtid, metrics.MPIMsgs, int64(len(batch)))
+	reg.Add(gtid, metrics.MPIBytes, int64(nbytes))
+	if len(batch) > 1 {
+		// Every message beyond the first rode an existing flush
+		// instead of paying its own wire write.
+		reg.Add(gtid, metrics.MPICoalesced, int64(len(batch)-1))
+	}
+	start := time.Now()
+	err := c.tr.SendBatch(dst, batch)
+	reg.Observe(gtid, metrics.HistMPISendWait, time.Since(start).Nanoseconds())
+	if err != nil {
+		err = fmt.Errorf("mpi: rank %d send to %d: %w", c.rank, dst, err)
+		p.sendErr = err
+	}
+	p.smu.Unlock()
+	return err
+}
+
+// Flush pushes dst's coalescing buffer to the wire and reports the
+// peer's sticky send error, if any.
+func (c *Comm) Flush(dst int) error {
+	if err := c.checkRank("flush to", dst); err != nil {
+		return err
+	}
+	if dst == c.rank {
+		return nil
+	}
+	p := c.peers[dst]
+	p.smu.Lock()
+	if p.sendErr != nil {
+		err := p.sendErr
+		p.smu.Unlock()
+		return err
+	}
+	return c.flushPeerLocked(dst, p)
+}
+
+// FlushAll flushes every peer's coalescing buffer, returning the
+// first error. Every blocking operation calls it first, so a rank can
+// never deadlock waiting for a peer whose request sits in its own
+// unflushed buffer.
+func (c *Comm) FlushAll() error {
+	var first error
+	for dst := range c.peers {
+		if dst == c.rank {
+			continue
 		}
-		if d := c.world.model.cost(0, c.rank, 8) * time.Duration(hops); d > 0 && c.rank != 0 {
-			time.Sleep(d)
+		if err := c.Flush(dst); err != nil && first == nil {
+			first = err
 		}
 	}
-	return inst.scalar
+	return first
 }
 
-// Bcast distributes root's vector to every rank (MPI_Bcast).
-func (c *Comm) Bcast(data []float64, root int) []float64 {
-	inst := c.enterCollective("bcast")
-	inst.mu.Lock()
-	if c.rank == root {
-		inst.result = append([]float64(nil), data...)
+// Send delivers a float64 vector to dst (MPI_Send). The buffer is
+// copied before the call returns, and the frame — together with
+// anything already coalescing for dst — is flushed to the transport
+// immediately.
+func (c *Comm) Send(dst, tag int, data []float64) error {
+	if err := c.checkRank("send to", dst); err != nil {
+		return err
 	}
-	inst.arrived++
-	if inst.arrived == c.world.size {
-		close(inst.done)
+	cp := append([]float64(nil), data...)
+	return c.enqueue(dst, frame{kind: kindData, tag: int32(tag), data: cp}, true)
+}
+
+// Isend enqueues a vector for dst without flushing (MPI_Isend): the
+// message rides the next flush of dst's coalescing buffer — an
+// explicit Flush/FlushAll, a blocking operation, the coalescing byte
+// threshold, or the background flush window, whichever happens first.
+// The buffer is copied immediately, so the caller may reuse it.
+func (c *Comm) Isend(dst, tag int, data []float64) (*Request, error) {
+	if err := c.checkRank("send to", dst); err != nil {
+		return nil, err
 	}
-	inst.mu.Unlock()
-	<-inst.done
-	if c.rank != root {
-		if d := c.world.model.cost(root, c.rank, 8*len(inst.result)); d > 0 {
-			time.Sleep(d)
+	cp := append([]float64(nil), data...)
+	if err := c.enqueue(dst, frame{kind: kindData, tag: int32(tag), data: cp}, false); err != nil {
+		return nil, err
+	}
+	return &Request{c: c, dst: dst}, nil
+}
+
+// Request is the handle of an Isend.
+type Request struct {
+	c   *Comm
+	dst int
+}
+
+// Wait completes the Isend: it flushes the destination's coalescing
+// buffer and reports the peer's sticky send error, if any.
+func (r *Request) Wait() error { return r.c.Flush(r.dst) }
+
+// SendObj delivers an arbitrary value to dst (a pickled object in
+// mpi4py terms). The local transport passes the value by reference;
+// the TCP transport gob-encodes it — see RegisterObjType.
+func (c *Comm) SendObj(dst, tag int, v any) error {
+	if err := c.checkRank("send to", dst); err != nil {
+		return err
+	}
+	return c.enqueue(dst, frame{kind: kindObj, tag: int32(tag), obj: v}, true)
+}
+
+// matchTag builds a matcher for user frames of one kind and tag.
+func matchTag(kind frameKind, tag int) func(*frame) bool {
+	t := int32(tag)
+	return func(f *frame) bool { return f.kind == kind && f.tag == t }
+}
+
+// Recv blocks for a vector from src with the given tag (MPI_Recv).
+// Matching is MPI-style per source: a message from src whose tag does
+// not match stays queued — in arrival order — until a receive posts
+// for its tag, so out-of-order tagged traffic is reordered rather
+// than treated as a protocol error.
+func (c *Comm) Recv(src, tag int) ([]float64, error) {
+	f, err := c.recvMatch(src, matchTag(kindData, tag))
+	if err != nil {
+		return nil, err
+	}
+	return f.data, nil
+}
+
+// RecvObj blocks for an object message, with the same per-source tag
+// matching as Recv.
+func (c *Comm) RecvObj(src, tag int) (any, error) {
+	f, err := c.recvMatch(src, matchTag(kindObj, tag))
+	if err != nil {
+		return nil, err
+	}
+	return f.obj, nil
+}
+
+// RecvRequest is the handle of an Irecv.
+type RecvRequest struct {
+	done chan struct{}
+	data []float64
+	err  error
+}
+
+// Irecv posts a nonblocking receive (MPI_Irecv): the match runs in
+// the background so the caller can overlap compute with message
+// arrival, collecting the payload later with Wait.
+func (c *Comm) Irecv(src, tag int) *RecvRequest {
+	r := &RecvRequest{done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		f, err := c.recvMatch(src, matchTag(kindData, tag))
+		r.data, r.err = f.data, err
+	}()
+	return r
+}
+
+// Wait blocks until the Irecv matched and returns its payload.
+func (r *RecvRequest) Wait() ([]float64, error) {
+	<-r.done
+	return r.data, r.err
+}
+
+// recvMatch returns the earliest queued frame from src accepted by
+// want, pulling frames from the transport as needed. Non-matching
+// frames stay queued in arrival order. Any number of goroutines may
+// wait on the same source concurrently: a single elected puller
+// blocks in Transport.Recv while the rest wait on the condition
+// variable, and every arrival wakes all waiters to re-scan.
+func (c *Comm) recvMatch(src int, want func(*frame) bool) (frame, error) {
+	if err := c.checkRank("recv from", src); err != nil {
+		return frame{}, err
+	}
+	// Flush everything first: the message the peer needs before it
+	// can send us ours may be sitting in our own coalescing buffer.
+	_ = c.FlushAll()
+	reg := c.mreg.Load()
+	start := time.Now()
+	p := c.peers[src]
+	p.rmu.Lock()
+	defer p.rmu.Unlock()
+	for {
+		for i := range p.queue {
+			if want(&p.queue[i]) {
+				f := p.queue[i]
+				p.queue = append(p.queue[:i], p.queue[i+1:]...)
+				reg.Observe(int32(c.rank), metrics.HistMPIRecvWait, time.Since(start).Nanoseconds())
+				return f, nil
+			}
 		}
+		if p.recvErr != nil {
+			return frame{}, p.recvErr
+		}
+		if src != c.rank && !p.pulling {
+			p.pulling = true
+			p.rmu.Unlock()
+			f, err := c.tr.Recv(src)
+			p.rmu.Lock()
+			p.pulling = false
+			if err != nil {
+				p.recvErr = fmt.Errorf("mpi: rank %d recv from %d: %w", c.rank, src, err)
+			} else {
+				p.queue = append(p.queue, f)
+			}
+			p.rcond.Broadcast()
+			continue
+		}
+		p.rcond.Wait()
 	}
-	return append([]float64(nil), inst.result...)
 }
 
-// barrier is a reusable counting barrier.
-type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	size  int
-	count int
-	gen   int
-}
-
-func newBarrier(size int) *barrier {
-	b := &barrier{size: size}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-func (b *barrier) await() {
-	b.mu.Lock()
-	gen := b.gen
-	b.count++
-	if b.count == b.size {
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-		b.mu.Unlock()
-		return
+// pendingFrames reports how many frames sit in this communicator's
+// buffers — unsent coalescing batches plus unmatched received frames.
+// After a quiesced exchange (every send matched by a receive, every
+// collective completed) it must be zero: nothing of a completed
+// operation is retained. Tests use it to pin the no-residual-state
+// property that replaced the old shared collective-instance map,
+// which grew without bound over long runs.
+func (c *Comm) pendingFrames() int {
+	n := 0
+	for _, p := range c.peers {
+		p.smu.Lock()
+		n += len(p.pending)
+		p.smu.Unlock()
+		p.rmu.Lock()
+		n += len(p.queue)
+		p.rmu.Unlock()
 	}
-	for gen == b.gen {
-		b.cond.Wait()
-	}
-	b.mu.Unlock()
+	return n
 }

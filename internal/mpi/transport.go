@@ -1,0 +1,75 @@
+package mpi
+
+// frameKind discriminates the payload of one point-to-point frame.
+type frameKind uint8
+
+const (
+	// kindData is a []float64 payload (Send/Isend/Recv).
+	kindData frameKind = iota + 1
+	// kindObj is an arbitrary value (SendObj/RecvObj); the TCP
+	// transport moves it as a gob blob.
+	kindObj
+	// kindColl is internal collective traffic (the tree algorithms in
+	// coll.go). Collective frames live in their own matching
+	// namespace: Recv/RecvObj never see them and user tags can never
+	// collide with collective sequence numbers.
+	kindColl
+)
+
+// frame is one point-to-point message as the transports move it.
+// Exactly one of data/obj is meaningful, selected by kind. The sender
+// copies user buffers before building a frame, so a frame owns its
+// payload and the receiver may adopt it without another copy.
+type frame struct {
+	kind frameKind
+	tag  int32
+	data []float64 // kindData, kindColl
+	obj  any       // kindObj
+}
+
+// frameOverhead is the accounting cost of one frame's header: the
+// wire framing is kind(1) + tag(4) + count(4).
+const frameOverhead = 9
+
+// objByteEstimate is the accounted payload size of an object frame.
+// The local transport never serializes objects and the exact gob size
+// is not known until the TCP writer encodes it, so both transports
+// charge this flat estimate (the figure the simulated NetworkModel
+// has always charged for object sends).
+const objByteEstimate = 64
+
+// wireBytes is the frame's accounted size for metrics, coalescing
+// thresholds and the simulated network model.
+func (f *frame) wireBytes() int {
+	if f.kind == kindObj {
+		return frameOverhead + objByteEstimate
+	}
+	return frameOverhead + 8*len(f.data)
+}
+
+// Transport moves frames between the ranks of one world. The Comm
+// layer above owns MPI semantics — tag matching, collectives,
+// batching, metrics; a Transport only provides ordered point-to-point
+// delivery and connection lifecycle.
+//
+// Concurrency contract: SendBatch is called by at most one goroutine
+// per dst at a time, and Recv by at most one goroutine per src at a
+// time (Comm's per-peer send mutex and single-puller receive matcher
+// guarantee both). Calls for different peers may overlap freely.
+type Transport interface {
+	// Rank is this endpoint's rank id, Size the world size.
+	Rank() int
+	Size() int
+	// SendBatch delivers frames to dst, preserving order, as one
+	// coalesced unit where the medium allows: the TCP transport
+	// writes the batch as a single length-prefixed record in one
+	// syscall, the local transport performs one mailbox handoff (and
+	// charges the simulated network once per batch).
+	SendBatch(dst int, frames []frame) error
+	// Recv blocks for the next frame from src. It returns an error —
+	// never hangs — when the peer is gone or the transport closed.
+	Recv(src int) (frame, error)
+	// Close tears down the endpoint; blocked Recvs unblock with
+	// errors and subsequent sends fail.
+	Close() error
+}

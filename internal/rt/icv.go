@@ -45,6 +45,9 @@ type icvSet struct {
 	// serveEnv holds the raw OMP4GO_SERVE_* values that were set
 	// (internal/serve owns their parsing; see serveEnvVars).
 	serveEnv map[string]string
+	// mpiEnv holds the raw OMP4GO_MPI_* values that were set
+	// (internal/mpi owns their parsing; see mpiEnvVars).
+	mpiEnv map[string]string
 }
 
 // serveEnvVars are the execution-service environment variables
@@ -74,6 +77,25 @@ var serveEnvVars = []string{
 func DisplayedServeEnvVars() []string {
 	out := make([]string, len(serveEnvVars))
 	copy(out, serveEnvVars)
+	return out
+}
+
+// mpiEnvVars are the distributed-transport environment variables
+// (internal/mpi/tcp.go defines and parses them; mpi sits above rt so
+// the names are mirrored here, like serveEnvVars).
+var mpiEnvVars = []string{
+	"OMP4GO_MPI_ADDR",
+	"OMP4GO_MPI_RANK",
+	"OMP4GO_MPI_SIZE",
+	"OMP4GO_MPI_COALESCE",
+}
+
+// DisplayedMPIEnvVars returns the OMP4GO_MPI_* names the verbose
+// display lists, letting internal/mpi's tests assert the mirror stays
+// in sync with its parser.
+func DisplayedMPIEnvVars() []string {
+	out := make([]string, len(mpiEnvVars))
+	copy(out, mpiEnvVars)
 	return out
 }
 
@@ -224,6 +246,16 @@ func (s *icvSet) loadEnv(getenv func(string) string) {
 			s.serveEnv[name] = v
 		}
 	}
+	// Distributed-transport variables (parsed by internal/mpi),
+	// captured raw for the same reason.
+	for _, name := range mpiEnvVars {
+		if v := strings.TrimSpace(getenv(name)); v != "" {
+			if s.mpiEnv == nil {
+				s.mpiEnv = map[string]string{}
+			}
+			s.mpiEnv[name] = v
+		}
+	}
 	if v := getenv("OMP4GO_TASK_SCHED"); v != "" {
 		// Scheduler selection: "steal" (default, per-thread
 		// work-stealing deques) or "list" (the paper's shared
@@ -291,6 +323,9 @@ func (s *icvSet) display(w io.Writer) {
 				v = fmt.Sprintf("(%d tokens)", 1+strings.Count(v, ","))
 			}
 			fmt.Fprintf(w, "  %s = '%s'\n", name, v)
+		}
+		for _, name := range mpiEnvVars {
+			fmt.Fprintf(w, "  %s = '%s'\n", name, s.mpiEnv[name])
 		}
 	}
 	fmt.Fprintln(w, "OPENMP DISPLAY ENVIRONMENT END")

@@ -208,6 +208,40 @@ func TestDisplayEnvObservability(t *testing.T) {
 			},
 		},
 		{
+			name: "verbose lists mpi variables unset",
+			env:  map[string]string{"OMP_DISPLAY_ENV": "verbose"},
+			want: []string{
+				"OMP4GO_MPI_ADDR = ''",
+				"OMP4GO_MPI_RANK = ''",
+				"OMP4GO_MPI_SIZE = ''",
+				"OMP4GO_MPI_COALESCE = ''",
+			},
+		},
+		{
+			name: "verbose echoes mpi rank configuration",
+			env: map[string]string{
+				"OMP_DISPLAY_ENV":     "verbose",
+				"OMP4GO_MPI_ADDR":     "127.0.0.1:7311",
+				"OMP4GO_MPI_RANK":     "2",
+				"OMP4GO_MPI_SIZE":     "4",
+				"OMP4GO_MPI_COALESCE": "65536",
+			},
+			want: []string{
+				"OMP4GO_MPI_ADDR = '127.0.0.1:7311'",
+				"OMP4GO_MPI_RANK = '2'",
+				"OMP4GO_MPI_SIZE = '4'",
+				"OMP4GO_MPI_COALESCE = '65536'",
+			},
+		},
+		{
+			name: "non-verbose omits mpi variables",
+			env: map[string]string{
+				"OMP_DISPLAY_ENV": "true",
+				"OMP4GO_MPI_ADDR": "127.0.0.1:7311",
+			},
+			notWant: []string{"OMP4GO_MPI_ADDR"},
+		},
+		{
 			name: "verbose redacts serve tokens",
 			env: map[string]string{
 				"OMP_DISPLAY_ENV":     "verbose",

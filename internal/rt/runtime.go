@@ -184,6 +184,11 @@ func (r *Runtime) PoolEnabled() bool { return r.pool != nil }
 // always-on metrics.
 func (r *Runtime) MetricsSnapshot() *metrics.Snapshot { return r.metrics.Snapshot() }
 
+// Metrics exposes the runtime's live registry so adjacent subsystems
+// (the MPI fabric's Comm.AttachMetrics) can land their counters on
+// this runtime's /metrics endpoint.
+func (r *Runtime) Metrics() *metrics.Registry { return r.metrics }
+
 // Shutdown retires the runtime's parked pool workers and stops the
 // environment-activated observability services (watchdog, metrics
 // endpoint). It is optional — idle workers retire on their own after
